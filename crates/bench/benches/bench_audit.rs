@@ -1,0 +1,118 @@
+//! Audit throughput: workload summarization + measure evaluation,
+//! scaling in workload size and group count, plus the both-sides vs
+//! once-per-correspondence counting ablation called out in DESIGN.md §4.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::fairness::{FairnessMeasure, Paradigm};
+use fairem_core::schema::Table;
+use fairem_core::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+use fairem_core::workload::{Correspondence, Workload};
+use fairem_csvio::parse_csv_str;
+
+fn space(n_groups: usize) -> GroupSpace {
+    let mut csv = String::from("id,g\n");
+    for i in 0..n_groups {
+        csv.push_str(&format!("r{i},g{i}\n"));
+    }
+    let t = Table::from_csv(parse_csv_str(&csv).unwrap()).unwrap();
+    GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")])
+}
+
+fn workload(n: usize, n_groups: usize) -> Workload {
+    let items = (0..n)
+        .map(|i| Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score: (i % 10) as f64 / 10.0,
+            truth: i % 7 == 0,
+            left: GroupVector(1 << (i % n_groups)),
+            right: GroupVector(1 << ((i * 3) % n_groups)),
+        })
+        .collect();
+    Workload::new(items, 0.5)
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit_scaling_n");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let sp = space(5);
+    let auditor = Auditor::new(AuditConfig {
+        measures: FairnessMeasure::ALL.to_vec(),
+        min_support: 1,
+        ..AuditConfig::default()
+    });
+    for n in [1_000usize, 10_000, 50_000] {
+        let w = workload(n, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |bch, w| {
+            bch.iter(|| auditor.audit("X", black_box(w), black_box(&sp)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("audit_scaling_groups");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for k in [2usize, 8, 32] {
+        let sp = space(k);
+        let w = workload(10_000, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &w, |bch, w| {
+            bch.iter(|| auditor.audit("X", black_box(w), black_box(&sp)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("audit_paradigm");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let sp = space(5);
+    let w = workload(10_000, 5);
+    for paradigm in [Paradigm::Single, Paradigm::Pairwise] {
+        let auditor = Auditor::new(AuditConfig {
+            paradigm,
+            measures: vec![FairnessMeasure::TruePositiveRateParity],
+            min_support: 1,
+            ..AuditConfig::default()
+        });
+        g.bench_function(format!("{paradigm}"), |bch| {
+            bch.iter(|| auditor.audit("X", black_box(&w), black_box(&sp)))
+        });
+    }
+    g.finish();
+
+    // Ablation: group confusion via the both-sides rule vs counting each
+    // legitimate correspondence once (what naive classification auditing
+    // would do).
+    let mut g = c.benchmark_group("counting_rule");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let w = workload(50_000, 5);
+    g.bench_function("both_sides", |bch| {
+        bch.iter(|| {
+            (0..5u32)
+                .map(|i| w.group_confusion(GroupId(i)).total())
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("once_per_correspondence", |bch| {
+        bch.iter(|| {
+            (0..5u32)
+                .map(|i| {
+                    let g = GroupId(i);
+                    let mut cm = fairem_core::confusion::ConfusionMatrix::default();
+                    for c in &w.items {
+                        if c.left.contains(g) || c.right.contains(g) {
+                            cm.record(w.prediction(c), c.truth, 1.0);
+                        }
+                    }
+                    cm.total()
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Blocking cost and recall trade-off: token blocking vs
+//! sorted-neighborhood on FacultyMatch (DESIGN.md §4 ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_core::blocking::{blocking_recall, sorted_neighborhood, token_blocking};
+use fairem_core::schema::Table;
+use fairem_datasets::{faculty_match, FacultyConfig};
+
+fn bench_blocking(c: &mut Criterion) {
+    let d = faculty_match(&FacultyConfig::default());
+    let a = Table::from_csv(d.table_a.clone()).unwrap();
+    let b = Table::from_csv(d.table_b.clone()).unwrap();
+    let truth: Vec<(usize, usize)> = d
+        .matches
+        .iter()
+        .map(|(ia, ib)| (a.row_of(ia).unwrap(), b.row_of(ib).unwrap()))
+        .collect();
+
+    let mut g = c.benchmark_group("blocking");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("token_name", |bch| {
+        bch.iter(|| token_blocking(black_box(&a), black_box(&b), &["name"], 200))
+    });
+    g.bench_function("token_name_univ", |bch| {
+        bch.iter(|| token_blocking(black_box(&a), black_box(&b), &["name", "university"], 200))
+    });
+    g.bench_function("sorted_neighborhood_w10", |bch| {
+        bch.iter(|| sorted_neighborhood(black_box(&a), black_box(&b), "name", 10))
+    });
+    g.finish();
+
+    // Print the recall trade-off once (captured in EXPERIMENTS.md).
+    let tok = token_blocking(&a, &b, &["name"], 200);
+    let snm = sorted_neighborhood(&a, &b, "name", 10);
+    eprintln!(
+        "[blocking recall] token(name): {:.3} with {} candidates; snm(w=10): {:.3} with {} candidates",
+        blocking_recall(&tok, &truth),
+        tok.len(),
+        blocking_recall(&snm, &truth),
+        snm.len()
+    );
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ensemble exploration cost: the `mᵏ` enumeration behind Figure 6,
+//! scaling in matcher count and group count, vs the per-group shortcut.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_core::ensemble::EnsembleExplorer;
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_core::schema::Table;
+use fairem_core::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+use fairem_core::workload::{Correspondence, Workload};
+use fairem_csvio::parse_csv_str;
+
+fn setup(m: usize, k: usize) -> EnsembleExplorer {
+    let mut csv = String::from("id,g\n");
+    for i in 0..k {
+        csv.push_str(&format!("r{i},g{i}\n"));
+    }
+    let t = Table::from_csv(parse_csv_str(&csv).unwrap()).unwrap();
+    let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
+    let groups: Vec<GroupId> = space.ids().collect();
+    // m workloads with varying per-group quality.
+    let workloads: Vec<(String, Workload)> = (0..m)
+        .map(|mi| {
+            let items = (0..600)
+                .map(|i| Correspondence {
+                    a_row: 0,
+                    b_row: 0,
+                    score: if (i + mi * 3) % (4 + mi) == 0 {
+                        0.1
+                    } else {
+                        0.9
+                    },
+                    truth: i % 2 == 0,
+                    left: GroupVector(1 << (i % k)),
+                    right: GroupVector(1 << (i % k)),
+                })
+                .collect();
+            (format!("M{mi}"), Workload::new(items, 0.5))
+        })
+        .collect();
+    let refs: Vec<(String, &Workload)> = workloads.iter().map(|(n, w)| (n.clone(), w)).collect();
+    EnsembleExplorer::build(
+        &refs,
+        &space,
+        &groups,
+        FairnessMeasure::AccuracyParity,
+        Disparity::Subtraction,
+    )
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_frontier");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (m, k) in [(4usize, 3usize), (10, 4), (10, 5)] {
+        let e = setup(m, k);
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive", format!("{m}^{k}")),
+            &e,
+            |bch, e| bch.iter(|| e.pareto_frontier()),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("per_group_shortcut");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    let e = setup(10, 5);
+    g.bench_function("best_per_group", |bch| {
+        bch.iter(|| black_box(&e).best_per_group())
+    });
+    g.bench_function("evaluate_one", |bch| {
+        let a = e.best_per_group();
+        bch.iter(|| black_box(&e).evaluate(black_box(&a)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

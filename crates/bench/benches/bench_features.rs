@@ -1,0 +1,34 @@
+//! Pair-featurization throughput: how fast the logic layer turns record
+//! pairs into similarity vectors and token pairs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_core::features::FeatureGenerator;
+use fairem_core::schema::Table;
+use fairem_datasets::{faculty_match, FacultyConfig};
+use fairem_neural::HashVocab;
+
+fn bench_features(c: &mut Criterion) {
+    let d = faculty_match(&FacultyConfig::small());
+    let a = Table::from_csv(d.table_a.clone()).unwrap();
+    let b = Table::from_csv(d.table_b.clone()).unwrap();
+    let gen = FeatureGenerator::build(&a, &b, &["country"]);
+    let pairs: Vec<(usize, usize)> = (0..100).map(|i| (i % a.len(), (i * 7) % b.len())).collect();
+    let vocab = HashVocab::new(512);
+
+    let mut g = c.benchmark_group("features");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("build_generator", |bch| {
+        bch.iter(|| FeatureGenerator::build(black_box(&a), black_box(&b), &["country"]))
+    });
+    g.bench_function("featurize_100_pairs", |bch| {
+        bch.iter(|| gen.matrix(black_box(&a), black_box(&b), black_box(&pairs)))
+    });
+    g.bench_function("tokenize_100_pairs", |bch| {
+        bch.iter(|| gen.tokenize_all(black_box(&a), black_box(&b), black_box(&pairs), &vocab))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

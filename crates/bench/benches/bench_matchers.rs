@@ -1,0 +1,66 @@
+//! Matcher training and scoring throughput, one benchmark per family
+//! (Figure 3's cost column).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_core::features::FeatureGenerator;
+use fairem_core::matcher::{Matcher, MatcherKind, MatcherTrainConfig, TrainInput};
+use fairem_core::prep::{prepare, PrepConfig};
+use fairem_core::schema::Table;
+use fairem_datasets::{faculty_match, FacultyConfig};
+use fairem_neural::{HashVocab, TrainConfig};
+
+fn bench_matchers(c: &mut Criterion) {
+    let d = faculty_match(&FacultyConfig::small());
+    let a = Table::from_csv(d.table_a.clone()).unwrap();
+    let b = Table::from_csv(d.table_b.clone()).unwrap();
+    let prep = prepare(&a, &b, &d.matches, &PrepConfig::default());
+    let gen = FeatureGenerator::build(&a, &b, &["country"]);
+    let vocab = HashVocab::new(128);
+    let (pairs, labels) = prep.split(&prep.train_idx);
+    let features = gen.matrix(&a, &b, &pairs);
+    let tokens = gen.tokenize_all(&a, &b, &pairs, &vocab);
+    let input = TrainInput {
+        features: &features,
+        tokens: &tokens,
+        labels: &labels,
+    };
+    let config = MatcherTrainConfig {
+        neural: TrainConfig {
+            vocab_size: 128,
+            epochs: 2,
+            ..TrainConfig::fast()
+        },
+        seed: 1,
+    };
+
+    let mut g = c.benchmark_group("train");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for kind in [
+        MatcherKind::DtMatcher,
+        MatcherKind::RfMatcher,
+        MatcherKind::SvmMatcher,
+        MatcherKind::LogRegMatcher,
+        MatcherKind::LinRegMatcher,
+        MatcherKind::NbMatcher,
+        MatcherKind::DeepMatcher,
+        MatcherKind::Mcan,
+    ] {
+        g.bench_function(kind.name(), |bch| {
+            bch.iter(|| kind.train(black_box(&input), black_box(&config)))
+        });
+    }
+    g.finish();
+
+    let trained = MatcherKind::RfMatcher.train(&input, &config);
+    let mut g = c.benchmark_group("score");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("RFMatcher_batch", |bch| {
+        bch.iter(|| trained.score_batch(black_box(&features), black_box(&tokens)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Multiple-workload analysis cost: bootstrap resampling + per-cell
+//! z-tests, scaling in k.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::fairness::FairnessMeasure;
+use fairem_core::multiworkload::analyze_bootstrap;
+use fairem_core::schema::Table;
+use fairem_core::sensitive::{GroupSpace, GroupVector, SensitiveAttr};
+use fairem_core::workload::{Correspondence, Workload};
+use fairem_csvio::parse_csv_str;
+
+fn bench_multiworkload(c: &mut Criterion) {
+    let t = Table::from_csv(parse_csv_str("id,g\na,g0\nb,g1\nc,g2\n").unwrap()).unwrap();
+    let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
+    let items: Vec<Correspondence> = (0..5_000)
+        .map(|i| Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score: ((i * 13) % 10) as f64 / 10.0,
+            truth: i % 6 == 0,
+            left: GroupVector(1 << (i % 3)),
+            right: GroupVector(1 << ((i / 3) % 3)),
+        })
+        .collect();
+    let base = Workload::new(items, 0.5);
+    let auditor = Auditor::new(AuditConfig {
+        measures: vec![
+            FairnessMeasure::TruePositiveRateParity,
+            FairnessMeasure::PositivePredictiveValueParity,
+        ],
+        min_support: 5,
+        ..AuditConfig::default()
+    });
+
+    let mut g = c.benchmark_group("multiworkload");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for k in [10usize, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            bch.iter(|| analyze_bootstrap("X", black_box(&base), &space, &auditor, k, 0.05, 7))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("bootstrap_resample");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("resample_5000", |bch| {
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            black_box(&base).resample(seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multiworkload);
+criterion_main!(benches);

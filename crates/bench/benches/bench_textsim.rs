@@ -1,0 +1,72 @@
+//! Microbenchmarks of the string-similarity kernels feature generation
+//! spends its time in.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_text::{StringMeasure, TfIdfCorpusBuilder};
+
+const PAIRS: [(&str, &str); 4] = [
+    ("li wei", "wong way"),
+    ("john a smith", "jon smith"),
+    (
+        "university of illinois chicago",
+        "univ of illinois at chicago",
+    ),
+    ("maria garcia", "ana garcia lopez"),
+];
+
+fn bench_measures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("textsim");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for m in [
+        StringMeasure::Levenshtein,
+        StringMeasure::JaroWinkler,
+        StringMeasure::JaccardWords,
+        StringMeasure::JaccardQgrams,
+        StringMeasure::MongeElkan,
+        StringMeasure::SmithWaterman,
+    ] {
+        g.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (x, y) in PAIRS {
+                    acc += m.eval(black_box(x), black_box(y));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let mut builder = TfIdfCorpusBuilder::new();
+    for i in 0..500 {
+        builder.add_document(&format!("record number {i} department of computer science"));
+    }
+    let corpus = builder.build();
+    let mut g = c.benchmark_group("tfidf");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("cosine", |b| {
+        b.iter(|| {
+            corpus.cosine(
+                black_box("department of computer science chicago"),
+                black_box("dept of computer science"),
+            )
+        })
+    });
+    g.bench_function("soft_cosine", |b| {
+        b.iter(|| {
+            corpus.soft_cosine(
+                black_box("department of computer science chicago"),
+                black_box("dept of computre science"),
+                0.9,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_measures, bench_tfidf);
+criterion_main!(benches);

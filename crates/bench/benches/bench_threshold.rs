@@ -1,0 +1,65 @@
+//! Threshold-analysis cost: full-grid sweeps, constrained suggestion,
+//! AUC parity, and per-group calibration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_core::schema::Table;
+use fairem_core::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+use fairem_core::threshold::{auc_parity, calibrate_per_group, default_grid, sweep};
+use fairem_core::workload::{Correspondence, Workload};
+use fairem_csvio::parse_csv_str;
+
+fn setup(n: usize) -> (Workload, GroupSpace, Vec<GroupId>) {
+    let t =
+        Table::from_csv(parse_csv_str("id,g\na,g0\nb,g1\nc,g2\nd,g3\ne,g4\n").unwrap()).unwrap();
+    let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
+    let groups: Vec<GroupId> = space.ids().collect();
+    let items = (0..n)
+        .map(|i| Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score: ((i * 31) % 100) as f64 / 100.0,
+            truth: i % 5 == 0,
+            left: GroupVector(1 << (i % 5)),
+            right: GroupVector(1 << ((i / 5) % 5)),
+        })
+        .collect();
+    (Workload::new(items, 0.5), space, groups)
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_sweep");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    let grid = default_grid();
+    for n in [2_000usize, 20_000] {
+        let (w, space, groups) = setup(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |bch, w| {
+            bch.iter(|| {
+                sweep(
+                    black_box(w),
+                    &space,
+                    &groups,
+                    FairnessMeasure::TruePositiveRateParity,
+                    &grid,
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let (w, space, groups) = setup(20_000);
+    let mut g = c.benchmark_group("threshold_analysis");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("auc_parity", |bch| {
+        bch.iter(|| auc_parity(black_box(&w), &space, &groups, Disparity::Subtraction))
+    });
+    g.bench_function("calibrate_per_group", |bch| {
+        bch.iter(|| calibrate_per_group(black_box(&w), black_box(&w), &groups))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

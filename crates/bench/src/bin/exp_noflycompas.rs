@@ -1,0 +1,129 @@
+//! §3 (second demo dataset) — NoFlyCompas: intersectional race×sex
+//! subgroups, single *and* pairwise fairness paradigms, division-based
+//! disparity, and a subgroup drill-down.
+
+use fairem_bench::{import, nofly_dataset, FAIRNESS_THRESHOLD};
+use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
+use fairem_core::matcher::MatcherKind;
+use fairem_core::report::audit_text;
+
+fn main() {
+    println!("=== NoFlyCompas: intersectional & pairwise audits ===\n");
+    let dataset = nofly_dataset();
+    let session = import(&dataset).run(&[
+        MatcherKind::LinRegMatcher,
+        MatcherKind::RfMatcher,
+        MatcherKind::HierMatcher,
+    ]);
+    println!(
+        "groups ({}): {:?}\n",
+        session.space.len(),
+        session
+            .space
+            .ids()
+            .map(|g| session.space.name(g).to_owned())
+            .collect::<Vec<_>>()
+    );
+
+    // Single fairness over all (sub)groups, division disparity.
+    let single = Auditor::new(AuditConfig {
+        paradigm: Paradigm::Single,
+        measures: vec![
+            FairnessMeasure::TruePositiveRateParity,
+            FairnessMeasure::PositivePredictiveValueParity,
+        ],
+        disparity: Disparity::Division,
+        fairness_threshold: FAIRNESS_THRESHOLD,
+        min_support: 15,
+        only_unfair: false,
+        pairwise_attr: 0,
+    });
+    for matcher in session.matcher_names() {
+        let report = single.audit(matcher, &session.workload(matcher), &session.space);
+        let unfair: Vec<String> = report
+            .unfair()
+            .map(|e| format!("{}:{} ({:.3})", e.measure.name(), e.group, e.disparity))
+            .collect();
+        println!(
+            "single fairness, {matcher}: max disparity {:.3}; unfair: {}",
+            report.max_disparity(),
+            if unfair.is_empty() {
+                "none".to_owned()
+            } else {
+                unfair.join(", ")
+            }
+        );
+    }
+
+    // Pairwise fairness over race pairs for the most disparate matcher.
+    println!("\npairwise fairness (race × race), LinRegMatcher:");
+    let pairwise = Auditor::new(AuditConfig {
+        paradigm: Paradigm::Pairwise,
+        measures: vec![FairnessMeasure::TruePositiveRateParity],
+        disparity: Disparity::Division,
+        fairness_threshold: FAIRNESS_THRESHOLD,
+        min_support: 10,
+        only_unfair: false,
+        pairwise_attr: 0,
+    });
+    let report = pairwise.audit(
+        "LinRegMatcher",
+        &session.workload("LinRegMatcher"),
+        &session.space,
+    );
+    println!("{}", audit_text(&report));
+
+    // Subgroup drill-down on the worst *level-1* group (those have
+    // intersectional children in the lattice).
+    let level1: Vec<String> = (0..session.space.attrs().len())
+        .flat_map(|ai| session.space.level1_of_attr(ai))
+        .map(|g| session.space.name(g).to_owned())
+        .collect();
+    let worst = single
+        .audit(
+            "LinRegMatcher",
+            &session.workload("LinRegMatcher"),
+            &session.space,
+        )
+        .entries
+        .into_iter()
+        .filter(|e| e.disparity.is_finite() && level1.contains(&e.group))
+        .max_by(|a, b| a.disparity.total_cmp(&b.disparity));
+    if let Some(e) = worst {
+        println!("subgroup drill-down for {} w.r.t. {}:", e.group, e.measure);
+        let w = session.workload("LinRegMatcher");
+        let explainer = session.explainer(&w, Disparity::Division);
+        for row in explainer.subgroup(e.measure, &e.group).rows {
+            println!(
+                "  {:<18} value {:>7.3} disparity {:>7.3} support {}",
+                row.group, row.value, row.disparity, row.support
+            );
+        }
+    }
+
+    // Step 4 on the second dataset: resolve the race-level unfairness
+    // with the ensemble.
+    println!("\nensemble resolution over race (TPRP):");
+    let explorer = session.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+    let frontier = explorer.pareto_frontier();
+    let chosen = frontier
+        .iter()
+        .rfind(|p| p.unfairness <= FAIRNESS_THRESHOLD)
+        .unwrap_or(&frontier[0]);
+    println!("  chosen: {}", explorer.describe(&chosen.assignment));
+    println!(
+        "  unfairness {:.3} (threshold {FAIRNESS_THRESHOLD}), worst-race TPR {:.3} -> {}",
+        chosen.unfairness,
+        chosen.performance,
+        if chosen.unfairness <= FAIRNESS_THRESHOLD {
+            "RESOLVED"
+        } else {
+            "NOT RESOLVED"
+        }
+    );
+}

@@ -1,0 +1,52 @@
+//! Extension experiment (paper refs \[12\]/\[16\]): data-repair resolution —
+//! retrain the unfair matcher with the disadvantaged group's training
+//! matches oversampled, and compare the audited disparity.
+
+use fairem_bench::{default_auditor, faculty_session};
+use fairem_core::fairness::FairnessMeasure;
+use fairem_core::matcher::MatcherKind;
+use fairem_core::repair::RepairOutcome;
+
+fn main() {
+    println!("=== Extension: data-repair resolution (oversampling cn training matches) ===\n");
+    let session = faculty_session();
+    let auditor = default_auditor();
+    let cn = session.space.by_name("cn").expect("cn group exists");
+
+    let before_report = session.audit("LinRegMatcher", &auditor);
+    let before = before_report
+        .entry(FairnessMeasure::TruePositiveRateParity, "cn")
+        .expect("cn entry")
+        .disparity;
+    println!("LinRegMatcher cn TPRP disparity before repair: {before:.3}\n");
+
+    println!("factor  cn-TPR-disparity  overall-F1  verdict");
+    for factor in [1usize, 2, 3, 5, 8] {
+        let repaired =
+            session.retrain_with_oversampling(MatcherKind::LinRegMatcher, cn, factor, true);
+        let report = auditor.audit("LinRegMatcher+repair", &repaired, &session.space);
+        let entry = report
+            .entry(FairnessMeasure::TruePositiveRateParity, "cn")
+            .expect("cn entry");
+        let f1 = repaired.overall_confusion().f1();
+        let outcome = RepairOutcome {
+            matcher: "LinRegMatcher".into(),
+            group: "cn".into(),
+            factor,
+            disparity_before: before,
+            disparity_after: entry.disparity,
+        };
+        println!(
+            "{factor:>6} {:>17.3} {:>11.3}  {}",
+            entry.disparity,
+            f1,
+            if factor == 1 {
+                "baseline".to_owned()
+            } else if outcome.improved() {
+                format!("improved ({:+.3})", entry.disparity - before)
+            } else {
+                "no improvement".to_owned()
+            }
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 3 — the matcher-selection step: the ten integrated matchers
+//! with their info cards and test-split matching quality.
+
+use fairem_bench::faculty_session;
+use fairem_core::matcher::MatcherKind;
+
+fn main() {
+    println!("=== Figure 3: matcher selection (FacultyMatch test split) ===\n");
+    for k in MatcherKind::ALL {
+        println!(
+            "{:<14} [{}] {}",
+            k.name(),
+            if k.is_neural() {
+                "neural    "
+            } else {
+                "non-neural"
+            },
+            k.description()
+        );
+    }
+    println!("\ntraining all matchers ...\n");
+    let session = faculty_session();
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>10}",
+        "matcher", "F1", "precision", "recall", "accuracy"
+    );
+    for k in MatcherKind::ALL {
+        let p = session.performance(k.name());
+        println!(
+            "{:<14} {:>8.3} {:>10.3} {:>8.3} {:>10.3}",
+            p.matcher, p.f1, p.precision, p.recall, p.accuracy
+        );
+    }
+}

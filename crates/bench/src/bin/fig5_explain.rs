@@ -1,0 +1,84 @@
+//! Figure 5 — unfairness explanations for the worst audited cell (the
+//! paper shows the `cn` group w.r.t. TPRP under LinRegMatcher): all four
+//! explanation families.
+
+use fairem_bench::{default_auditor, faculty_session};
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+
+fn main() {
+    println!("=== Figure 5: unfairness explanations ===\n");
+    let session = faculty_session();
+    let auditor = default_auditor();
+
+    // Find the unfair (matcher, measure, group) cell with max disparity.
+    let mut target: Option<(String, FairnessMeasure, String, f64)> = None;
+    for report in session.audit_all(&auditor) {
+        for e in report.unfair() {
+            if target.as_ref().is_none_or(|t| e.disparity > t.3) {
+                target = Some((
+                    report.matcher.clone(),
+                    e.measure,
+                    e.group.clone(),
+                    e.disparity,
+                ));
+            }
+        }
+    }
+    let Some((matcher, measure, group, disparity)) = target else {
+        println!("no unfair cell found at this threshold — nothing to explain");
+        return;
+    };
+    println!(
+        "explaining: {matcher} unfair on {group} w.r.t. {measure} (disparity {disparity:.3})\n"
+    );
+
+    let workload = session.workload(&matcher);
+    let explainer = session.explainer(&workload, Disparity::Subtraction);
+
+    println!("--- measure-based explanation ---");
+    let me = explainer.measure_based(measure, &group);
+    println!(
+        "confusion (both-sides counting): TP={} FP={} FN={} TN={}",
+        me.confusion.tp, me.confusion.fp, me.confusion.fn_, me.confusion.tn
+    );
+    for (name, gv, ov) in &me.rates {
+        println!("  {name:<9} group {gv:>7.3}   overall {ov:>7.3}");
+    }
+    println!("  -> {}\n", me.narrative);
+
+    println!("--- group-representation explanation ---");
+    let rep = explainer.representation(&group);
+    println!(
+        "  test workload share: {:.3} overall, {:.3} among matches, {:.3} among non-matches",
+        rep.share_overall, rep.share_matches, rep.share_nonmatches
+    );
+    if let Some((o, m, n)) = rep.train_shares {
+        println!(
+            "  train split share:  {o:.3} overall, {m:.3} among matches, {n:.3} among non-matches"
+        );
+    }
+    println!();
+
+    println!("--- subgroup-based explanation ---");
+    let sub = explainer.subgroup(measure, &group);
+    if sub.rows.is_empty() {
+        println!("  (single sensitive attribute: {group} has no subgroups)");
+    } else {
+        for row in &sub.rows {
+            println!(
+                "  {:<18} value {:>7.3} disparity {:>7.3} support {}",
+                row.group, row.value, row.disparity, row.support
+            );
+        }
+    }
+    println!();
+
+    println!("--- example-based explanation (problematic pairs) ---");
+    let ex = explainer.examples(measure, &group, 5, 2024);
+    for (i, e) in ex.examples.iter().enumerate() {
+        println!(
+            "  #{i} score {:.3} predicted={} truth={}\n     A: {}\n     B: {}",
+            e.score, e.predicted, e.truth, e.left, e.right
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 7 — the post-resolution audit: re-audit under the ensemble
+//! strategy selected from the Pareto frontier, showing the previously
+//! unfair group now within the fairness threshold.
+
+use fairem_bench::{default_auditor, faculty_session, FAIRNESS_THRESHOLD};
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+
+fn main() {
+    println!("=== Figure 7: audit after ensemble-based resolution ===\n");
+    let session = faculty_session();
+    let auditor = default_auditor();
+
+    // Before: per-matcher audit of TPRP on cn (the unfair cell from Fig. 4).
+    println!("before resolution (single matchers, TPRP on cn):");
+    for report in session.audit_all(&auditor) {
+        if let Some(e) = report.entry(FairnessMeasure::TruePositiveRateParity, "cn") {
+            println!(
+                "  {:<14} value {:>6.3} disparity {:>6.3} {}",
+                report.matcher,
+                e.group_value,
+                e.disparity,
+                if e.unfair { "UNFAIR" } else { "fair" }
+            );
+        }
+    }
+
+    // Resolve under TPRP and re-audit the combined strategy.
+    let explorer = session.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+    let frontier = explorer.pareto_frontier();
+    // Pick the best-performance point that is within the fairness
+    // threshold (the demo's "accurate but still fair" preference).
+    let chosen = frontier
+        .iter()
+        .rfind(|p| p.unfairness <= FAIRNESS_THRESHOLD)
+        .unwrap_or(&frontier[0]);
+    println!(
+        "\nchosen strategy: {}",
+        explorer.describe(&chosen.assignment)
+    );
+    println!(
+        "strategy unfairness {:.3} (threshold {FAIRNESS_THRESHOLD}), worst-group TPR {:.3}\n",
+        chosen.unfairness, chosen.performance
+    );
+
+    println!("after resolution (per-group TPR under the assignment):");
+    let point = explorer.evaluate(&chosen.assignment);
+    for (gi, g) in explorer.groups().iter().enumerate() {
+        let v = explorer.value(chosen.assignment[gi], gi);
+        println!(
+            "  {:<6} ← {:<14} TPR {:>6.3}",
+            g,
+            explorer.matchers()[chosen.assignment[gi]],
+            v
+        );
+    }
+    println!(
+        "\nresolution verdict: unfairness {:.3} ≤ {FAIRNESS_THRESHOLD} → {}",
+        point.unfairness,
+        if point.unfairness <= FAIRNESS_THRESHOLD {
+            "RESOLVED"
+        } else {
+            "NOT RESOLVED"
+        }
+    );
+}

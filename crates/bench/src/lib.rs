@@ -1,0 +1,97 @@
+//! Shared harness for the figure-regeneration binaries and Criterion
+//! benches: builds the demo sessions (FacultyMatch, NoFlyCompas) with
+//! the same parameters every figure uses, so numbers are comparable
+//! across binaries.
+
+use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_core::matcher::MatcherKind;
+use fairem_core::pipeline::{FairEm360, Session, SuiteConfig};
+use fairem_core::prep::PrepConfig;
+use fairem_core::sensitive::SensitiveAttr;
+use fairem_datasets::{faculty_match, nofly_compas, FacultyConfig, GeneratedDataset, NoFlyConfig};
+
+/// The matching threshold every figure evaluates at (demo Step 3).
+pub const MATCHING_THRESHOLD: f64 = 0.5;
+/// The fairness threshold (the demo's red line, the 20% rule).
+pub const FAIRNESS_THRESHOLD: f64 = 0.2;
+
+/// Import a generated dataset into the suite.
+pub fn import(dataset: &GeneratedDataset) -> FairEm360 {
+    let sensitive = dataset
+        .sensitive
+        .iter()
+        .map(|c| SensitiveAttr::categorical(c.clone()))
+        .collect();
+    FairEm360::import(
+        dataset.table_a.clone(),
+        dataset.table_b.clone(),
+        dataset.matches.clone(),
+        sensitive,
+    )
+    .expect("generated datasets are schema-valid")
+    .with_config(suite_config())
+}
+
+/// The suite configuration shared by all figures.
+pub fn suite_config() -> SuiteConfig {
+    SuiteConfig {
+        prep: PrepConfig {
+            blocking_columns: vec!["name".into()],
+            negative_ratio: 6.0,
+            train_frac: 0.55,
+            valid_frac: 0.05,
+            ..PrepConfig::default()
+        },
+        matching_threshold: MATCHING_THRESHOLD,
+        ..SuiteConfig::default()
+    }
+}
+
+/// The FacultyMatch demo dataset at paper scale.
+pub fn faculty_dataset() -> GeneratedDataset {
+    faculty_match(&FacultyConfig::default())
+}
+
+/// The NoFlyCompas demo dataset at paper scale.
+pub fn nofly_dataset() -> GeneratedDataset {
+    nofly_compas(&NoFlyConfig::default())
+}
+
+/// Train the full ten-matcher fleet on FacultyMatch (the session behind
+/// Figures 1 and 3–7).
+pub fn faculty_session() -> Session {
+    import(&faculty_dataset()).run(&MatcherKind::ALL)
+}
+
+/// Train a reduced fleet (fast; used by benches that only need two
+/// matchers' workloads).
+pub fn faculty_session_small() -> Session {
+    let dataset = faculty_match(&FacultyConfig::small());
+    import(&dataset).run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+}
+
+/// The default auditor used by the figures: single fairness, the five
+/// headline measures, subtraction disparity, thresholds per the demo.
+pub fn default_auditor() -> Auditor {
+    Auditor::new(AuditConfig {
+        measures: FairnessMeasure::PAPER_FIVE.to_vec(),
+        disparity: Disparity::Subtraction,
+        fairness_threshold: FAIRNESS_THRESHOLD,
+        min_support: 20,
+        ..AuditConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_session_builds_and_audits() {
+        let s = faculty_session_small();
+        let reports = s.audit_all(&default_auditor());
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| !r.entries.is_empty()));
+    }
+}

@@ -1,0 +1,237 @@
+//! Candidate-pair generation (blocking).
+//!
+//! Comparing every A×B pair is quadratic; blocking restricts candidates
+//! to pairs that share evidence. Two standard schemes are provided:
+//! token blocking (share any word token in the blocking columns) and
+//! sorted-neighborhood (windowed scan over a sort key).
+
+use std::collections::{HashMap, HashSet};
+
+use fairem_text::word_tokens;
+
+use crate::schema::Table;
+
+/// Candidate pairs as `(a_row, b_row)` indices.
+pub type CandidatePairs = Vec<(usize, usize)>;
+
+/// Token blocking: a pair is a candidate when the two records share at
+/// least one word token across the given columns (column names must
+/// exist in the respective table). Blocks larger than `max_block` are
+/// skipped as non-discriminative (stop-token guard).
+pub fn token_blocking(a: &Table, b: &Table, columns: &[&str], max_block: usize) -> CandidatePairs {
+    assert!(!columns.is_empty(), "blocking needs at least one column");
+    let index_side = |t: &Table| -> HashMap<String, Vec<usize>> {
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                t.column_index(c)
+                    .unwrap_or_else(|| panic!("blocking column {c:?} missing"))
+            })
+            .collect();
+        let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
+        for row in 0..t.len() {
+            let mut seen: HashSet<String> = HashSet::new();
+            for &c in &cols {
+                for tok in word_tokens(t.value(row, c)) {
+                    if seen.insert(tok.clone()) {
+                        idx.entry(tok).or_default().push(row);
+                    }
+                }
+            }
+        }
+        idx
+    };
+    let ia = index_side(a);
+    let ib = index_side(b);
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for (tok, rows_a) in &ia {
+        let Some(rows_b) = ib.get(tok) else { continue };
+        if rows_a.len() * rows_b.len() > max_block * max_block {
+            continue; // stop token
+        }
+        for &ra in rows_a {
+            for &rb in rows_b {
+                pairs.insert((ra, rb));
+            }
+        }
+    }
+    let mut out: CandidatePairs = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sorted-neighborhood blocking: both tables are sorted by a key column,
+/// merged, and every A-B pair within a sliding window of size `window`
+/// becomes a candidate.
+pub fn sorted_neighborhood(
+    a: &Table,
+    b: &Table,
+    key_column: &str,
+    window: usize,
+) -> CandidatePairs {
+    assert!(window >= 2, "window must be at least 2");
+    let ka = a
+        .column_index(key_column)
+        .unwrap_or_else(|| panic!("key column {key_column:?} missing in A"));
+    let kb = b
+        .column_index(key_column)
+        .unwrap_or_else(|| panic!("key column {key_column:?} missing in B"));
+    // Merge records of both sides tagged with origin.
+    let mut merged: Vec<(String, bool, usize)> = Vec::with_capacity(a.len() + b.len());
+    for row in 0..a.len() {
+        merged.push((a.value(row, ka).to_lowercase(), false, row));
+    }
+    for row in 0..b.len() {
+        merged.push((b.value(row, kb).to_lowercase(), true, row));
+    }
+    merged.sort();
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for i in 0..merged.len() {
+        let end = (i + window).min(merged.len());
+        for j in (i + 1)..end {
+            match (&merged[i], &merged[j]) {
+                ((_, false, ra), (_, true, rb)) => {
+                    pairs.insert((*ra, *rb));
+                }
+                ((_, true, rb), (_, false, ra)) => {
+                    pairs.insert((*ra, *rb));
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out: CandidatePairs = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Recall of a blocking result against the ground-truth matches
+/// (fraction of true pairs that survived blocking).
+pub fn blocking_recall(candidates: &CandidatePairs, truth: &[(usize, usize)]) -> f64 {
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let set: HashSet<&(usize, usize)> = candidates.iter().collect();
+    let hit = truth.iter().filter(|p| set.contains(p)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Per-group blocking recall: blocking itself can be unfair — e.g. a
+/// token blocker loses romanization-drifted duplicates, so a group's
+/// true matches never even reach the matcher. Returns `(group name,
+/// recall, truth-pair support)` per group, where a truth pair belongs to
+/// a group when either entity does (the single-fairness rule).
+pub fn per_group_blocking_recall(
+    candidates: &CandidatePairs,
+    truth: &[(usize, usize)],
+    enc_a: &[crate::sensitive::GroupVector],
+    enc_b: &[crate::sensitive::GroupVector],
+    space: &crate::sensitive::GroupSpace,
+) -> Vec<(String, f64, usize)> {
+    let set: HashSet<&(usize, usize)> = candidates.iter().collect();
+    space
+        .ids()
+        .map(|g| {
+            let legit: Vec<&(usize, usize)> = truth
+                .iter()
+                .filter(|&&(ra, rb)| enc_a[ra].contains(g) || enc_b[rb].contains(g))
+                .collect();
+            let recall = if legit.is_empty() {
+                f64::NAN
+            } else {
+                legit.iter().filter(|p| set.contains(**p)).count() as f64 / legit.len() as f64
+            };
+            (space.name(g).to_owned(), recall, legit.len())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_csvio::parse_csv_str;
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_csv(
+            parse_csv_str("id,name\na0,li wei\na1,john smith\na2,hans muller\n").unwrap(),
+        )
+        .unwrap();
+        let b = Table::from_csv(
+            parse_csv_str("id,name\nb0,wei li\nb1,jon smith\nb2,maria garcia\n").unwrap(),
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn token_blocking_links_shared_tokens() {
+        let (a, b) = tables();
+        let pairs = token_blocking(&a, &b, &["name"], 100);
+        assert!(pairs.contains(&(0, 0))); // shares li & wei
+        assert!(pairs.contains(&(1, 1))); // shares smith
+        assert!(!pairs.contains(&(2, 2))); // muller vs garcia: nothing shared
+    }
+
+    #[test]
+    fn stop_tokens_are_skipped() {
+        // Every record shares "dept", which would cross-product everything.
+        let a =
+            Table::from_csv(parse_csv_str("id,name\na0,dept x\na1,dept y\na2,dept z\n").unwrap())
+                .unwrap();
+        let b =
+            Table::from_csv(parse_csv_str("id,name\nb0,dept x\nb1,dept q\nb2,dept r\n").unwrap())
+                .unwrap();
+        let pairs = token_blocking(&a, &b, &["name"], 2);
+        // "dept" block is 3×3 > 2×2 → skipped; only "x" links (0,0).
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn sorted_neighborhood_links_nearby_keys() {
+        let (a, b) = tables();
+        let pairs = sorted_neighborhood(&a, &b, "name", 3);
+        assert!(pairs.contains(&(1, 1)), "{pairs:?}"); // john/jon adjacent
+                                                       // All candidate pairs are valid indexes.
+        for (ra, rb) in &pairs {
+            assert!(*ra < a.len() && *rb < b.len());
+        }
+    }
+
+    #[test]
+    fn recall_measures_truth_coverage() {
+        let cands = vec![(0, 0), (1, 1)];
+        assert_eq!(blocking_recall(&cands, &[(0, 0), (2, 2)]), 0.5);
+        assert_eq!(blocking_recall(&cands, &[(0, 0)]), 1.0);
+        assert!(blocking_recall(&cands, &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn unknown_blocking_column_panics() {
+        let (a, b) = tables();
+        let _ = token_blocking(&a, &b, &["nope"], 10);
+    }
+
+    #[test]
+    fn per_group_recall_exposes_blocker_bias() {
+        use crate::sensitive::{GroupSpace, SensitiveAttr};
+        // Group x's duplicate shares no token (drifted); group y's does.
+        let a =
+            Table::from_csv(parse_csv_str("id,name,g\na0,wang wei,x\na1,john smith,y\n").unwrap())
+                .unwrap();
+        let b =
+            Table::from_csv(parse_csv_str("id,name,g\nb0,wong way,x\nb1,jon smith,y\n").unwrap())
+                .unwrap();
+        let space = GroupSpace::extract(&[&a, &b], vec![SensitiveAttr::categorical("g")]);
+        let enc_a = space.encode_table(&a);
+        let enc_b = space.encode_table(&b);
+        let candidates = token_blocking(&a, &b, &["name"], 100);
+        let truth = vec![(0, 0), (1, 1)];
+        let rows = per_group_blocking_recall(&candidates, &truth, &enc_a, &enc_b, &space);
+        let recall_of = |name: &str| rows.iter().find(|(n, _, _)| n == name).unwrap().1;
+        assert_eq!(recall_of("x"), 0.0, "drifted pair is lost by the blocker");
+        assert_eq!(recall_of("y"), 1.0);
+        // Overall recall masks the group gap.
+        assert_eq!(blocking_recall(&candidates, &truth), 0.5);
+    }
+}

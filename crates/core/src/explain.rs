@@ -1,0 +1,508 @@
+//! Unfairness explanations (paper §2.3, "Explanation" + Figure 5).
+//!
+//! Four local, model-agnostic perspectives on *why* a matcher is unfair
+//! toward a queried (measure, group): subgroup drill-down, measure
+//! (confusion-matrix) decomposition, group representation, and sampled
+//! problematic examples.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::confusion::ConfusionMatrix;
+use crate::fairness::{Disparity, FairnessMeasure};
+use crate::schema::Table;
+use crate::sensitive::{GroupId, GroupSpace};
+use crate::workload::Workload;
+
+/// One row of a subgroup drill-down.
+#[derive(Debug, Clone)]
+pub struct SubgroupRow {
+    /// Subgroup display name (e.g. `"black-female"`).
+    pub group: String,
+    /// Subgroup id.
+    pub group_id: GroupId,
+    /// The measure's value on the subgroup.
+    pub value: f64,
+    /// Disparity of the subgroup against the overall value.
+    pub disparity: f64,
+    /// Legitimate correspondences for the subgroup.
+    pub support: usize,
+}
+
+/// Subgroup-based explanation: the unfair group's children in the
+/// subgroup lattice, ranked by disparity, exposing which granular
+/// subgroup drives the parent's unfairness.
+#[derive(Debug, Clone)]
+pub struct SubgroupExplanation {
+    /// The queried (parent) group.
+    pub parent: String,
+    /// Measure being explained.
+    pub measure: FairnessMeasure,
+    /// Child subgroups, worst disparity first.
+    pub rows: Vec<SubgroupRow>,
+}
+
+/// Measure-based explanation: the group's confusion matrix and derived
+/// rates side by side with the overall workload's.
+#[derive(Debug, Clone)]
+pub struct MeasureExplanation {
+    /// The queried group.
+    pub group: String,
+    /// Measure being explained.
+    pub measure: FairnessMeasure,
+    /// The group's confusion matrix (both-sides counting).
+    pub confusion: ConfusionMatrix,
+    /// `(rate name, group value, overall value)` triplets.
+    pub rates: Vec<(&'static str, f64, f64)>,
+    /// Plain-language summary of the dominant contributing factor.
+    pub narrative: String,
+}
+
+/// Group-representation explanation: the group's share of the workload
+/// overall and conditioned on the match/non-match classes — exposing
+/// representation skew, the class-imbalance-sensitive bias source.
+#[derive(Debug, Clone)]
+pub struct RepresentationExplanation {
+    /// The queried group.
+    pub group: String,
+    /// Share of correspondences legitimate for the group.
+    pub share_overall: f64,
+    /// Share among true matches.
+    pub share_matches: f64,
+    /// Share among true non-matches.
+    pub share_nonmatches: f64,
+    /// Same three shares on the training workload, when available.
+    pub train_shares: Option<(f64, f64, f64)>,
+    /// Chi-squared test of independence between group membership and
+    /// the match class on the evaluation workload: `(statistic,
+    /// p-value)`. A small p-value means the group is significantly
+    /// over/under-represented in one class — the representation-skew
+    /// signal. `None` when the contingency table is degenerate.
+    pub class_dependence: Option<(f64, f64)>,
+}
+
+/// One sampled problematic pair.
+#[derive(Debug, Clone)]
+pub struct ExamplePair {
+    /// Rendered left record.
+    pub left: String,
+    /// Rendered right record.
+    pub right: String,
+    /// Matcher score.
+    pub score: f64,
+    /// Prediction at the workload threshold.
+    pub predicted: bool,
+    /// Ground truth.
+    pub truth: bool,
+}
+
+/// Example-based explanation: a random sample of the pairs that hurt the
+/// group under the queried measure (false negatives for TPRP, false
+/// positives for PPVP/FPRP, any error otherwise).
+#[derive(Debug, Clone)]
+pub struct ExampleExplanation {
+    /// The queried group.
+    pub group: String,
+    /// Measure being explained.
+    pub measure: FairnessMeasure,
+    /// Sampled pairs.
+    pub examples: Vec<ExamplePair>,
+}
+
+/// Explanation engine bound to one audited workload.
+#[derive(Debug)]
+pub struct Explainer<'a> {
+    workload: &'a Workload,
+    space: &'a GroupSpace,
+    table_a: &'a Table,
+    table_b: &'a Table,
+    train_workload: Option<&'a Workload>,
+    disparity: Disparity,
+}
+
+impl<'a> Explainer<'a> {
+    /// Create an explainer over an audited test workload. Pass the
+    /// training workload when available to enable train-side
+    /// representation analysis.
+    pub fn new(
+        workload: &'a Workload,
+        space: &'a GroupSpace,
+        table_a: &'a Table,
+        table_b: &'a Table,
+        train_workload: Option<&'a Workload>,
+        disparity: Disparity,
+    ) -> Explainer<'a> {
+        Explainer {
+            workload,
+            space,
+            table_a,
+            table_b,
+            train_workload,
+            disparity,
+        }
+    }
+
+    /// Subgroup-based explanation for `(measure, group)`.
+    ///
+    /// # Panics
+    /// If the group name is unknown.
+    pub fn subgroup(&self, measure: FairnessMeasure, group: &str) -> SubgroupExplanation {
+        let g = self.lookup(group);
+        let overall = measure.value(&self.workload.overall_confusion());
+        let mut rows: Vec<SubgroupRow> = self
+            .space
+            .children(g)
+            .into_iter()
+            .map(|child| {
+                let cm = self.workload.group_confusion(child);
+                let value = measure.value(&cm);
+                SubgroupRow {
+                    group: self.space.name(child).to_owned(),
+                    group_id: child,
+                    value,
+                    disparity: self
+                        .disparity
+                        .compute(overall, value, measure.higher_is_better()),
+                    support: self.workload.group_support(child),
+                }
+            })
+            .collect();
+        // Worst disparity first; undefined (NaN, empty subgroup) last.
+        rows.sort_by(|a, b| match (a.disparity.is_nan(), b.disparity.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => b.disparity.total_cmp(&a.disparity),
+        });
+        SubgroupExplanation {
+            parent: group.to_owned(),
+            measure,
+            rows,
+        }
+    }
+
+    /// Measure-based explanation for `(measure, group)`.
+    pub fn measure_based(&self, measure: FairnessMeasure, group: &str) -> MeasureExplanation {
+        let g = self.lookup(group);
+        let cm = self.workload.group_confusion(g);
+        let overall = self.workload.overall_confusion();
+        let rates: Vec<(&'static str, f64, f64)> = vec![
+            ("accuracy", cm.accuracy(), overall.accuracy()),
+            ("TPR", cm.tpr(), overall.tpr()),
+            ("FPR", cm.fpr(), overall.fpr()),
+            ("FNR", cm.fnr(), overall.fnr()),
+            ("PPV", cm.ppv(), overall.ppv()),
+            ("NPV", cm.npv(), overall.npv()),
+        ];
+        // Largest adverse gap drives the narrative.
+        let mut worst: Option<(&str, f64)> = None;
+        for &(name, gv, ov) in &rates {
+            if gv.is_nan() || ov.is_nan() {
+                continue;
+            }
+            let adverse = match name {
+                "FPR" | "FNR" => gv - ov,
+                _ => ov - gv,
+            };
+            if worst.is_none_or(|(_, w)| adverse > w) {
+                worst = Some((name, adverse));
+            }
+        }
+        let narrative = match worst {
+            Some((name, gap)) if gap > 0.0 => format!(
+                "the dominant factor for {group}'s {measure} unfairness is its {name} \
+                 deviating {gap:.3} adversely from the workload average"
+            ),
+            _ => format!("{group} shows no adverse rate deviation on this workload"),
+        };
+        MeasureExplanation {
+            group: group.to_owned(),
+            measure,
+            confusion: cm,
+            rates,
+            narrative,
+        }
+    }
+
+    /// Group-representation explanation.
+    pub fn representation(&self, group: &str) -> RepresentationExplanation {
+        let g = self.lookup(group);
+        let shares = |w: &Workload| {
+            let total = w.len().max(1) as f64;
+            let legit = w.group_support(g) as f64;
+            let matches = w.items.iter().filter(|c| c.truth).count().max(1) as f64;
+            let legit_matches = w
+                .items
+                .iter()
+                .filter(|c| c.truth && (c.left.contains(g) || c.right.contains(g)))
+                .count() as f64;
+            let nonmatches = w.items.iter().filter(|c| !c.truth).count().max(1) as f64;
+            let legit_non = w
+                .items
+                .iter()
+                .filter(|c| !c.truth && (c.left.contains(g) || c.right.contains(g)))
+                .count() as f64;
+            (
+                legit / total,
+                legit_matches / matches,
+                legit_non / nonmatches,
+            )
+        };
+        let (share_overall, share_matches, share_nonmatches) = shares(self.workload);
+        // Contingency: (in group?, match class?) counts.
+        let mut table = [[0.0f64; 2]; 2];
+        for c in &self.workload.items {
+            let in_group = c.left.contains(g) || c.right.contains(g);
+            table[usize::from(in_group)][usize::from(c.truth)] += 1.0;
+        }
+        let degenerate = table.iter().any(|r| r[0] + r[1] == 0.0)
+            || (0..2).any(|j| table[0][j] + table[1][j] == 0.0);
+        let class_dependence = if degenerate {
+            None
+        } else {
+            let r = fairem_stats::chi_squared_independence(&[table[0].to_vec(), table[1].to_vec()]);
+            Some((r.statistic, r.p_value))
+        };
+        RepresentationExplanation {
+            group: group.to_owned(),
+            share_overall,
+            share_matches,
+            share_nonmatches,
+            train_shares: self.train_workload.map(shares),
+            class_dependence,
+        }
+    }
+
+    /// Example-based explanation: sample up to `k` problematic pairs.
+    pub fn examples(
+        &self,
+        measure: FairnessMeasure,
+        group: &str,
+        k: usize,
+        seed: u64,
+    ) -> ExampleExplanation {
+        let g = self.lookup(group);
+        let mut candidates: Vec<&crate::workload::Correspondence> = self
+            .workload
+            .items
+            .iter()
+            .filter(|c| c.left.contains(g) || c.right.contains(g))
+            .filter(|c| {
+                let h = self.workload.prediction(c);
+                match measure {
+                    FairnessMeasure::TruePositiveRateParity
+                    | FairnessMeasure::FalseNegativeRateParity
+                    | FairnessMeasure::NegativePredictiveValueParity
+                    | FairnessMeasure::FalseOmissionRateParity => !h && c.truth, // missed matches
+                    FairnessMeasure::FalsePositiveRateParity
+                    | FairnessMeasure::PositivePredictiveValueParity
+                    | FairnessMeasure::FalseDiscoveryRateParity
+                    | FairnessMeasure::TrueNegativeRateParity => h && !c.truth, // spurious matches
+                    _ => h != c.truth, // any error
+                }
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        candidates.shuffle(&mut rng);
+        candidates.truncate(k);
+        let examples = candidates
+            .into_iter()
+            .map(|c| ExamplePair {
+                left: self.table_a.render_record(c.a_row),
+                right: self.table_b.render_record(c.b_row),
+                score: c.score,
+                predicted: self.workload.prediction(c),
+                truth: c.truth,
+            })
+            .collect();
+        ExampleExplanation {
+            group: group.to_owned(),
+            measure,
+            examples,
+        }
+    }
+
+    fn lookup(&self, group: &str) -> GroupId {
+        self.space
+            .by_name(group)
+            .unwrap_or_else(|| panic!("unknown group {group:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitive::SensitiveAttr;
+    use crate::workload::Correspondence;
+    use fairem_csvio::parse_csv_str;
+
+    fn fixture() -> (Table, Table, GroupSpace) {
+        let a = Table::from_csv(
+            parse_csv_str("id,name,race,sex\na0,li wei,asian,male\na1,mary smith,white,female\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let b = Table::from_csv(
+            parse_csv_str("id,name,race,sex\nb0,wei li,asian,male\nb1,m smith,white,female\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let space = GroupSpace::extract(
+            &[&a, &b],
+            vec![
+                SensitiveAttr::categorical("race"),
+                SensitiveAttr::categorical("sex"),
+            ],
+        );
+        (a, b, space)
+    }
+
+    fn workload(space: &GroupSpace, a: &Table, b: &Table) -> Workload {
+        // asian-male pair missed (FN); white-female pair found (TP);
+        // cross pair correctly rejected (TN).
+        let enc_a0 = space.encode(a, 0);
+        let enc_a1 = space.encode(a, 1);
+        let enc_b0 = space.encode(b, 0);
+        let enc_b1 = space.encode(b, 1);
+        Workload::new(
+            vec![
+                Correspondence {
+                    a_row: 0,
+                    b_row: 0,
+                    score: 0.2,
+                    truth: true,
+                    left: enc_a0,
+                    right: enc_b0,
+                },
+                Correspondence {
+                    a_row: 1,
+                    b_row: 1,
+                    score: 0.9,
+                    truth: true,
+                    left: enc_a1,
+                    right: enc_b1,
+                },
+                Correspondence {
+                    a_row: 0,
+                    b_row: 1,
+                    score: 0.1,
+                    truth: false,
+                    left: enc_a0,
+                    right: enc_b1,
+                },
+            ],
+            0.5,
+        )
+    }
+
+    #[test]
+    fn subgroup_drilldown_ranks_children() {
+        let (a, b, space) = fixture();
+        let w = workload(&space, &a, &b);
+        let ex = Explainer::new(&w, &space, &a, &b, None, Disparity::Subtraction);
+        let sub = ex.subgroup(FairnessMeasure::TruePositiveRateParity, "asian");
+        // asian has children asian-male, asian-female; asian-male carries
+        // the miss.
+        assert!(!sub.rows.is_empty());
+        assert_eq!(sub.rows[0].group, "asian-male");
+        assert!(sub.rows[0].disparity > 0.0);
+    }
+
+    #[test]
+    fn measure_explanation_names_the_dominant_factor() {
+        let (a, b, space) = fixture();
+        let w = workload(&space, &a, &b);
+        let ex = Explainer::new(&w, &space, &a, &b, None, Disparity::Subtraction);
+        let me = ex.measure_based(FairnessMeasure::TruePositiveRateParity, "asian");
+        assert!(
+            me.narrative.contains("FNR") || me.narrative.contains("TPR"),
+            "{}",
+            me.narrative
+        );
+        assert_eq!(me.confusion.fn_, 2.0); // both-sides counting
+        assert_eq!(me.rates.len(), 6);
+    }
+
+    #[test]
+    fn representation_shares_are_consistent() {
+        let (a, b, space) = fixture();
+        let w = workload(&space, &a, &b);
+        let ex = Explainer::new(&w, &space, &a, &b, Some(&w), Disparity::Subtraction);
+        let rep = ex.representation("asian");
+        assert!((rep.share_overall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rep.share_matches - 0.5).abs() < 1e-12);
+        assert!((rep.share_nonmatches - 1.0).abs() < 1e-12);
+        assert!(rep.train_shares.is_some());
+        // Three correspondences: the 2×2 table has both classes and both
+        // membership states → the dependence test is defined.
+        let (stat, p) = rep.class_dependence.expect("non-degenerate table");
+        assert!(stat >= 0.0);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn class_dependence_flags_skewed_representation() {
+        let (a, b, space) = fixture();
+        // Group asian appears in 30 matches and 0 non-matches; white the
+        // reverse — maximal dependence.
+        let asian = space.encode(&a, 0);
+        let white = space.encode(&a, 1);
+        let mut items = Vec::new();
+        for _ in 0..30 {
+            items.push(Correspondence {
+                a_row: 0,
+                b_row: 0,
+                score: 0.9,
+                truth: true,
+                left: asian,
+                right: asian,
+            });
+            items.push(Correspondence {
+                a_row: 1,
+                b_row: 1,
+                score: 0.1,
+                truth: false,
+                left: white,
+                right: white,
+            });
+        }
+        let w = Workload::new(items, 0.5);
+        let ex = Explainer::new(&w, &space, &a, &b, None, Disparity::Subtraction);
+        let rep = ex.representation("asian");
+        let (stat, p) = rep.class_dependence.unwrap();
+        assert!(stat > 20.0, "{stat}");
+        assert!(p < 0.001, "{p}");
+        assert_eq!(rep.share_matches, 1.0);
+        assert_eq!(rep.share_nonmatches, 0.0);
+    }
+
+    #[test]
+    fn examples_pick_the_right_error_type() {
+        let (a, b, space) = fixture();
+        let w = workload(&space, &a, &b);
+        let ex = Explainer::new(&w, &space, &a, &b, None, Disparity::Subtraction);
+        let tprp = ex.examples(FairnessMeasure::TruePositiveRateParity, "asian", 5, 1);
+        assert_eq!(tprp.examples.len(), 1);
+        let e = &tprp.examples[0];
+        assert!(e.truth && !e.predicted);
+        assert!(e.left.contains("li wei"));
+        // No false positives exist for asian → PPVP examples empty.
+        let ppvp = ex.examples(
+            FairnessMeasure::PositivePredictiveValueParity,
+            "asian",
+            5,
+            1,
+        );
+        assert!(ppvp.examples.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown group")]
+    fn unknown_group_panics() {
+        let (a, b, space) = fixture();
+        let w = workload(&space, &a, &b);
+        let ex = Explainer::new(&w, &space, &a, &b, None, Disparity::Subtraction);
+        let _ = ex.representation("martian");
+    }
+}

@@ -1,0 +1,323 @@
+//! Fairness paradigms, measures, and disparity (paper §2.2).
+//!
+//! A measure selects a conditional probability `Pr(α | β)` from a
+//! confusion matrix; the audit compares the group-conditional value
+//! `Pr(α | β, g)` against the workload-wide value with either the
+//! subtraction-based (Eq. 2) or division-based (Eq. 3) notion of
+//! disparity. Disparity is one-sided: only deviation in the *harmful*
+//! direction counts (lower TPR, but *higher* FPR).
+
+use crate::confusion::ConfusionMatrix;
+
+/// Fairness auditing paradigm (paper §2.2, "Fairness Paradigms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// A correspondence is legitimate for subgroup `s` if **either**
+    /// entity belongs to `s`.
+    Single,
+    /// A correspondence is legitimate for a subgroup pair `(s, s')` if
+    /// one entity belongs to `s` and the other to `s'`.
+    Pairwise,
+}
+
+impl std::fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Paradigm::Single => "single",
+            Paradigm::Pairwise => "pairwise",
+        })
+    }
+}
+
+/// The group-fairness measures FairEM360 evaluates.
+///
+/// [`FairnessMeasure::PAPER_FIVE`] is the headline set the demo exposes;
+/// [`FairnessMeasure::ALL`] adds the remaining confusion-matrix parities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FairnessMeasure {
+    /// Accuracy parity.
+    AccuracyParity,
+    /// Statistical (demographic) parity: predicted-positive rate.
+    StatisticalParity,
+    /// True positive rate parity (equal opportunity).
+    TruePositiveRateParity,
+    /// False positive rate parity (predictive equality).
+    FalsePositiveRateParity,
+    /// True negative rate parity.
+    TrueNegativeRateParity,
+    /// False negative rate parity.
+    FalseNegativeRateParity,
+    /// Positive predictive value parity (the EM-critical measure under
+    /// class imbalance, per the paper).
+    PositivePredictiveValueParity,
+    /// Negative predictive value parity.
+    NegativePredictiveValueParity,
+    /// False discovery rate parity.
+    FalseDiscoveryRateParity,
+    /// False omission rate parity.
+    FalseOmissionRateParity,
+}
+
+impl FairnessMeasure {
+    /// Every measure, in reporting order.
+    pub const ALL: [FairnessMeasure; 10] = [
+        FairnessMeasure::AccuracyParity,
+        FairnessMeasure::StatisticalParity,
+        FairnessMeasure::TruePositiveRateParity,
+        FairnessMeasure::FalsePositiveRateParity,
+        FairnessMeasure::TrueNegativeRateParity,
+        FairnessMeasure::FalseNegativeRateParity,
+        FairnessMeasure::PositivePredictiveValueParity,
+        FairnessMeasure::NegativePredictiveValueParity,
+        FairnessMeasure::FalseDiscoveryRateParity,
+        FairnessMeasure::FalseOmissionRateParity,
+    ];
+
+    /// The five headline measures the demo exposes.
+    pub const PAPER_FIVE: [FairnessMeasure; 5] = [
+        FairnessMeasure::AccuracyParity,
+        FairnessMeasure::StatisticalParity,
+        FairnessMeasure::TruePositiveRateParity,
+        FairnessMeasure::FalsePositiveRateParity,
+        FairnessMeasure::PositivePredictiveValueParity,
+    ];
+
+    /// Short stable identifier used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FairnessMeasure::AccuracyParity => "AP",
+            FairnessMeasure::StatisticalParity => "SP",
+            FairnessMeasure::TruePositiveRateParity => "TPRP",
+            FairnessMeasure::FalsePositiveRateParity => "FPRP",
+            FairnessMeasure::TrueNegativeRateParity => "TNRP",
+            FairnessMeasure::FalseNegativeRateParity => "FNRP",
+            FairnessMeasure::PositivePredictiveValueParity => "PPVP",
+            FairnessMeasure::NegativePredictiveValueParity => "NPVP",
+            FairnessMeasure::FalseDiscoveryRateParity => "FDRP",
+            FairnessMeasure::FalseOmissionRateParity => "FORP",
+        }
+    }
+
+    /// Human-readable description (surfaced by the demo's hover cards).
+    pub fn description(self) -> &'static str {
+        match self {
+            FairnessMeasure::AccuracyParity => "equal overall accuracy across groups",
+            FairnessMeasure::StatisticalParity => "equal predicted-match rates across groups",
+            FairnessMeasure::TruePositiveRateParity => {
+                "equal opportunity: equal recall of true matches across groups"
+            }
+            FairnessMeasure::FalsePositiveRateParity => {
+                "predictive equality: equal false-match rates across groups"
+            }
+            FairnessMeasure::TrueNegativeRateParity => "equal true-non-match rates across groups",
+            FairnessMeasure::FalseNegativeRateParity => "equal missed-match rates across groups",
+            FairnessMeasure::PositivePredictiveValueParity => {
+                "equal precision of predicted matches across groups"
+            }
+            FairnessMeasure::NegativePredictiveValueParity => {
+                "equal precision of predicted non-matches across groups"
+            }
+            FairnessMeasure::FalseDiscoveryRateParity => {
+                "equal rate of spurious matches among predictions across groups"
+            }
+            FairnessMeasure::FalseOmissionRateParity => {
+                "equal rate of missed matches among negative predictions across groups"
+            }
+        }
+    }
+
+    /// The measure's quantity `Pr(α | β)` from a confusion matrix.
+    pub fn value(self, cm: &ConfusionMatrix) -> f64 {
+        match self {
+            FairnessMeasure::AccuracyParity => cm.accuracy(),
+            FairnessMeasure::StatisticalParity => cm.positive_rate(),
+            FairnessMeasure::TruePositiveRateParity => cm.tpr(),
+            FairnessMeasure::FalsePositiveRateParity => cm.fpr(),
+            FairnessMeasure::TrueNegativeRateParity => cm.tnr(),
+            FairnessMeasure::FalseNegativeRateParity => cm.fnr(),
+            FairnessMeasure::PositivePredictiveValueParity => cm.ppv(),
+            FairnessMeasure::NegativePredictiveValueParity => cm.npv(),
+            FairnessMeasure::FalseDiscoveryRateParity => cm.fdr(),
+            FairnessMeasure::FalseOmissionRateParity => cm.for_rate(),
+        }
+    }
+
+    /// Is a higher value of the quantity better for the group?
+    /// (Lower is better for error-rate measures like FPR.)
+    pub fn higher_is_better(self) -> bool {
+        !matches!(
+            self,
+            FairnessMeasure::FalsePositiveRateParity
+                | FairnessMeasure::FalseNegativeRateParity
+                | FairnessMeasure::FalseDiscoveryRateParity
+                | FairnessMeasure::FalseOmissionRateParity
+        )
+    }
+}
+
+impl std::fmt::Display for FairnessMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FairnessMeasure {
+    type Err = UnknownMeasure;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FairnessMeasure::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownMeasure(s.to_owned()))
+    }
+}
+
+/// Error for unknown measure names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMeasure(pub String);
+
+impl std::fmt::Display for UnknownMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown fairness measure: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownMeasure {}
+
+/// Disparity notation (paper Eq. 2 and Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Disparity {
+    /// Eq. 2: `max(0, Pr(α|β) − Pr(α|β,g))` in the harmful direction.
+    Subtraction,
+    /// Eq. 3: `max(0, 1 − Pr(α|β,g)/Pr(α|β))` in the harmful direction.
+    Division,
+}
+
+impl Disparity {
+    /// Compute the unfairness of a group value against the overall
+    /// value for a given measure orientation. Returns `NaN` when either
+    /// input is `NaN` (insufficient data), which audits surface as
+    /// "insufficient support" rather than a verdict.
+    pub fn compute(self, overall: f64, group: f64, higher_is_better: bool) -> f64 {
+        if overall.is_nan() || group.is_nan() {
+            return f64::NAN;
+        }
+        // Orient so that "bigger = worse for the group".
+        let (reference, observed) = if higher_is_better {
+            (overall, group) // harm = observed below reference
+        } else {
+            (group, overall) // harm = observed above reference ⇔ swap roles
+        };
+        match self {
+            Disparity::Subtraction => (reference - observed).max(0.0),
+            Disparity::Division => {
+                if reference == 0.0 {
+                    // Higher-better: overall 0 means no group can be
+                    // below it. Lower-better: group 0 means a perfect
+                    // group error rate. Either way the group is fair.
+                    0.0
+                } else {
+                    (1.0 - observed / reference).max(0.0)
+                }
+            }
+        }
+    }
+
+    /// Short stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Disparity::Subtraction => "subtraction",
+            Disparity::Division => "division",
+        }
+    }
+}
+
+impl std::fmt::Display for Disparity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for m in FairnessMeasure::ALL {
+            let parsed: FairnessMeasure = m.name().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("XX".parse::<FairnessMeasure>().is_err());
+        // Case-insensitive.
+        assert_eq!(
+            "tprp".parse::<FairnessMeasure>().unwrap(),
+            FairnessMeasure::TruePositiveRateParity
+        );
+    }
+
+    #[test]
+    fn paper_five_is_a_subset_of_all() {
+        for m in FairnessMeasure::PAPER_FIVE {
+            assert!(FairnessMeasure::ALL.contains(&m));
+        }
+    }
+
+    #[test]
+    fn orientation_is_correct() {
+        assert!(FairnessMeasure::TruePositiveRateParity.higher_is_better());
+        assert!(!FairnessMeasure::FalsePositiveRateParity.higher_is_better());
+        assert!(FairnessMeasure::PositivePredictiveValueParity.higher_is_better());
+        assert!(!FairnessMeasure::FalseOmissionRateParity.higher_is_better());
+    }
+
+    #[test]
+    fn subtraction_disparity_matches_eq2() {
+        // Higher-better: group below overall is unfair.
+        let d = Disparity::Subtraction.compute(0.9, 0.5, true);
+        assert!((d - 0.4).abs() < 1e-12);
+        // Group above overall: fair (clamped to 0).
+        assert_eq!(Disparity::Subtraction.compute(0.5, 0.9, true), 0.0);
+        // Lower-better (e.g. FPR): group above overall is unfair.
+        let d = Disparity::Subtraction.compute(0.1, 0.3, false);
+        assert!((d - 0.2).abs() < 1e-12);
+        assert_eq!(Disparity::Subtraction.compute(0.3, 0.1, false), 0.0);
+    }
+
+    #[test]
+    fn division_disparity_matches_eq3() {
+        let d = Disparity::Division.compute(0.8, 0.4, true);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(Disparity::Division.compute(0.4, 0.8, true), 0.0);
+        // Lower-better: observed=overall 0.1 vs group 0.2 → 1 − 0.1/0.2 = 0.5.
+        let d = Disparity::Division.compute(0.1, 0.2, false);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_propagate() {
+        assert!(Disparity::Subtraction.compute(f64::NAN, 0.5, true).is_nan());
+        assert!(Disparity::Division.compute(0.5, f64::NAN, true).is_nan());
+    }
+
+    #[test]
+    fn measure_values_read_confusion_matrix() {
+        let cm = crate::confusion::ConfusionMatrix {
+            tp: 8.0,
+            fp: 2.0,
+            fn_: 2.0,
+            tn: 88.0,
+        };
+        assert!((FairnessMeasure::TruePositiveRateParity.value(&cm) - 0.8).abs() < 1e-12);
+        assert!((FairnessMeasure::PositivePredictiveValueParity.value(&cm) - 0.8).abs() < 1e-12);
+        assert!((FairnessMeasure::StatisticalParity.value(&cm) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptions_exist() {
+        for m in FairnessMeasure::ALL {
+            assert!(!m.description().is_empty());
+        }
+    }
+}

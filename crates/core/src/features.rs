@@ -1,0 +1,299 @@
+//! Magellan-style similarity feature generation for record pairs.
+//!
+//! Columns present in both tables (matched by name, excluding `id` and
+//! the sensitive columns — group membership must never leak into the
+//! matcher input) become feature groups: numeric columns contribute
+//! difference-based similarities, text columns a battery of string
+//! measures plus a corpus-weighted TF-IDF cosine.
+
+use fairem_ml::Matrix;
+use fairem_neural::{HashVocab, TokenPair};
+use fairem_text::{rel_diff_sim, StringMeasure, TfIdfCorpus, TfIdfCorpusBuilder};
+
+use crate::schema::Table;
+
+/// The string measures applied to each text column, in feature order.
+pub const TEXT_MEASURES: [StringMeasure; 6] = [
+    StringMeasure::Levenshtein,
+    StringMeasure::JaroWinkler,
+    StringMeasure::JaccardWords,
+    StringMeasure::JaccardQgrams,
+    StringMeasure::MongeElkan,
+    StringMeasure::CosineWords,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Numeric,
+    Text,
+}
+
+#[derive(Debug, Clone)]
+struct AlignedColumn {
+    name: String,
+    a_col: usize,
+    b_col: usize,
+    kind: ColKind,
+}
+
+/// A fitted feature generator bound to one pair of tables.
+#[derive(Debug, Clone)]
+pub struct FeatureGenerator {
+    columns: Vec<AlignedColumn>,
+    tfidf: TfIdfCorpus,
+}
+
+impl FeatureGenerator {
+    /// Align the attribute columns of two tables (excluding `id` and
+    /// `exclude`, typically the sensitive columns) and fit the TF-IDF
+    /// corpus over every text value in both tables.
+    ///
+    /// # Panics
+    /// If no columns align.
+    pub fn build(a: &Table, b: &Table, exclude: &[&str]) -> FeatureGenerator {
+        let mut columns = Vec::new();
+        let mut corpus = TfIdfCorpusBuilder::new();
+        for (a_col, name) in a.columns().iter().enumerate() {
+            if name == "id" || exclude.contains(&name.as_str()) {
+                continue;
+            }
+            let Some(b_col) = b.column_index(name) else {
+                continue;
+            };
+            let numeric = all_numeric(a, a_col) && all_numeric(b, b_col);
+            let kind = if numeric {
+                ColKind::Numeric
+            } else {
+                ColKind::Text
+            };
+            if kind == ColKind::Text {
+                for row in 0..a.len() {
+                    corpus.add_document(a.value(row, a_col));
+                }
+                for row in 0..b.len() {
+                    corpus.add_document(b.value(row, b_col));
+                }
+            }
+            columns.push(AlignedColumn {
+                name: name.clone(),
+                a_col,
+                b_col,
+                kind,
+            });
+        }
+        assert!(
+            !columns.is_empty(),
+            "no alignable feature columns between tables"
+        );
+        FeatureGenerator {
+            columns,
+            tfidf: corpus.build(),
+        }
+    }
+
+    /// Number of features per pair.
+    pub fn n_features(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c.kind {
+                ColKind::Numeric => 2,
+                ColKind::Text => TEXT_MEASURES.len() + 1,
+            })
+            .sum()
+    }
+
+    /// Stable feature names (`column.measure`).
+    pub fn names(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.n_features());
+        for c in &self.columns {
+            match c.kind {
+                ColKind::Numeric => {
+                    out.push(format!("{}.rel_diff", c.name));
+                    out.push(format!("{}.exact", c.name));
+                }
+                ColKind::Text => {
+                    for m in TEXT_MEASURES {
+                        out.push(format!("{}.{}", c.name, m.name()));
+                    }
+                    out.push(format!("{}.tfidf", c.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Feature vector for one record pair.
+    pub fn features(&self, a: &Table, a_row: usize, b: &Table, b_row: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_features());
+        for c in &self.columns {
+            let va = a.value(a_row, c.a_col);
+            let vb = b.value(b_row, c.b_col);
+            match c.kind {
+                ColKind::Numeric => {
+                    let (na, nb) = (parse_num(va), parse_num(vb));
+                    out.push(rel_diff_sim(na, nb));
+                    out.push(if va == vb && !va.is_empty() { 1.0 } else { 0.0 });
+                }
+                ColKind::Text => {
+                    for m in TEXT_MEASURES {
+                        out.push(m.eval(va, vb));
+                    }
+                    out.push(self.tfidf.cosine(va, vb));
+                }
+            }
+        }
+        out
+    }
+
+    /// Feature matrix for a batch of pairs.
+    pub fn matrix(&self, a: &Table, b: &Table, pairs: &[(usize, usize)]) -> Matrix {
+        let d = self.n_features();
+        let mut m = Matrix::zeros(pairs.len(), d);
+        for (i, &(ra, rb)) in pairs.iter().enumerate() {
+            let f = self.features(a, ra, b, rb);
+            m.row_mut(i).copy_from_slice(&f);
+        }
+        m
+    }
+
+    /// Tokenize one pair for the neural matchers over the same aligned
+    /// columns (one attribute per column).
+    pub fn tokenize(
+        &self,
+        a: &Table,
+        a_row: usize,
+        b: &Table,
+        b_row: usize,
+        vocab: &HashVocab,
+    ) -> TokenPair {
+        let left = self
+            .columns
+            .iter()
+            .map(|c| vocab.encode_words(a.value(a_row, c.a_col)))
+            .collect();
+        let right = self
+            .columns
+            .iter()
+            .map(|c| vocab.encode_words(b.value(b_row, c.b_col)))
+            .collect();
+        TokenPair { left, right }
+    }
+
+    /// Tokenize a batch of pairs.
+    pub fn tokenize_all(
+        &self,
+        a: &Table,
+        b: &Table,
+        pairs: &[(usize, usize)],
+        vocab: &HashVocab,
+    ) -> Vec<TokenPair> {
+        pairs
+            .iter()
+            .map(|&(ra, rb)| self.tokenize(a, ra, b, rb, vocab))
+            .collect()
+    }
+}
+
+fn all_numeric(t: &Table, col: usize) -> bool {
+    if t.is_empty() {
+        return false;
+    }
+    (0..t.len()).all(|r| {
+        let v = t.value(r, col);
+        v.is_empty() || v.parse::<f64>().is_ok()
+    })
+}
+
+fn parse_num(v: &str) -> f64 {
+    v.parse().unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_csvio::parse_csv_str;
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_csv(
+            parse_csv_str("id,name,price,country\na0,li wei,10.0,cn\na1,john smith,22.5,us\n")
+                .unwrap(),
+        )
+        .unwrap();
+        let b = Table::from_csv(
+            parse_csv_str("id,name,price,country\nb0,wei li,10.0,cn\nb1,jon smyth,44.0,us\n")
+                .unwrap(),
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn aligns_columns_and_excludes_sensitive() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let names = g.names();
+        assert!(names.iter().all(|n| !n.starts_with("country")));
+        assert!(names.iter().all(|n| !n.starts_with("id")));
+        assert!(names.contains(&"name.jw".to_owned()));
+        assert!(names.contains(&"price.rel_diff".to_owned()));
+        assert_eq!(names.len(), g.n_features());
+        // name: 7 features, price: 2 features.
+        assert_eq!(g.n_features(), 9);
+    }
+
+    #[test]
+    fn features_reflect_similarity() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let same_person = g.features(&a, 0, &b, 0); // li wei vs wei li, same price
+        let diff_person = g.features(&a, 0, &b, 1);
+        // Token-order-insensitive measures should be 1.0 for the flip.
+        let names = g.names();
+        let jac = names.iter().position(|n| n == "name.jac_w").unwrap();
+        assert_eq!(same_person[jac], 1.0);
+        assert!(same_person[jac] > diff_person[jac]);
+        let rel = names.iter().position(|n| n == "price.rel_diff").unwrap();
+        assert_eq!(same_person[rel], 1.0);
+        for v in &same_person {
+            assert!((0.0..=1.0).contains(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn matrix_stacks_pairs() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let m = g.matrix(&a, &b, &[(0, 0), (1, 1), (0, 1)]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), g.n_features());
+        assert_eq!(m.row(0), g.features(&a, 0, &b, 0).as_slice());
+    }
+
+    #[test]
+    fn tokenize_covers_aligned_columns() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let vocab = HashVocab::new(128);
+        let tp = g.tokenize(&a, 0, &b, 0, &vocab);
+        assert_eq!(tp.n_attrs(), 2); // name + price
+        assert_eq!(tp.left[0].len(), 2); // li, wei
+    }
+
+    #[test]
+    fn empty_numeric_values_yield_zero_similarity() {
+        let a = Table::from_csv(parse_csv_str("id,v\na0,\n").unwrap()).unwrap();
+        let b = Table::from_csv(parse_csv_str("id,v\nb0,3.5\n").unwrap()).unwrap();
+        let g = FeatureGenerator::build(&a, &b, &[]);
+        let f = g.features(&a, 0, &b, 0);
+        assert_eq!(f[0], 0.0); // NaN rel-diff → 0 via rel_diff_sim
+        assert_eq!(f[1], 0.0); // not exact
+    }
+
+    #[test]
+    #[should_panic(expected = "no alignable")]
+    fn disjoint_schemas_panic() {
+        let a = Table::from_csv(parse_csv_str("id,x\na0,1\n").unwrap()).unwrap();
+        let b = Table::from_csv(parse_csv_str("id,y\nb0,2\n").unwrap()).unwrap();
+        let _ = FeatureGenerator::build(&a, &b, &[]);
+    }
+}

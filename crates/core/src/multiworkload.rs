@@ -1,0 +1,239 @@
+//! Multiple-workload analysis (paper §2.3): audit a matcher over `k`
+//! workloads (bootstrap-resampled when only one test set exists), collect
+//! the per-(group, measure) disparity populations, and run hypothesis
+//! tests to decide whether observed unfairness is repeatable or chance.
+//!
+//! Null hypothesis: the matcher is fair on group `g` (mean disparity does
+//! not exceed the fairness threshold). Alternative: it is unfair. The
+//! null is rejected when `p ≤ α`. (The paper prints the final comparison
+//! reversed; we implement the standard decision rule — see
+//! `fairem_stats::hypothesis::TestResult::reject_at`.)
+
+use fairem_stats::{one_sample_z_test, Summary, Tail};
+
+use crate::audit::Auditor;
+use crate::fairness::FairnessMeasure;
+use crate::sensitive::GroupSpace;
+use crate::workload::Workload;
+
+/// The hypothesis-test outcome for one (group, measure).
+#[derive(Debug, Clone)]
+pub struct GroupTest {
+    /// Group display name.
+    pub group: String,
+    /// Measure tested.
+    pub measure: FairnessMeasure,
+    /// Summary of the disparity population across workloads.
+    pub disparities: Summary,
+    /// z statistic against the fairness threshold.
+    pub z: f64,
+    /// One-sided p-value for "mean disparity exceeds the threshold".
+    pub p_value: f64,
+    /// Verdict at the configured significance level: unfairness is
+    /// statistically significant, not chance.
+    pub significant: bool,
+    /// Workloads in which the group had a finite disparity.
+    pub valid_workloads: usize,
+}
+
+/// The full multiple-workload analysis result.
+#[derive(Debug, Clone)]
+pub struct MultiWorkloadReport {
+    /// Matcher analyzed.
+    pub matcher: String,
+    /// Number of workloads evaluated.
+    pub k: usize,
+    /// Significance level used.
+    pub alpha: f64,
+    /// Per-(group, measure) tests.
+    pub tests: Vec<GroupTest>,
+}
+
+impl MultiWorkloadReport {
+    /// Tests whose unfairness is significant.
+    pub fn significant(&self) -> impl Iterator<Item = &GroupTest> {
+        self.tests.iter().filter(|t| t.significant)
+    }
+
+    /// Look up one test.
+    pub fn test(&self, measure: FairnessMeasure, group: &str) -> Option<&GroupTest> {
+        self.tests
+            .iter()
+            .find(|t| t.measure == measure && t.group == group)
+    }
+}
+
+/// Run the analysis over explicit workloads (e.g. test sets arriving at
+/// different times).
+///
+/// # Panics
+/// If fewer than two workloads are provided (no population to test).
+pub fn analyze_workloads(
+    matcher: &str,
+    workloads: &[Workload],
+    space: &GroupSpace,
+    auditor: &Auditor,
+    alpha: f64,
+) -> MultiWorkloadReport {
+    assert!(
+        workloads.len() >= 2,
+        "need at least two workloads for hypothesis testing"
+    );
+    assert!(alpha > 0.0 && alpha < 1.0, "significance level in (0,1)");
+    let reports: Vec<_> = workloads
+        .iter()
+        .map(|w| auditor.audit(matcher, w, space))
+        .collect();
+    // Populations keyed by (group, measure) in first-report order.
+    let mut tests = Vec::new();
+    let first = &reports[0];
+    for probe in &first.entries {
+        let mut pop: Vec<f64> = Vec::with_capacity(reports.len());
+        for r in &reports {
+            if let Some(e) = r
+                .entries
+                .iter()
+                .find(|e| e.group == probe.group && e.measure == probe.measure)
+            {
+                if e.disparity.is_finite() {
+                    pop.push(e.disparity);
+                }
+            }
+        }
+        if pop.len() < 2 {
+            continue; // not enough valid observations for this cell
+        }
+        let threshold = auditor.config.fairness_threshold;
+        let result = one_sample_z_test(&pop, threshold, Tail::Greater);
+        tests.push(GroupTest {
+            group: probe.group.clone(),
+            measure: probe.measure,
+            disparities: Summary::of(&pop),
+            z: result.statistic,
+            p_value: result.p_value,
+            significant: result.reject_at(alpha),
+            valid_workloads: pop.len(),
+        });
+    }
+    MultiWorkloadReport {
+        matcher: matcher.to_owned(),
+        k: workloads.len(),
+        alpha,
+        tests,
+    }
+}
+
+/// Run the analysis on a single test set by generating `k` bootstrap
+/// workloads (sampling correspondences with replacement), as the demo
+/// does when only one dataset is provided.
+pub fn analyze_bootstrap(
+    matcher: &str,
+    base: &Workload,
+    space: &GroupSpace,
+    auditor: &Auditor,
+    k: usize,
+    alpha: f64,
+    seed: u64,
+) -> MultiWorkloadReport {
+    assert!(k >= 2, "need at least two bootstrap workloads");
+    let workloads: Vec<Workload> = (0..k)
+        .map(|i| base.resample(seed.wrapping_add(i as u64)))
+        .collect();
+    analyze_workloads(matcher, &workloads, space, auditor, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditConfig;
+    use crate::schema::Table;
+    use crate::sensitive::{GroupVector, SensitiveAttr};
+    use crate::workload::Correspondence;
+    use fairem_csvio::parse_csv_str;
+
+    fn space() -> GroupSpace {
+        let t = Table::from_csv(parse_csv_str("id,g\na1,cn\na2,us\n").unwrap()).unwrap();
+        GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")])
+    }
+
+    fn c(score: f64, truth: bool, left: u64, right: u64) -> Correspondence {
+        Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score,
+            truth,
+            left: GroupVector(left),
+            right: GroupVector(right),
+        }
+    }
+
+    /// Strongly biased workload: cn true matches nearly all missed.
+    fn biased() -> Workload {
+        let mut items = Vec::new();
+        for i in 0..40 {
+            items.push(c(if i < 4 { 0.9 } else { 0.1 }, true, 0b01, 0b01)); // cn: 10% found
+            items.push(c(if i < 36 { 0.9 } else { 0.1 }, true, 0b10, 0b10)); // us: 90% found
+            items.push(c(0.1, false, 0b01, 0b10));
+        }
+        Workload::new(items, 0.5)
+    }
+
+    fn auditor() -> Auditor {
+        Auditor::new(AuditConfig {
+            measures: vec![FairnessMeasure::TruePositiveRateParity],
+            min_support: 5,
+            ..AuditConfig::default()
+        })
+    }
+
+    #[test]
+    fn repeatable_unfairness_is_significant() {
+        let report = analyze_bootstrap("LinReg", &biased(), &space(), &auditor(), 30, 0.05, 7);
+        assert_eq!(report.k, 30);
+        let cn = report
+            .test(FairnessMeasure::TruePositiveRateParity, "cn")
+            .unwrap();
+        assert!(
+            cn.significant,
+            "p={} mean={}",
+            cn.p_value, cn.disparities.mean
+        );
+        assert!(cn.disparities.mean > 0.3);
+        assert!(cn.valid_workloads >= 25);
+        let us = report
+            .test(FairnessMeasure::TruePositiveRateParity, "us")
+            .unwrap();
+        assert!(!us.significant, "us should be fair, p={}", us.p_value);
+        assert!(report.significant().count() >= 1);
+    }
+
+    #[test]
+    fn fair_matcher_is_not_flagged() {
+        // Both groups equally served.
+        let mut items = Vec::new();
+        for i in 0..40 {
+            items.push(c(if i % 10 < 8 { 0.9 } else { 0.1 }, true, 0b01, 0b01));
+            items.push(c(if i % 10 < 8 { 0.9 } else { 0.1 }, true, 0b10, 0b10));
+            items.push(c(0.1, false, 0b01, 0b10));
+        }
+        let w = Workload::new(items, 0.5);
+        let report = analyze_bootstrap("Fair", &w, &space(), &auditor(), 20, 0.05, 3);
+        assert_eq!(report.significant().count(), 0);
+    }
+
+    #[test]
+    fn explicit_workloads_path_works() {
+        let w = biased();
+        let ws = vec![w.resample(1), w.resample(2), w.resample(3)];
+        let report = analyze_workloads("X", &ws, &space(), &auditor(), 0.05);
+        assert_eq!(report.k, 3);
+        assert!(!report.tests.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_workload_rejected() {
+        let w = biased();
+        let _ = analyze_workloads("X", &[w], &space(), &auditor(), 0.05);
+    }
+}

@@ -1,0 +1,636 @@
+//! The end-to-end suite: import → matcher selection → fairness
+//! evaluation → ensemble-based resolution (the demo's four steps, §3).
+
+use std::collections::HashMap;
+
+use fairem_csvio::CsvTable;
+use fairem_ml::Matrix;
+use fairem_neural::{HashVocab, TokenPair};
+
+use crate::audit::{AuditReport, Auditor};
+use crate::ensemble::EnsembleExplorer;
+use crate::explain::Explainer;
+use crate::fairness::{Disparity, FairnessMeasure};
+use crate::features::FeatureGenerator;
+use crate::matcher::{
+    ExternalScores, Matcher, MatcherKind, MatcherRegistry, MatcherTrainConfig, TrainInput,
+};
+use crate::prep::{prepare, PrepConfig, PreparedData};
+use crate::schema::{SchemaError, Table};
+use crate::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+use crate::workload::{Correspondence, Workload};
+
+/// Suite-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Candidate pairing / splitting configuration.
+    pub prep: PrepConfig,
+    /// Matcher training hyperparameters.
+    pub train: MatcherTrainConfig,
+    /// Score cut-off above which a pair is predicted a match.
+    pub matching_threshold: f64,
+    /// Hashing-vocabulary size for the neural matchers.
+    pub vocab_size: u32,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            prep: PrepConfig::default(),
+            train: MatcherTrainConfig::default(),
+            matching_threshold: 0.5,
+            vocab_size: 512,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A reduced configuration for fast tests.
+    pub fn fast() -> SuiteConfig {
+        SuiteConfig {
+            train: MatcherTrainConfig::fast(),
+            vocab_size: 128,
+            ..SuiteConfig::default()
+        }
+    }
+}
+
+/// Step 1 (data import): a dataset loaded into the suite, ready to run.
+#[derive(Debug)]
+pub struct FairEm360 {
+    table_a: Table,
+    table_b: Table,
+    matches: Vec<(String, String)>,
+    sensitive: Vec<SensitiveAttr>,
+    config: SuiteConfig,
+}
+
+impl FairEm360 {
+    /// Import a Magellan-shaped dataset: two tables, ground-truth match
+    /// id pairs, and the sensitive attributes to audit on.
+    pub fn import(
+        table_a: CsvTable,
+        table_b: CsvTable,
+        matches: Vec<(String, String)>,
+        sensitive: Vec<SensitiveAttr>,
+    ) -> Result<FairEm360, SchemaError> {
+        Ok(FairEm360 {
+            table_a: Table::from_csv(table_a)?,
+            table_b: Table::from_csv(table_b)?,
+            matches,
+            sensitive,
+            config: SuiteConfig::default(),
+        })
+    }
+
+    /// Replace the configuration.
+    pub fn with_config(mut self, config: SuiteConfig) -> FairEm360 {
+        self.config = config;
+        self
+    }
+
+    /// Step 2 (matcher selection) + training: run the Matching-and-
+    /// Evaluation flow with the given integrated matchers, producing a
+    /// [`Session`] holding trained matchers and the scored test split.
+    pub fn run(self, kinds: &[MatcherKind]) -> Session {
+        let FairEm360 {
+            table_a,
+            table_b,
+            matches,
+            sensitive,
+            config,
+        } = self;
+        let space = GroupSpace::extract(&[&table_a, &table_b], sensitive);
+        let enc_a = space.encode_table(&table_a);
+        let enc_b = space.encode_table(&table_b);
+
+        let prepared = prepare(&table_a, &table_b, &matches, &config.prep);
+        let exclude: Vec<&str> = space.attrs().iter().map(|a| a.column.as_str()).collect();
+        let features = FeatureGenerator::build(&table_a, &table_b, &exclude);
+        let vocab = HashVocab::new(config.vocab_size);
+
+        let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
+        let train_features = features.matrix(&table_a, &table_b, &train_pairs);
+        let train_tokens = features.tokenize_all(&table_a, &table_b, &train_pairs, &vocab);
+        let input = TrainInput {
+            features: &train_features,
+            tokens: &train_tokens,
+            labels: &train_labels,
+        };
+        let registry = MatcherRegistry::train(kinds, &input, &config.train);
+        let train_config = config.train;
+
+        let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
+        let valid_features = features.matrix(&table_a, &table_b, &valid_pairs);
+        let valid_tokens = features.tokenize_all(&table_a, &table_b, &valid_pairs, &vocab);
+
+        let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
+        let test_features = features.matrix(&table_a, &table_b, &test_pairs);
+        let test_tokens = features.tokenize_all(&table_a, &table_b, &test_pairs, &vocab);
+        let mut scores = HashMap::new();
+        for m in registry.iter() {
+            scores.insert(
+                m.name().to_owned(),
+                m.score_batch(&test_features, &test_tokens),
+            );
+        }
+
+        // Pseudo-workload over the training split (scores = truth) for
+        // train-side representation explanations.
+        let train_workload = Workload::new(
+            train_pairs
+                .iter()
+                .zip(&train_labels)
+                .map(|(&(ra, rb), &y)| Correspondence {
+                    a_row: ra,
+                    b_row: rb,
+                    score: y,
+                    truth: y == 1.0,
+                    left: enc_a[ra],
+                    right: enc_b[rb],
+                })
+                .collect(),
+            0.5,
+        );
+
+        Session {
+            table_a,
+            table_b,
+            space,
+            prepared,
+            features,
+            registry,
+            matching_threshold: config.matching_threshold,
+            enc_a,
+            enc_b,
+            test_pairs,
+            test_labels,
+            test_features,
+            test_tokens,
+            scores,
+            train_workload,
+            train_pairs,
+            train_labels,
+            train_features,
+            train_tokens,
+            train_config,
+            valid_labels,
+            valid_features,
+            valid_tokens,
+        }
+    }
+}
+
+/// A trained, scored session — the state behind demo Steps 3 and 4.
+#[derive(Debug)]
+pub struct Session {
+    /// Left table.
+    pub table_a: Table,
+    /// Right table.
+    pub table_b: Table,
+    /// The extracted group space.
+    pub space: GroupSpace,
+    /// Pairing and splits.
+    pub prepared: PreparedData,
+    /// The fitted feature generator.
+    pub features: FeatureGenerator,
+    /// The trained matcher fleet.
+    pub registry: MatcherRegistry,
+    /// Matching threshold for workloads.
+    pub matching_threshold: f64,
+    enc_a: Vec<GroupVector>,
+    enc_b: Vec<GroupVector>,
+    test_pairs: Vec<(usize, usize)>,
+    test_labels: Vec<f64>,
+    test_features: Matrix,
+    test_tokens: Vec<TokenPair>,
+    scores: HashMap<String, Vec<f64>>,
+    train_workload: Workload,
+    train_pairs: Vec<(usize, usize)>,
+    train_labels: Vec<f64>,
+    train_features: Matrix,
+    train_tokens: Vec<TokenPair>,
+    train_config: MatcherTrainConfig,
+    valid_labels: Vec<f64>,
+    valid_features: Matrix,
+    valid_tokens: Vec<TokenPair>,
+}
+
+impl Session {
+    /// Names of the matchers with cached test scores.
+    pub fn matcher_names(&self) -> Vec<&str> {
+        self.registry.iter().map(|m| m.name()).collect()
+    }
+
+    /// Number of test correspondences.
+    pub fn test_size(&self) -> usize {
+        self.test_pairs.len()
+    }
+
+    /// The training-split pseudo-workload (for representation analysis).
+    pub fn train_workload(&self) -> &Workload {
+        &self.train_workload
+    }
+
+    /// Build the evaluation workload for a trained matcher.
+    ///
+    /// # Panics
+    /// If the matcher was not part of this session.
+    pub fn workload(&self, matcher: &str) -> Workload {
+        let scores = self
+            .scores
+            .get(matcher)
+            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
+        self.workload_from_scores(scores.clone())
+    }
+
+    /// Build a workload from raw scores aligned with the test pairs
+    /// (used for ensemble strategies and custom score vectors).
+    pub fn workload_from_scores(&self, scores: Vec<f64>) -> Workload {
+        assert_eq!(scores.len(), self.test_pairs.len(), "score/test alignment");
+        let items = self
+            .test_pairs
+            .iter()
+            .zip(&self.test_labels)
+            .zip(scores)
+            .map(|((&(ra, rb), &y), score)| Correspondence {
+                a_row: ra,
+                b_row: rb,
+                score,
+                truth: y == 1.0,
+                left: self.enc_a[ra],
+                right: self.enc_b[rb],
+            })
+            .collect();
+        Workload::new(items, self.matching_threshold)
+    }
+
+    /// Score the session's test split with any [`Matcher`] (e.g. one
+    /// trained outside the session or an ensemble adapter) and return
+    /// the aligned score vector.
+    pub fn score_test_with(&self, matcher: &dyn Matcher) -> Vec<f64> {
+        matcher.score_batch(&self.test_features, &self.test_tokens)
+    }
+
+    /// Build a workload for uploaded external scores (the
+    /// Evaluation-Only flow): pairs the user never scored default to 0.
+    pub fn external_workload(&self, ext: &ExternalScores) -> Workload {
+        let scores = self
+            .test_pairs
+            .iter()
+            .map(|&(ra, rb)| ext.score_ids(self.table_a.id(ra), self.table_b.id(rb)))
+            .collect();
+        self.workload_from_scores(scores)
+    }
+
+    /// Step 3: audit one matcher.
+    pub fn audit(&self, matcher: &str, auditor: &Auditor) -> AuditReport {
+        auditor.audit(matcher, &self.workload(matcher), &self.space)
+    }
+
+    /// Audit every trained matcher.
+    pub fn audit_all(&self, auditor: &Auditor) -> Vec<AuditReport> {
+        self.matcher_names()
+            .iter()
+            .map(|name| auditor.audit(name, &self.workload(name), &self.space))
+            .collect()
+    }
+
+    /// Build an explainer over a matcher's workload (the workload must
+    /// outlive the explainer, so the caller holds it).
+    pub fn explainer<'s>(&'s self, workload: &'s Workload, disparity: Disparity) -> Explainer<'s> {
+        Explainer::new(
+            workload,
+            &self.space,
+            &self.table_a,
+            &self.table_b,
+            Some(&self.train_workload),
+            disparity,
+        )
+    }
+
+    /// Step 4: build the ensemble explorer over the level-1 groups of a
+    /// sensitive attribute, scoring assignments under `measure`.
+    pub fn ensemble(
+        &self,
+        attr_index: usize,
+        measure: FairnessMeasure,
+        disparity: Disparity,
+    ) -> EnsembleExplorer {
+        let groups: Vec<GroupId> = self.space.level1_of_attr(attr_index);
+        let workloads: Vec<(String, Workload)> = self
+            .matcher_names()
+            .iter()
+            .map(|n| ((*n).to_owned(), self.workload(n)))
+            .collect();
+        let refs: Vec<(String, &Workload)> =
+            workloads.iter().map(|(n, w)| (n.clone(), w)).collect();
+        EnsembleExplorer::build(&refs, &self.space, &groups, measure, disparity)
+    }
+
+    /// Tune a matcher's matching threshold on the *validation* split:
+    /// returns the grid threshold maximizing validation F1, falling back
+    /// to the session default when the validation split is empty or F1
+    /// is undefined everywhere. This is the data-driven answer to the
+    /// demo's Step-3 "specify the matching threshold" knob.
+    pub fn tune_threshold(&self, matcher: &str) -> f64 {
+        if self.valid_labels.is_empty() {
+            return self.matching_threshold;
+        }
+        let m = self
+            .registry
+            .iter()
+            .find(|m| m.name() == matcher)
+            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
+        let scores = m.score_batch(&self.valid_features, &self.valid_tokens);
+        let truths: Vec<bool> = self.valid_labels.iter().map(|&y| y == 1.0).collect();
+        let mut best: Option<(f64, f64)> = None; // (f1, threshold)
+        for i in 1..100 {
+            let t = i as f64 / 100.0;
+            let preds: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
+            let f1 = fairem_ml::f1_score(&preds, &truths);
+            if f1.is_finite() && best.is_none_or(|(bf, _)| f1 > bf) {
+                best = Some((f1, t));
+            }
+        }
+        best.map_or(self.matching_threshold, |(_, t)| t)
+    }
+
+    /// Data-repair resolution (refs \[12\]/\[16\] style): retrain a matcher
+    /// with the target group's training pairs oversampled, and return
+    /// the repaired evaluation workload. `positives_only` replicates
+    /// only the group's matching pairs (the recall lever).
+    pub fn retrain_with_oversampling(
+        &self,
+        kind: MatcherKind,
+        group: crate::sensitive::GroupId,
+        factor: usize,
+        positives_only: bool,
+    ) -> Workload {
+        let left: Vec<crate::sensitive::GroupVector> = self
+            .train_pairs
+            .iter()
+            .map(|&(ra, _)| self.enc_a[ra])
+            .collect();
+        let right: Vec<crate::sensitive::GroupVector> = self
+            .train_pairs
+            .iter()
+            .map(|&(_, rb)| self.enc_b[rb])
+            .collect();
+        let idx = crate::repair::oversample_group(
+            &self.train_labels,
+            &left,
+            &right,
+            group,
+            factor,
+            positives_only,
+        );
+        let features = self.train_features.select_rows(&idx);
+        let tokens: Vec<TokenPair> = idx.iter().map(|&i| self.train_tokens[i].clone()).collect();
+        let labels: Vec<f64> = idx.iter().map(|&i| self.train_labels[i]).collect();
+        let input = TrainInput {
+            features: &features,
+            tokens: &tokens,
+            labels: &labels,
+        };
+        let matcher = kind.train(&input, &self.train_config);
+        let scores = matcher.score_batch(&self.test_features, &self.test_tokens);
+        self.workload_from_scores(scores)
+    }
+
+    /// Calibration-based resolution (ref \[10\] style): per-group Platt
+    /// calibration of a matcher's scores fitted on the training split,
+    /// applied to the evaluation workload.
+    pub fn calibrated_workload(
+        &self,
+        matcher: &str,
+        groups: &[crate::sensitive::GroupId],
+    ) -> Workload {
+        // Score the *training* pairs with the trained matcher to fit the
+        // calibrators on held-in data.
+        let m = self
+            .registry
+            .iter()
+            .find(|m| m.name() == matcher)
+            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
+        let train_scores = m.score_batch(&self.train_features, &self.train_tokens);
+        let train_items: Vec<Correspondence> = self
+            .train_pairs
+            .iter()
+            .zip(&self.train_labels)
+            .zip(train_scores)
+            .map(|((&(ra, rb), &y), score)| Correspondence {
+                a_row: ra,
+                b_row: rb,
+                score,
+                truth: y == 1.0,
+                left: self.enc_a[ra],
+                right: self.enc_b[rb],
+            })
+            .collect();
+        let train_workload = Workload::new(train_items, self.matching_threshold);
+        crate::threshold::calibrate_per_group(&train_workload, &self.workload(matcher), groups)
+    }
+
+    /// Matching-quality summary of a matcher on the test split
+    /// (F1 / precision / recall / accuracy at the session threshold) —
+    /// the demo's matcher-selection card.
+    pub fn performance(&self, matcher: &str) -> MatcherPerformance {
+        let w = self.workload(matcher);
+        let cm = w.overall_confusion();
+        MatcherPerformance {
+            matcher: matcher.to_owned(),
+            f1: cm.f1(),
+            precision: cm.ppv(),
+            recall: cm.tpr(),
+            accuracy: cm.accuracy(),
+        }
+    }
+}
+
+/// Test-split matching quality of one matcher.
+#[derive(Debug, Clone)]
+pub struct MatcherPerformance {
+    /// Matcher name.
+    pub matcher: String,
+    /// F1 at the session threshold.
+    pub f1: f64,
+    /// Precision (PPV).
+    pub precision: f64,
+    /// Recall (TPR).
+    pub recall: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditConfig;
+    use fairem_csvio::parse_csv_str;
+
+    /// A tiny but learnable two-group dataset: duplicated people with
+    /// noisy B-side copies plus distractors.
+    fn dataset() -> (CsvTable, CsvTable, Vec<(String, String)>) {
+        let mut a = String::from("id,name,university,country\n");
+        let mut b = String::from("id,name,university,country\n");
+        let mut matches = Vec::new();
+        let people = [
+            ("li wei", "wei li", "cn"),
+            ("zhang min", "min zhang", "cn"),
+            ("wang jun", "wang jun", "cn"),
+            ("liu yan", "liu yan", "cn"),
+            ("john smith", "jon smith", "us"),
+            ("mary jones", "mary jones", "us"),
+            ("david brown", "david brown", "us"),
+            ("susan miller", "susan miler", "us"),
+        ];
+        for (i, (name_a, name_b, g)) in people.iter().enumerate() {
+            a.push_str(&format!("a{i},{name_a},state university,{g}\n"));
+            b.push_str(&format!("b{i},{name_b},state univ,{g}\n"));
+            matches.push((format!("a{i}"), format!("b{i}")));
+        }
+        // Distractors sharing tokens.
+        let extras = [
+            ("li min", "cn"),
+            ("zhang wei", "cn"),
+            ("james smith", "us"),
+            ("mary brown", "us"),
+        ];
+        for (i, (name, g)) in extras.iter().enumerate() {
+            b.push_str(&format!("bx{i},{name},state university,{g}\n"));
+        }
+        (
+            parse_csv_str(&a).unwrap(),
+            parse_csv_str(&b).unwrap(),
+            matches,
+        )
+    }
+
+    fn session() -> Session {
+        let (a, b, m) = dataset();
+        let suite = FairEm360::import(a, b, m, vec![SensitiveAttr::categorical("country")])
+            .unwrap()
+            .with_config(SuiteConfig {
+                prep: PrepConfig {
+                    train_frac: 0.5,
+                    valid_frac: 0.0,
+                    negative_ratio: f64::INFINITY,
+                    ..PrepConfig::default()
+                },
+                ..SuiteConfig::fast()
+            });
+        suite.run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+    }
+
+    #[test]
+    fn end_to_end_flow_produces_auditable_workloads() {
+        let s = session();
+        assert_eq!(s.matcher_names(), vec!["DTMatcher", "LinRegMatcher"]);
+        assert!(s.test_size() > 0);
+        let w = s.workload("DTMatcher");
+        assert_eq!(w.len(), s.test_size());
+        let auditor = Auditor::new(AuditConfig {
+            min_support: 1,
+            ..AuditConfig::default()
+        });
+        let report = s.audit("DTMatcher", &auditor);
+        assert!(!report.entries.is_empty());
+        let all = s.audit_all(&auditor);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn external_workload_maps_ids() {
+        let s = session();
+        // Score every test pair 1.0 via the external path.
+        let preds: Vec<((String, String), f64)> = s
+            .test_pairs
+            .iter()
+            .map(|&(ra, rb)| {
+                (
+                    (s.table_a.id(ra).to_owned(), s.table_b.id(rb).to_owned()),
+                    1.0,
+                )
+            })
+            .collect();
+        let ext = ExternalScores::new("Mine", preds);
+        let w = s.external_workload(&ext);
+        let cm = w.overall_confusion();
+        assert_eq!(cm.fn_ + cm.tn, 0.0); // everything predicted match
+    }
+
+    #[test]
+    fn performance_summary_is_finite_for_trained_matcher() {
+        let s = session();
+        let p = s.performance("DTMatcher");
+        assert!(p.accuracy.is_finite());
+        assert_eq!(p.matcher, "DTMatcher");
+    }
+
+    #[test]
+    fn ensemble_explorer_builds_from_session() {
+        let s = session();
+        let e = s.ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction);
+        assert_eq!(e.groups().len(), 2);
+        assert_eq!(e.matchers().len(), 2);
+        let f = e.pareto_frontier();
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn tune_threshold_returns_grid_point_or_default() {
+        let (a, b, m) = dataset();
+        // With a validation split.
+        let s = FairEm360::import(
+            a.clone(),
+            b.clone(),
+            m.clone(),
+            vec![SensitiveAttr::categorical("country")],
+        )
+        .unwrap()
+        .with_config(SuiteConfig {
+            prep: PrepConfig {
+                train_frac: 0.5,
+                valid_frac: 0.2,
+                negative_ratio: f64::INFINITY,
+                ..PrepConfig::default()
+            },
+            ..SuiteConfig::fast()
+        })
+        .run(&[MatcherKind::DtMatcher]);
+        let t = s.tune_threshold("DTMatcher");
+        assert!((0.0..=1.0).contains(&t));
+        // Without one: falls back to the session default.
+        let s = FairEm360::import(a, b, m, vec![SensitiveAttr::categorical("country")])
+            .unwrap()
+            .with_config(SuiteConfig {
+                prep: PrepConfig {
+                    train_frac: 0.5,
+                    valid_frac: 0.0,
+                    negative_ratio: f64::INFINITY,
+                    ..PrepConfig::default()
+                },
+                ..SuiteConfig::fast()
+            })
+            .run(&[MatcherKind::DtMatcher]);
+        assert_eq!(s.tune_threshold("DTMatcher"), s.matching_threshold);
+    }
+
+    #[test]
+    fn explainer_runs_on_session_workload() {
+        let s = session();
+        let w = s.workload("LinRegMatcher");
+        let ex = s.explainer(&w, Disparity::Subtraction);
+        let rep = ex.representation("cn");
+        assert!(rep.share_overall > 0.0);
+        assert!(rep.train_shares.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in session")]
+    fn unknown_matcher_workload_panics() {
+        let s = session();
+        let _ = s.workload("MCAN");
+    }
+}

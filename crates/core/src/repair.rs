@@ -1,0 +1,120 @@
+//! Data-repair resolution: instead of switching matchers (the ensemble
+//! path) or recalibrating scores (the threshold path), repair the
+//! *training data* by oversampling the disadvantaged group's pairs —
+//! the augmentation-style mitigation of the paper's refs \[12\] and \[16\]
+//! (AUC-based fairness via data augmentation; fairness-aware data
+//! preparation).
+
+use crate::sensitive::{GroupId, GroupVector};
+
+/// Expand training indices so that pairs legitimate for the target
+/// group appear `factor` times (others once). With `positives_only`,
+/// only the group's *matching* pairs are replicated — the right lever
+/// when the unfairness is a recall (TPRP) gap.
+///
+/// Returns an index multiset over `0..labels.len()`, stable-ordered
+/// (original order, replicas adjacent) so retraining stays
+/// deterministic.
+///
+/// # Panics
+/// If `factor == 0` or input lengths disagree.
+pub fn oversample_group(
+    labels: &[f64],
+    left: &[GroupVector],
+    right: &[GroupVector],
+    group: GroupId,
+    factor: usize,
+    positives_only: bool,
+) -> Vec<usize> {
+    assert!(factor >= 1, "oversampling factor must be at least 1");
+    assert_eq!(labels.len(), left.len(), "labels/left length mismatch");
+    assert_eq!(labels.len(), right.len(), "labels/right length mismatch");
+    let mut out = Vec::with_capacity(labels.len() * 2);
+    for i in 0..labels.len() {
+        let legit = left[i].contains(group) || right[i].contains(group);
+        let eligible = legit && (!positives_only || labels[i] == 1.0);
+        let copies = if eligible { factor } else { 1 };
+        for _ in 0..copies {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Summary of a repair experiment: the audited disparity before and
+/// after retraining on repaired data.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Matcher retrained.
+    pub matcher: String,
+    /// Group targeted by the repair.
+    pub group: String,
+    /// Oversampling factor applied.
+    pub factor: usize,
+    /// Disparity before the repair.
+    pub disparity_before: f64,
+    /// Disparity after the repair.
+    pub disparity_after: f64,
+}
+
+impl RepairOutcome {
+    /// Did the repair reduce the disparity?
+    pub fn improved(&self) -> bool {
+        self.disparity_after < self.disparity_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gv(bits: u64) -> GroupVector {
+        GroupVector(bits)
+    }
+
+    #[test]
+    fn oversamples_only_group_positives() {
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let left = [gv(0b01), gv(0b01), gv(0b10), gv(0b10)];
+        let right = [gv(0b01), gv(0b10), gv(0b10), gv(0b10)];
+        let idx = oversample_group(&labels, &left, &right, GroupId(0), 3, true);
+        // Pair 0 (cn positive) ×3; pair 1 (cn but negative) ×1; rest ×1.
+        assert_eq!(idx, vec![0, 0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn oversamples_all_group_pairs_when_asked() {
+        let labels = [1.0, 0.0];
+        let left = [gv(0b01), gv(0b01)];
+        let right = [gv(0b01), gv(0b01)];
+        let idx = oversample_group(&labels, &left, &right, GroupId(0), 2, false);
+        assert_eq!(idx, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let labels = [1.0, 0.0, 1.0];
+        let left = [gv(1), gv(1), gv(1)];
+        let right = [gv(1), gv(1), gv(1)];
+        let idx = oversample_group(&labels, &left, &right, GroupId(0), 1, true);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn outcome_improvement_flag() {
+        let o = RepairOutcome {
+            matcher: "X".into(),
+            group: "cn".into(),
+            factor: 3,
+            disparity_before: 0.3,
+            disparity_after: 0.1,
+        };
+        assert!(o.improved());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_factor_rejected() {
+        let _ = oversample_group(&[1.0], &[gv(1)], &[gv(1)], GroupId(0), 0, true);
+    }
+}

@@ -1,0 +1,311 @@
+//! The human-in-the-loop resolution loop (paper §3, Step 4): the user
+//! walks the fairness/performance Pareto frontier, telling the system
+//! whether the proposed ensemble strategy is still too unfair or not
+//! accurate enough, "until the user is satisfied".
+//!
+//! [`ResolutionSession`] encodes that exploratory process as a state
+//! machine over the frontier: feedback tightens a constraint box
+//! (max unfairness / min performance) and the session proposes the best
+//! remaining non-dominated strategy.
+
+use crate::ensemble::{EnsembleExplorer, ParetoPoint};
+
+/// User feedback on the currently proposed strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// The user accepts the proposal; the session is finished.
+    Accept,
+    /// The proposal's unfairness is too high — demand strictly fairer.
+    TooUnfair,
+    /// The proposal's performance is too low — demand strictly better.
+    TooInaccurate,
+}
+
+/// Outcome of a feedback step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proposal {
+    /// A new strategy satisfying all constraints so far.
+    Candidate(ParetoPoint),
+    /// The accepted final strategy.
+    Accepted(ParetoPoint),
+    /// No frontier point satisfies the accumulated constraints; the
+    /// user must relax one (the session keeps its previous proposal).
+    Infeasible,
+}
+
+/// Interactive exploration state over a Pareto frontier.
+#[derive(Debug)]
+pub struct ResolutionSession {
+    frontier: Vec<ParetoPoint>,
+    /// Oriented performance: bigger is always better.
+    oriented: Vec<f64>,
+    current: usize,
+    max_unfairness: f64,
+    min_performance: f64,
+    accepted: bool,
+    history: Vec<Feedback>,
+}
+
+impl ResolutionSession {
+    /// Start a session over an explorer's frontier, proposing the
+    /// balanced starting point: the best-performance strategy within
+    /// `initial_fairness_threshold` (or the fairest point if none).
+    ///
+    /// # Panics
+    /// If the frontier is empty (explorers never produce one).
+    pub fn start(
+        explorer: &EnsembleExplorer,
+        initial_fairness_threshold: f64,
+    ) -> ResolutionSession {
+        let frontier = explorer.pareto_frontier();
+        assert!(!frontier.is_empty(), "frontier is never empty");
+        let higher = explorer.measure().higher_is_better();
+        let oriented: Vec<f64> = frontier
+            .iter()
+            .map(|p| {
+                if higher {
+                    p.performance
+                } else {
+                    -p.performance
+                }
+            })
+            .collect();
+        // Frontier is sorted by unfairness asc with performance improving;
+        // the best point within the threshold is the last one under it.
+        let current = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.unfairness <= initial_fairness_threshold)
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap_or(0);
+        ResolutionSession {
+            frontier,
+            oriented,
+            current,
+            max_unfairness: f64::INFINITY,
+            min_performance: f64::NEG_INFINITY,
+            accepted: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// The currently proposed strategy.
+    pub fn current(&self) -> &ParetoPoint {
+        &self.frontier[self.current]
+    }
+
+    /// Has the user accepted a strategy?
+    pub fn is_accepted(&self) -> bool {
+        self.accepted
+    }
+
+    /// The feedback given so far, in order.
+    pub fn history(&self) -> &[Feedback] {
+        &self.history
+    }
+
+    /// Number of frontier points satisfying the current constraints.
+    pub fn feasible_count(&self) -> usize {
+        self.feasible().count()
+    }
+
+    fn feasible(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.frontier.len()).filter(move |&i| {
+            self.frontier[i].unfairness <= self.max_unfairness
+                && self.oriented[i] >= self.min_performance
+        })
+    }
+
+    /// Apply one round of feedback and get the next proposal.
+    ///
+    /// # Panics
+    /// If called after acceptance.
+    pub fn feedback(&mut self, f: Feedback) -> Proposal {
+        assert!(!self.accepted, "session already accepted a strategy");
+        self.history.push(f);
+        match f {
+            Feedback::Accept => {
+                self.accepted = true;
+                Proposal::Accepted(self.current().clone())
+            }
+            Feedback::TooUnfair => {
+                // Strictly fairer than the current proposal.
+                let bound = self.frontier[self.current].unfairness;
+                self.max_unfairness = self.max_unfairness.min(next_below(bound));
+                // Among feasible, take the best performance.
+                match self
+                    .feasible()
+                    .max_by(|&a, &b| self.oriented[a].total_cmp(&self.oriented[b]))
+                {
+                    Some(i) => {
+                        self.current = i;
+                        Proposal::Candidate(self.current().clone())
+                    }
+                    None => {
+                        // Revert the constraint; stay put.
+                        self.max_unfairness = f64::INFINITY;
+                        Proposal::Infeasible
+                    }
+                }
+            }
+            Feedback::TooInaccurate => {
+                let bound = self.oriented[self.current];
+                self.min_performance = self.min_performance.max(next_above(bound));
+                // Among feasible, take the lowest unfairness.
+                match self.feasible().min_by(|&a, &b| {
+                    self.frontier[a]
+                        .unfairness
+                        .total_cmp(&self.frontier[b].unfairness)
+                }) {
+                    Some(i) => {
+                        self.current = i;
+                        Proposal::Candidate(self.current().clone())
+                    }
+                    None => {
+                        self.min_performance = f64::NEG_INFINITY;
+                        Proposal::Infeasible
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn next_below(v: f64) -> f64 {
+    v - 1e-12 - v.abs() * 1e-12
+}
+
+fn next_above(v: f64) -> f64 {
+    v + 1e-12 + v.abs() * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::{Disparity, FairnessMeasure};
+    use crate::schema::Table;
+    use crate::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+    use crate::workload::{Correspondence, Workload};
+    use fairem_csvio::parse_csv_str;
+
+    fn explorer() -> EnsembleExplorer {
+        let t = Table::from_csv(parse_csv_str("id,g\na1,cn\na2,us\n").unwrap()).unwrap();
+        let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
+        let groups: Vec<GroupId> = space.ids().collect();
+        let c = |score: f64, truth: bool, bits: u64| Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score,
+            truth,
+            left: GroupVector(bits),
+            right: GroupVector(bits),
+        };
+        // Three matchers with different fairness/perf profiles on TPR.
+        let mk = |cn_hit: usize, us_hit: usize| {
+            let mut items = Vec::new();
+            for i in 0..10 {
+                items.push(c(if i < cn_hit { 0.9 } else { 0.1 }, true, 0b01));
+                items.push(c(if i < us_hit { 0.9 } else { 0.1 }, true, 0b10));
+                items.push(c(0.1, false, 0b11));
+            }
+            Workload::new(items, 0.5)
+        };
+        let a = mk(3, 10); // accurate on us, poor cn → unfair, high max perf
+        let b = mk(8, 8); // balanced
+        let d = mk(6, 9);
+        let wa = Box::leak(Box::new(a));
+        let wb = Box::leak(Box::new(b));
+        let wd = Box::leak(Box::new(d));
+        EnsembleExplorer::build(
+            &[
+                ("A".to_owned(), &*wa),
+                ("B".to_owned(), &*wb),
+                ("D".to_owned(), &*wd),
+            ],
+            &space,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            Disparity::Subtraction,
+        )
+    }
+
+    #[test]
+    fn starts_at_best_fair_point() {
+        let e = explorer();
+        let s = ResolutionSession::start(&e, 0.2);
+        assert!(s.current().unfairness <= 0.2);
+        assert!(!s.is_accepted());
+        assert!(s.feasible_count() >= 1);
+    }
+
+    #[test]
+    fn too_unfair_moves_strictly_fairer() {
+        let e = explorer();
+        let mut s = ResolutionSession::start(&e, f64::INFINITY);
+        let before = s.current().unfairness;
+        match s.feedback(Feedback::TooUnfair) {
+            Proposal::Candidate(p) => {
+                assert!(p.unfairness < before, "{} vs {before}", p.unfairness)
+            }
+            Proposal::Infeasible => {
+                // Already at the fairest point — acceptable if before was 0.
+                assert!(before <= 1e-9);
+            }
+            Proposal::Accepted(_) => panic!("not accepted"),
+        }
+    }
+
+    #[test]
+    fn too_inaccurate_moves_strictly_better_or_infeasible() {
+        let e = explorer();
+        let mut s = ResolutionSession::start(&e, 0.0);
+        let before = s.current().performance;
+        match s.feedback(Feedback::TooInaccurate) {
+            Proposal::Candidate(p) => assert!(p.performance > before),
+            Proposal::Infeasible => {}
+            Proposal::Accepted(_) => panic!("not accepted"),
+        }
+    }
+
+    #[test]
+    fn accept_finishes_the_session() {
+        let e = explorer();
+        let mut s = ResolutionSession::start(&e, 0.2);
+        let chosen = s.current().clone();
+        match s.feedback(Feedback::Accept) {
+            Proposal::Accepted(p) => assert_eq!(p, chosen),
+            other => panic!("{other:?}"),
+        }
+        assert!(s.is_accepted());
+        assert_eq!(s.history(), &[Feedback::Accept]);
+    }
+
+    #[test]
+    fn infeasible_keeps_previous_proposal() {
+        let e = explorer();
+        let mut s = ResolutionSession::start(&e, f64::INFINITY);
+        // Demand better than the best repeatedly until infeasible.
+        let mut last = s.current().clone();
+        for _ in 0..10 {
+            match s.feedback(Feedback::TooInaccurate) {
+                Proposal::Candidate(p) => last = p,
+                Proposal::Infeasible => {
+                    assert_eq!(s.current(), &last);
+                    return;
+                }
+                Proposal::Accepted(_) => unreachable!(),
+            }
+        }
+        panic!("never became infeasible");
+    }
+
+    #[test]
+    #[should_panic(expected = "already accepted")]
+    fn feedback_after_accept_panics() {
+        let e = explorer();
+        let mut s = ResolutionSession::start(&e, 0.2);
+        let _ = s.feedback(Feedback::Accept);
+        let _ = s.feedback(Feedback::TooUnfair);
+    }
+}

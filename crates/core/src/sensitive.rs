@@ -1,0 +1,439 @@
+//! Group extraction from sensitive attributes (the data layer's first
+//! task, paper §2.1).
+//!
+//! Given sensitive-attribute declarations, the suite enumerates the
+//! (sub)group space — every single-attribute value plus every
+//! cross-attribute intersection (e.g. `black-female`) — and encodes each
+//! entity as a one-hot [`GroupVector`] over that space. Binary,
+//! multi-valued, and setwise attributes (values separated by `|`) are
+//! supported uniformly.
+
+use std::collections::BTreeSet;
+
+use crate::schema::Table;
+
+/// How a sensitive attribute's values are interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensitiveKind {
+    /// One categorical value per record (covers binary and non-binary).
+    Categorical,
+    /// `|`-separated set of values per record (setwise attributes).
+    SetValued,
+}
+
+/// Declaration of a sensitive attribute by column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitiveAttr {
+    /// Column name in both tables.
+    pub column: String,
+    /// Interpretation of the column's values.
+    pub kind: SensitiveKind,
+}
+
+impl SensitiveAttr {
+    /// A categorical sensitive attribute.
+    pub fn categorical(column: impl Into<String>) -> SensitiveAttr {
+        SensitiveAttr {
+            column: column.into(),
+            kind: SensitiveKind::Categorical,
+        }
+    }
+
+    /// A setwise sensitive attribute (`|`-separated values).
+    pub fn set_valued(column: impl Into<String>) -> SensitiveAttr {
+        SensitiveAttr {
+            column: column.into(),
+            kind: SensitiveKind::SetValued,
+        }
+    }
+
+    fn values_of(&self, raw: &str) -> Vec<String> {
+        match self.kind {
+            SensitiveKind::Categorical => {
+                if raw.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![raw.to_owned()]
+                }
+            }
+            SensitiveKind::SetValued => raw
+                .split('|')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+}
+
+/// Identifier of a (sub)group within a [`GroupSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// A group definition: a conjunction of `(attr index, value)` constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDef {
+    /// Human-readable name, e.g. `"cn"` or `"black-female"`.
+    pub name: String,
+    /// Conjunctive constraints; one per distinct attribute.
+    pub constraints: Vec<(usize, String)>,
+}
+
+impl GroupDef {
+    /// Nesting level: 1 for single-attribute groups, 2 for pairwise
+    /// intersections, and so on.
+    pub fn level(&self) -> usize {
+        self.constraints.len()
+    }
+}
+
+/// Membership bitmask of an entity over a group space (≤ 64 groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupVector(pub u64);
+
+impl GroupVector {
+    /// Does the entity belong to `g`?
+    pub fn contains(&self, g: GroupId) -> bool {
+        self.0 & (1u64 << g.0) != 0
+    }
+
+    /// Iterate over member group ids.
+    pub fn iter(&self) -> impl Iterator<Item = GroupId> + '_ {
+        let bits = self.0;
+        (0..64u32)
+            .filter(move |i| bits & (1u64 << i) != 0)
+            .map(GroupId)
+    }
+
+    /// Number of groups the entity belongs to.
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+/// The enumerated (sub)group space over one or more sensitive attributes.
+#[derive(Debug, Clone)]
+pub struct GroupSpace {
+    attrs: Vec<SensitiveAttr>,
+    groups: Vec<GroupDef>,
+}
+
+impl GroupSpace {
+    /// Build the space from the sensitive values observed in one or more
+    /// tables. Enumerates all level-1 groups plus all cross-attribute
+    /// intersections up to the full attribute count.
+    ///
+    /// # Panics
+    /// If a sensitive column is missing from a table, or the enumerated
+    /// space exceeds 64 groups (the encoding width).
+    pub fn extract(tables: &[&Table], attrs: Vec<SensitiveAttr>) -> GroupSpace {
+        assert!(!attrs.is_empty(), "need at least one sensitive attribute");
+        // Distinct observed values per attribute, sorted for determinism.
+        let mut values: Vec<BTreeSet<String>> = vec![BTreeSet::new(); attrs.len()];
+        for table in tables {
+            for (ai, attr) in attrs.iter().enumerate() {
+                let col = table
+                    .column_index(&attr.column)
+                    .unwrap_or_else(|| panic!("sensitive column {:?} missing", attr.column));
+                for row in 0..table.len() {
+                    for v in attr.values_of(table.value(row, col)) {
+                        values[ai].insert(v);
+                    }
+                }
+            }
+        }
+        // Level-1 groups per attribute, then intersections of increasing
+        // level via cartesian growth.
+        let mut groups: Vec<GroupDef> = Vec::new();
+        for (ai, vals) in values.iter().enumerate() {
+            for v in vals {
+                groups.push(GroupDef {
+                    name: v.clone(),
+                    constraints: vec![(ai, v.clone())],
+                });
+            }
+        }
+        // Intersections: combinations of one value from each of ≥2
+        // distinct attributes (generated in attribute order).
+        if attrs.len() > 1 {
+            let mut combos: Vec<Vec<(usize, String)>> = vec![Vec::new()];
+            for (ai, vals) in values.iter().enumerate() {
+                let mut next = Vec::new();
+                for c in &combos {
+                    // Either skip this attribute or take each value.
+                    next.push(c.clone());
+                    for v in vals {
+                        let mut ext = c.clone();
+                        ext.push((ai, v.clone()));
+                        next.push(ext);
+                    }
+                }
+                combos = next;
+            }
+            for c in combos {
+                if c.len() >= 2 {
+                    let name = c
+                        .iter()
+                        .map(|(_, v)| v.as_str())
+                        .collect::<Vec<_>>()
+                        .join("-");
+                    groups.push(GroupDef {
+                        name,
+                        constraints: c,
+                    });
+                }
+            }
+        }
+        assert!(
+            groups.len() <= 64,
+            "group space too large ({} > 64)",
+            groups.len()
+        );
+        GroupSpace { attrs, groups }
+    }
+
+    /// Number of groups in the space.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the space is empty (never after `extract`).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// All group ids.
+    pub fn ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.groups.len() as u32).map(GroupId)
+    }
+
+    /// The definition of a group.
+    pub fn def(&self, g: GroupId) -> &GroupDef {
+        &self.groups[g.0 as usize]
+    }
+
+    /// A group's display name.
+    pub fn name(&self, g: GroupId) -> &str {
+        &self.groups[g.0 as usize].name
+    }
+
+    /// Find a group by display name.
+    pub fn by_name(&self, name: &str) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GroupId(i as u32))
+    }
+
+    /// The declared sensitive attributes.
+    pub fn attrs(&self) -> &[SensitiveAttr] {
+        &self.attrs
+    }
+
+    /// Level-1 groups of attribute `ai` (the audit's default axis).
+    pub fn level1_of_attr(&self, ai: usize) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.level() == 1 && g.constraints[0].0 == ai)
+            .map(|(i, _)| GroupId(i as u32))
+            .collect()
+    }
+
+    /// Direct children of `g` in the subgroup lattice: groups whose
+    /// constraints strictly include `g`'s with exactly one more.
+    pub fn children(&self, g: GroupId) -> Vec<GroupId> {
+        let parent = &self.groups[g.0 as usize];
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| {
+                h.constraints.len() == parent.constraints.len() + 1
+                    && parent.constraints.iter().all(|c| h.constraints.contains(c))
+            })
+            .map(|(i, _)| GroupId(i as u32))
+            .collect()
+    }
+
+    /// Encode one record of a table as a membership bitmask.
+    ///
+    /// # Panics
+    /// If a sensitive column is missing.
+    pub fn encode(&self, table: &Table, row: usize) -> GroupVector {
+        // Values per attribute for this record.
+        let mut record_values: Vec<Vec<String>> = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            let col = table
+                .column_index(&attr.column)
+                .unwrap_or_else(|| panic!("sensitive column {:?} missing", attr.column));
+            record_values.push(attr.values_of(table.value(row, col)));
+        }
+        let mut bits = 0u64;
+        for (i, g) in self.groups.iter().enumerate() {
+            let belongs = g
+                .constraints
+                .iter()
+                .all(|(ai, v)| record_values[*ai].iter().any(|rv| rv == v));
+            if belongs {
+                bits |= 1u64 << i;
+            }
+        }
+        GroupVector(bits)
+    }
+
+    /// Encode every record of a table.
+    pub fn encode_table(&self, table: &Table) -> Vec<GroupVector> {
+        (0..table.len()).map(|r| self.encode(table, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_csvio::parse_csv_str;
+
+    fn table(csv: &str) -> Table {
+        Table::from_csv(parse_csv_str(csv).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_attribute_space() {
+        let t = table("id,country\na1,cn\na2,us\na3,cn\n");
+        let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("country")]);
+        assert_eq!(space.len(), 2);
+        assert!(space.by_name("cn").is_some());
+        let enc = space.encode(&t, 0);
+        assert!(enc.contains(space.by_name("cn").unwrap()));
+        assert!(!enc.contains(space.by_name("us").unwrap()));
+        assert_eq!(enc.count(), 1);
+    }
+
+    #[test]
+    fn intersectional_space_has_products() {
+        let t = table("id,race,sex\na1,white,male\na2,black,female\na3,white,female\n");
+        let space = GroupSpace::extract(
+            &[&t],
+            vec![
+                SensitiveAttr::categorical("race"),
+                SensitiveAttr::categorical("sex"),
+            ],
+        );
+        // 2 races + 2 sexes + 4 intersections.
+        assert_eq!(space.len(), 8);
+        let wf = space.by_name("white-female").unwrap();
+        let enc = space.encode(&t, 2);
+        assert!(enc.contains(wf));
+        assert_eq!(enc.count(), 3); // white, female, white-female
+    }
+
+    #[test]
+    fn lattice_children() {
+        let t = table("id,race,sex\na1,white,male\na2,black,female\n");
+        let space = GroupSpace::extract(
+            &[&t],
+            vec![
+                SensitiveAttr::categorical("race"),
+                SensitiveAttr::categorical("sex"),
+            ],
+        );
+        let white = space.by_name("white").unwrap();
+        let kids = space.children(white);
+        let names: Vec<&str> = kids.iter().map(|&g| space.name(g)).collect();
+        assert!(names.contains(&"white-male"));
+        assert!(names.contains(&"white-female"));
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn setwise_attribute_membership() {
+        let t = table("id,lang\na1,en|zh\na2,en\na3,\n");
+        let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::set_valued("lang")]);
+        assert_eq!(space.len(), 2);
+        let zh = space.by_name("zh").unwrap();
+        let en = space.by_name("en").unwrap();
+        let e0 = space.encode(&t, 0);
+        assert!(e0.contains(zh) && e0.contains(en));
+        let e2 = space.encode(&t, 2);
+        assert_eq!(e2.count(), 0); // empty value → no groups
+    }
+
+    #[test]
+    fn values_unioned_across_tables() {
+        let a = table("id,country\na1,cn\n");
+        let b = table("id,country\nb1,de\n");
+        let space = GroupSpace::extract(&[&a, &b], vec![SensitiveAttr::categorical("country")]);
+        assert_eq!(space.len(), 2);
+    }
+
+    #[test]
+    fn level1_of_attr_filters() {
+        let t = table("id,race,sex\na1,white,male\na2,black,female\n");
+        let space = GroupSpace::extract(
+            &[&t],
+            vec![
+                SensitiveAttr::categorical("race"),
+                SensitiveAttr::categorical("sex"),
+            ],
+        );
+        let races: Vec<&str> = space
+            .level1_of_attr(0)
+            .iter()
+            .map(|&g| space.name(g))
+            .collect();
+        assert_eq!(races, vec!["black", "white"]);
+        let sexes: Vec<&str> = space
+            .level1_of_attr(1)
+            .iter()
+            .map(|&g| space.name(g))
+            .collect();
+        assert_eq!(sexes, vec!["female", "male"]);
+    }
+
+    #[test]
+    fn group_vector_iteration() {
+        let v = GroupVector(0b101);
+        let ids: Vec<GroupId> = v.iter().collect();
+        assert_eq!(ids, vec![GroupId(0), GroupId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_sensitive_column_panics() {
+        let t = table("id,x\na1,1\n");
+        let _ = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("race")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group space too large")]
+    fn more_than_64_groups_rejected() {
+        let mut csv = String::from("id,g\n");
+        for i in 0..70 {
+            csv.push_str(&format!("r{i},v{i}\n"));
+        }
+        let t = table(&csv);
+        let _ = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
+    }
+
+    #[test]
+    fn three_attribute_intersections_enumerate_fully() {
+        let t = table("id,a,b,c\nr1,x,p,m\nr2,y,q,n\n");
+        let space = GroupSpace::extract(
+            &[&t],
+            vec![
+                SensitiveAttr::categorical("a"),
+                SensitiveAttr::categorical("b"),
+                SensitiveAttr::categorical("c"),
+            ],
+        );
+        // Level 1: 6; level 2: 3 pairs × 4 combos = 12; level 3: 8.
+        assert_eq!(space.len(), 26);
+        let deep = space.by_name("x-p-m").expect("triple intersection exists");
+        assert_eq!(space.def(deep).level(), 3);
+        // Encoding of r1 hits x, p, m, x-p, x-m, p-m, x-p-m = 7 groups.
+        assert_eq!(space.encode(&t, 0).count(), 7);
+        // Children of a level-2 node are the level-3 refinements.
+        let xp = space.by_name("x-p").unwrap();
+        let kids = space.children(xp);
+        assert_eq!(kids.len(), 2); // x-p-m and x-p-n
+    }
+}

@@ -1,0 +1,361 @@
+//! Threshold-sensitivity analysis and threshold-independent fairness —
+//! the extension directions the paper cites: tuning matching thresholds
+//! for fairness (Moslemi & Milani, ref \[10\]), AUC-based fairness
+//! (Nilforoushan et al., ref \[12\]), and per-group score calibration as
+//! an alternative resolution to switching matchers.
+
+use fairem_ml::{auc_roc, PlattScaler};
+
+use crate::fairness::{Disparity, FairnessMeasure};
+use crate::sensitive::{GroupId, GroupSpace};
+use crate::workload::Workload;
+
+/// Measure values per group across a threshold grid.
+#[derive(Debug, Clone)]
+pub struct ThresholdSweep {
+    /// The measure swept.
+    pub measure: FairnessMeasure,
+    /// The threshold grid (ascending).
+    pub thresholds: Vec<f64>,
+    /// Workload-wide value at each threshold.
+    pub overall: Vec<f64>,
+    /// Per-group `(name, values)` curves, index-aligned with
+    /// `thresholds`.
+    pub per_group: Vec<(String, Vec<f64>)>,
+}
+
+impl ThresholdSweep {
+    /// Max disparity across groups at each threshold.
+    pub fn max_disparity(&self, disparity: Disparity) -> Vec<f64> {
+        let higher = self.measure.higher_is_better();
+        self.thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                self.per_group
+                    .iter()
+                    .map(|(_, vs)| disparity.compute(self.overall[i], vs[i], higher))
+                    .filter(|d| d.is_finite())
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Thresholds whose max disparity stays within `fairness_threshold` —
+    /// the fair operating window of the matcher.
+    pub fn fair_thresholds(&self, disparity: Disparity, fairness_threshold: f64) -> Vec<f64> {
+        self.max_disparity(disparity)
+            .iter()
+            .zip(&self.thresholds)
+            .filter(|(d, _)| **d <= fairness_threshold)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+}
+
+/// Sweep a measure across a threshold grid for the given groups.
+///
+/// # Panics
+/// If the grid is empty.
+pub fn sweep(
+    workload: &Workload,
+    space: &GroupSpace,
+    groups: &[GroupId],
+    measure: FairnessMeasure,
+    grid: &[f64],
+) -> ThresholdSweep {
+    assert!(!grid.is_empty(), "threshold grid must be non-empty");
+    let mut overall = Vec::with_capacity(grid.len());
+    let mut per_group: Vec<(String, Vec<f64>)> = groups
+        .iter()
+        .map(|&g| (space.name(g).to_owned(), Vec::with_capacity(grid.len())))
+        .collect();
+    for &t in grid {
+        let w = workload.with_threshold(t);
+        overall.push(measure.value(&w.overall_confusion()));
+        for (gi, &g) in groups.iter().enumerate() {
+            per_group[gi].1.push(measure.value(&w.group_confusion(g)));
+        }
+    }
+    ThresholdSweep {
+        measure,
+        thresholds: grid.to_vec(),
+        overall,
+        per_group,
+    }
+}
+
+/// The default 99-point threshold grid `0.01..=0.99`.
+pub fn default_grid() -> Vec<f64> {
+    (1..100).map(|i| i as f64 / 100.0).collect()
+}
+
+/// Pick the threshold maximizing overall F1 subject to the fairness
+/// constraint (max disparity of `measure` across `groups` within
+/// `fairness_threshold`). Returns `None` when no grid point is fair.
+pub fn suggest_threshold(
+    workload: &Workload,
+    space: &GroupSpace,
+    groups: &[GroupId],
+    measure: FairnessMeasure,
+    disparity: Disparity,
+    fairness_threshold: f64,
+    grid: &[f64],
+) -> Option<f64> {
+    let sw = sweep(workload, space, groups, measure, grid);
+    let disparities = sw.max_disparity(disparity);
+    let mut best: Option<(f64, f64)> = None; // (f1, threshold)
+    for (i, &t) in grid.iter().enumerate() {
+        if disparities[i] > fairness_threshold {
+            continue;
+        }
+        let f1 = workload.with_threshold(t).overall_confusion().f1();
+        if f1.is_finite() && best.is_none_or(|(bf, _)| f1 > bf) {
+            best = Some((f1, t));
+        }
+    }
+    best.map(|(_, t)| t)
+}
+
+/// Per-group ROC AUC of the workload's scores — the threshold-
+/// independent view of matcher quality (ref \[12\]). `NaN` when a group
+/// lacks both classes.
+pub fn group_auc(workload: &Workload, g: GroupId) -> f64 {
+    let mut scores = Vec::new();
+    let mut truths = Vec::new();
+    for c in &workload.items {
+        if c.left.contains(g) || c.right.contains(g) {
+            scores.push(c.score);
+            truths.push(c.truth);
+        }
+    }
+    auc_roc(&scores, &truths)
+}
+
+/// One row of an AUC-parity audit.
+#[derive(Debug, Clone)]
+pub struct AucEntry {
+    /// Group name.
+    pub group: String,
+    /// The group's ROC AUC.
+    pub auc: f64,
+    /// Disparity of the group AUC against the overall AUC.
+    pub disparity: f64,
+}
+
+/// AUC-based fairness audit: per-group AUC vs the workload-wide AUC
+/// (higher is better), under the chosen disparity notation.
+pub fn auc_parity(
+    workload: &Workload,
+    space: &GroupSpace,
+    groups: &[GroupId],
+    disparity: Disparity,
+) -> Vec<AucEntry> {
+    let overall_scores: Vec<f64> = workload.items.iter().map(|c| c.score).collect();
+    let overall_truths: Vec<bool> = workload.items.iter().map(|c| c.truth).collect();
+    let overall = auc_roc(&overall_scores, &overall_truths);
+    groups
+        .iter()
+        .map(|&g| {
+            let auc = group_auc(workload, g);
+            AucEntry {
+                group: space.name(g).to_owned(),
+                auc,
+                disparity: disparity.compute(overall, auc, true),
+            }
+        })
+        .collect()
+}
+
+/// Per-group score calibration (the ref \[10\]-style resolution): fit a
+/// Platt scaler per group on a *training* workload's scores, then remap
+/// the evaluation workload's scores, so a single matching threshold
+/// treats all groups comparably. Correspondences are assigned to the
+/// first group (in `groups` order) either side belongs to; unassigned
+/// ones use a global calibrator.
+pub fn calibrate_per_group(train: &Workload, eval: &Workload, groups: &[GroupId]) -> Workload {
+    assert!(!groups.is_empty(), "need at least one calibration group");
+    let assign = |c: &crate::workload::Correspondence| -> Option<usize> {
+        groups
+            .iter()
+            .position(|&g| c.left.contains(g) || c.right.contains(g))
+    };
+    // Collect per-group training scores (+ a global pool).
+    let mut pools: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); groups.len() + 1];
+    for c in &train.items {
+        let idx = assign(c).unwrap_or(groups.len());
+        pools[idx].0.push(c.score);
+        pools[idx].1.push(f64::from(c.truth));
+        pools[groups.len()].0.push(c.score);
+        pools[groups.len()].1.push(f64::from(c.truth));
+    }
+    let global = PlattScaler::fit(&pools[groups.len()].0, &pools[groups.len()].1);
+    let scalers: Vec<PlattScaler> = pools[..groups.len()]
+        .iter()
+        .map(|(s, y)| {
+            // Groups with too little data or one class fall back to the
+            // global calibrator.
+            let has_both = y.contains(&1.0) && y.contains(&0.0);
+            if s.len() >= 10 && has_both {
+                PlattScaler::fit(s, y)
+            } else {
+                global
+            }
+        })
+        .collect();
+    let items = eval
+        .items
+        .iter()
+        .map(|c| {
+            let scaler = assign(c).map_or(global, |i| scalers[i]);
+            crate::workload::Correspondence {
+                score: scaler.transform(c.score),
+                ..*c
+            }
+        })
+        .collect();
+    Workload::new(items, eval.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Table;
+    use crate::sensitive::{GroupVector, SensitiveAttr};
+    use crate::workload::Correspondence;
+    use fairem_csvio::parse_csv_str;
+
+    fn space() -> GroupSpace {
+        let t = Table::from_csv(parse_csv_str("id,g\na1,cn\na2,us\n").unwrap()).unwrap();
+        GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")])
+    }
+
+    fn c(score: f64, truth: bool, bits: u64) -> Correspondence {
+        Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score,
+            truth,
+            left: GroupVector(bits),
+            right: GroupVector(bits),
+        }
+    }
+
+    /// cn scores are compressed into [0.25, 0.45]: all under a 0.5
+    /// threshold, although the ranking is perfect. us scores are spread
+    /// normally around 0.5.
+    fn miscalibrated() -> Workload {
+        let mut items = Vec::new();
+        for i in 0..40 {
+            let frac = i as f64 / 40.0;
+            // cn: matches at the top of a compressed band.
+            items.push(c(0.25 + 0.20 * frac, frac > 0.5, 0b01));
+            // us: well spread.
+            items.push(c(0.1 + 0.8 * frac, frac > 0.5, 0b10));
+        }
+        Workload::new(items, 0.5)
+    }
+
+    #[test]
+    fn sweep_shows_threshold_dependence() {
+        let w = miscalibrated();
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let sw = sweep(
+            &w,
+            &sp,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            &default_grid(),
+        );
+        let disp = sw.max_disparity(Disparity::Subtraction);
+        // At 0.5 the cn TPR is zero → huge disparity; at 0.35 it's fine.
+        let at = |t: f64| {
+            let i = sw
+                .thresholds
+                .iter()
+                .position(|&x| (x - t).abs() < 1e-9)
+                .unwrap();
+            disp[i]
+        };
+        assert!(at(0.50) >= 0.45, "{}", at(0.50));
+        assert!(at(0.35) < 0.2, "{}", at(0.35));
+        let fair = sw.fair_thresholds(Disparity::Subtraction, 0.2);
+        assert!(!fair.is_empty());
+        // A genuinely fair window exists below the cn score band's top...
+        assert!(fair.iter().any(|&t| t < 0.45));
+        // ...and the clearly unfair band (cn recall dead, us healthy) is
+        // excluded. Very high thresholds become degenerately "fair"
+        // again as every group's recall collapses together.
+        assert!(fair.iter().all(|&t| !(0.46..0.74).contains(&t)), "{fair:?}");
+    }
+
+    #[test]
+    fn suggest_threshold_respects_constraint() {
+        let w = miscalibrated();
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let t = suggest_threshold(
+            &w,
+            &sp,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            Disparity::Subtraction,
+            0.2,
+            &default_grid(),
+        )
+        .expect("a fair threshold exists");
+        let sw = sweep(
+            &w,
+            &sp,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            &[t],
+        );
+        assert!(sw.max_disparity(Disparity::Subtraction)[0] <= 0.2);
+    }
+
+    #[test]
+    fn auc_is_threshold_independent_and_perfect_here() {
+        let w = miscalibrated();
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let entries = auc_parity(&w, &sp, &groups, Disparity::Subtraction);
+        // Both groups rank perfectly → AUC 1.0, zero disparity: the
+        // unfairness at threshold 0.5 is purely a calibration artifact.
+        for e in &entries {
+            assert!((e.auc - 1.0).abs() < 1e-9, "{}: {}", e.group, e.auc);
+            assert_eq!(e.disparity, 0.0);
+        }
+    }
+
+    #[test]
+    fn per_group_calibration_restores_fairness_at_fixed_threshold() {
+        let w = miscalibrated();
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        // Before: cn TPR at 0.5 is 0.
+        let before = w.group_confusion(groups[0]).tpr();
+        assert!(before < 0.1, "{before}");
+        let calibrated = calibrate_per_group(&w, &w, &groups);
+        let after = calibrated.group_confusion(groups[0]).tpr();
+        assert!(after > 0.8, "calibrated cn TPR {after}");
+        // us remains good.
+        assert!(calibrated.group_confusion(groups[1]).tpr() > 0.8);
+    }
+
+    #[test]
+    fn group_auc_nan_without_both_classes() {
+        let w = Workload::new(vec![c(0.5, true, 0b01)], 0.5);
+        assert!(group_auc(&w, GroupId(0)).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn sweep_rejects_empty_grid() {
+        let w = miscalibrated();
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let _ = sweep(&w, &sp, &groups, FairnessMeasure::AccuracyParity, &[]);
+    }
+}

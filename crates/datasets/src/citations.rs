@@ -1,0 +1,236 @@
+//! A DBLP/ACM-style citation-matching generator.
+//!
+//! Bibliographic records from two indexes must be matched; the sensitive
+//! attribute is the venue, a non-social grouping that exercises setwise
+//! audits (a matcher may systematically miss preprint-style venues whose
+//! metadata is noisier).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fairem_csvio::CsvTable;
+
+use crate::common::GeneratedDataset;
+use crate::names::sample_name;
+use crate::perturb;
+
+/// Configuration for [`citations`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CitationsConfig {
+    /// Papers per venue in table A.
+    pub per_venue: usize,
+    /// Fraction of A papers duplicated in B.
+    pub match_rate: f64,
+    /// B-only distractors as a fraction of `per_venue`.
+    pub distractor_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CitationsConfig {
+    fn default() -> CitationsConfig {
+        CitationsConfig {
+            per_venue: 150,
+            match_rate: 0.6,
+            distractor_rate: 0.35,
+            seed: 21,
+        }
+    }
+}
+
+impl CitationsConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> CitationsConfig {
+        CitationsConfig {
+            per_venue: 25,
+            ..CitationsConfig::default()
+        }
+    }
+}
+
+/// `(canonical venue, noisy variant, metadata noise probability)` —
+/// preprint metadata is much noisier than curated proceedings.
+const VENUES: [(&str, &str, f64); 4] = [
+    ("vldb", "proceedings of the vldb endowment", 0.1),
+    ("sigmod", "acm sigmod conference", 0.1),
+    ("icde", "ieee icde", 0.15),
+    ("preprint", "arxiv preprint", 0.55),
+];
+
+const TITLE_WORDS: [&str; 24] = [
+    "scalable",
+    "entity",
+    "matching",
+    "learning",
+    "distributed",
+    "query",
+    "optimization",
+    "graph",
+    "index",
+    "stream",
+    "adaptive",
+    "fairness",
+    "neural",
+    "join",
+    "sampling",
+    "privacy",
+    "transaction",
+    "storage",
+    "vector",
+    "cache",
+    "approximate",
+    "parallel",
+    "robust",
+    "federated",
+];
+
+fn make_title(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(4..8);
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(*TITLE_WORDS.choose(rng).expect("non-empty"));
+    }
+    words.join(" ")
+}
+
+fn make_authors(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..4);
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(sample_name("us", rng).western_order());
+    }
+    names.join(", ")
+}
+
+/// Generate the citations benchmark. The result is validated before
+/// being returned.
+pub fn citations(config: &CitationsConfig) -> GeneratedDataset {
+    assert!(config.per_venue > 0, "need at least one paper per venue");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let header: Vec<String> = ["id", "title", "authors", "venue", "year"]
+        .map(String::from)
+        .to_vec();
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut matches = Vec::new();
+    let mut next_b = 0usize;
+
+    for (venue, variant, noise) in VENUES {
+        for _ in 0..config.per_venue {
+            let t = make_title(&mut rng);
+            let authors = make_authors(&mut rng);
+            let year = rng.gen_range(2005..2024).to_string();
+            let aid = format!("a{}", rows_a.len());
+            rows_a.push(vec![
+                aid.clone(),
+                t.clone(),
+                authors.clone(),
+                venue.to_owned(),
+                year.clone(),
+            ]);
+            if rng.gen_bool(config.match_rate) {
+                let mut bt = perturb::maybe(&t, noise, &mut rng, perturb::typo);
+                if rng.gen_bool(noise) {
+                    bt = perturb::flip_tokens(&bt);
+                }
+                let b_auth = if rng.gen_bool(noise) {
+                    perturb::abbreviate_first(&authors)
+                } else {
+                    authors.clone()
+                };
+                let b_venue = if rng.gen_bool(0.5) { variant } else { venue };
+                let bid = format!("b{next_b}");
+                next_b += 1;
+                rows_b.push(vec![bid.clone(), bt, b_auth, b_venue.to_owned(), year]);
+                matches.push((aid, bid));
+            }
+        }
+        let d = (config.per_venue as f64 * config.distractor_rate).round() as usize;
+        for _ in 0..d {
+            let bid = format!("b{next_b}");
+            next_b += 1;
+            rows_b.push(vec![
+                bid,
+                make_title(&mut rng),
+                make_authors(&mut rng),
+                venue.to_owned(),
+                rng.gen_range(2005..2024).to_string(),
+            ]);
+        }
+    }
+
+    // B-side venue strings vary ("vldb" vs the long variant); audits
+    // group on the A-side canonical tag which exists in both tables'
+    // schema. Normalize B's venue back to the canonical tag so the
+    // sensitive column is consistent, keeping the *title/author* noise
+    // as the unfairness driver.
+    let vi = 3;
+    for row in rows_b.iter_mut() {
+        for (venue, variant, _) in VENUES {
+            if row[vi] == variant {
+                row[vi] = venue.to_owned();
+            }
+        }
+    }
+
+    let dataset = GeneratedDataset {
+        name: "Citations".into(),
+        table_a: CsvTable {
+            header: header.clone(),
+            rows: rows_a,
+        },
+        table_b: CsvTable {
+            header,
+            rows: rows_b,
+        },
+        matches,
+        sensitive: vec!["venue".into()],
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_dataset() {
+        let d = citations(&CitationsConfig::small());
+        d.validate();
+        assert_eq!(d.table_a.len(), 4 * 25);
+        assert!(!d.matches.is_empty());
+    }
+
+    #[test]
+    fn venues_are_canonical_in_both_tables() {
+        let d = citations(&CitationsConfig::small());
+        let vi = d.table_b.column_index("venue").unwrap();
+        let canon: std::collections::HashSet<&str> = VENUES.iter().map(|&(v, _, _)| v).collect();
+        for r in &d.table_b.rows {
+            assert!(
+                canon.contains(r[vi].as_str()),
+                "non-canonical venue {}",
+                r[vi]
+            );
+        }
+    }
+
+    #[test]
+    fn years_are_numeric() {
+        let d = citations(&CitationsConfig::small());
+        let yi = d.table_a.column_index("year").unwrap();
+        for r in &d.table_a.rows {
+            assert!(r[yi].parse::<u32>().is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = citations(&CitationsConfig::small());
+        let b = citations(&CitationsConfig::small());
+        assert_eq!(a.table_a.rows, b.table_a.rows);
+        assert_eq!(a.matches, b.matches);
+    }
+}

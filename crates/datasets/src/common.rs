@@ -1,0 +1,109 @@
+//! The shared output shape of every generator.
+
+use std::collections::HashSet;
+
+use fairem_csvio::CsvTable;
+
+/// A generated entity-matching benchmark in Magellan shape: two tables
+/// and the ground-truth id pairs that refer to the same entity.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Dataset name (e.g. `"FacultyMatch"`).
+    pub name: String,
+    /// Left table; the first column is always `id`.
+    pub table_a: CsvTable,
+    /// Right table; the first column is always `id`.
+    pub table_b: CsvTable,
+    /// Ground-truth matches as `(id_a, id_b)` pairs.
+    pub matches: Vec<(String, String)>,
+    /// Column names carrying sensitive attributes (present in both
+    /// tables), in audit order.
+    pub sensitive: Vec<String>,
+}
+
+impl GeneratedDataset {
+    /// Quick integrity check: ids unique per table, match ids resolvable,
+    /// sensitive columns present. Panics with a description on violation
+    /// (generators are trusted code; this guards refactors).
+    pub fn validate(&self) {
+        let ids = |t: &CsvTable, side: &str| -> HashSet<String> {
+            let idx = t
+                .column_index("id")
+                .unwrap_or_else(|| panic!("{side}: no id column"));
+            let mut set = HashSet::with_capacity(t.len());
+            for r in &t.rows {
+                assert!(
+                    set.insert(r[idx].clone()),
+                    "{side}: duplicate id {}",
+                    r[idx]
+                );
+            }
+            set
+        };
+        let a = ids(&self.table_a, "table_a");
+        let b = ids(&self.table_b, "table_b");
+        let mut seen = HashSet::new();
+        for (ia, ib) in &self.matches {
+            assert!(a.contains(ia), "match references unknown A id {ia}");
+            assert!(b.contains(ib), "match references unknown B id {ib}");
+            assert!(
+                seen.insert((ia.clone(), ib.clone())),
+                "duplicate match pair {ia},{ib}"
+            );
+        }
+        for s in &self.sensitive {
+            assert!(
+                self.table_a.column_index(s).is_some(),
+                "A missing sensitive column {s}"
+            );
+            assert!(
+                self.table_b.column_index(s).is_some(),
+                "B missing sensitive column {s}"
+            );
+        }
+    }
+
+    /// Total number of records across both tables.
+    pub fn n_records(&self) -> usize {
+        self.table_a.len() + self.table_b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_csvio::parse_csv_str;
+
+    fn tiny() -> GeneratedDataset {
+        GeneratedDataset {
+            name: "t".into(),
+            table_a: parse_csv_str("id,name,g\na1,x,cn\n").unwrap(),
+            table_b: parse_csv_str("id,name,g\nb1,x,cn\n").unwrap(),
+            matches: vec![("a1".into(), "b1".into())],
+            sensitive: vec!["g".into()],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        let d = tiny();
+        d.validate();
+        assert_eq!(d.n_records(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown A id")]
+    fn validate_rejects_dangling_match() {
+        let mut d = tiny();
+        d.matches.push(("nope".into(), "b1".into()));
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing sensitive")]
+    fn validate_rejects_missing_sensitive_column() {
+        let mut d = tiny();
+        d.sensitive.push("race".into());
+        d.validate();
+    }
+}

@@ -1,0 +1,312 @@
+//! The FacultyMatch generator — the paper's primary demo dataset.
+//!
+//! Two faculty rosters (e.g. scraped from two directory snapshots) must
+//! be matched; the sensitive attribute is the name-origin group
+//! (`cn`, `de`, `us`, `in`, `br`). The `cn` group draws names from a
+//! deliberately small romanized pool and its duplicates flip token order
+//! often, reproducing the unfairness mechanism the demo explains in
+//! Figure 5 ("inherent similarities present in Chinese names").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fairem_csvio::CsvTable;
+
+use crate::common::GeneratedDataset;
+use crate::names::{sample_name, PersonName, FACULTY_GROUPS};
+use crate::perturb;
+
+/// Configuration for [`faculty_match`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacultyConfig {
+    /// Entities generated per group (table A size per group).
+    pub entities_per_group: usize,
+    /// Fraction of A entities that have a true duplicate in B.
+    pub match_rate: f64,
+    /// Additional distinct B-only entities per group, as a fraction of
+    /// `entities_per_group` (these are the lookalike distractors).
+    pub distractor_rate: f64,
+    /// Probability of a character typo in a duplicate's name.
+    pub typo_prob: f64,
+    /// Probability of a token-order flip in duplicates of
+    /// family-first-name groups (`cn`).
+    pub flip_prob: f64,
+    /// Probability that a `cn` duplicate's name drifts to an alternative
+    /// romanization (`wang wei` → `wong way`) — the paper's stated
+    /// unfairness mechanism.
+    pub drift_prob: f64,
+    /// Probability of abbreviating the given name in a duplicate.
+    pub abbrev_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FacultyConfig {
+    fn default() -> FacultyConfig {
+        FacultyConfig {
+            entities_per_group: 220,
+            match_rate: 0.55,
+            distractor_rate: 0.45,
+            typo_prob: 0.25,
+            flip_prob: 0.5,
+            drift_prob: 0.65,
+            abbrev_prob: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl FacultyConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> FacultyConfig {
+        FacultyConfig {
+            entities_per_group: 40,
+            seed: 42,
+            ..FacultyConfig::default()
+        }
+    }
+}
+
+const UNIVERSITIES: [(&str, &str); 12] = [
+    (
+        "university of illinois chicago",
+        "univ of illinois at chicago",
+    ),
+    ("university of rochester", "rochester university"),
+    ("tsinghua university", "tsinghua univ"),
+    ("technical university of munich", "tu munich"),
+    ("indian institute of technology bombay", "iit bombay"),
+    ("university of sao paulo", "univ de sao paulo"),
+    ("stanford university", "stanford univ"),
+    ("mit", "massachusetts institute of technology"),
+    ("peking university", "peking univ"),
+    ("university of michigan", "univ of michigan ann arbor"),
+    ("eth zurich", "eth zuerich"),
+    ("carnegie mellon university", "cmu"),
+];
+
+const DEPARTMENTS: [&str; 8] = [
+    "computer science",
+    "statistics",
+    "electrical engineering",
+    "mathematics",
+    "information science",
+    "data science",
+    "physics",
+    "economics",
+];
+
+struct Entity {
+    name: PersonName,
+    group: &'static str,
+    univ: usize,
+    dept: &'static str,
+}
+
+fn render_row(
+    id: String,
+    name_text: String,
+    univ_text: &str,
+    dept: &str,
+    group: &str,
+) -> Vec<String> {
+    vec![
+        id,
+        name_text,
+        univ_text.to_owned(),
+        dept.to_owned(),
+        group.to_owned(),
+    ]
+}
+
+/// Generate the FacultyMatch benchmark. The result is validated before
+/// being returned.
+pub fn faculty_match(config: &FacultyConfig) -> GeneratedDataset {
+    assert!(
+        config.entities_per_group > 0,
+        "need at least one entity per group"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.match_rate),
+        "match_rate in [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let header: Vec<String> = ["id", "name", "university", "department", "country"]
+        .map(String::from)
+        .to_vec();
+
+    let mut entities: Vec<Entity> = Vec::new();
+    for group in FACULTY_GROUPS {
+        for _ in 0..config.entities_per_group {
+            entities.push(Entity {
+                name: sample_name(group, &mut rng),
+                group,
+                univ: rng.gen_range(0..UNIVERSITIES.len()),
+                dept: DEPARTMENTS.choose(&mut rng).expect("non-empty"),
+            });
+        }
+    }
+
+    let mut rows_a = Vec::with_capacity(entities.len());
+    let mut rows_b = Vec::new();
+    let mut matches = Vec::new();
+    for (i, e) in entities.iter().enumerate() {
+        let aid = format!("a{i}");
+        let canonical = if e.name.family_first_variant && rng.gen_bool(0.5) {
+            e.name.family_order()
+        } else {
+            e.name.western_order()
+        };
+        rows_a.push(render_row(
+            aid.clone(),
+            canonical.clone(),
+            UNIVERSITIES[e.univ].0,
+            e.dept,
+            e.group,
+        ));
+        if rng.gen_bool(config.match_rate) {
+            // Perturbed duplicate in B.
+            let mut name_text = canonical.clone();
+            if e.name.family_first_variant && rng.gen_bool(config.flip_prob) {
+                name_text = perturb::flip_tokens(&name_text);
+            }
+            if e.name.family_first_variant && rng.gen_bool(config.drift_prob) {
+                name_text = perturb::romanize(&name_text);
+            }
+            if rng.gen_bool(config.abbrev_prob) {
+                name_text = perturb::abbreviate_first(&name_text);
+            }
+            name_text = perturb::maybe(&name_text, config.typo_prob, &mut rng, |s, r| {
+                perturb::typo(s, r)
+            });
+            let univ_text = if rng.gen_bool(0.4) {
+                UNIVERSITIES[e.univ].1
+            } else {
+                UNIVERSITIES[e.univ].0
+            };
+            let dept = if rng.gen_bool(0.15) { "" } else { e.dept };
+            let bid = format!("b{}", rows_b.len());
+            rows_b.push(render_row(bid.clone(), name_text, univ_text, dept, e.group));
+            matches.push((aid, bid));
+        }
+    }
+    // B-only distractors: fresh entities from the same pools. In the cn
+    // group these frequently collide with A names — distinct people with
+    // near-identical names, the false-positive trap.
+    for group in FACULTY_GROUPS {
+        let n = (config.entities_per_group as f64 * config.distractor_rate).round() as usize;
+        for _ in 0..n {
+            let name = sample_name(group, &mut rng);
+            let text = if name.family_first_variant && rng.gen_bool(0.5) {
+                name.family_order()
+            } else {
+                name.western_order()
+            };
+            let univ = rng.gen_range(0..UNIVERSITIES.len());
+            let dept = DEPARTMENTS.choose(&mut rng).expect("non-empty");
+            let bid = format!("b{}", rows_b.len());
+            rows_b.push(render_row(bid, text, UNIVERSITIES[univ].0, dept, group));
+        }
+    }
+
+    let dataset = GeneratedDataset {
+        name: "FacultyMatch".into(),
+        table_a: CsvTable {
+            header: header.clone(),
+            rows: rows_a,
+        },
+        table_b: CsvTable {
+            header,
+            rows: rows_b,
+        },
+        matches,
+        sensitive: vec!["country".into()],
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn generates_consistent_dataset() {
+        let d = faculty_match(&FacultyConfig::small());
+        assert_eq!(d.table_a.len(), 5 * 40);
+        assert!(!d.matches.is_empty());
+        assert!(d.table_b.len() > d.matches.len()); // distractors exist
+        assert_eq!(d.sensitive, vec!["country".to_owned()]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = faculty_match(&FacultyConfig::small());
+        let b = faculty_match(&FacultyConfig::small());
+        assert_eq!(a.table_a.rows, b.table_a.rows);
+        assert_eq!(a.table_b.rows, b.table_b.rows);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = faculty_match(&FacultyConfig::small());
+        let b = faculty_match(&FacultyConfig {
+            seed: 99,
+            ..FacultyConfig::small()
+        });
+        assert_ne!(a.table_a.rows, b.table_a.rows);
+    }
+
+    #[test]
+    fn match_rate_controls_duplicates() {
+        let none = faculty_match(&FacultyConfig {
+            match_rate: 0.0,
+            ..FacultyConfig::small()
+        });
+        assert!(none.matches.is_empty());
+        let all = faculty_match(&FacultyConfig {
+            match_rate: 1.0,
+            ..FacultyConfig::small()
+        });
+        assert_eq!(all.matches.len(), all.table_a.len());
+    }
+
+    #[test]
+    fn cn_name_collisions_exceed_us() {
+        let d = faculty_match(&FacultyConfig::default());
+        let name_idx = d.table_a.column_index("name").unwrap();
+        let group_idx = d.table_a.column_index("country").unwrap();
+        let mut distinct: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut totals: HashMap<&str, usize> = HashMap::new();
+        for r in &d.table_a.rows {
+            distinct
+                .entry(&r[group_idx])
+                .or_default()
+                .insert(&r[name_idx]);
+            *totals.entry(&r[group_idx]).or_default() += 1;
+        }
+        let uniq_rate = |g: &str| distinct[g].len() as f64 / totals[g] as f64;
+        assert!(
+            uniq_rate("cn") < uniq_rate("us") - 0.1,
+            "cn {} vs us {}",
+            uniq_rate("cn"),
+            uniq_rate("us")
+        );
+    }
+
+    #[test]
+    fn groups_have_equal_representation_in_a() {
+        let d = faculty_match(&FacultyConfig::small());
+        let group_idx = d.table_a.column_index("country").unwrap();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for r in &d.table_a.rows {
+            *counts.entry(&r[group_idx]).or_default() += 1;
+        }
+        for g in FACULTY_GROUPS {
+            assert_eq!(counts[g], 40);
+        }
+    }
+}

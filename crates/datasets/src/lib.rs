@@ -1,0 +1,36 @@
+//! # fairem-datasets
+//!
+//! Synthetic dataset generators standing in for the demo datasets the
+//! paper uses (FacultyMatch, NoFlyCompas) and for the Magellan/WDC-style
+//! benchmark formats the suite ingests.
+//!
+//! The paper's datasets are private social data; these generators
+//! reproduce the three properties the demo narrative depends on
+//! (see `DESIGN.md` §1):
+//!
+//! 1. **Group-correlated name collisions** — e.g. the `cn` group draws
+//!    from a small romanized surname/given-name pool, so distinct people
+//!    frequently share near-identical names (driving false positives),
+//!    and true duplicates often differ by token order or romanization
+//!    (driving false negatives).
+//! 2. **Representation skew** — group sizes and match rates are knobs.
+//! 3. **Intersectional subgroups** — NoFlyCompas carries race × sex.
+//!
+//! Every generator is deterministic given its seed and emits two
+//! [`fairem_csvio::CsvTable`]s plus a ground-truth match set, i.e. exactly
+//! the Magellan benchmark shape (`tableA.csv`, `tableB.csv`,
+//! `matches.csv`).
+
+pub mod citations;
+pub mod common;
+pub mod faculty;
+pub mod names;
+pub mod noflycompas;
+pub mod perturb;
+pub mod products;
+
+pub use citations::{citations, CitationsConfig};
+pub use common::GeneratedDataset;
+pub use faculty::{faculty_match, FacultyConfig};
+pub use noflycompas::{nofly_compas, NoFlyConfig};
+pub use products::{wdc_products, ProductsConfig};

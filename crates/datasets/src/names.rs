@@ -1,0 +1,329 @@
+//! Name pools per group, with deliberately different collision profiles.
+//!
+//! The `cn` pool is small (10 surnames × 12 given names) to reproduce the
+//! real-world concentration of romanized Chinese surnames — the property
+//! the paper's demo traces unfairness to. Western pools are several times
+//! larger and augmented with middle initials, so random collisions are
+//! rare there.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A person name with generation metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersonName {
+    /// Given name(s), space separated.
+    pub given: String,
+    /// Family name.
+    pub family: String,
+    /// Whether this culture commonly writes family-name-first, making
+    /// token-order flips a realistic duplicate perturbation.
+    pub family_first_variant: bool,
+}
+
+impl PersonName {
+    /// Canonical "Given Family" rendering.
+    pub fn western_order(&self) -> String {
+        format!("{} {}", self.given, self.family)
+    }
+
+    /// "Family Given" rendering (romanized East-Asian order).
+    pub fn family_order(&self) -> String {
+        format!("{} {}", self.family, self.given)
+    }
+}
+
+/// Group tags used by the FacultyMatch generator, ordered as reported.
+pub const FACULTY_GROUPS: [&str; 5] = ["cn", "de", "us", "in", "br"];
+
+const CN_SURNAMES: [&str; 10] = [
+    "wang", "li", "zhang", "liu", "chen", "yang", "huang", "zhao", "wu", "zhou",
+];
+const CN_GIVEN: [&str; 12] = [
+    "wei", "min", "jun", "hui", "ling", "na", "jing", "lei", "yan", "tao", "fang", "ming",
+];
+
+const DE_SURNAMES: [&str; 24] = [
+    "muller",
+    "schmidt",
+    "schneider",
+    "fischer",
+    "weber",
+    "meyer",
+    "wagner",
+    "becker",
+    "schulz",
+    "hoffmann",
+    "koch",
+    "bauer",
+    "richter",
+    "klein",
+    "wolf",
+    "schroder",
+    "neumann",
+    "schwarz",
+    "zimmermann",
+    "braun",
+    "kruger",
+    "hofmann",
+    "hartmann",
+    "lange",
+];
+const DE_GIVEN: [&str; 20] = [
+    "hans", "peter", "klaus", "jurgen", "stefan", "andreas", "thomas", "uwe", "bernd", "frank",
+    "martina", "sabine", "petra", "monika", "karin", "ursula", "heike", "gabriele", "birgit",
+    "ingrid",
+];
+
+const US_SURNAMES: [&str; 28] = [
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "anderson",
+    "taylor",
+    "thomas",
+    "hernandez",
+    "moore",
+    "martin",
+    "jackson",
+    "thompson",
+    "white",
+    "lopez",
+    "lee",
+    "gonzalez",
+    "harris",
+    "clark",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+];
+const US_GIVEN: [&str; 24] = [
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "lisa",
+    "daniel",
+    "nancy",
+];
+
+const IN_SURNAMES: [&str; 18] = [
+    "sharma",
+    "patel",
+    "singh",
+    "kumar",
+    "gupta",
+    "verma",
+    "reddy",
+    "rao",
+    "nair",
+    "iyer",
+    "mehta",
+    "joshi",
+    "desai",
+    "shah",
+    "agarwal",
+    "banerjee",
+    "chatterjee",
+    "mukherjee",
+];
+const IN_GIVEN: [&str; 18] = [
+    "raj", "amit", "ravi", "sanjay", "vijay", "anil", "sunil", "arun", "deepak", "rakesh", "priya",
+    "anita", "sunita", "kavita", "meena", "pooja", "neha", "divya",
+];
+
+const BR_SURNAMES: [&str; 16] = [
+    "silva",
+    "santos",
+    "oliveira",
+    "souza",
+    "rodrigues",
+    "ferreira",
+    "alves",
+    "pereira",
+    "lima",
+    "gomes",
+    "costa",
+    "ribeiro",
+    "martins",
+    "carvalho",
+    "almeida",
+    "lopes",
+];
+const BR_GIVEN: [&str; 16] = [
+    "joao",
+    "maria",
+    "jose",
+    "ana",
+    "antonio",
+    "francisca",
+    "carlos",
+    "paulo",
+    "pedro",
+    "lucas",
+    "luiza",
+    "fernanda",
+    "juliana",
+    "marcia",
+    "rafael",
+    "bruno",
+];
+
+/// Middle initials appended in pools that use them.
+const INITIALS: [&str; 12] = ["a", "b", "c", "d", "e", "f", "g", "h", "j", "k", "m", "r"];
+
+/// Draw a name from the pool of group `group` (one of
+/// [`FACULTY_GROUPS`] or the NoFlyCompas race tags, which reuse these
+/// pools). Panics on an unknown group tag.
+pub fn sample_name(group: &str, rng: &mut StdRng) -> PersonName {
+    let (surnames, given, family_first, use_initial): (&[&str], &[&str], bool, bool) = match group {
+        "cn" | "asian" => (&CN_SURNAMES, &CN_GIVEN, true, false),
+        "de" => (&DE_SURNAMES, &DE_GIVEN, false, true),
+        "us" | "white" => (&US_SURNAMES, &US_GIVEN, false, true),
+        "in" => (&IN_SURNAMES, &IN_GIVEN, false, true),
+        "br" | "hispanic" => (&BR_SURNAMES, &BR_GIVEN, false, true),
+        "black" => (&US_SURNAMES, &US_GIVEN, false, true),
+        other => panic!("unknown name-pool group: {other}"),
+    };
+    let family = (*surnames.choose(rng).expect("pool non-empty")).to_owned();
+    let mut g = (*given.choose(rng).expect("pool non-empty")).to_owned();
+    if use_initial && rng.gen_bool(0.6) {
+        g.push(' ');
+        g.push_str(INITIALS.choose(rng).expect("non-empty"));
+    }
+    PersonName {
+        given: g,
+        family,
+        family_first_variant: family_first,
+    }
+}
+
+/// Alternative romanization of a (lowercase) Chinese name token, when
+/// one exists: the same person may appear as "wang wei" in one roster
+/// and "wong way" in another. This surface drift is the paper's stated
+/// unfairness mechanism for the `cn` group — true duplicates look
+/// dissimilar to string measures while distinct people collide.
+pub fn romanization_variant(token: &str) -> Option<&'static str> {
+    Some(match token {
+        "wang" => "wong",
+        "li" => "lee",
+        "zhang" => "chang",
+        "liu" => "lau",
+        "chen" => "chan",
+        "yang" => "yeung",
+        "huang" => "hwang",
+        "zhao" => "chao",
+        "wu" => "woo",
+        "zhou" => "chow",
+        "wei" => "way",
+        "jun" => "chun",
+        "hui" => "hway",
+        "jing" => "ching",
+        "tao" => "tau",
+        "ming" => "ming h",
+        _ => return None,
+    })
+}
+
+/// Size of the distinct full-name space for a group — used by tests to
+/// assert the collision-rate ordering that drives the fairness story.
+pub fn name_space_size(group: &str) -> usize {
+    match group {
+        "cn" | "asian" => CN_SURNAMES.len() * CN_GIVEN.len(),
+        "de" => DE_SURNAMES.len() * DE_GIVEN.len() * (INITIALS.len() + 1),
+        "us" | "white" | "black" => US_SURNAMES.len() * US_GIVEN.len() * (INITIALS.len() + 1),
+        "in" => IN_SURNAMES.len() * IN_GIVEN.len() * (INITIALS.len() + 1),
+        "br" | "hispanic" => BR_SURNAMES.len() * BR_GIVEN.len() * (INITIALS.len() + 1),
+        other => panic!("unknown name-pool group: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cn_pool_is_the_smallest() {
+        for g in ["de", "us", "in", "br"] {
+            assert!(
+                name_space_size("cn") < name_space_size(g) / 4,
+                "cn should collide far more than {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn cn_names_collide_frequently_in_samples() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut cn = HashSet::new();
+        let mut us = HashSet::new();
+        const N: usize = 300;
+        for _ in 0..N {
+            cn.insert(sample_name("cn", &mut rng).western_order());
+            us.insert(sample_name("us", &mut rng).western_order());
+        }
+        assert!(cn.len() < us.len(), "cn {} vs us {}", cn.len(), us.len());
+        // cn cannot exceed its 120-name space.
+        assert!(cn.len() <= name_space_size("cn"));
+    }
+
+    #[test]
+    fn family_first_only_for_cn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_name("cn", &mut rng).family_first_variant);
+        assert!(!sample_name("us", &mut rng).family_first_variant);
+    }
+
+    #[test]
+    fn orders_render_correctly() {
+        let n = PersonName {
+            given: "wei".into(),
+            family: "li".into(),
+            family_first_variant: true,
+        };
+        assert_eq!(n.western_order(), "wei li");
+        assert_eq!(n.family_order(), "li wei");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown name-pool group")]
+    fn unknown_group_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_name("xx", &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(sample_name("de", &mut a), sample_name("de", &mut b));
+    }
+}

@@ -1,0 +1,153 @@
+//! Duplicate-record perturbations.
+//!
+//! When a generator emits the B-side copy of an entity, it passes the
+//! clean attribute values through these perturbations so that true
+//! matches are non-trivial: typos, token-order flips (romanized
+//! East-Asian names), initialization of given names, and value drops.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Introduce a single random character-level edit (substitute, delete,
+/// or duplicate) at a random position. Empty strings pass through.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Substitute with a nearby letter.
+            let c = out[pos];
+            out[pos] = if c.is_ascii_alphabetic() {
+                let base = if c.is_ascii_uppercase() { b'A' } else { b'a' };
+                let off = (c as u8 - base + 1) % 26;
+                (base + off) as char
+            } else {
+                'x'
+            };
+        }
+        1 if out.len() > 1 => {
+            out.remove(pos);
+        }
+        _ => {
+            let c = out[pos];
+            out.insert(pos, c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate the first token to its initial: `"wei li" → "w li"`.
+/// Strings with fewer than two tokens pass through unchanged.
+pub fn abbreviate_first(s: &str) -> String {
+    let mut parts = s.split_whitespace();
+    let Some(first) = parts.next() else {
+        return s.to_owned();
+    };
+    let rest: Vec<&str> = parts.collect();
+    if rest.is_empty() {
+        return s.to_owned();
+    }
+    let initial: String = first.chars().take(1).collect();
+    let mut out = initial;
+    for r in rest {
+        out.push(' ');
+        out.push_str(r);
+    }
+    out
+}
+
+/// Swap the first and last whitespace token: `"wei li" → "li wei"`.
+/// Single-token strings pass through unchanged.
+pub fn flip_tokens(s: &str) -> String {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() < 2 {
+        return s.to_owned();
+    }
+    let mut out: Vec<&str> = Vec::with_capacity(parts.len());
+    out.push(parts[parts.len() - 1]);
+    out.extend_from_slice(&parts[1..parts.len() - 1]);
+    out.push(parts[0]);
+    out.join(" ")
+}
+
+/// Rewrite every token that has an alternative romanization
+/// (`wang wei` → `wong way`). Tokens without a variant pass through.
+pub fn romanize(s: &str) -> String {
+    s.split_whitespace()
+        .map(|t| crate::names::romanization_variant(t).unwrap_or(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Apply a perturbation with the given probability; otherwise identity.
+pub fn maybe(
+    s: &str,
+    prob: f64,
+    rng: &mut StdRng,
+    f: impl FnOnce(&str, &mut StdRng) -> String,
+) -> String {
+    if rng.gen_bool(prob) {
+        f(s, rng)
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_changes_string_by_one_edit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = typo("johnson", &mut rng);
+            assert_ne!(t, "johnson");
+            let dist = fairem_levenshtein(&t, "johnson");
+            assert!(dist <= 1, "{t}");
+        }
+        assert_eq!(typo("", &mut rng), "");
+    }
+
+    // Minimal Levenshtein for the test (avoiding a cross-dev-dependency).
+    fn fairem_levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, ca) in a.iter().enumerate() {
+            let mut cur = vec![i + 1];
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn abbreviate_keeps_single_tokens() {
+        assert_eq!(abbreviate_first("wei li"), "w li");
+        assert_eq!(abbreviate_first("cher"), "cher");
+        assert_eq!(abbreviate_first("john q public"), "j q public");
+    }
+
+    #[test]
+    fn flip_swaps_outer_tokens() {
+        assert_eq!(flip_tokens("wei li"), "li wei");
+        assert_eq!(flip_tokens("a b c"), "c b a");
+        assert_eq!(flip_tokens("solo"), "solo");
+    }
+
+    #[test]
+    fn maybe_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(maybe("x", 0.0, &mut rng, |s, _| format!("{s}!")), "x");
+        assert_eq!(maybe("x", 1.0, &mut rng, |s, _| format!("{s}!")), "x!");
+    }
+}

@@ -1,0 +1,199 @@
+//! A WDC-style product-matching generator (non-social benchmark).
+//!
+//! The paper notes FairEM360 audits "any dataset with any grouping of
+//! data for which we require equal performance" — this generator provides
+//! a product benchmark whose sensitive attribute is the brand tier
+//! (`budget` vs `premium`), with budget listings exhibiting noisier
+//! titles (marketplace resellers), a realistic non-social bias source.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fairem_csvio::CsvTable;
+
+use crate::common::GeneratedDataset;
+use crate::perturb;
+
+/// Configuration for [`wdc_products`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductsConfig {
+    /// Products per tier in table A.
+    pub per_tier: usize,
+    /// Fraction of A products duplicated in B.
+    pub match_rate: f64,
+    /// B-only distractors as a fraction of `per_tier`.
+    pub distractor_rate: f64,
+    /// Extra title noise applied to budget-tier duplicates.
+    pub budget_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProductsConfig {
+    fn default() -> ProductsConfig {
+        ProductsConfig {
+            per_tier: 180,
+            match_rate: 0.6,
+            distractor_rate: 0.4,
+            budget_noise: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+impl ProductsConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> ProductsConfig {
+        ProductsConfig {
+            per_tier: 30,
+            ..ProductsConfig::default()
+        }
+    }
+}
+
+const PREMIUM_BRANDS: [&str; 6] = ["sonex", "lumina", "vertex", "aurora", "titanal", "kyoro"];
+const BUDGET_BRANDS: [&str; 6] = [
+    "valuetek", "ezgoods", "primo", "handix", "brightco", "omnia",
+];
+const CATEGORIES: [&str; 5] = ["headphones", "keyboard", "monitor", "router", "webcam"];
+const QUALIFIERS: [&str; 6] = ["wireless", "pro", "compact", "gaming", "ergonomic", "hd"];
+
+fn title(brand: &str, category: &str, qualifier: &str, model: u32) -> String {
+    format!("{brand} {qualifier} {category} model {model}")
+}
+
+/// Generate the product benchmark. The result is validated before being
+/// returned.
+pub fn wdc_products(config: &ProductsConfig) -> GeneratedDataset {
+    assert!(config.per_tier > 0, "need at least one product per tier");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let header: Vec<String> = ["id", "title", "brand", "category", "price", "tier"]
+        .map(String::from)
+        .to_vec();
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut matches = Vec::new();
+    let mut next_b = 0usize;
+
+    for (tier, brands, base_price) in [
+        ("premium", &PREMIUM_BRANDS, 250.0),
+        ("budget", &BUDGET_BRANDS, 40.0),
+    ] {
+        for _ in 0..config.per_tier {
+            let brand = *brands.choose(&mut rng).expect("non-empty");
+            let category = *CATEGORIES.choose(&mut rng).expect("non-empty");
+            let qualifier = *QUALIFIERS.choose(&mut rng).expect("non-empty");
+            let model = rng.gen_range(100..1000);
+            let price = base_price * rng.gen_range(0.5..2.0);
+            let aid = format!("a{}", rows_a.len());
+            let t = title(brand, category, qualifier, model);
+            rows_a.push(vec![
+                aid.clone(),
+                t.clone(),
+                brand.to_owned(),
+                category.to_owned(),
+                format!("{price:.2}"),
+                tier.to_owned(),
+            ]);
+            if rng.gen_bool(config.match_rate) {
+                let mut bt = t.clone();
+                // Resellers shuffle/abbreviate budget titles more.
+                let noise = if tier == "budget" {
+                    config.budget_noise
+                } else {
+                    0.15
+                };
+                if rng.gen_bool(noise) {
+                    bt = perturb::flip_tokens(&bt);
+                }
+                bt = perturb::maybe(&bt, noise, &mut rng, perturb::typo);
+                let b_price = price * rng.gen_range(0.93..1.07);
+                let bid = format!("b{next_b}");
+                next_b += 1;
+                rows_b.push(vec![
+                    bid.clone(),
+                    bt,
+                    brand.to_owned(),
+                    category.to_owned(),
+                    format!("{b_price:.2}"),
+                    tier.to_owned(),
+                ]);
+                matches.push((aid, bid));
+            }
+        }
+        // Distractors: same brand/category space, different models.
+        let d = (config.per_tier as f64 * config.distractor_rate).round() as usize;
+        for _ in 0..d {
+            let brand = *brands.choose(&mut rng).expect("non-empty");
+            let category = *CATEGORIES.choose(&mut rng).expect("non-empty");
+            let qualifier = *QUALIFIERS.choose(&mut rng).expect("non-empty");
+            let model = rng.gen_range(100..1000);
+            let price = base_price * rng.gen_range(0.5..2.0);
+            let bid = format!("b{next_b}");
+            next_b += 1;
+            rows_b.push(vec![
+                bid,
+                title(brand, category, qualifier, model),
+                brand.to_owned(),
+                category.to_owned(),
+                format!("{price:.2}"),
+                tier.to_owned(),
+            ]);
+        }
+    }
+
+    let dataset = GeneratedDataset {
+        name: "WdcProducts".into(),
+        table_a: CsvTable {
+            header: header.clone(),
+            rows: rows_a,
+        },
+        table_b: CsvTable {
+            header,
+            rows: rows_b,
+        },
+        matches,
+        sensitive: vec!["tier".into()],
+    };
+    dataset.validate();
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_dataset() {
+        let d = wdc_products(&ProductsConfig::small());
+        d.validate();
+        assert_eq!(d.table_a.len(), 60);
+        assert!(!d.matches.is_empty());
+    }
+
+    #[test]
+    fn tiers_present_in_both_tables() {
+        let d = wdc_products(&ProductsConfig::small());
+        let ti = d.table_a.column_index("tier").unwrap();
+        let tiers_a: std::collections::HashSet<&str> =
+            d.table_a.rows.iter().map(|r| r[ti].as_str()).collect();
+        assert_eq!(tiers_a.len(), 2);
+    }
+
+    #[test]
+    fn prices_parse_as_numbers() {
+        let d = wdc_products(&ProductsConfig::small());
+        let pi = d.table_a.column_index("price").unwrap();
+        for r in &d.table_a.rows {
+            assert!(r[pi].parse::<f64>().is_ok(), "{}", r[pi]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = wdc_products(&ProductsConfig::small());
+        let b = wdc_products(&ProductsConfig::small());
+        assert_eq!(a.table_b.rows, b.table_b.rows);
+    }
+}

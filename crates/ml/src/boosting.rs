@@ -1,0 +1,323 @@
+//! Gradient-boosted regression trees for binary classification — the
+//! from-scratch counterpart of Magellan's XGBoost-backed matcher.
+//!
+//! Boosting minimizes the logistic loss: each round fits a small
+//! regression tree (variance-reduction splits) to the negative gradient
+//! (residual `y − p`), and leaf values take a Newton step
+//! `Σr / Σp(1−p)`. Scores are `σ(F(x))`.
+
+use crate::matrix::Matrix;
+use crate::{validate_fit_inputs, Classifier};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A regression tree fit to (residual, hessian) targets with variance-
+/// reduction splits — the weak learner inside [`GradientBoostedTrees`].
+#[derive(Debug, Clone)]
+struct RegressionTree {
+    root: Node,
+}
+
+impl RegressionTree {
+    /// Fit on residuals `r` with hessians `h` (Newton leaf values).
+    fn fit(
+        x: &Matrix,
+        r: &[f64],
+        h: &[f64],
+        max_depth: usize,
+        min_samples: usize,
+    ) -> RegressionTree {
+        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        let root = RegressionTree::build(x, r, h, &mut idx, max_depth, min_samples);
+        RegressionTree { root }
+    }
+
+    fn leaf_value(r: &[f64], h: &[f64], idx: &[usize]) -> f64 {
+        let num: f64 = idx.iter().map(|&i| r[i]).sum();
+        let den: f64 = idx.iter().map(|&i| h[i]).sum::<f64>() + 1e-9;
+        num / den
+    }
+
+    fn build(
+        x: &Matrix,
+        r: &[f64],
+        h: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        min_samples: usize,
+    ) -> Node {
+        if depth == 0 || idx.len() < min_samples {
+            return Node::Leaf {
+                value: RegressionTree::leaf_value(r, h, idx),
+            };
+        }
+        // Best split by squared-residual reduction. Gain plateaus (e.g.
+        // XOR-shaped residuals, where every first split has zero
+        // first-order gain) are broken toward the most balanced split so
+        // deeper levels can expose the interaction — mirroring the CART
+        // tree's tie-break in `crate::tree`.
+        let total_sum: f64 = idx.iter().map(|&i| r[i]).sum();
+        let n = idx.len() as f64;
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (feature, threshold, gain, balance)
+        let mut vals: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        for f in 0..x.cols() {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| (x.get(i, f), r[i])));
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left_sum = 0.0;
+            let mut left_n = 0.0;
+            for w in 0..vals.len() - 1 {
+                left_sum += vals[w].1;
+                left_n += 1.0;
+                if vals[w].0 == vals[w + 1].0 {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = n - left_n;
+                // Variance-reduction proxy: split gain of squared sums.
+                let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                    - total_sum * total_sum / n;
+                let balance = left_n.min(right_n);
+                let better = match best {
+                    None => true,
+                    Some((_, _, g, bal)) => {
+                        gain > g + 1e-12 || ((gain - g).abs() <= 1e-12 && balance > bal)
+                    }
+                };
+                if better {
+                    best = Some((f, 0.5 * (vals[w].0 + vals[w + 1].0), gain, balance));
+                }
+            }
+        }
+        let Some((feature, threshold, _, _)) = best else {
+            return Node::Leaf {
+                value: RegressionTree::leaf_value(r, h, idx),
+            };
+        };
+        let mut mid = 0;
+        for i in 0..idx.len() {
+            if x.get(idx[i], feature) <= threshold {
+                idx.swap(i, mid);
+                mid += 1;
+            }
+        }
+        if mid == 0 || mid == idx.len() {
+            return Node::Leaf {
+                value: RegressionTree::leaf_value(r, h, idx),
+            };
+        }
+        let (li, ri) = idx.split_at_mut(mid);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(RegressionTree::build(x, r, h, li, depth - 1, min_samples)),
+            right: Box::new(RegressionTree::build(x, r, h, ri, depth - 1, min_samples)),
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Gradient-boosted trees with logistic loss.
+#[derive(Debug, Clone)]
+pub struct GradientBoostedTrees {
+    n_rounds: usize,
+    max_depth: usize,
+    learning_rate: f64,
+    base: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Create an untrained booster.
+    ///
+    /// # Panics
+    /// If hyperparameters are degenerate.
+    pub fn new(n_rounds: usize, max_depth: usize, learning_rate: f64) -> GradientBoostedTrees {
+        assert!(n_rounds >= 1, "need at least one boosting round");
+        assert!(max_depth >= 1, "trees need depth >= 1");
+        assert!(
+            learning_rate > 0.0 && learning_rate <= 1.0,
+            "learning rate in (0,1]"
+        );
+        GradientBoostedTrees {
+            n_rounds,
+            max_depth,
+            learning_rate,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted rounds.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn raw(&self, row: &[f64]) -> f64 {
+        self.base
+            + self
+                .trees
+                .iter()
+                .map(|t| self.learning_rate * t.predict(row))
+                .sum::<f64>()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Classifier for GradientBoostedTrees {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        // Base score: log-odds of the positive rate (clamped).
+        let pos = y.iter().sum::<f64>() / n as f64;
+        let p0 = pos.clamp(1e-6, 1.0 - 1e-6);
+        self.base = (p0 / (1.0 - p0)).ln();
+        self.trees.clear();
+        let mut raw: Vec<f64> = vec![self.base; n];
+        let mut residual = vec![0.0; n];
+        let mut hessian = vec![0.0; n];
+        for _ in 0..self.n_rounds {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                let p = sigmoid(raw[i]);
+                residual[i] = y[i] - p;
+                hessian[i] = (p * (1.0 - p)).max(1e-9);
+            }
+            let tree = RegressionTree::fit(x, &residual, &hessian, self.max_depth, 4);
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                raw[i] += self.learning_rate * tree.predict(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn score_one(&self, row: &[f64]) -> f64 {
+        assert!(
+            !self.trees.is_empty(),
+            "GradientBoostedTrees used before fit"
+        );
+        sigmoid(self.raw(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = f64::from(i % 2 == 0);
+            let b = f64::from((i / 2) % 2 == 0);
+            let jitter = (i % 5) as f64 * 0.01;
+            rows.push(vec![a + jitter, b - jitter]);
+            y.push(f64::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn boosting_learns_xor() {
+        let (x, y) = xor_data();
+        let mut m = GradientBoostedTrees::new(30, 3, 0.3);
+        m.fit(&x, &y);
+        assert_eq!(m.n_trees(), 30);
+        let acc = (0..x.rows())
+            .filter(|&r| (m.score_one(x.row(r)) >= 0.5) == (y[r] == 1.0))
+            .count() as f64
+            / x.rows() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_loss() {
+        let (x, y) = xor_data();
+        let loss = |m: &GradientBoostedTrees| -> f64 {
+            (0..x.rows())
+                .map(|r| {
+                    let p = m.score_one(x.row(r)).clamp(1e-9, 1.0 - 1e-9);
+                    -(y[r] * p.ln() + (1.0 - y[r]) * (1.0 - p).ln())
+                })
+                .sum()
+        };
+        let mut small = GradientBoostedTrees::new(3, 3, 0.3);
+        small.fit(&x, &y);
+        let mut big = GradientBoostedTrees::new(40, 3, 0.3);
+        big.fit(&x, &y);
+        assert!(
+            loss(&big) < loss(&small),
+            "{} vs {}",
+            loss(&big),
+            loss(&small)
+        );
+    }
+
+    #[test]
+    fn scores_bounded_and_base_reflects_prior() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![0.9]]);
+        let y = vec![0.0, 0.0, 0.0, 1.0];
+        let mut m = GradientBoostedTrees::new(5, 2, 0.2);
+        m.fit(&x, &y);
+        for r in 0..x.rows() {
+            let s = m.score_one(x.row(r));
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pure_class_training_is_stable() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3]]);
+        let y = vec![1.0, 1.0, 1.0];
+        let mut m = GradientBoostedTrees::new(5, 2, 0.5);
+        m.fit(&x, &y);
+        assert!(m.score_one(&[0.2]) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let m = GradientBoostedTrees::new(3, 2, 0.1);
+        let _ = m.score_one(&[0.0]);
+    }
+}

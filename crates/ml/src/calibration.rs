@@ -1,0 +1,225 @@
+//! Score calibration: mapping raw matcher scores to calibrated match
+//! probabilities. Threshold-independent fair matching (Moslemi & Milani
+//! 2024, the paper's ref \[10\]) calibrates scores *per group* so that one
+//! matching threshold treats all groups equally; this module provides the
+//! two standard calibrators it builds on.
+
+/// Platt scaling: fit `p = σ(a·s + b)` on (score, label) pairs by
+/// gradient descent on the log-loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    /// Slope of the logistic link.
+    pub a: f64,
+    /// Intercept of the logistic link.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fit on raw scores and binary labels.
+    ///
+    /// # Panics
+    /// If inputs are empty or lengths differ.
+    pub fn fit(scores: &[f64], labels: &[f64]) -> PlattScaler {
+        assert!(!scores.is_empty(), "cannot calibrate on empty data");
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        // Platt's target smoothing guards against overconfidence.
+        let n_pos = labels.iter().filter(|&&y| y == 1.0).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y == 1.0 { t_pos } else { t_neg })
+            .collect();
+        let mut a = 1.0f64;
+        let mut b = 0.0f64;
+        let lr = 1.0;
+        let n = scores.len() as f64;
+        for _ in 0..500 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let p = sigmoid(a * s + b);
+                let err = p - t;
+                ga += err * s;
+                gb += err;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Calibrated probability for a raw score.
+    pub fn transform(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+
+    /// Calibrate a batch.
+    pub fn transform_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Isotonic regression calibrator fitted with the pool-adjacent-
+/// violators algorithm (PAVA): a monotone step function from scores to
+/// empirical match rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsotonicCalibrator {
+    /// Breakpoint scores (ascending).
+    thresholds: Vec<f64>,
+    /// Calibrated value at and above each breakpoint.
+    values: Vec<f64>,
+}
+
+impl IsotonicCalibrator {
+    /// Fit on raw scores and binary labels.
+    ///
+    /// # Panics
+    /// If inputs are empty or lengths differ.
+    pub fn fit(scores: &[f64], labels: &[f64]) -> IsotonicCalibrator {
+        assert!(!scores.is_empty(), "cannot calibrate on empty data");
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        // Sort by score.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&i, &j| scores[i].total_cmp(&scores[j]));
+        // PAVA over blocks (value, weight, start-score).
+        struct Block {
+            value: f64,
+            weight: f64,
+            score: f64,
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(order.len());
+        for &i in &order {
+            blocks.push(Block {
+                value: labels[i],
+                weight: 1.0,
+                score: scores[i],
+            });
+            while blocks.len() >= 2 {
+                let last = blocks.len() - 1;
+                if blocks[last - 1].value <= blocks[last].value {
+                    break;
+                }
+                // Merge the violating pair (weighted average).
+                let b = blocks.pop().expect("non-empty");
+                let a = blocks.last_mut().expect("non-empty");
+                let w = a.weight + b.weight;
+                a.value = (a.value * a.weight + b.value * b.weight) / w;
+                a.weight = w;
+            }
+        }
+        IsotonicCalibrator {
+            thresholds: blocks.iter().map(|b| b.score).collect(),
+            values: blocks.iter().map(|b| b.value).collect(),
+        }
+    }
+
+    /// Calibrated probability for a raw score (step-function lookup;
+    /// scores below the first breakpoint get the first value).
+    pub fn transform(&self, score: f64) -> f64 {
+        match self.thresholds.binary_search_by(|t| t.total_cmp(&score)) {
+            Ok(i) => self.values[i],
+            Err(0) => self.values[0],
+            Err(i) => self.values[i - 1],
+        }
+    }
+
+    /// Calibrate a batch.
+    pub fn transform_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+
+    /// Number of monotone steps.
+    pub fn n_steps(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_scores() -> (Vec<f64>, Vec<f64>) {
+        // Scores systematically compressed into [0.3, 0.6] with the true
+        // boundary at 0.45 — uncalibrated w.r.t. a 0.5 threshold.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let s = 0.3 + 0.3 * (i as f64 / 200.0);
+            scores.push(s);
+            labels.push(if s > 0.45 { 1.0 } else { 0.0 });
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_recovers_decision_boundary() {
+        let (scores, labels) = skewed_scores();
+        let p = PlattScaler::fit(&scores, &labels);
+        // After calibration, the boundary score maps near 0.5 and the
+        // extremes saturate in the right direction.
+        assert!(p.transform(0.30) < 0.2, "{}", p.transform(0.30));
+        assert!(p.transform(0.60) > 0.8, "{}", p.transform(0.60));
+        let mid = p.transform(0.45);
+        assert!(mid > 0.2 && mid < 0.8, "{mid}");
+    }
+
+    #[test]
+    fn platt_is_monotone() {
+        let (scores, labels) = skewed_scores();
+        let p = PlattScaler::fit(&scores, &labels);
+        let out = p.transform_all(&scores);
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn isotonic_fits_monotone_steps() {
+        let scores = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let labels = [0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        let iso = IsotonicCalibrator::fit(&scores, &labels);
+        // Monotone output over the whole range.
+        let mut prev = -1.0;
+        for s in [0.0, 0.15, 0.35, 0.55, 0.75, 0.95] {
+            let v = iso.transform(s);
+            assert!(v >= prev - 1e-12, "not monotone at {s}");
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        // PAVA pooled the 1,0 violation at 0.3/0.4 into 0.5.
+        assert!((iso.transform(0.35) - 0.5).abs() < 1e-12);
+        assert!(iso.n_steps() < scores.len());
+    }
+
+    #[test]
+    fn isotonic_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        let iso = IsotonicCalibrator::fit(&scores, &labels);
+        assert_eq!(iso.transform(0.15), 0.0);
+        assert_eq!(iso.transform(0.85), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn platt_rejects_empty() {
+        let _ = PlattScaler::fit(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn isotonic_rejects_misaligned() {
+        let _ = IsotonicCalibrator::fit(&[0.1], &[1.0, 0.0]);
+    }
+}

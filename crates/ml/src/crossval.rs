@@ -1,0 +1,107 @@
+//! k-fold cross-validation utilities for model selection.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matrix::Matrix;
+use crate::metrics::f1_score;
+use crate::Classifier;
+
+/// Deterministic k-fold split: returns `k` (train, test) index pairs
+/// partitioning `0..n`.
+///
+/// # Panics
+/// If `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= n, "k cannot exceed the sample count");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let test: Vec<usize> = order.iter().copied().skip(f).step_by(k).collect();
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|i| !test_set.contains(i))
+            .collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// Cross-validated F1 of a model factory at a decision threshold:
+/// trains a fresh model per fold and returns the per-fold scores.
+pub fn cross_val_f1(
+    make_model: impl Fn() -> Box<dyn Classifier>,
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+    threshold: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(x.rows(), y.len(), "features and labels must align");
+    let folds = kfold_indices(x.rows(), k, seed);
+    folds
+        .into_iter()
+        .map(|(train, test)| {
+            let xt = x.select_rows(&train);
+            let yt: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+            let mut model = make_model();
+            model.fit(&xt, &yt);
+            let preds: Vec<bool> = test
+                .iter()
+                .map(|&i| model.score_one(x.row(i)) >= threshold)
+                .collect();
+            let truths: Vec<bool> = test.iter().map(|&i| y[i] == 1.0).collect();
+            f1_score(&preds, &truths)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionTree;
+
+    #[test]
+    fn folds_partition_the_range() {
+        let folds = kfold_indices(25, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..25).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 25);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic() {
+        assert_eq!(kfold_indices(10, 2, 7), kfold_indices(10, 2, 7));
+        assert_ne!(kfold_indices(10, 2, 7), kfold_indices(10, 2, 8));
+    }
+
+    #[test]
+    fn cross_val_scores_a_learnable_problem() {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64 / 60.0, 1.0 - i as f64 / 60.0])
+            .collect();
+        let y: Vec<f64> = (0..60).map(|i| f64::from(i >= 30)).collect();
+        let x = Matrix::from_rows(&rows);
+        let scores = cross_val_f1(|| Box::new(DecisionTree::new(3, 2)), &x, &y, 4, 0.5, 1);
+        assert_eq!(scores.len(), 4);
+        for s in scores {
+            assert!(s.is_nan() || s > 0.8, "fold f1 {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn rejects_single_fold() {
+        let _ = kfold_indices(10, 1, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! k-nearest-neighbors classifier (an extra matcher beyond the Magellan
+//! six, useful as an ensemble member and in tests).
+
+use crate::matrix::Matrix;
+use crate::{validate_fit_inputs, Classifier};
+
+/// k-NN with Euclidean distance; the score is the fraction of positive
+/// neighbors, distance-weighted.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Option<Matrix>,
+    y: Vec<f64>,
+}
+
+impl KnnClassifier {
+    /// Create an untrained classifier with `k` neighbors.
+    pub fn new(k: usize) -> KnnClassifier {
+        assert!(k >= 1, "k must be at least 1");
+        KnnClassifier {
+            k,
+            x: None,
+            y: Vec::new(),
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        validate_fit_inputs(x, y);
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+    }
+
+    fn score_one(&self, row: &[f64]) -> f64 {
+        let x = self.x.as_ref().expect("KnnClassifier used before fit");
+        let k = self.k.min(x.rows());
+        // Collect (distance², label), partial-select the k smallest.
+        let mut dists: Vec<(f64, f64)> = (0..x.rows())
+            .map(|r| {
+                let d2: f64 = x
+                    .row(r)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d2, self.y[r])
+            })
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbors = &dists[..k];
+        // Inverse-distance weighting with an epsilon for exact hits.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d2, label) in neighbors {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            num += w * label;
+            den += w;
+        }
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Matrix, Vec<f64>) {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![1.0, 1.0],
+            vec![0.9, 1.0],
+            vec![1.0, 0.9],
+        ];
+        let y = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn classifies_by_proximity() {
+        let (x, y) = data();
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &y);
+        assert!(m.score_one(&[0.05, 0.05]) < 0.5);
+        assert!(m.score_one(&[0.95, 0.95]) > 0.5);
+    }
+
+    #[test]
+    fn exact_hit_dominates() {
+        let (x, y) = data();
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &y);
+        let s = m.score_one(&[1.0, 1.0]);
+        assert!(s > 0.99, "{s}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_capped() {
+        let (x, y) = data();
+        let mut m = KnnClassifier::new(100);
+        m.fit(&x, &y);
+        let s = m.score_one(&[0.5, 0.5]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let m = KnnClassifier::new(1);
+        let _ = m.score_one(&[0.0]);
+    }
+}

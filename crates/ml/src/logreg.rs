@@ -1,0 +1,166 @@
+//! Logistic regression trained by full-batch gradient descent — LogRegMatcher.
+
+use crate::matrix::Matrix;
+use crate::{validate_fit_inputs, Classifier};
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// L2-regularized logistic regression; scores are calibrated
+/// probabilities `σ(wᵀx + b)`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    learning_rate: f64,
+    epochs: usize,
+    l2: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl LogisticRegression {
+    /// Create an untrained model. `l2` is the ridge penalty per example.
+    pub fn new(learning_rate: f64, epochs: usize, l2: f64) -> LogisticRegression {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(epochs >= 1, "need at least one epoch");
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        LogisticRegression {
+            learning_rate,
+            epochs,
+            l2,
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Trained weight vector (empty before fit).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Trained intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        let d = x.cols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let inv_n = 1.0 / n as f64;
+        let mut grad = vec![0.0; d];
+        for _ in 0..self.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..n {
+                let row = x.row(r);
+                let z = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, w)| a * w)
+                        .sum::<f64>();
+                let err = sigmoid(z) - y[r];
+                for (g, &xi) in grad.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&grad) {
+                *w -= self.learning_rate * (g * inv_n + self.l2 * *w);
+            }
+            self.bias -= self.learning_rate * grad_b * inv_n;
+        }
+        self.fitted = true;
+    }
+
+    fn score_one(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "LogisticRegression used before fit");
+        let z = self.bias
+            + row
+                .iter()
+                .zip(&self.weights)
+                .map(|(a, w)| a * w)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let v = i as f64 / 50.0;
+            rows.push(vec![v, 1.0 - v]);
+            y.push(if v > 0.5 { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let (x, y) = linear_data();
+        let mut m = LogisticRegression::new(1.0, 2000, 0.0);
+        m.fit(&x, &y);
+        let acc = (0..x.rows())
+            .filter(|&r| (m.score_one(x.row(r)) >= 0.5) == (y[r] == 1.0))
+            .count() as f64
+            / x.rows() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (x, y) = linear_data();
+        let mut m = LogisticRegression::new(0.5, 500, 0.001);
+        m.fit(&x, &y);
+        for r in 0..x.rows() {
+            let s = m.score_one(x.row(r));
+            assert!((0.0..=1.0).contains(&s));
+        }
+        // Extreme input saturates toward the class.
+        assert!(m.score_one(&[5.0, -5.0]) > 0.9);
+        assert!(m.score_one(&[-5.0, 5.0]) < 0.1);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = linear_data();
+        let mut free = LogisticRegression::new(0.5, 1000, 0.0);
+        let mut reg = LogisticRegression::new(0.5, 1000, 0.1);
+        free.fit(&x, &y);
+        reg.fit(&x, &y);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(reg.weights()) < norm(free.weights()));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let m = LogisticRegression::new(0.1, 10, 0.0);
+        let _ = m.score_one(&[0.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Binary-classification evaluation metrics.
+
+fn validate(preds: &[bool], truths: &[bool]) {
+    assert_eq!(
+        preds.len(),
+        truths.len(),
+        "predictions and truths must align"
+    );
+}
+
+/// Fraction of correct predictions; `NaN` for empty input.
+pub fn accuracy(preds: &[bool], truths: &[bool]) -> f64 {
+    validate(preds, truths);
+    if preds.is_empty() {
+        return f64::NAN;
+    }
+    preds.iter().zip(truths).filter(|(p, t)| p == t).count() as f64 / preds.len() as f64
+}
+
+/// Precision = TP / (TP + FP); `NaN` when nothing was predicted positive.
+pub fn precision(preds: &[bool], truths: &[bool]) -> f64 {
+    validate(preds, truths);
+    let tp = preds.iter().zip(truths).filter(|(&p, &t)| p && t).count();
+    let pp = preds.iter().filter(|&&p| p).count();
+    if pp == 0 {
+        f64::NAN
+    } else {
+        tp as f64 / pp as f64
+    }
+}
+
+/// Recall = TP / (TP + FN); `NaN` when there are no true positives to find.
+pub fn recall(preds: &[bool], truths: &[bool]) -> f64 {
+    validate(preds, truths);
+    let tp = preds.iter().zip(truths).filter(|(&p, &t)| p && t).count();
+    let pos = truths.iter().filter(|&&t| t).count();
+    if pos == 0 {
+        f64::NAN
+    } else {
+        tp as f64 / pos as f64
+    }
+}
+
+/// F1 = harmonic mean of precision and recall; `NaN` when undefined.
+pub fn f1_score(preds: &[bool], truths: &[bool]) -> f64 {
+    let p = precision(preds, truths);
+    let r = recall(preds, truths);
+    if p.is_nan() || r.is_nan() || p + r == 0.0 {
+        return f64::NAN;
+    }
+    2.0 * p * r / (p + r)
+}
+
+/// Area under the ROC curve computed from scores via the rank statistic
+/// (equivalent to the Mann-Whitney U), with midrank handling for ties.
+/// `NaN` when either class is absent.
+pub fn auc_roc(scores: &[f64], truths: &[bool]) -> f64 {
+    assert_eq!(scores.len(), truths.len(), "scores and truths must align");
+    let n_pos = truths.iter().filter(|&&t| t).count();
+    let n_neg = truths.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    // Rank scores ascending with midranks for ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truths
+        .iter()
+        .zip(&ranks)
+        .filter_map(|(&t, &r)| t.then_some(r))
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts() {
+        let p = [true, false, true, true];
+        let t = [true, false, false, true];
+        assert_eq!(accuracy(&p, &t), 0.75);
+        assert!(accuracy(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let p = [true, true, false, false];
+        let t = [true, false, true, false];
+        assert_eq!(precision(&p, &t), 0.5);
+        assert_eq!(recall(&p, &t), 0.5);
+        assert_eq!(f1_score(&p, &t), 0.5);
+    }
+
+    #[test]
+    fn undefined_cases_are_nan() {
+        let t = [true, true];
+        assert!(precision(&[false, false], &t).is_nan());
+        assert!(recall(&[false, false], &[false, false]).is_nan());
+        assert!(f1_score(&[false, false], &t).is_nan());
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let truths = [false, false, true, true];
+        assert_eq!(auc_roc(&scores, &truths), 1.0);
+        let inverted = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &inverted), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Scores identical → ties everywhere → AUC exactly 0.5.
+        let scores = [0.5; 6];
+        let truths = [true, false, true, false, true, false];
+        assert!((auc_roc(&scores, &truths) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value_with_ties() {
+        let scores = [0.2, 0.5, 0.5, 0.9];
+        let truths = [false, false, true, true];
+        // Pairs: (0.5 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.9 vs 0.2)=1, (0.9 vs 0.5)=1 → 3.5/4
+        assert!((auc_roc(&scores, &truths) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_nan() {
+        assert!(auc_roc(&[0.5, 0.6], &[true, true]).is_nan());
+    }
+}

@@ -1,0 +1,164 @@
+//! Gaussian naive Bayes — NBMatcher.
+
+use crate::matrix::Matrix;
+use crate::{validate_fit_inputs, Classifier};
+
+const VAR_FLOOR: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct ClassStats {
+    prior_ln: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+/// Gaussian naive Bayes over continuous similarity features; the score is
+/// the posterior probability of the match class.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    classes: Option<[ClassStats; 2]>,
+}
+
+impl GaussianNb {
+    /// Create an untrained model.
+    pub fn new() -> GaussianNb {
+        GaussianNb::default()
+    }
+
+    fn class_stats(x: &Matrix, y: &[f64], label: f64, n_total: usize) -> ClassStats {
+        let d = x.cols();
+        let idx: Vec<usize> = (0..x.rows()).filter(|&r| y[r] == label).collect();
+        let n = idx.len();
+        // Laplace-style prior smoothing avoids log(0) for absent classes.
+        let prior_ln = ((n as f64 + 1.0) / (n_total as f64 + 2.0)).ln();
+        let mut means = vec![0.0; d];
+        let mut vars = vec![0.0; d];
+        if n > 0 {
+            for &r in &idx {
+                for (m, &v) in means.iter_mut().zip(x.row(r)) {
+                    *m += v;
+                }
+            }
+            for m in means.iter_mut() {
+                *m /= n as f64;
+            }
+            for &r in &idx {
+                for ((var, &v), &m) in vars.iter_mut().zip(x.row(r)).zip(&means) {
+                    *var += (v - m) * (v - m);
+                }
+            }
+            for var in vars.iter_mut() {
+                *var = (*var / n as f64).max(VAR_FLOOR);
+            }
+        } else {
+            vars.iter_mut().for_each(|v| *v = 1.0);
+        }
+        ClassStats {
+            prior_ln,
+            means,
+            vars,
+        }
+    }
+
+    fn log_likelihood(stats: &ClassStats, row: &[f64]) -> f64 {
+        let mut ll = stats.prior_ln;
+        for ((&v, &m), &var) in row.iter().zip(&stats.means).zip(&stats.vars) {
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + (v - m) * (v - m) / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        validate_fit_inputs(x, y);
+        let n = x.rows();
+        self.classes = Some([
+            GaussianNb::class_stats(x, y, 0.0, n),
+            GaussianNb::class_stats(x, y, 1.0, n),
+        ]);
+    }
+
+    fn score_one(&self, row: &[f64]) -> f64 {
+        let classes = self.classes.as_ref().expect("GaussianNb used before fit");
+        let ll0 = GaussianNb::log_likelihood(&classes[0], row);
+        let ll1 = GaussianNb::log_likelihood(&classes[1], row);
+        // Posterior via the log-sum-exp trick.
+        let max = ll0.max(ll1);
+        let e0 = (ll0 - max).exp();
+        let e1 = (ll1 - max).exp();
+        e1 / (e0 + e1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussians() -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = (i % 5) as f64 * 0.03;
+            rows.push(vec![0.2 + j, 0.3 - j]);
+            y.push(0.0);
+            rows.push(vec![0.8 - j, 0.7 + j]);
+            y.push(1.0);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn separates_gaussian_classes() {
+        let (x, y) = gaussians();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let acc = (0..x.rows())
+            .filter(|&r| (m.score_one(x.row(r)) >= 0.5) == (y[r] == 1.0))
+            .count() as f64
+            / x.rows() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn posterior_sums_to_one_implicitly() {
+        let (x, y) = gaussians();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let s = m.score_one(&[0.5, 0.5]);
+        assert!((0.0..=1.0).contains(&s));
+        // Point nearer class 1 mean gets higher posterior.
+        assert!(m.score_one(&[0.8, 0.7]) > m.score_one(&[0.2, 0.3]));
+    }
+
+    #[test]
+    fn handles_single_class_training() {
+        let x = Matrix::from_rows(&[vec![0.5], vec![0.6], vec![0.7]]);
+        let y = vec![1.0, 1.0, 1.0];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        // Missing negative class: smoothed prior keeps posterior finite,
+        // and positive inputs should still be scored as matches.
+        let s = m.score_one(&[0.6]);
+        assert!(s.is_finite());
+        assert!(s > 0.5, "{s}");
+    }
+
+    #[test]
+    fn variance_floor_prevents_degenerate_density() {
+        // Constant feature within a class.
+        let x = Matrix::from_rows(&[vec![0.5], vec![0.5], vec![0.9], vec![0.9]]);
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let s = m.score_one(&[0.9]);
+        assert!(s.is_finite() && s > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let m = GaussianNb::new();
+        let _ = m.score_one(&[0.0]);
+    }
+}

@@ -1,0 +1,651 @@
+//! Define-by-run reverse-mode autograd over [`Tensor`]s.
+//!
+//! A [`Graph`] is a tape: every op appends a node holding its forward
+//! value and enough structure to compute vector-Jacobian products in
+//! reverse. Nodes only reference earlier nodes, so reverse index order is
+//! a valid topological order for backpropagation. Parameters are leaves
+//! tagged with their [`crate::params::ParamStore`] id; `backward`
+//! returns the accumulated gradient per parameter id.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// Handle to a node in the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (no gradient).
+    Input,
+    /// Parameter leaf; gradient accumulates under this store id.
+    Param(usize),
+    /// `a · b`
+    MatMul(usize, usize),
+    /// `a · bᵀ`
+    MatMulT(usize, usize),
+    /// Elementwise `a + b` (same shape).
+    Add(usize, usize),
+    /// `a + row` where `row` is `1×C` broadcast over `a`'s rows.
+    AddRow(usize, usize),
+    /// Elementwise `a - b`.
+    Sub(usize, usize),
+    /// Elementwise `a ⊙ b`.
+    Mul(usize, usize),
+    /// `a * c` for a constant.
+    Scale(usize, f32),
+    /// Elementwise max(0, a).
+    Relu(usize),
+    /// Elementwise logistic sigmoid.
+    Sigmoid(usize),
+    /// Elementwise tanh.
+    Tanh(usize),
+    /// Elementwise |a|.
+    Abs(usize),
+    /// Transposed copy.
+    Transpose(usize),
+    /// Row-wise softmax.
+    SoftmaxRows(usize),
+    /// Mean over rows: `R×C → 1×C`.
+    MeanRows(usize),
+    /// Horizontal concatenation of same-row-count nodes.
+    ConcatCols(Vec<usize>),
+    /// Rows of a parameter embedding table selected by token ids.
+    Embed { table: usize, ids: Vec<u32> },
+    /// Binary cross-entropy with logits against a constant target; the
+    /// node value is the scalar loss, and `sigmoid(logit)` is cached.
+    BceLogit { logit: usize, target: f32 },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Create an empty tape.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Add a constant input leaf.
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Input)
+    }
+
+    /// Add a parameter leaf: copies the current value from the store and
+    /// remembers the id for gradient accumulation.
+    pub fn param(&mut self, store: &ParamStore, id: usize) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_t(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.matmul_t(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulT(a.0, b.0))
+    }
+
+    /// Elementwise sum of two same-shape nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((va.rows, va.cols), (vb.rows, vb.cols), "add shape mismatch");
+        let mut v = va.clone();
+        v.add_assign(vb);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Broadcast-add a `1×C` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (va, vr) = (&self.nodes[a.0].value, &self.nodes[row.0].value);
+        assert_eq!(vr.rows, 1, "add_row expects a 1×C row vector");
+        assert_eq!(va.cols, vr.cols, "add_row width mismatch");
+        let mut v = va.clone();
+        for r in 0..v.rows {
+            for (x, &b) in v.row_mut(r).iter_mut().zip(&vr.data) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a.0, row.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((va.rows, va.cols), (vb.rows, vb.cols), "sub shape mismatch");
+        let data = va.data.iter().zip(&vb.data).map(|(x, y)| x - y).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((va.rows, va.cols), (vb.rows, vb.cols), "mul shape mismatch");
+        let data = va.data.iter().zip(&vb.data).map(|(x, y)| x * y).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.scale_assign(c);
+        self.push(v, Op::Scale(a.0, c))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| x.max(0.0)).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| stable_sigmoid(x)).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| x.tanh()).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let data = va.data.iter().map(|&x| x.abs()).collect();
+        let v = Tensor::from_flat(va.rows, va.cols, data);
+        self.push(v, Op::Abs(a.0))
+    }
+
+    /// Transposed copy of a node.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a.0))
+    }
+
+    /// Row-wise softmax (each row sums to 1).
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let mut v = va.clone();
+        for r in 0..v.rows {
+            let row = v.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a.0))
+    }
+
+    /// Mean over rows, producing a `1×C` vector.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a.0].value;
+        let mut v = Tensor::zeros(1, va.cols);
+        for r in 0..va.rows {
+            for (o, &x) in v.data.iter_mut().zip(va.row(r)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / va.rows as f32;
+        v.scale_assign(inv);
+        self.push(v, Op::MeanRows(a.0))
+    }
+
+    /// Concatenate nodes horizontally (all must share the row count).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols needs at least one node");
+        let rows = self.nodes[parts[0].0].value.rows;
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols).sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut offset = 0;
+        for p in parts {
+            let t = &self.nodes[p.0].value;
+            assert_eq!(t.rows, rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                v.row_mut(r)[offset..offset + t.cols].copy_from_slice(t.row(r));
+            }
+            offset += t.cols;
+        }
+        self.push(v, Op::ConcatCols(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Look up embedding rows by token id from a parameter table node.
+    ///
+    /// # Panics
+    /// If `ids` is empty or any id exceeds the table height.
+    pub fn embed(&mut self, table: NodeId, ids: &[u32]) -> NodeId {
+        assert!(!ids.is_empty(), "embed needs at least one token id");
+        let t = &self.nodes[table.0].value;
+        let mut v = Tensor::zeros(ids.len(), t.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < t.rows, "token id {id} out of vocabulary ({})", t.rows);
+            v.row_mut(r).copy_from_slice(t.row(id));
+        }
+        self.push(
+            v,
+            Op::Embed {
+                table: table.0,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Binary cross-entropy loss on a `1×1` logit node against a 0/1
+    /// target; returns a scalar loss node.
+    pub fn bce_with_logit(&mut self, logit: NodeId, target: f32) -> NodeId {
+        let z = self.nodes[logit.0].value.item();
+        // Numerically stable: max(z,0) - z*t + ln(1 + e^{-|z|}).
+        let loss = z.max(0.0) - z * target + (-z.abs()).exp().ln_1p();
+        self.push(
+            Tensor::scalar(loss),
+            Op::BceLogit {
+                logit: logit.0,
+                target,
+            },
+        )
+    }
+
+    /// Backpropagate from a scalar node; returns per-parameter gradients
+    /// indexed by parameter-store id (length `n_params`).
+    ///
+    /// # Panics
+    /// If `root` is not `1×1`.
+    pub fn backward(&self, root: NodeId, n_params: usize) -> Vec<Option<Tensor>> {
+        let root_val = &self.nodes[root.0].value;
+        assert!(
+            root_val.rows == 1 && root_val.cols == 1,
+            "backward needs a scalar root"
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[root.0] = Some(Tensor::scalar(1.0));
+        let mut param_grads: Vec<Option<Tensor>> = (0..n_params).map(|_| None).collect();
+
+        for i in (0..=root.0).rev() {
+            let Some(gy) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(pid) => accumulate_opt(&mut param_grads[*pid], &gy),
+                Op::MatMul(a, b) => {
+                    let va = &self.nodes[*a].value;
+                    let vb = &self.nodes[*b].value;
+                    // dA = gy · Bᵀ ; dB = Aᵀ · gy
+                    let da = gy.matmul_t(vb);
+                    let db = va.transpose().matmul(&gy);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::MatMulT(a, b) => {
+                    let va = &self.nodes[*a].value;
+                    let vb = &self.nodes[*b].value;
+                    // y = A·Bᵀ → dA = gy·B ; dB = gyᵀ·A
+                    let da = gy.matmul(vb);
+                    let db = gy.transpose().matmul(va);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, gy.clone());
+                    accumulate(&mut grads, *b, gy);
+                }
+                Op::AddRow(a, row) => {
+                    // Row grad: column sums of gy.
+                    let mut gr = Tensor::zeros(1, gy.cols);
+                    for r in 0..gy.rows {
+                        for (o, &x) in gr.data.iter_mut().zip(gy.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *a, gy);
+                    accumulate(&mut grads, *row, gr);
+                }
+                Op::Sub(a, b) => {
+                    let mut neg = gy.clone();
+                    neg.scale_assign(-1.0);
+                    accumulate(&mut grads, *a, gy);
+                    accumulate(&mut grads, *b, neg);
+                }
+                Op::Mul(a, b) => {
+                    let va = &self.nodes[*a].value;
+                    let vb = &self.nodes[*b].value;
+                    let da = elementwise(&gy, vb, |g, v| g * v);
+                    let db = elementwise(&gy, va, |g, v| g * v);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Scale(a, c) => {
+                    let mut g = gy;
+                    g.scale_assign(*c);
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Relu(a) => {
+                    let va = &self.nodes[*a].value;
+                    let g = elementwise(&gy, va, |g, v| if v > 0.0 { g } else { 0.0 });
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let g = elementwise(&gy, y, |g, s| g * s * (1.0 - s));
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let g = elementwise(&gy, y, |g, t| g * (1.0 - t * t));
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Abs(a) => {
+                    let va = &self.nodes[*a].value;
+                    let g = elementwise(&gy, va, |g, v| {
+                        if v > 0.0 {
+                            g
+                        } else if v < 0.0 {
+                            -g
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Transpose(a) => {
+                    accumulate(&mut grads, *a, gy.transpose());
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    // dX_r = (gy_r - (gy_r·y_r)) ⊙ y_r, rowwise.
+                    let mut g = Tensor::zeros(y.rows, y.cols);
+                    for r in 0..y.rows {
+                        let yr = y.row(r);
+                        let gr = gy.row(r);
+                        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                        for ((o, &yv), &gv) in g.row_mut(r).iter_mut().zip(yr).zip(gr) {
+                            *o = (gv - dot) * yv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::MeanRows(a) => {
+                    let va = &self.nodes[*a].value;
+                    let inv = 1.0 / va.rows as f32;
+                    let mut g = Tensor::zeros(va.rows, va.cols);
+                    for r in 0..va.rows {
+                        for (o, &x) in g.row_mut(r).iter_mut().zip(&gy.data) {
+                            *o = x * inv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let t = &self.nodes[p].value;
+                        let mut g = Tensor::zeros(t.rows, t.cols);
+                        for r in 0..t.rows {
+                            g.row_mut(r)
+                                .copy_from_slice(&gy.row(r)[offset..offset + t.cols]);
+                        }
+                        offset += t.cols;
+                        accumulate(&mut grads, p, g);
+                    }
+                }
+                Op::Embed { table, ids } => {
+                    let t = &self.nodes[*table].value;
+                    let mut g = Tensor::zeros(t.rows, t.cols);
+                    for (r, &id) in ids.iter().enumerate() {
+                        let dst = g.row_mut(id as usize);
+                        for (o, &x) in dst.iter_mut().zip(gy.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *table, g);
+                }
+                Op::BceLogit { logit, target } => {
+                    let z = self.nodes[*logit].value.item();
+                    let dz = (stable_sigmoid(z) - target) * gy.item();
+                    accumulate(&mut grads, *logit, Tensor::scalar(dz));
+                }
+            }
+        }
+        param_grads
+    }
+}
+
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn elementwise(g: &Tensor, v: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!((g.rows, g.cols), (v.rows, v.cols));
+    let data = g.data.iter().zip(&v.data).map(|(&a, &b)| f(a, b)).collect();
+    Tensor::from_flat(g.rows, g.cols, data)
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: Tensor) {
+    accumulate_opt(&mut grads[idx], &g);
+}
+
+fn accumulate_opt(slot: &mut Option<Tensor>, g: &Tensor) {
+    match slot {
+        Some(existing) => existing.add_assign(g),
+        None => *slot = Some(g.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    /// Finite-difference gradient check for a scalar function of params.
+    fn grad_check(store: &mut ParamStore, f: impl Fn(&mut Graph, &ParamStore) -> NodeId, tol: f32) {
+        let n = store.len();
+        // Analytic gradients.
+        let mut g = Graph::new();
+        let loss = f(&mut g, store);
+        let analytic = g.backward(loss, n);
+        // Numeric gradients per parameter element.
+        let eps = 1e-3f32;
+        #[allow(clippy::needless_range_loop)]
+        for pid in 0..n {
+            let len = store.value(pid).data.len();
+            for e in 0..len {
+                let orig = store.value(pid).data[e];
+                store.value_mut(pid).data[e] = orig + eps;
+                let mut g1 = Graph::new();
+                let l1 = f(&mut g1, store);
+                let f1 = g1.value(l1).item();
+                store.value_mut(pid).data[e] = orig - eps;
+                let mut g2 = Graph::new();
+                let l2 = f(&mut g2, store);
+                let f2 = g2.value(l2).item();
+                store.value_mut(pid).data[e] = orig;
+                let numeric = (f1 - f2) / (2.0 * eps);
+                let ana = analytic[pid].as_ref().map_or(0.0, |t| t.data[e]);
+                assert!(
+                    (numeric - ana).abs() < tol * (1.0 + numeric.abs().max(ana.abs())),
+                    "param {pid} elem {e}: numeric {numeric} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_linear_sigmoid_bce() {
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "w",
+            Tensor::from_flat(3, 2, vec![0.1, -0.2, 0.3, 0.05, -0.4, 0.25]),
+        );
+        let b = store.add("b", Tensor::row_vector(vec![0.02, -0.03]));
+        let v = store.add("v", Tensor::from_flat(2, 1, vec![0.5, -0.6]));
+        let x = Tensor::row_vector(vec![0.7, -0.1, 0.4]);
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let xin = g.input(x.clone());
+                let wp = g.param(s, w);
+                let bp = g.param(s, b);
+                let vp = g.param(s, v);
+                let h = g.matmul(xin, wp);
+                let h = g.add_row(h, bp);
+                let h = g.tanh(h);
+                let logit = g.matmul(h, vp);
+                g.bce_with_logit(logit, 1.0)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_pooling() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_flat(
+                4,
+                3,
+                vec![
+                    0.1, 0.2, -0.1, 0.0, -0.3, 0.2, 0.4, 0.1, 0.0, -0.2, 0.25, 0.15,
+                ],
+            ),
+        );
+        let q = store.add("q", Tensor::from_flat(3, 1, vec![0.3, -0.2, 0.5]));
+        let v = store.add("v", Tensor::from_flat(3, 1, vec![0.2, 0.4, -0.3]));
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let table = g.param(s, e);
+                let emb = g.embed(table, &[0, 2, 3, 1]); // T×3
+                let qp = g.param(s, q);
+                let scores = g.matmul(emb, qp); // T×1
+                let scores_row = g.transpose(scores); // 1×T
+                let alpha = g.softmax_rows(scores_row); // 1×T, sums to 1
+                let pooled = g.matmul(alpha, emb); // 1×3
+                let vp = g.param(s, v);
+                let logit = g.matmul(pooled, vp); // 1×1
+                g.bce_with_logit(logit, 0.0)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn embed_repeated_ids_accumulate_gradient() {
+        let mut store = ParamStore::new();
+        let e = store.add("emb", Tensor::from_flat(2, 2, vec![0.5, -0.1, 0.2, 0.3]));
+        let mut g = Graph::new();
+        let table = g.param(&store, e);
+        let emb = g.embed(table, &[0, 0, 1]); // row 0 used twice
+        let pooled = g.mean_rows(emb);
+        let ones = g.input(Tensor::from_flat(2, 1, vec![1.0, 1.0]));
+        let loss = g.matmul(pooled, ones);
+        let grads = g.backward(loss, store.len());
+        let ge = grads[0].as_ref().unwrap();
+        // d pooled/d row0 counted twice: 2/3 each element; row1 once: 1/3.
+        assert!((ge.get(0, 0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((ge.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_values_are_correct() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_flat(1, 2, vec![1.0, -2.0]));
+        let r = g.relu(a);
+        assert_eq!(g.value(r).data, vec![1.0, 0.0]);
+        let sm = g.softmax_rows(a);
+        let v = g.value(sm);
+        assert!((v.data[0] + v.data[1] - 1.0).abs() < 1e-6);
+        assert!(v.data[0] > v.data[1]);
+        let t = g.transpose(a);
+        assert_eq!(g.value(t).rows, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar root")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(2, 2));
+        g.backward(a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn embed_checks_vocab_bounds() {
+        let store = {
+            let mut s = ParamStore::new();
+            s.add("emb", Tensor::zeros(2, 2));
+            s
+        };
+        let mut g = Graph::new();
+        let table = g.param(&store, 0);
+        let _ = g.embed(table, &[5]);
+    }
+
+    #[test]
+    fn gradcheck_mul_abs_mean() {
+        let mut store = ParamStore::new();
+        let a = store.add(
+            "a",
+            Tensor::from_flat(2, 3, vec![0.5, -0.2, 0.3, 0.1, -0.7, 0.2]),
+        );
+        let b = store.add(
+            "b",
+            Tensor::from_flat(2, 3, vec![-0.3, 0.4, 0.2, 0.6, 0.1, -0.5]),
+        );
+        grad_check(
+            &mut store,
+            move |g, s| {
+                let pa = g.param(s, a);
+                let pb = g.param(s, b);
+                let d = g.sub(pa, pb);
+                let d = g.abs(d);
+                let m = g.mul(d, pa);
+                let pooled = g.mean_rows(m); // 1×3
+                let ones = g.input(Tensor::from_flat(3, 1, vec![1.0, 1.0, 1.0]));
+                let s1 = g.matmul(pooled, ones); // 1×1
+                g.scale(s1, 0.5)
+            },
+            2e-2,
+        );
+    }
+}

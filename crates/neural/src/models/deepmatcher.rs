@@ -1,0 +1,154 @@
+//! DeepMatcher-Lite: attribute summarize-and-compare.
+//!
+//! Mirrors the *attribute-summarization* design of Mudgal et al.'s
+//! DeepMatcher (SIGMOD'18): each attribute's token embeddings are
+//! summarized into a fixed vector per side, the two sides are compared
+//! elementwise, and a classifier consumes the concatenated per-attribute
+//! comparison vectors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::ParamStore;
+
+use super::{
+    compare, train_loop, validate_training_inputs, MlpHead, NeuralMatcher, TokenPair, TrainConfig,
+};
+
+#[derive(Debug, Clone)]
+struct Arch {
+    embedding: usize,
+    head: MlpHead,
+    n_attrs: usize,
+}
+
+impl Arch {
+    fn forward_logit(&self, g: &mut Graph, store: &ParamStore, pair: &TokenPair) -> NodeId {
+        let table = g.param(store, self.embedding);
+        let mut comps = Vec::with_capacity(self.n_attrs);
+        for k in 0..self.n_attrs {
+            let el = g.embed(table, &pair.left[k]);
+            let el = g.mean_rows(el);
+            let er = g.embed(table, &pair.right[k]);
+            let er = g.mean_rows(er);
+            comps.push(compare(g, el, er));
+        }
+        let features = g.concat_cols(&comps);
+        self.head.forward(g, store, features)
+    }
+}
+
+/// DeepMatcher-Lite model (see module docs).
+#[derive(Debug)]
+pub struct DeepMatcherLite {
+    config: TrainConfig,
+    store: ParamStore,
+    arch: Option<Arch>,
+}
+
+impl DeepMatcherLite {
+    /// Create an untrained model.
+    pub fn new(config: TrainConfig) -> DeepMatcherLite {
+        DeepMatcherLite {
+            config,
+            store: ParamStore::new(),
+            arch: None,
+        }
+    }
+}
+
+impl NeuralMatcher for DeepMatcherLite {
+    fn fit(&mut self, pairs: &[TokenPair], labels: &[f64]) {
+        let n_attrs = validate_training_inputs(pairs, labels);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut store = ParamStore::new();
+        let embedding = store.add_xavier(
+            "embedding",
+            self.config.vocab_size as usize,
+            self.config.embed_dim,
+            &mut rng,
+        );
+        let input_dim = 2 * self.config.embed_dim * n_attrs;
+        let head = MlpHead::init(&mut store, "head", input_dim, self.config.hidden, &mut rng);
+        let arch = Arch {
+            embedding,
+            head,
+            n_attrs,
+        };
+        train_loop(
+            &mut store,
+            &self.config,
+            pairs,
+            labels,
+            |g, s, pair, target| {
+                let logit = arch.forward_logit(g, s, pair);
+                g.bce_with_logit(logit, target)
+            },
+        );
+        self.store = store;
+        self.arch = Some(arch);
+    }
+
+    fn score(&self, pair: &TokenPair) -> f64 {
+        let arch = self.arch.as_ref().expect("DeepMatcherLite used before fit");
+        assert_eq!(
+            pair.n_attrs(),
+            arch.n_attrs,
+            "attribute count changed since fit"
+        );
+        let mut g = Graph::new();
+        let logit = arch.forward_logit(&mut g, &self.store, pair);
+        let prob = g.sigmoid(logit);
+        g.value(prob).item() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::{assert_learns, synthetic_pairs};
+    use crate::token::HashVocab;
+
+    #[test]
+    fn learns_synthetic_matching() {
+        let mut m = DeepMatcherLite::new(TrainConfig::fast());
+        assert_learns(&mut m, 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vocab = HashVocab::new(128);
+        let (pairs, labels) = synthetic_pairs(40, &vocab);
+        let mut a = DeepMatcherLite::new(TrainConfig::fast());
+        let mut b = DeepMatcherLite::new(TrainConfig::fast());
+        a.fit(&pairs, &labels);
+        b.fit(&pairs, &labels);
+        for p in &pairs {
+            assert_eq!(a.score(p), b.score(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let m = DeepMatcherLite::new(TrainConfig::fast());
+        let _ = m.score(&TokenPair {
+            left: vec![vec![0]],
+            right: vec![vec![0]],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute count changed")]
+    fn score_checks_attr_count() {
+        let vocab = HashVocab::new(128);
+        let (pairs, labels) = synthetic_pairs(10, &vocab);
+        let mut m = DeepMatcherLite::new(TrainConfig::fast());
+        m.fit(&pairs, &labels);
+        let _ = m.score(&TokenPair {
+            left: vec![vec![0]],
+            right: vec![vec![0]],
+        });
+    }
+}

@@ -1,0 +1,198 @@
+//! Parameter storage, initialization, and the Adam optimizer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Named storage for trainable parameters, addressed by dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Create an empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Register a parameter; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> usize {
+        self.values.push(value);
+        self.names.push(name.into());
+        self.values.len() - 1
+    }
+
+    /// Register a Xavier/Glorot-uniform initialized `rows×cols` parameter.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        self.add(name, Tensor::from_flat(rows, cols, data))
+    }
+
+    /// Register an all-zeros parameter (biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> usize {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    /// Number of parameters registered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow a parameter value.
+    pub fn value(&self, id: usize) -> &Tensor {
+        &self.values[id]
+    }
+
+    /// Mutably borrow a parameter value.
+    pub fn value_mut(&mut self, id: usize) -> &mut Tensor {
+        &mut self.values[id]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn n_weights(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+}
+
+/// Adam optimizer state over a [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Create optimizer state matching a store's parameter shapes, with
+    /// the standard betas (0.9, 0.999).
+    pub fn new(store: &ParamStore, lr: f32) -> Adam {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let m = (0..store.len())
+            .map(|i| Tensor::zeros(store.value(i).rows, store.value(i).cols))
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Apply one Adam update given per-parameter gradients (ids align
+    /// with the store; `None` means zero gradient this step).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Option<Tensor>]) {
+        assert_eq!(
+            grads.len(),
+            store.len(),
+            "gradient/parameter count mismatch"
+        );
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads.iter().enumerate() {
+            let Some(g) = grad else { continue };
+            let m = &mut self.m[id];
+            let v = &mut self.v[id];
+            let w = store.value_mut(id);
+            for ((wi, (&gi, mi)), vi) in w
+                .data
+                .iter_mut()
+                .zip(g.data.iter().zip(m.data.iter_mut()))
+                .zip(v.data.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let mhat = *mi / b1t;
+                let vhat = *vi / b2t;
+                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn store_registration_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::scalar(1.0));
+        let b = s.add_zeros("b", 1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.value(b).cols, 3);
+        assert_eq!(s.n_weights(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn xavier_respects_limit_and_seed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ParamStore::new();
+        let id = s.add_xavier("w", 10, 10, &mut rng);
+        let limit = (6.0f64 / 20.0).sqrt() as f32;
+        assert!(s.value(id).data.iter().all(|v| v.abs() <= limit));
+        // Same seed → same init.
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut s2 = ParamStore::new();
+        let id2 = s2.add_xavier("w", 10, 10, &mut rng2);
+        assert_eq!(s.value(id), s2.value(id2));
+    }
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // Minimize f(w) = (w - 3)² by feeding grad = 2(w - 3).
+        let mut s = ParamStore::new();
+        let id = s.add("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(&s, 0.1);
+        for _ in 0..500 {
+            let w = s.value(id).item();
+            let grad = Tensor::scalar(2.0 * (w - 3.0));
+            opt.step(&mut s, &[Some(grad)]);
+        }
+        assert!((s.value(id).item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_skips_missing_gradients() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::scalar(1.0));
+        let b = s.add("b", Tensor::scalar(2.0));
+        let mut opt = Adam::new(&s, 0.5);
+        opt.step(&mut s, &[Some(Tensor::scalar(1.0)), None]);
+        assert!(s.value(a).item() < 1.0);
+        assert_eq!(s.value(b).item(), 2.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense 2-D `f32` tensors — the value type flowing through the autograd
+//! graph. Vectors are represented as `1×n` (row) or `n×1` (column).
+
+/// A dense row-major 2-D tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// If the buffer length is not `rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "flat buffer size mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1×n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Tensor {
+        let n = data.len();
+        Tensor {
+            rows: 1,
+            cols: n,
+            data,
+        }
+    }
+
+    /// A `1×1` scalar tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
+    }
+
+    /// The single element of a `1×1` tensor.
+    ///
+    /// # Panics
+    /// If the tensor is not `1×1`.
+    pub fn item(&self) -> f32 {
+        assert!(
+            self.rows == 1 && self.cols == 1,
+            "item() on non-scalar tensor"
+        );
+        self.data[0]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product with the second operand transposed: `self · otherᵀ`.
+    ///
+    /// # Panics
+    /// If `self.cols != other.cols`.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let dot: f32 = arow.iter().zip(brow).map(|(a, b)| a * b).sum();
+                out.row_mut(i)[j] = dot;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_flat(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_flat(2, 2, vec![5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_of_transpose() {
+        let a = Tensor::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_flat(4, 3, (0..12).map(|i| i as f32).collect());
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn scalar_and_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn item_rejects_matrices() {
+        let _ = Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::row_vector(vec![1., 2.]);
+        a.add_assign(&Tensor::row_vector(vec![3., 4.]));
+        a.scale_assign(2.0);
+        assert_eq!(a.data, vec![8., 12.]);
+        assert!((Tensor::row_vector(vec![3., 4.]).norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic hashing vocabulary.
+//!
+//! The Lite models map word tokens to embedding rows via the hashing
+//! trick (FNV-1a modulo a fixed vocabulary size). This avoids building a
+//! dictionary, handles out-of-vocabulary tokens at inference uniformly,
+//! and — unlike `std`'s `DefaultHasher` — is stable across runs and
+//! platforms, keeping training deterministic.
+
+/// A fixed-size hashing vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashVocab {
+    size: u32,
+}
+
+/// Number of ids reserved at the front of the vocabulary for special
+/// tokens (e.g. attribute separators). Hashed tokens never collide with
+/// reserved ids.
+pub const RESERVED_TOKENS: u32 = 8;
+
+impl HashVocab {
+    /// Create a vocabulary with `size` total ids (including the
+    /// [`RESERVED_TOKENS`] specials).
+    ///
+    /// # Panics
+    /// If `size` does not exceed the reserved range.
+    pub fn new(size: u32) -> HashVocab {
+        assert!(size > RESERVED_TOKENS, "vocab must exceed reserved range");
+        HashVocab { size }
+    }
+
+    /// Total number of ids (the embedding table height to allocate).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Map a token string to an id in `[RESERVED_TOKENS, size)`.
+    pub fn id(&self, token: &str) -> u32 {
+        RESERVED_TOKENS + fnv1a(token.as_bytes()) % (self.size - RESERVED_TOKENS)
+    }
+
+    /// A reserved special-token id.
+    ///
+    /// # Panics
+    /// If `k >= RESERVED_TOKENS`.
+    pub fn special(&self, k: u32) -> u32 {
+        assert!(k < RESERVED_TOKENS, "only {RESERVED_TOKENS} specials exist");
+        k
+    }
+
+    /// Map a full string to ids via lowercase word tokens; empty strings
+    /// produce the single special id 0 (an "empty" marker) so every
+    /// attribute has at least one token.
+    pub fn encode_words(&self, text: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+            } else if !cur.is_empty() {
+                ids.push(self.id(&cur));
+                cur.clear();
+            }
+        }
+        if !cur.is_empty() {
+            ids.push(self.id(&cur));
+        }
+        if ids.is_empty() {
+            ids.push(self.special(0));
+        }
+        ids
+    }
+}
+
+/// FNV-1a over bytes (32-bit).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_in_range() {
+        let v = HashVocab::new(256);
+        let a = v.id("smith");
+        assert_eq!(a, v.id("smith"));
+        assert!((RESERVED_TOKENS..256).contains(&a));
+    }
+
+    #[test]
+    fn specials_are_disjoint_from_hashed() {
+        let v = HashVocab::new(64);
+        for token in ["a", "b", "zz", "smith", "wang"] {
+            assert!(v.id(token) >= RESERVED_TOKENS);
+        }
+        assert_eq!(v.special(3), 3);
+    }
+
+    #[test]
+    fn encode_words_tokenizes_and_handles_empty() {
+        let v = HashVocab::new(128);
+        let ids = v.encode_words("Li, Wei");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], v.id("li"));
+        assert_eq!(ids[1], v.id("wei"));
+        assert_eq!(v.encode_words(""), vec![0]);
+        assert_eq!(v.encode_words("--"), vec![0]);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xe40c292c.
+        assert_eq!(fnv1a(b""), 0x811c9dc5);
+        assert_eq!(fnv1a(b"a"), 0xe40c292c);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed reserved")]
+    fn tiny_vocab_rejected() {
+        let _ = HashVocab::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "specials exist")]
+    fn special_out_of_range() {
+        let v = HashVocab::new(64);
+        let _ = v.special(99);
+    }
+}

@@ -1,0 +1,140 @@
+//! Robustness tests for the Lite neural matchers: class imbalance,
+//! out-of-vocabulary inputs, degenerate attribute shapes.
+
+use fairem_neural::{
+    DeepMatcherLite, DittoLite, HashVocab, HierMatcherLite, McanLite, NeuralMatcher, TokenPair,
+    TrainConfig,
+};
+
+fn vocab() -> HashVocab {
+    HashVocab::new(128)
+}
+
+fn pair(v: &HashVocab, l: &str, r: &str) -> TokenPair {
+    TokenPair {
+        left: vec![v.encode_words(l)],
+        right: vec![v.encode_words(r)],
+    }
+}
+
+/// 1:9 imbalanced training set (EM's natural regime).
+fn imbalanced(v: &HashVocab) -> (Vec<TokenPair>, Vec<f64>) {
+    let names = [
+        "wei li",
+        "john smith",
+        "ana garcia",
+        "hans muller",
+        "raj patel",
+    ];
+    let mut pairs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..100 {
+        let n = names[i % names.len()];
+        if i % 10 == 0 {
+            pairs.push(pair(v, n, n));
+            labels.push(1.0);
+        } else {
+            let other = names[(i + 1 + i % 3) % names.len()];
+            pairs.push(pair(v, n, other));
+            labels.push(0.0);
+        }
+    }
+    (pairs, labels)
+}
+
+fn models() -> Vec<(&'static str, Box<dyn NeuralMatcher>)> {
+    let cfg = TrainConfig::fast();
+    vec![
+        (
+            "deepmatcher",
+            Box::new(DeepMatcherLite::new(cfg)) as Box<dyn NeuralMatcher>,
+        ),
+        (
+            "ditto",
+            Box::new(DittoLite::new(TrainConfig { epochs: 15, ..cfg })),
+        ),
+        ("hiermatcher", Box::new(HierMatcherLite::new(cfg))),
+        ("mcan", Box::new(McanLite::new(cfg))),
+    ]
+}
+
+#[test]
+fn all_models_survive_class_imbalance() {
+    let v = vocab();
+    let (pairs, labels) = imbalanced(&v);
+    for (name, mut m) in models() {
+        m.fit(&pairs, &labels);
+        // The positive-weighting must keep recall alive: the duplicated
+        // pairs should score above the mismatched ones on average.
+        let pos: f64 = pairs
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &y)| y == 1.0)
+            .map(|(p, _)| m.score(p))
+            .sum::<f64>()
+            / 10.0;
+        let neg: f64 = pairs
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &y)| y == 0.0)
+            .map(|(p, _)| m.score(p))
+            .sum::<f64>()
+            / 90.0;
+        assert!(pos > neg + 0.1, "{name}: pos {pos} vs neg {neg}");
+    }
+}
+
+#[test]
+fn oov_tokens_score_without_panicking() {
+    let v = vocab();
+    let (pairs, labels) = imbalanced(&v);
+    for (name, mut m) in models() {
+        m.fit(&pairs, &labels);
+        // Entirely unseen tokens (hashing maps them to shared buckets).
+        let unseen = pair(&v, "zyx qwv", "zyx qwv");
+        let s = m.score(&unseen);
+        assert!((0.0..=1.0).contains(&s), "{name}: {s}");
+        // Empty attribute values use the reserved empty marker.
+        let empty = pair(&v, "", "");
+        let s = m.score(&empty);
+        assert!((0.0..=1.0).contains(&s), "{name} empty: {s}");
+    }
+}
+
+#[test]
+fn single_token_attributes_work() {
+    let v = vocab();
+    let mk = |l: &str, r: &str| pair(&v, l, r);
+    let pairs = vec![
+        mk("li", "li"),
+        mk("li", "smith"),
+        mk("smith", "smith"),
+        mk("smith", "li"),
+        mk("garcia", "garcia"),
+        mk("garcia", "muller"),
+        mk("muller", "muller"),
+        mk("muller", "garcia"),
+    ];
+    let labels = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+    for (name, mut m) in models() {
+        m.fit(&pairs, &labels);
+        let acc = pairs
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &y)| (m.score(p) >= 0.5) == (y == 1.0))
+            .count();
+        assert!(acc >= 6, "{name}: {acc}/8");
+    }
+}
+
+#[test]
+fn score_all_matches_individual_scores() {
+    let v = vocab();
+    let (pairs, labels) = imbalanced(&v);
+    let mut m = DeepMatcherLite::new(TrainConfig::fast());
+    m.fit(&pairs, &labels);
+    let batch = m.score_all(&pairs[..5]);
+    for (i, p) in pairs[..5].iter().enumerate() {
+        assert_eq!(batch[i], m.score(p));
+    }
+}

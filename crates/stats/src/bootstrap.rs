@@ -1,0 +1,100 @@
+//! Bootstrap resampling: the suite's multiple-workload analysis draws k
+//! workloads by sampling with replacement from a single test set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw `n` indices uniformly with replacement from `0..n` (one bootstrap
+/// replicate of a length-`n` dataset).
+pub fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Percentile bootstrap confidence interval of a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (statistic on the full sample).
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of replicates used.
+    pub replicates: usize,
+}
+
+/// Compute a statistic's percentile bootstrap CI.
+///
+/// `stat` maps a resampled dataset view (indices into `data`) to a value;
+/// it receives the original data and one replicate's indices to avoid
+/// materializing copies. `level` is the confidence level, e.g. `0.95`.
+pub fn bootstrap_statistic<T>(
+    data: &[T],
+    replicates: usize,
+    level: f64,
+    seed: u64,
+    stat: impl Fn(&[T], &[usize]) -> f64,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap needs data");
+    assert!(replicates >= 2, "bootstrap needs at least 2 replicates");
+    assert!(level > 0.0 && level < 1.0, "confidence level in (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let identity: Vec<usize> = (0..data.len()).collect();
+    let estimate = stat(data, &identity);
+    let mut values = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let idx = bootstrap_indices(data.len(), &mut rng);
+        values.push(stat(data, &idx));
+    }
+    let alpha = 1.0 - level;
+    let lo = crate::desc::quantile(&values, alpha / 2.0);
+    let hi = crate::desc::quantile(&values, 1.0 - alpha / 2.0);
+    BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        replicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_cover_range_and_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = bootstrap_indices(100, &mut rng);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&i| i < 100));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = bootstrap_indices(100, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_statistic(&data, 500, 0.95, 42, |d, idx| {
+            idx.iter().map(|&i| d[i]).sum::<f64>() / idx.len() as f64
+        });
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.hi - ci.lo < 1.0, "CI too wide: {ci:?}");
+    }
+
+    #[test]
+    fn ci_is_seed_deterministic() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let f = |d: &[f64], idx: &[usize]| idx.iter().map(|&i| d[i]).sum::<f64>();
+        let a = bootstrap_statistic(&data, 50, 0.9, 1, f);
+        let b = bootstrap_statistic(&data, 50, 0.9, 1, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap needs data")]
+    fn rejects_empty_data() {
+        let _ = bootstrap_statistic::<f64>(&[], 10, 0.9, 0, |_, _| 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Lightweight string normalization applied before similarity computation.
+
+/// Lowercase, trim, and collapse internal whitespace runs to single spaces.
+///
+/// Non-alphanumeric punctuation is preserved (edit-distance measures care
+/// about it); tokenizers strip it separately.
+///
+/// ```
+/// assert_eq!(fairem_text::normalize("  Li   WEI "), "li wei");
+/// ```
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true; // leading whitespace is dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize;
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize("a\t\nb   c"), "a b c");
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(normalize("MÜLLER"), "müller");
+    }
+
+    #[test]
+    fn empty_and_blank() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   \t "), "");
+    }
+
+    #[test]
+    fn keeps_punctuation() {
+        assert_eq!(normalize("O'Brien, J."), "o'brien, j.");
+    }
+}

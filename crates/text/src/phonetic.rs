@@ -1,0 +1,243 @@
+//! Phonetic encoding (American Soundex).
+
+/// American Soundex code of a string (first letter + 3 digits).
+///
+/// Non-ASCII-alphabetic leading characters are skipped; returns an empty
+/// string if the input contains no ASCII letters.
+pub fn soundex(s: &str) -> String {
+    fn code(c: u8) -> u8 {
+        match c {
+            b'b' | b'f' | b'p' | b'v' => b'1',
+            b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => b'2',
+            b'd' | b't' => b'3',
+            b'l' => b'4',
+            b'm' | b'n' => b'5',
+            b'r' => b'6',
+            _ => 0, // vowels, h, w, y
+        }
+    }
+    let letters: Vec<u8> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase() as u8)
+        .collect();
+    let Some((&first, rest)) = letters.split_first() else {
+        return String::new();
+    };
+    let mut out = String::with_capacity(4);
+    out.push(first.to_ascii_uppercase() as char);
+    let mut last_code = code(first);
+    for &c in rest {
+        let k = code(c);
+        // 'h' and 'w' are transparent: they do not reset the previous code.
+        if c == b'h' || c == b'w' {
+            continue;
+        }
+        if k != 0 && k != last_code {
+            out.push(k as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        last_code = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// NYSIIS phonetic code (New York State Identification and Intelligence
+/// System) — more discriminative than Soundex for non-Anglo surnames,
+/// which matters for cross-group comparability of phonetic features.
+///
+/// This implements the classic algorithm over ASCII letters; returns an
+/// empty string when the input has none.
+pub fn nysiis(s: &str) -> String {
+    let mut word: Vec<u8> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase() as u8)
+        .collect();
+    if word.is_empty() {
+        return String::new();
+    }
+    // Leading transformations.
+    let prefixes: [(&[u8], &[u8]); 5] = [
+        (b"MAC", b"MCC"),
+        (b"KN", b"NN"),
+        (b"K", b"C"),
+        (b"PH", b"FF"),
+        (b"PF", b"FF"),
+    ];
+    for (from, to) in prefixes {
+        if word.starts_with(from) {
+            word.splice(..from.len(), to.iter().copied());
+            break;
+        }
+    }
+    if word.starts_with(b"SCH") {
+        word.splice(..3, b"SSS".iter().copied());
+    }
+    // Trailing transformations.
+    let suffixes: [(&[u8], &[u8]); 4] =
+        [(b"EE", b"Y"), (b"IE", b"Y"), (b"DT", b"D"), (b"RT", b"D")];
+    for (from, to) in suffixes {
+        if word.ends_with(from) {
+            let at = word.len() - from.len();
+            word.splice(at.., to.iter().copied());
+            break;
+        }
+    }
+    for from in [b"RD" as &[u8], b"NT", b"ND"] {
+        if word.ends_with(from) {
+            let at = word.len() - from.len();
+            word.splice(at.., b"D".iter().copied());
+            break;
+        }
+    }
+    let first = word[0];
+    let is_vowel = |c: u8| matches!(c, b'A' | b'E' | b'I' | b'O' | b'U');
+    let mut key: Vec<u8> = vec![first];
+    let mut i = 1;
+    while i < word.len() {
+        // Multi-character rules first.
+        let replaced: Vec<u8> = if word[i..].starts_with(b"EV") {
+            i += 2;
+            b"AF".to_vec()
+        } else if is_vowel(word[i]) {
+            i += 1;
+            b"A".to_vec()
+        } else if word[i..].starts_with(b"KN") {
+            i += 2;
+            b"NN".to_vec()
+        } else if word[i..].starts_with(b"SCH") {
+            i += 3;
+            b"SSS".to_vec()
+        } else if word[i..].starts_with(b"PH") {
+            i += 2;
+            b"FF".to_vec()
+        } else {
+            let c = word[i];
+            i += 1;
+            match c {
+                b'Q' => b"G".to_vec(),
+                b'Z' => b"S".to_vec(),
+                b'M' => b"N".to_vec(),
+                b'K' => b"C".to_vec(),
+                b'H' => {
+                    // H stays only between vowels.
+                    let prev = *key.last().expect("non-empty");
+                    let next_vowel = word.get(i).copied().is_some_and(is_vowel);
+                    if is_vowel(prev) && next_vowel {
+                        b"H".to_vec()
+                    } else {
+                        vec![prev]
+                    }
+                }
+                b'W' => {
+                    let prev = *key.last().expect("non-empty");
+                    if is_vowel(prev) {
+                        vec![prev]
+                    } else {
+                        b"W".to_vec()
+                    }
+                }
+                other => vec![other],
+            }
+        };
+        for c in replaced {
+            if key.last() != Some(&c) {
+                key.push(c);
+            }
+        }
+    }
+    // Trailing cleanup: drop final S, convert AY→Y, drop final A.
+    if key.len() > 1 && key.ends_with(b"S") {
+        key.pop();
+    }
+    if key.ends_with(b"AY") {
+        let at = key.len() - 2;
+        key.splice(at.., b"Y".iter().copied());
+    }
+    if key.len() > 1 && key.ends_with(b"A") {
+        key.pop();
+    }
+    String::from_utf8(key).expect("ascii")
+}
+
+/// `1.0` if the NYSIIS codes of both strings agree, else `0.0`.
+pub fn nysiis_sim(a: &str, b: &str) -> f64 {
+    if nysiis(a) == nysiis(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// `1.0` if the Soundex codes of both strings agree, else `0.0`.
+/// Two empty strings agree; an empty and non-empty pair do not.
+pub fn soundex_sim(a: &str, b: &str) -> f64 {
+    let ca = soundex(a);
+    let cb = soundex(b);
+    if ca == cb {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_soundex_values() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex("123"), "");
+        assert_eq!(soundex("  Lee "), "L000");
+    }
+
+    #[test]
+    fn nysiis_reference_behaviour() {
+        // Classic fixed points and well-known equivalences.
+        assert_eq!(nysiis("knight"), nysiis("night"));
+        assert_eq!(nysiis("PHILLIP"), nysiis("filip"));
+        // Codes normalize case and start with the (transformed) first letter.
+        assert_eq!(nysiis("MacDonald"), nysiis("macdonald"));
+        assert!(nysiis("macdonald").starts_with('M'));
+        assert_eq!(nysiis(""), "");
+        assert_eq!(nysiis("123"), "");
+    }
+
+    #[test]
+    fn nysiis_discriminates_where_soundex_collides() {
+        // Soundex merges these; NYSIIS keeps them apart.
+        assert_eq!(soundex("Catherine"), soundex("Cotroneo"));
+        assert_ne!(nysiis("Catherine"), nysiis("Cotroneo"));
+    }
+
+    #[test]
+    fn nysiis_sim_is_binary() {
+        assert_eq!(nysiis_sim("knight", "night"), 1.0);
+        assert_eq!(nysiis_sim("smith", "li"), 0.0);
+    }
+
+    #[test]
+    fn sim_is_binary() {
+        assert_eq!(soundex_sim("Robert", "Rupert"), 1.0);
+        assert_eq!(soundex_sim("Robert", "Li"), 0.0);
+        assert_eq!(soundex_sim("", ""), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Tokenizers: word tokens and padded q-grams.
+
+/// Split a string into lowercase alphanumeric word tokens.
+///
+/// Any run of non-alphanumeric characters is a separator, so
+/// `"O'Brien-Smith"` yields `["o", "brien", "smith"]`.
+pub fn word_tokens(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Character q-grams with `#`-padding on both ends, as used by q-gram
+/// Jaccard in record linkage (padding makes prefixes/suffixes count).
+///
+/// Returns an empty vector for an empty input. `q` must be at least 1.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-gram size must be >= 1");
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(s.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    let n = padded.len();
+    if n < q {
+        return vec![padded.into_iter().collect()];
+    }
+    let mut grams = Vec::with_capacity(n - q + 1);
+    for i in 0..=(n - q) {
+        grams.push(padded[i..i + q].iter().collect());
+    }
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_tokens_split_on_punctuation() {
+        assert_eq!(
+            word_tokens("O'Brien-Smith, J."),
+            vec!["o", "brien", "smith", "j"]
+        );
+    }
+
+    #[test]
+    fn word_tokens_empty() {
+        assert!(word_tokens("").is_empty());
+        assert!(word_tokens("--- ---").is_empty());
+    }
+
+    #[test]
+    fn qgrams_padded() {
+        let g = qgrams("ab", 3);
+        assert_eq!(g, vec!["##a", "#ab", "ab#", "b##"]);
+    }
+
+    #[test]
+    fn qgrams_unigrams_have_no_padding() {
+        assert_eq!(qgrams("ab", 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn qgrams_empty_input() {
+        assert!(qgrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        // With padding q-1 on each side: |s| + q - 1 grams.
+        for q in 1..=4 {
+            let g = qgrams("hello", q);
+            assert_eq!(g.len(), 5 + q - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram size")]
+    fn qgrams_rejects_zero() {
+        let _ = qgrams("x", 0);
+    }
+}

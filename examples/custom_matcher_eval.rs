@@ -1,0 +1,82 @@
+//! The Evaluation-Only flow: you already ran your own matcher elsewhere —
+//! upload its `(id_a, id_b) → score` predictions and audit them, plus
+//! plugging a custom in-process matcher into the session via the
+//! `Matcher` trait.
+//!
+//! ```sh
+//! cargo run --release --example custom_matcher_eval
+//! ```
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::matcher::{ExternalScores, Matcher, MatcherKind, PairRepr};
+use fairem360::core::report::audit_text;
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+use fairem360::prelude::FairEm360;
+use fairem360::text::jaro_winkler;
+
+/// A hand-rolled matcher: average Jaro-Winkler over the attribute
+/// values, ignoring the learned representations entirely.
+struct NameHeuristic;
+
+impl Matcher for NameHeuristic {
+    fn name(&self) -> &str {
+        "NameHeuristic"
+    }
+
+    fn score(&self, pair: PairRepr<'_>) -> f64 {
+        // The feature vector's first entry is the name Levenshtein
+        // similarity; a real custom matcher would bring its own features.
+        // Here we use a couple of the precomputed ones.
+        let f = pair.features;
+        (f[0] + f[1]) / 2.0
+    }
+}
+
+fn main() {
+    let data = faculty_match(&FacultyConfig::small());
+    // Keep copies for building "uploaded" predictions later.
+    let (table_a, table_b) = (data.table_a.clone(), data.table_b.clone());
+
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .expect("valid dataset")
+    .run(&[MatcherKind::DtMatcher]); // one integrated matcher as baseline
+
+    let auditor = Auditor::new(AuditConfig {
+        min_support: 10,
+        ..AuditConfig::default()
+    });
+
+    // --- Path 1: uploaded score file (ExternalScores) ---
+    // Simulate a user's offline matcher: exact-ish name comparison.
+    let na = table_a.column_index("name").expect("name column");
+    let nb = table_b.column_index("name").expect("name column");
+    let mut preds = Vec::new();
+    for ra in &table_a.rows {
+        for rb in &table_b.rows {
+            let s = jaro_winkler(&ra[na].to_lowercase(), &rb[nb].to_lowercase());
+            if s > 0.85 {
+                preds.push(((ra[0].clone(), rb[0].clone()), s));
+            }
+        }
+    }
+    let ext = ExternalScores::new("OfflineJW", preds);
+    println!(
+        "uploaded {} predictions from the offline matcher",
+        ext.len()
+    );
+    let workload = session.external_workload(&ext);
+    let report = auditor.audit(ext.name(), &workload, &session.space);
+    println!("{}", audit_text(&report));
+
+    // --- Path 2: custom in-process matcher via the Matcher trait ---
+    let scores = session.score_test_with(&NameHeuristic);
+    let workload = session.workload_from_scores(scores);
+    let report = auditor.audit("NameHeuristic", &workload, &session.space);
+    println!("{}", audit_text(&report));
+}

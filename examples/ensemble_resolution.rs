@@ -1,0 +1,72 @@
+//! Ensemble-based resolution in isolation: explore the `mᵏ`
+//! group→matcher assignment space, walk the Pareto frontier, and compare
+//! the three strategies the paper discusses (best-per-group,
+//! minimum-unfairness, user-chosen trade-off).
+//!
+//! ```sh
+//! cargo run --release --example ensemble_resolution
+//! ```
+
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::report::pareto_text;
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+use fairem360::prelude::FairEm360;
+
+fn main() {
+    let data = faculty_match(&FacultyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .expect("valid dataset")
+    .run(&[
+        MatcherKind::DtMatcher,
+        MatcherKind::RfMatcher,
+        MatcherKind::LinRegMatcher,
+        MatcherKind::SvmMatcher,
+        MatcherKind::NbMatcher,
+        MatcherKind::Mcan,
+    ]);
+
+    let explorer = session.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+
+    // Strategy 1: best matcher per group (optimal but possibly unfair).
+    let best = explorer.best_per_group();
+    let p1 = explorer.evaluate(&best);
+    println!("best-per-group: {}", explorer.describe(&best));
+    println!(
+        "  worst-group TPR {:.3}, unfairness {:.3}\n",
+        p1.performance, p1.unfairness
+    );
+
+    // Strategy 2: minimum unfairness.
+    let p2 = explorer.min_unfairness();
+    println!("min-unfairness: {}", explorer.describe(&p2.assignment));
+    println!(
+        "  worst-group TPR {:.3}, unfairness {:.3}\n",
+        p2.performance, p2.unfairness
+    );
+
+    // Strategy 3: the full frontier for the user to pick from.
+    let frontier = explorer.pareto_frontier();
+    println!("{}", pareto_text(&explorer, &frontier));
+
+    // Sanity: every single-matcher baseline is dominated-or-equal.
+    println!("single-matcher baselines:");
+    for (mi, name) in explorer.matchers().iter().enumerate() {
+        let uniform = vec![mi; explorer.groups().len()];
+        let p = explorer.evaluate(&uniform);
+        println!(
+            "  all-{name:<14} worst-group TPR {:.3}, unfairness {:.3}",
+            p.performance, p.unfairness
+        );
+    }
+}

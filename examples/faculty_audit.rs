@@ -1,0 +1,107 @@
+//! The paper's full four-step demo flow on FacultyMatch: import →
+//! matcher selection → fairness evaluation (+ explanations) →
+//! ensemble-based resolution.
+//!
+//! ```sh
+//! cargo run --release --example faculty_audit
+//! ```
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::report::{audit_text, pareto_text};
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+use fairem360::prelude::FairEm360;
+
+fn main() {
+    // Step 1: data import.
+    let data = faculty_match(&FacultyConfig::default());
+    println!(
+        "step 1 — imported FacultyMatch: |A|={} |B|={} truth={}",
+        data.table_a.len(),
+        data.table_b.len(),
+        data.matches.len()
+    );
+    let suite = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .expect("valid dataset");
+
+    // Step 2: matcher selection — the full fleet.
+    println!("step 2 — training {} matchers ...", MatcherKind::ALL.len());
+    let session = suite.run(&MatcherKind::ALL);
+
+    // Step 3: fairness evaluation.
+    let auditor = Auditor::new(AuditConfig {
+        measures: FairnessMeasure::PAPER_FIVE.to_vec(),
+        fairness_threshold: 0.2,
+        min_support: 20,
+        only_unfair: true,
+        ..AuditConfig::default()
+    });
+    println!("step 3 — audit (showing unfair cells only):\n");
+    let mut worst: Option<(String, FairnessMeasure, String, f64)> = None;
+    for report in session.audit_all(&auditor) {
+        if report.entries.is_empty() {
+            continue;
+        }
+        println!("{}", audit_text(&report));
+        for e in &report.entries {
+            if worst.as_ref().is_none_or(|w| e.disparity > w.3) {
+                worst = Some((
+                    report.matcher.clone(),
+                    e.measure,
+                    e.group.clone(),
+                    e.disparity,
+                ));
+            }
+        }
+    }
+    let Some((matcher, measure, group, disparity)) = worst else {
+        println!("no unfairness found — nothing to resolve");
+        return;
+    };
+    println!("worst cell: {matcher} / {measure} / {group} (disparity {disparity:.3})");
+
+    // Explanations for the worst cell.
+    let workload = session.workload(&matcher);
+    let explainer = session.explainer(&workload, Disparity::Subtraction);
+    println!("\nexplanations:");
+    println!(
+        "  measure-based: {}",
+        explainer.measure_based(measure, &group).narrative
+    );
+    let rep = explainer.representation(&group);
+    println!(
+        "  representation: {:.1}% of workload, {:.1}% of true matches",
+        100.0 * rep.share_overall,
+        100.0 * rep.share_matches
+    );
+    for e in explainer.examples(measure, &group, 3, 7).examples {
+        println!(
+            "  example (score {:.2}): {} <-> {}",
+            e.score, e.left, e.right
+        );
+    }
+
+    // Step 4: ensemble-based resolution.
+    println!("\nstep 4 — ensemble resolution under {measure}:");
+    let explorer = session.ensemble(0, measure, Disparity::Subtraction);
+    let frontier = explorer.pareto_frontier();
+    println!("{}", pareto_text(&explorer, &frontier));
+    let chosen = frontier
+        .iter()
+        .rfind(|p| p.unfairness <= 0.2)
+        .unwrap_or(&frontier[0]);
+    println!(
+        "chosen: {} (unfairness {:.3}, worst-group performance {:.3}) — resolved: {}",
+        explorer.describe(&chosen.assignment),
+        chosen.unfairness,
+        chosen.performance,
+        chosen.unfairness <= 0.2
+    );
+}

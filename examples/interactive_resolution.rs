@@ -1,0 +1,71 @@
+//! The paper's human-in-the-loop feedback loop (Step 4): the system
+//! proposes an ensemble strategy; the "user" (scripted here) pushes back
+//! until the trade-off suits them.
+//!
+//! ```sh
+//! cargo run --release --example interactive_resolution
+//! ```
+
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::resolution::{Feedback, Proposal, ResolutionSession};
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+use fairem360::prelude::FairEm360;
+
+fn main() {
+    let data = faculty_match(&FacultyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .expect("valid dataset")
+    .run(&[
+        MatcherKind::DtMatcher,
+        MatcherKind::RfMatcher,
+        MatcherKind::LinRegMatcher,
+        MatcherKind::SvmMatcher,
+        MatcherKind::NbMatcher,
+    ]);
+
+    let explorer = session.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+    let mut hitl = ResolutionSession::start(&explorer, 0.2);
+    println!(
+        "initial proposal ({} feasible): {}\n  unfairness {:.3}, worst-group TPR {:.3}\n",
+        hitl.feasible_count(),
+        explorer.describe(&hitl.current().assignment),
+        hitl.current().unfairness,
+        hitl.current().performance
+    );
+
+    // Scripted user: first demands more fairness twice, then accepts.
+    for f in [Feedback::TooUnfair, Feedback::TooUnfair, Feedback::Accept] {
+        match hitl.feedback(f) {
+            Proposal::Candidate(p) => println!(
+                "user said {f:?} → new proposal: {}\n  unfairness {:.3}, worst-group TPR {:.3}\n",
+                explorer.describe(&p.assignment),
+                p.unfairness,
+                p.performance
+            ),
+            Proposal::Infeasible => println!(
+                "user said {f:?} → no fairer strategy exists; keeping the previous proposal\n"
+            ),
+            Proposal::Accepted(p) => println!(
+                "user accepted: {}\n  final unfairness {:.3}, worst-group TPR {:.3}",
+                explorer.describe(&p.assignment),
+                p.unfairness,
+                p.performance
+            ),
+        }
+        if hitl.is_accepted() {
+            break;
+        }
+    }
+    println!("\nfeedback history: {:?}", hitl.history());
+}

@@ -1,0 +1,73 @@
+//! Non-social auditing: the paper notes any grouping requiring equal
+//! matcher performance can be audited. Here a WDC-style product
+//! benchmark is audited on brand tier (budget listings have noisier
+//! reseller titles), and a citations benchmark on venue.
+//!
+//! ```sh
+//! cargo run --release --example product_benchmark
+//! ```
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::fairness::FairnessMeasure;
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::pipeline::SuiteConfig;
+use fairem360::core::prep::PrepConfig;
+use fairem360::core::report::audit_text;
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{citations, wdc_products, CitationsConfig, ProductsConfig};
+use fairem360::prelude::FairEm360;
+
+fn main() {
+    // --- WDC-style products, sensitive attribute: brand tier ---
+    let data = wdc_products(&ProductsConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("tier")],
+    )
+    .expect("valid dataset")
+    .with_config(SuiteConfig {
+        prep: PrepConfig {
+            blocking_columns: vec!["title".into()],
+            ..PrepConfig::default()
+        },
+        ..SuiteConfig::default()
+    })
+    .run(&[MatcherKind::RfMatcher, MatcherKind::LogRegMatcher]);
+
+    let auditor = Auditor::new(AuditConfig {
+        measures: vec![
+            FairnessMeasure::TruePositiveRateParity,
+            FairnessMeasure::PositivePredictiveValueParity,
+        ],
+        min_support: 15,
+        ..AuditConfig::default()
+    });
+    println!("== WdcProducts (budget vs premium) ==");
+    for report in session.audit_all(&auditor) {
+        println!("{}", audit_text(&report));
+    }
+
+    // --- Citations, sensitive attribute: venue ---
+    let data = citations(&CitationsConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("venue")],
+    )
+    .expect("valid dataset")
+    .with_config(SuiteConfig {
+        prep: PrepConfig {
+            blocking_columns: vec!["title".into()],
+            ..PrepConfig::default()
+        },
+        ..SuiteConfig::default()
+    })
+    .run(&[MatcherKind::RfMatcher]);
+    println!("== Citations (per-venue) ==");
+    for report in session.audit_all(&auditor) {
+        println!("{}", audit_text(&report));
+    }
+}

@@ -1,0 +1,709 @@
+//! The `fairem` command-line interface: generate benchmark datasets,
+//! audit matchers on Magellan-shaped CSV files (Matching-and-Evaluation),
+//! and audit uploaded score files (Evaluation-Only).
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); `run` is pure-ish (filesystem only) and returns the
+//! rendered output, so the whole surface is unit-testable.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
+use fairem_core::matcher::{ExternalScores, MatcherKind};
+use fairem_core::pipeline::FairEm360;
+use fairem_core::report::{audit_json, audit_text};
+use fairem_core::sensitive::SensitiveAttr;
+use fairem_csvio::{read_csv_file, write_csv_file, CsvTable, Json};
+use fairem_datasets::{
+    citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
+    GeneratedDataset, NoFlyConfig, ProductsConfig,
+};
+
+/// CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fairem — responsible entity matching suite
+
+USAGE:
+  fairem generate --dataset <faculty|noflycompas|products|citations> --out <dir> [--seed <n>]
+  fairem audit --table-a <csv> --table-b <csv> --matches <csv> --sensitive <col[,col]>
+         [--matchers <name,..>] [--measures <name,..>] [--paradigm single|pairwise]
+         [--disparity subtraction|division] [--threshold <f>] [--fairness-threshold <f>]
+         [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
+  fairem audit-scores --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
+         --sensitive <col[,col]> [audit options as above]
+  fairem analyze --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
+         --sensitive <col[,col]> [--measure <name>] [--fairness-threshold <f>]
+
+FILES:
+  matches csv: header `id_a,id_b`, one ground-truth pair per row
+  scores  csv: header `id_a,id_b,score`, your matcher's predictions
+";
+
+/// Simple `--flag value` / `--flag` argument map.
+struct Args {
+    command: String,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let command = argv.first().ok_or_else(|| err(USAGE))?.clone();
+        let mut flags = Vec::new();
+        let mut i = 1;
+        while i < argv.len() {
+            let flag = &argv[i];
+            if !flag.starts_with("--") {
+                return Err(err(format!("unexpected argument {flag:?}\n\n{USAGE}")));
+            }
+            let name = flag[2..].to_owned();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.push((name, Some(argv[i + 1].clone())));
+                i += 2;
+            } else {
+                flags.push((name, None));
+                i += 1;
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required --{name}\n\n{USAGE}")))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+}
+
+/// Entry point: run the CLI on raw (post-program-name) arguments and
+/// return the rendered output.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "audit" => cmd_audit(&args, None),
+        "audit-scores" => {
+            let path = args.required("scores")?.to_owned();
+            cmd_audit(&args, Some(PathBuf::from(path)))
+        }
+        "analyze" => cmd_analyze(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let name = args.required("dataset")?;
+    let out = PathBuf::from(args.required("out")?);
+    let seed = args.get_usize("seed", 0)? as u64;
+    let dataset: GeneratedDataset = match name {
+        "faculty" => {
+            let mut cfg = FacultyConfig::default();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            faculty_match(&cfg)
+        }
+        "noflycompas" => {
+            let mut cfg = NoFlyConfig::default();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            nofly_compas(&cfg)
+        }
+        "products" => {
+            let mut cfg = ProductsConfig::default();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            wdc_products(&cfg)
+        }
+        "citations" => {
+            let mut cfg = CitationsConfig::default();
+            if seed != 0 {
+                cfg.seed = seed;
+            }
+            citations(&cfg)
+        }
+        other => return Err(err(format!("unknown dataset {other:?}"))),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| err(format!("cannot create {out:?}: {e}")))?;
+    let write = |name: &str, table: &CsvTable| -> Result<(), CliError> {
+        let path = out.join(name);
+        write_csv_file(&path, table).map_err(|e| err(format!("writing {path:?}: {e}")))
+    };
+    write("tableA.csv", &dataset.table_a)?;
+    write("tableB.csv", &dataset.table_b)?;
+    let matches = CsvTable {
+        header: vec!["id_a".into(), "id_b".into()],
+        rows: dataset
+            .matches
+            .iter()
+            .map(|(a, b)| vec![a.clone(), b.clone()])
+            .collect(),
+    };
+    write("matches.csv", &matches)?;
+    Ok(format!(
+        "wrote {} (|A|={}, |B|={}, matches={}, sensitive={:?}) to {}",
+        dataset.name,
+        dataset.table_a.len(),
+        dataset.table_b.len(),
+        dataset.matches.len(),
+        dataset.sensitive,
+        out.display()
+    ))
+}
+
+fn read_table(path: &str) -> Result<CsvTable, CliError> {
+    read_csv_file(Path::new(path)).map_err(|e| err(format!("reading {path}: {e}")))
+}
+
+fn read_matches(path: &str) -> Result<Vec<(String, String)>, CliError> {
+    let t = read_table(path)?;
+    let ia = t
+        .column_index("id_a")
+        .ok_or_else(|| err("matches csv needs an id_a column"))?;
+    let ib = t
+        .column_index("id_b")
+        .ok_or_else(|| err("matches csv needs an id_b column"))?;
+    Ok(t.rows
+        .iter()
+        .map(|r| (r[ia].clone(), r[ib].clone()))
+        .collect())
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Result<Vec<T>, CliError>
+where
+    T::Err: fmt::Display,
+{
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|e| err(format!("bad {what}: {e}")))
+        })
+        .collect()
+}
+
+fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliError> {
+    let table_a = read_table(args.required("table-a")?)?;
+    let table_b = read_table(args.required("table-b")?)?;
+    let matches = read_matches(args.required("matches")?)?;
+    let sensitive: Vec<SensitiveAttr> = args
+        .required("sensitive")?
+        .split(',')
+        .map(|c| SensitiveAttr::categorical(c.trim()))
+        .collect();
+
+    let measures: Vec<FairnessMeasure> = match args.get("measures") {
+        None => FairnessMeasure::PAPER_FIVE.to_vec(),
+        Some(raw) => parse_list(raw, "measure")?,
+    };
+    let paradigm = match args.get("paradigm").unwrap_or("single") {
+        "single" => Paradigm::Single,
+        "pairwise" => Paradigm::Pairwise,
+        other => return Err(err(format!("unknown paradigm {other:?}"))),
+    };
+    let disparity = match args.get("disparity").unwrap_or("subtraction") {
+        "subtraction" => Disparity::Subtraction,
+        "division" => Disparity::Division,
+        other => return Err(err(format!("unknown disparity {other:?}"))),
+    };
+    let matching_threshold = args.get_f64("threshold", 0.5)?;
+    let auditor = Auditor::new(AuditConfig {
+        paradigm,
+        measures,
+        disparity,
+        fairness_threshold: args.get_f64("fairness-threshold", 0.2)?,
+        min_support: args.get_usize("min-support", 10)?,
+        only_unfair: args.has("only-unfair"),
+        pairwise_attr: 0,
+    });
+
+    let suite = FairEm360::import(table_a, table_b, matches, sensitive)
+        .map_err(|e| err(format!("schema error: {e}")))?;
+    let mut config = fairem_core::pipeline::SuiteConfig {
+        matching_threshold,
+        ..Default::default()
+    };
+    if let Some(cols) = args.get("blocking") {
+        config.prep.blocking_columns = cols.split(',').map(|c| c.trim().to_owned()).collect();
+    }
+
+    let dump_path = args.get("dump-workload").map(PathBuf::from);
+    let dump = |session: &fairem_core::pipeline::Session,
+                matcher: &str,
+                w: &fairem_core::workload::Workload|
+     -> Result<(), CliError> {
+        let Some(dir) = &dump_path else { return Ok(()) };
+        std::fs::create_dir_all(dir).map_err(|e| err(format!("cannot create {dir:?}: {e}")))?;
+        let table = CsvTable {
+            header: ["id_a", "id_b", "score", "truth", "prediction"]
+                .map(String::from)
+                .to_vec(),
+            rows: w
+                .items
+                .iter()
+                .map(|c| {
+                    vec![
+                        session.table_a.id(c.a_row).to_owned(),
+                        session.table_b.id(c.b_row).to_owned(),
+                        format!("{:.6}", c.score),
+                        c.truth.to_string(),
+                        w.prediction(c).to_string(),
+                    ]
+                })
+                .collect(),
+        };
+        let path = dir.join(format!("workload_{matcher}.csv"));
+        write_csv_file(&path, &table).map_err(|e| err(format!("writing {path:?}: {e}")))
+    };
+
+    let reports = if let Some(scores_path) = scores_path {
+        // Evaluation-Only: train nothing beyond the cheapest matcher
+        // (needed to build the test pairing), then audit the uploads.
+        let ext = read_external_scores(&scores_path)?;
+        let session = suite.with_config(config).run(&[MatcherKind::DtMatcher]);
+        let w = session.external_workload(&ext);
+        dump(&session, ext.name(), &w)?;
+        vec![auditor.audit(ext.name(), &w, &session.space)]
+    } else {
+        let kinds: Vec<MatcherKind> = match args.get("matchers") {
+            None => vec![
+                MatcherKind::DtMatcher,
+                MatcherKind::RfMatcher,
+                MatcherKind::LinRegMatcher,
+            ],
+            Some(raw) => parse_list(raw, "matcher")?,
+        };
+        let session = suite.with_config(config).run(&kinds);
+        for name in session.matcher_names() {
+            dump(&session, name, &session.workload(name))?;
+        }
+        session.audit_all(&auditor)
+    };
+
+    if args.has("json") {
+        let j = Json::arr(reports.iter().map(audit_json));
+        Ok(j.to_string_pretty())
+    } else {
+        Ok(reports
+            .iter()
+            .map(audit_text)
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+}
+
+fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
+    let t = read_csv_file(path).map_err(|e| err(format!("reading {}: {e}", path.display())))?;
+    let ia = t
+        .column_index("id_a")
+        .ok_or_else(|| err("scores csv needs id_a"))?;
+    let ib = t
+        .column_index("id_b")
+        .ok_or_else(|| err("scores csv needs id_b"))?;
+    let is = t
+        .column_index("score")
+        .ok_or_else(|| err("scores csv needs score"))?;
+    let mut preds = Vec::with_capacity(t.len());
+    for r in &t.rows {
+        let s: f64 = r[is]
+            .parse()
+            .map_err(|_| err(format!("bad score {:?} for ({}, {})", r[is], r[ia], r[ib])))?;
+        preds.push(((r[ia].clone(), r[ib].clone()), s));
+    }
+    Ok(ExternalScores::new("UploadedScores", preds))
+}
+
+/// `fairem analyze`: threshold-sensitivity + AUC-parity analysis of an
+/// uploaded score file (the extension experiments, headless).
+fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    use fairem_core::threshold::{auc_parity, default_grid, suggest_threshold, sweep};
+
+    let table_a = read_table(args.required("table-a")?)?;
+    let table_b = read_table(args.required("table-b")?)?;
+    let matches = read_matches(args.required("matches")?)?;
+    let sensitive: Vec<SensitiveAttr> = args
+        .required("sensitive")?
+        .split(',')
+        .map(|c| SensitiveAttr::categorical(c.trim()))
+        .collect();
+    let measure: FairnessMeasure = args
+        .get("measure")
+        .unwrap_or("TPRP")
+        .parse()
+        .map_err(|e| err(format!("bad measure: {e}")))?;
+    let fairness_threshold = args.get_f64("fairness-threshold", 0.2)?;
+    let ext = read_external_scores(Path::new(args.required("scores")?))?;
+
+    let suite = FairEm360::import(table_a, table_b, matches, sensitive)
+        .map_err(|e| err(format!("schema error: {e}")))?;
+    let session = suite.run(&[MatcherKind::DtMatcher]);
+    let workload = session.external_workload(&ext);
+    let groups: Vec<fairem_core::sensitive::GroupId> = session.space.level1_of_attr(0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "threshold analysis of uploaded scores ({measure}):\n"
+    ));
+    let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
+    let sw = sweep(&workload, &session.space, &groups, measure, &grid);
+    let disp = sw.max_disparity(Disparity::Subtraction);
+    out.push_str("  threshold  overall  max-disparity\n");
+    for (i, &t) in sw.thresholds.iter().enumerate() {
+        out.push_str(&format!(
+            "  {t:>9.2} {:>8.3} {:>14.3} {}\n",
+            sw.overall[i],
+            disp[i],
+            if disp[i] <= fairness_threshold {
+                ""
+            } else {
+                "UNFAIR"
+            }
+        ));
+    }
+    match suggest_threshold(
+        &workload,
+        &session.space,
+        &groups,
+        measure,
+        Disparity::Subtraction,
+        fairness_threshold,
+        &default_grid(),
+    ) {
+        Some(t) => out.push_str(&format!("suggested fair threshold: {t:.2}\n")),
+        None => out.push_str("no fair threshold exists on the grid\n"),
+    }
+    out.push_str("\nAUC parity (threshold-independent):\n");
+    for e in auc_parity(&workload, &session.space, &groups, Disparity::Subtraction) {
+        out.push_str(&format!(
+            "  {:<10} AUC {:>6.3}  disparity {:>6.3}\n",
+            e.group, e.auc, e.disparity
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fairem_cli_{name}"));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_flag_errors() {
+        let e = run(&args(&["generate", "--dataset", "faculty"])).unwrap_err();
+        assert!(e.0.contains("--out"));
+    }
+
+    #[test]
+    fn generate_then_audit_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let out = run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("FacultyMatch"));
+        assert!(dir.join("tableA.csv").exists());
+
+        let report = run(&args(&[
+            "audit",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+            "--matchers",
+            "LinRegMatcher",
+            "--measures",
+            "TPRP",
+            "--min-support",
+            "20",
+        ]))
+        .unwrap();
+        assert!(report.contains("LinRegMatcher"));
+        assert!(report.contains("cn"));
+        assert!(report.contains("UNFAIR"), "{report}");
+    }
+
+    #[test]
+    fn audit_json_output_is_json() {
+        let dir = tmpdir("json");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "products",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = run(&args(&[
+            "audit",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "tier",
+            "--blocking",
+            "title",
+            "--matchers",
+            "DTMatcher",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(report.trim_start().starts_with('['));
+        assert!(report.contains("\"entries\""));
+    }
+
+    #[test]
+    fn pairwise_and_division_flags_are_honored() {
+        let dir = tmpdir("pairwise");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = run(&args(&[
+            "audit",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+            "--matchers",
+            "DTMatcher",
+            "--measures",
+            "AP",
+            "--paradigm",
+            "pairwise",
+            "--disparity",
+            "division",
+        ]))
+        .unwrap();
+        // Pairwise group labels use the × separator.
+        assert!(
+            report.contains("cn×cn") || report.contains("cn×de"),
+            "{report}"
+        );
+        // Bad values produce usage errors.
+        let e = run(&args(&[
+            "audit",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+            "--paradigm",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown paradigm"));
+    }
+
+    #[test]
+    fn dump_workload_writes_per_matcher_csv() {
+        let dir = tmpdir("dump");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "products",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let dump = dir.join("workloads");
+        run(&args(&[
+            "audit",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "tier",
+            "--blocking",
+            "title",
+            "--matchers",
+            "DTMatcher",
+            "--dump-workload",
+            dump.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let w = read_table(dump.join("workload_DTMatcher.csv").to_str().unwrap()).unwrap();
+        assert_eq!(
+            w.header,
+            vec!["id_a", "id_b", "score", "truth", "prediction"]
+        );
+        assert!(!w.is_empty());
+        let si = w.column_index("score").unwrap();
+        assert!(w.rows.iter().all(|r| r[si].parse::<f64>().is_ok()));
+    }
+
+    #[test]
+    fn audit_scores_evaluation_only() {
+        let dir = tmpdir("scores");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Build a trivial score file: every ground-truth pair scored 1.0.
+        let matches = read_table(dir.join("matches.csv").to_str().unwrap()).unwrap();
+        let scores = CsvTable {
+            header: vec!["id_a".into(), "id_b".into(), "score".into()],
+            rows: matches
+                .rows
+                .iter()
+                .map(|r| vec![r[0].clone(), r[1].clone(), "1.0".into()])
+                .collect(),
+        };
+        write_csv_file(&dir.join("scores.csv"), &scores).unwrap();
+        let report = run(&args(&[
+            "audit-scores",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--scores",
+            dir.join("scores.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+        ]))
+        .unwrap();
+        assert!(report.contains("UploadedScores"));
+        // Oracle scores → fair everywhere.
+        assert!(!report.contains("UNFAIR"), "{report}");
+    }
+
+    #[test]
+    fn analyze_reports_sweep_and_auc() {
+        let dir = tmpdir("analyze");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let matches = read_table(dir.join("matches.csv").to_str().unwrap()).unwrap();
+        let scores = CsvTable {
+            header: vec!["id_a".into(), "id_b".into(), "score".into()],
+            rows: matches
+                .rows
+                .iter()
+                .map(|r| vec![r[0].clone(), r[1].clone(), "0.9".into()])
+                .collect(),
+        };
+        write_csv_file(&dir.join("scores.csv"), &scores).unwrap();
+        let out = run(&args(&[
+            "analyze",
+            "--table-a",
+            dir.join("tableA.csv").to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--scores",
+            dir.join("scores.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+        ]))
+        .unwrap();
+        assert!(out.contains("threshold analysis"), "{out}");
+        assert!(out.contains("AUC parity"));
+        assert!(out.contains("cn"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration: generated dataset → suite pipeline → audit,
+//! explanation, multi-workload analysis, and resolution.
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::fairness::{Disparity, FairnessMeasure, Paradigm};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::multiworkload::analyze_bootstrap;
+use fairem360::core::pipeline::{FairEm360, Session, SuiteConfig};
+use fairem360::core::report::{audit_json, audit_text};
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+
+fn session(kinds: &[MatcherKind]) -> Session {
+    let data = faculty_match(&FacultyConfig::small());
+    FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .expect("generated dataset is schema-valid")
+    .with_config(SuiteConfig::fast())
+    .run(kinds)
+}
+
+#[test]
+fn classic_pipeline_produces_full_audit() {
+    let s = session(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher]);
+    let auditor = Auditor::new(AuditConfig {
+        min_support: 5,
+        ..AuditConfig::default()
+    });
+    let reports = s.audit_all(&auditor);
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        // 5 groups × 5 headline measures.
+        assert_eq!(r.entries.len(), 25);
+        for e in &r.entries {
+            if e.disparity.is_finite() {
+                assert!((0.0..=1.0).contains(&e.disparity), "{:?}", e.disparity);
+            }
+            assert!(e.support > 0 || e.insufficient());
+        }
+        // Render paths don't panic and carry the matcher name.
+        assert!(audit_text(r).contains(&r.matcher));
+        assert!(audit_json(r).to_string_compact().contains(&r.matcher));
+    }
+}
+
+#[test]
+fn neural_matcher_runs_in_pipeline() {
+    let s = session(&[MatcherKind::DeepMatcher]);
+    let w = s.workload("DeepMatcher");
+    assert_eq!(w.len(), s.test_size());
+    let cm = w.overall_confusion();
+    // The neural matcher must be meaningfully better than chance.
+    assert!(cm.accuracy() > 0.7, "accuracy {}", cm.accuracy());
+}
+
+#[test]
+fn pairwise_paradigm_covers_group_pairs() {
+    let s = session(&[MatcherKind::DtMatcher]);
+    let auditor = Auditor::new(AuditConfig {
+        paradigm: Paradigm::Pairwise,
+        measures: vec![FairnessMeasure::AccuracyParity],
+        min_support: 1,
+        ..AuditConfig::default()
+    });
+    let report = s.audit("DTMatcher", &auditor);
+    // 5 groups → C(5,2) + 5 = 15 pairs.
+    assert_eq!(report.entries.len(), 15);
+}
+
+#[test]
+fn multiworkload_analysis_runs_on_session() {
+    let s = session(&[MatcherKind::LinRegMatcher]);
+    let auditor = Auditor::new(AuditConfig {
+        measures: vec![FairnessMeasure::TruePositiveRateParity],
+        min_support: 5,
+        ..AuditConfig::default()
+    });
+    let base = s.workload("LinRegMatcher");
+    let report = analyze_bootstrap("LinRegMatcher", &base, &s.space, &auditor, 10, 0.05, 3);
+    assert_eq!(report.k, 10);
+    assert!(!report.tests.is_empty());
+    for t in &report.tests {
+        assert!((0.0..=1.0).contains(&t.p_value), "p={}", t.p_value);
+        assert!(t.valid_workloads >= 2);
+    }
+}
+
+#[test]
+fn explanations_cover_all_four_families() {
+    let s = session(&[MatcherKind::LinRegMatcher]);
+    let w = s.workload("LinRegMatcher");
+    let ex = s.explainer(&w, Disparity::Subtraction);
+    let measure = FairnessMeasure::TruePositiveRateParity;
+    // Subgroup family: single attribute → no children, but no panic.
+    let sub = ex.subgroup(measure, "cn");
+    assert!(sub.rows.is_empty());
+    // Measure family.
+    let me = ex.measure_based(measure, "cn");
+    assert_eq!(me.rates.len(), 6);
+    assert!(!me.narrative.is_empty());
+    // Representation family.
+    let rep = ex.representation("cn");
+    assert!(rep.share_overall > 0.0 && rep.share_overall <= 1.0);
+    assert!(rep.train_shares.is_some());
+    // Example family (sampled deterministically).
+    let e1 = ex.examples(measure, "cn", 3, 5);
+    let e2 = ex.examples(measure, "cn", 3, 5);
+    assert_eq!(e1.examples.len(), e2.examples.len());
+    for (a, b) in e1.examples.iter().zip(&e2.examples) {
+        assert_eq!(a.left, b.left);
+    }
+}
+
+#[test]
+fn resolution_never_increases_unfairness_over_best_single() {
+    let s = session(&[
+        MatcherKind::DtMatcher,
+        MatcherKind::LinRegMatcher,
+        MatcherKind::NbMatcher,
+    ]);
+    let explorer = s.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+    let frontier = explorer.pareto_frontier();
+    let best_single = (0..explorer.matchers().len())
+        .map(|mi| {
+            explorer
+                .evaluate(&vec![mi; explorer.groups().len()])
+                .unfairness
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(frontier[0].unfairness <= best_single + 1e-12);
+}
+
+#[test]
+fn session_is_deterministic() {
+    let a = session(&[MatcherKind::DtMatcher]);
+    let b = session(&[MatcherKind::DtMatcher]);
+    let wa = a.workload("DTMatcher");
+    let wb = b.workload("DTMatcher");
+    assert_eq!(wa.len(), wb.len());
+    for (x, y) in wa.items.iter().zip(&wb.items) {
+        assert_eq!(x.score, y.score);
+        assert_eq!(x.truth, y.truth);
+    }
+}

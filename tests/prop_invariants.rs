@@ -1,0 +1,148 @@
+//! Property-based invariants spanning the logic layer: confusion-matrix
+//! identities, disparity bounds, counting-rule consistency, Pareto
+//! non-domination.
+
+use fairem360::core::confusion::ConfusionMatrix;
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::sensitive::{GroupId, GroupVector};
+use fairem360::core::workload::{Correspondence, Workload};
+use proptest::prelude::*;
+
+const N_GROUPS: u32 = 4;
+
+fn arb_correspondence() -> impl Strategy<Value = Correspondence> {
+    (
+        0.0f64..=1.0,
+        any::<bool>(),
+        1u64..(1 << N_GROUPS),
+        1u64..(1 << N_GROUPS),
+    )
+        .prop_map(|(score, truth, l, r)| Correspondence {
+            a_row: 0,
+            b_row: 0,
+            score,
+            truth,
+            left: GroupVector(l),
+            right: GroupVector(r),
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        proptest::collection::vec(arb_correspondence(), 1..120),
+        0.0f64..=1.0,
+    )
+        .prop_map(|(items, t)| Workload::new(items, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overall_confusion_totals_match_workload(w in arb_workload()) {
+        let cm = w.overall_confusion();
+        prop_assert!((cm.total() - w.len() as f64).abs() < 1e-9);
+        // Complementary rate identities hold whenever defined.
+        if cm.tpr().is_finite() {
+            prop_assert!((cm.tpr() + cm.fnr() - 1.0).abs() < 1e-9);
+        }
+        if cm.fpr().is_finite() {
+            prop_assert!((cm.fpr() + cm.tnr() - 1.0).abs() < 1e-9);
+        }
+        if cm.ppv().is_finite() {
+            prop_assert!((cm.ppv() + cm.fdr() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn both_sides_counting_totals_are_membership_sums(w in arb_workload()) {
+        // Sum of group-confusion totals over all groups equals the sum of
+        // per-correspondence membership counts (left + right).
+        let group_total: f64 = (0..N_GROUPS)
+            .map(|g| w.group_confusion(GroupId(g)).total())
+            .sum();
+        let membership: usize = w
+            .items
+            .iter()
+            .map(|c| c.left.count() + c.right.count())
+            .sum();
+        prop_assert!((group_total - membership as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_symmetry(w in arb_workload(), g1 in 0..N_GROUPS, g2 in 0..N_GROUPS) {
+        let a = w.pairwise_confusion(GroupId(g1), GroupId(g2));
+        let b = w.pairwise_confusion(GroupId(g2), GroupId(g1));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_values_are_rates(w in arb_workload()) {
+        let cm = w.overall_confusion();
+        for m in FairnessMeasure::ALL {
+            let v = m.value(&cm);
+            if v.is_finite() {
+                prop_assert!((0.0..=1.0).contains(&v), "{} = {}", m, v);
+            }
+        }
+    }
+
+    #[test]
+    fn disparity_bounded_for_rate_measures(
+        overall in 0.0f64..=1.0,
+        group in 0.0f64..=1.0,
+        higher in any::<bool>(),
+    ) {
+        for d in [Disparity::Subtraction, Disparity::Division] {
+            let v = d.compute(overall, group, higher);
+            prop_assert!(v.is_nan() || (0.0..=1.0).contains(&v), "{v}");
+        }
+        // Equal values are always fair.
+        prop_assert_eq!(Disparity::Subtraction.compute(group, group, higher), 0.0);
+        prop_assert_eq!(Disparity::Division.compute(group, group, higher), 0.0);
+    }
+
+    #[test]
+    fn threshold_monotonicity(w in arb_workload(), t1 in 0.0f64..=1.0, t2 in 0.0f64..=1.0) {
+        // Raising the threshold can only move predictions from positive
+        // to negative: predicted positives are monotone non-increasing.
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let pos_lo = w.with_threshold(lo).overall_confusion().positive_rate();
+        let pos_hi = w.with_threshold(hi).overall_confusion().positive_rate();
+        prop_assert!(pos_hi <= pos_lo + 1e-9);
+    }
+
+    #[test]
+    fn resample_preserves_length_and_threshold(w in arb_workload(), seed in any::<u64>()) {
+        let r = w.resample(seed);
+        prop_assert_eq!(r.len(), w.len());
+        prop_assert_eq!(r.threshold, w.threshold);
+    }
+
+    #[test]
+    fn group_support_bounds_group_confusion(w in arb_workload(), g in 0..N_GROUPS) {
+        let g = GroupId(g);
+        let support = w.group_support(g) as f64;
+        let total = w.group_confusion(g).total();
+        // Both-sides counting: between support and 2×support.
+        prop_assert!(total >= support - 1e-9);
+        prop_assert!(total <= 2.0 * support + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn confusion_matrix_accumulation_is_linear(
+        entries in proptest::collection::vec((any::<bool>(), any::<bool>(), 1.0f64..3.0), 0..50)
+    ) {
+        let mut cm = ConfusionMatrix::default();
+        let mut expected_total = 0.0;
+        for (p, t, wgt) in &entries {
+            cm.record(*p, *t, *wgt);
+            expected_total += wgt;
+        }
+        prop_assert!((cm.total() - expected_total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Headline reproduction assertions: the paper's demo narrative must
+//! hold on the synthetic substrate (shape, not absolute numbers).
+//!
+//! - Figure 4: LinRegMatcher is unfair toward `cn` w.r.t. TPRP at the
+//!   0.2 threshold, while tree-based matchers are fair.
+//! - Figure 6/7: the ensemble offers a strategy within the fairness
+//!   threshold whose worst-group performance beats the unfair matcher's.
+//! - NoFlyCompas: intersectional subgroup (`asian-male`) is at least as
+//!   disparate as its parent (`asian`) — the subgroup-explanation story.
+//!
+//! Uses the classic matchers only, so the test runs in debug mode; the
+//! neural side of the story is covered by the release-mode figure
+//! binaries (see EXPERIMENTS.md).
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::multiworkload::analyze_bootstrap;
+use fairem360::core::pipeline::{FairEm360, SuiteConfig};
+use fairem360::core::prep::PrepConfig;
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, nofly_compas, FacultyConfig, NoFlyConfig};
+
+fn suite_config() -> SuiteConfig {
+    SuiteConfig {
+        prep: PrepConfig {
+            blocking_columns: vec!["name".into()],
+            negative_ratio: 6.0,
+            train_frac: 0.55,
+            valid_frac: 0.05,
+            ..PrepConfig::default()
+        },
+        ..SuiteConfig::default()
+    }
+}
+
+fn auditor() -> Auditor {
+    Auditor::new(AuditConfig {
+        measures: vec![FairnessMeasure::TruePositiveRateParity],
+        fairness_threshold: 0.2,
+        min_support: 20,
+        ..AuditConfig::default()
+    })
+}
+
+#[test]
+fn figure4_linreg_unfair_on_cn_tree_fair() {
+    let data = faculty_match(&FacultyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .unwrap()
+    .with_config(suite_config())
+    .run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher]);
+
+    let auditor = auditor();
+    let linreg = session.audit("LinRegMatcher", &auditor);
+    let cn = linreg
+        .entry(FairnessMeasure::TruePositiveRateParity, "cn")
+        .unwrap();
+    assert!(
+        cn.unfair,
+        "LinRegMatcher should be unfair on cn (disparity {})",
+        cn.disparity
+    );
+    assert!(cn.disparity > 0.2);
+    // Every other group is fair for LinReg.
+    for g in ["br", "de", "in", "us"] {
+        let e = linreg
+            .entry(FairnessMeasure::TruePositiveRateParity, g)
+            .unwrap();
+        assert!(!e.unfair, "{g} unexpectedly unfair: {}", e.disparity);
+    }
+    // The random forest handles the cn drift.
+    let rf = session.audit("RFMatcher", &auditor);
+    assert!(!rf.any_unfair(), "RFMatcher should be fair everywhere");
+}
+
+#[test]
+fn figures6_7_resolution_brings_cn_within_threshold() {
+    let data = faculty_match(&FacultyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .unwrap()
+    .with_config(suite_config())
+    .run(&[
+        MatcherKind::LinRegMatcher,
+        MatcherKind::RfMatcher,
+        MatcherKind::DtMatcher,
+        MatcherKind::NbMatcher,
+    ]);
+
+    let explorer = session.ensemble(
+        0,
+        FairnessMeasure::TruePositiveRateParity,
+        Disparity::Subtraction,
+    );
+    // The all-LinReg strategy is unfair...
+    let linreg_idx = explorer
+        .matchers()
+        .iter()
+        .position(|m| m == "LinRegMatcher")
+        .unwrap();
+    let all_linreg = explorer.evaluate(&vec![linreg_idx; explorer.groups().len()]);
+    assert!(
+        all_linreg.unfairness > 0.2,
+        "baseline unfairness {}",
+        all_linreg.unfairness
+    );
+    // ... and the frontier offers a resolved strategy with better
+    // worst-group performance.
+    let frontier = explorer.pareto_frontier();
+    let resolved = frontier
+        .iter()
+        .find(|p| p.unfairness <= 0.2)
+        .expect("resolvable");
+    assert!(
+        resolved.performance >= all_linreg.performance,
+        "resolved {} vs baseline {}",
+        resolved.performance,
+        all_linreg.performance
+    );
+}
+
+#[test]
+fn multiworkload_confirms_cn_unfairness_is_repeatable() {
+    let data = faculty_match(&FacultyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![SensitiveAttr::categorical("country")],
+    )
+    .unwrap()
+    .with_config(suite_config())
+    .run(&[MatcherKind::LinRegMatcher]);
+    let base = session.workload("LinRegMatcher");
+    let report = analyze_bootstrap(
+        "LinRegMatcher",
+        &base,
+        &session.space,
+        &auditor(),
+        20,
+        0.05,
+        11,
+    );
+    let cn = report
+        .test(FairnessMeasure::TruePositiveRateParity, "cn")
+        .unwrap();
+    assert!(
+        cn.significant,
+        "cn unfairness should be significant (p={})",
+        cn.p_value
+    );
+    let us = report
+        .test(FairnessMeasure::TruePositiveRateParity, "us")
+        .unwrap();
+    assert!(
+        !us.significant,
+        "us should not be significant (p={})",
+        us.p_value
+    );
+}
+
+#[test]
+fn noflycompas_intersectional_subgroup_is_worse() {
+    let data = nofly_compas(&NoFlyConfig::default());
+    let session = FairEm360::import(
+        data.table_a,
+        data.table_b,
+        data.matches,
+        vec![
+            SensitiveAttr::categorical("race"),
+            SensitiveAttr::categorical("sex"),
+        ],
+    )
+    .unwrap()
+    .with_config(suite_config())
+    .run(&[MatcherKind::LinRegMatcher]);
+
+    let auditor = Auditor::new(AuditConfig {
+        measures: vec![FairnessMeasure::TruePositiveRateParity],
+        min_support: 15,
+        ..AuditConfig::default()
+    });
+    let report = session.audit("LinRegMatcher", &auditor);
+    let asian = report
+        .entry(FairnessMeasure::TruePositiveRateParity, "asian")
+        .unwrap();
+    assert!(
+        asian.disparity > 0.15,
+        "asian disparity {}",
+        asian.disparity
+    );
+    // Drill down: at least one intersectional child is at least as bad.
+    let w = session.workload("LinRegMatcher");
+    let explainer = session.explainer(&w, Disparity::Subtraction);
+    let sub = explainer.subgroup(FairnessMeasure::TruePositiveRateParity, "asian");
+    assert!(!sub.rows.is_empty());
+    let worst_child = &sub.rows[0];
+    assert!(
+        worst_child.disparity >= asian.disparity - 0.05,
+        "child {} ({}) vs parent ({})",
+        worst_child.group,
+        worst_child.disparity,
+        asian.disparity
+    );
+}
