@@ -2,7 +2,8 @@
 //! scaling in workload size and group count, plus the both-sides vs
 //! once-per-correspondence counting ablation called out in DESIGN.md §4.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_bench::crit::{black_box, BenchmarkId, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::{FairnessMeasure, Paradigm};
 use fairem_core::schema::Table;

@@ -1,7 +1,8 @@
 //! Blocking cost and recall trade-off: token blocking vs
 //! sorted-neighborhood on FacultyMatch (DESIGN.md §4 ablation).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_bench::crit::{black_box, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::blocking::{blocking_recall, sorted_neighborhood, token_blocking};
 use fairem_core::schema::Table;
 use fairem_datasets::{faculty_match, FacultyConfig};

@@ -1,7 +1,8 @@
 //! Ensemble exploration cost: the `mᵏ` enumeration behind Figure 6,
 //! scaling in matcher count and group count, vs the per-group shortcut.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_bench::crit::{black_box, BenchmarkId, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::ensemble::EnsembleExplorer;
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::schema::Table;

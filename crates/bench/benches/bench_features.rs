@@ -1,7 +1,8 @@
 //! Pair-featurization throughput: how fast the logic layer turns record
 //! pairs into similarity vectors and token pairs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_bench::crit::{black_box, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::features::FeatureGenerator;
 use fairem_core::schema::Table;
 use fairem_datasets::{faculty_match, FacultyConfig};

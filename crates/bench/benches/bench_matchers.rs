@@ -1,7 +1,8 @@
 //! Matcher training and scoring throughput, one benchmark per family
 //! (Figure 3's cost column).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_bench::crit::{black_box, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::features::FeatureGenerator;
 use fairem_core::matcher::{Matcher, MatcherKind, MatcherTrainConfig, TrainInput};
 use fairem_core::prep::{prepare, PrepConfig};

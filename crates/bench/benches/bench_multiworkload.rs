@@ -1,7 +1,8 @@
 //! Multiple-workload analysis cost: bootstrap resampling + per-cell
 //! z-tests, scaling in k.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_bench::crit::{black_box, BenchmarkId, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::FairnessMeasure;
 use fairem_core::multiworkload::analyze_bootstrap;

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the string-similarity kernels feature generation
 //! spends its time in.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairem_bench::crit::{black_box, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_text::{StringMeasure, TfIdfCorpusBuilder};
 
 const PAIRS: [(&str, &str); 4] = [

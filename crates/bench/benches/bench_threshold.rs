@@ -1,7 +1,8 @@
 //! Threshold-analysis cost: full-grid sweeps, constrained suggestion,
 //! AUC parity, and per-group calibration.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairem_bench::crit::{black_box, BenchmarkId, Criterion};
+use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::schema::Table;
 use fairem_core::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};

@@ -49,7 +49,8 @@ fn main() {
     use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
     use fairem_core::workload::{Correspondence, Workload};
     use fairem_csvio::parse_csv_str;
-    let t = Table::from_csv(parse_csv_str("id,g\na1,cn\na2,us\n").unwrap()).expect("valid");
+    let csv = parse_csv_str("id,g\na1,cn\na2,us\n").expect("literal csv");
+    let t = Table::from_csv(csv).expect("valid");
     let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
     let (cn, us) = (space.encode(&t, 0), space.encode(&t, 1));
     let mut items = Vec::new();

@@ -3,6 +3,8 @@
 //! the same parameters every figure uses, so numbers are comparable
 //! across binaries.
 
+pub mod crit;
+
 use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::matcher::MatcherKind;

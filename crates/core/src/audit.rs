@@ -3,6 +3,7 @@
 //! whose disparity exceeds the fairness threshold.
 
 use crate::fairness::{Disparity, FairnessMeasure, Paradigm};
+use crate::matcher::MatcherFailure;
 use crate::sensitive::{GroupId, GroupSpace};
 use crate::workload::Workload;
 
@@ -87,9 +88,18 @@ pub struct AuditReport {
     pub fairness_threshold: f64,
     /// All audited cells.
     pub entries: Vec<AuditEntry>,
+    /// Matchers that failed before this audit (degraded coverage). Empty
+    /// on a clean run; populated by [`crate::pipeline::Session::audit`]
+    /// so report readers see which fleet members are missing.
+    pub degraded: Vec<MatcherFailure>,
 }
 
 impl AuditReport {
+    /// True when the audited session lost matchers to failures.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
     /// Entries flagged unfair.
     pub fn unfair(&self) -> impl Iterator<Item = &AuditEntry> {
         self.entries.iter().filter(|e| e.unfair)
@@ -184,6 +194,7 @@ impl Auditor {
             matching_threshold: workload.threshold,
             fairness_threshold: self.config.fairness_threshold,
             entries,
+            degraded: Vec::new(),
         }
     }
 

@@ -40,9 +40,14 @@ impl EnsembleExplorer {
     /// Build the explorer from per-matcher workloads (same correspondence
     /// set, different scores) over the chosen groups.
     ///
+    /// Non-finite measure values (a group with no support for some
+    /// matcher) are kept as `NaN` rather than rejected: [`Self::evaluate`]
+    /// folds over finite values only, and NaN points can never dominate
+    /// or enter the Pareto frontier — "insufficient evidence" degrades
+    /// gracefully instead of aborting the exploration.
+    ///
     /// # Panics
-    /// If inputs are empty or a group's measure value is `NaN` for some
-    /// matcher (insufficient data — restrict `groups` first).
+    /// If inputs are empty.
     pub fn build(
         matcher_workloads: &[(String, &Workload)],
         space: &GroupSpace,
@@ -53,17 +58,16 @@ impl EnsembleExplorer {
         assert!(!matcher_workloads.is_empty(), "need at least one matcher");
         assert!(!groups.is_empty(), "need at least one group");
         let mut values = Vec::with_capacity(matcher_workloads.len());
-        for (name, w) in matcher_workloads {
+        for (_name, w) in matcher_workloads {
             let row: Vec<f64> = groups
                 .iter()
                 .map(|&g| {
                     let v = measure.value(&w.group_confusion(g));
-                    assert!(
-                        v.is_finite(),
-                        "matcher {name} has undefined {measure} on group {}",
-                        space.name(g)
-                    );
-                    v
+                    if v.is_finite() {
+                        v
+                    } else {
+                        f64::NAN
+                    }
                 })
                 .collect();
             values.push(row);
@@ -115,19 +119,30 @@ impl EnsembleExplorer {
             .map(|(g, &m)| self.values[m][g])
             .collect();
         let higher = self.measure.higher_is_better();
-        let performance = if higher {
-            vals.iter().copied().fold(f64::INFINITY, f64::min)
+        // Fold only finite values: groups with undefined measures carry
+        // no evidence, and must neither poison the fold (NaN) nor decide
+        // it. An assignment with no finite value at all is NaN overall,
+        // which `total_cmp` sorts last and the frontier never admits.
+        let finite = vals.iter().copied().filter(|v| v.is_finite());
+        let performance = if vals.iter().all(|v| !v.is_finite()) {
+            f64::NAN
+        } else if higher {
+            finite.fold(f64::INFINITY, f64::min)
         } else {
-            vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            finite.fold(f64::NEG_INFINITY, f64::max)
         };
-        // Reference: support-weighted mean of the per-group values.
-        let wsum: f64 = self.supports.iter().sum();
-        let reference = vals
-            .iter()
-            .zip(&self.supports)
-            .map(|(v, s)| v * s)
-            .sum::<f64>()
-            / wsum;
+        // Reference: support-weighted mean of the finite per-group values.
+        let (wsum, wtotal) = vals.iter().zip(&self.supports).fold(
+            (0.0_f64, 0.0_f64),
+            |(num, den), (&v, &s)| {
+                if v.is_finite() {
+                    (num + v * s, den + s)
+                } else {
+                    (num, den)
+                }
+            },
+        );
+        let reference = wsum / wtotal; // NaN when nothing is finite
         let unfairness = vals
             .iter()
             .map(|&v| self.disparity.compute(reference, v, higher))
@@ -196,11 +211,14 @@ impl EnsembleExplorer {
     /// The assignment minimizing unfairness (ties broken by performance)
     /// — the paper's "optimize for fairness" strategy. Derived from the
     /// frontier, whose first element is minimal-unfairness by ordering.
+    /// When every assignment is evidence-free (all-NaN performance, so
+    /// the frontier is empty), falls back to the all-zeros assignment so
+    /// callers still get a well-formed point.
     pub fn min_unfairness(&self) -> ParetoPoint {
         self.pareto_frontier()
             .into_iter()
             .next()
-            .expect("frontier is never empty")
+            .unwrap_or_else(|| self.evaluate(&vec![0; self.groups.len()]))
     }
 
     /// Render an assignment as `group → matcher` lines.

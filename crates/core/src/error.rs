@@ -1,0 +1,163 @@
+//! Unified error taxonomy for suite execution.
+//!
+//! Every fallible path through the pipeline reports a [`SuiteError`]
+//! carrying the [`Stage`] it failed in and a structured cause, replacing
+//! the scattered panics the suite grew up with. Matcher-level failures
+//! are deliberately *not* errors: they degrade the session (see
+//! [`crate::matcher::MatcherStatus`]) and only escalate to
+//! [`SuiteError::AllMatchersFailed`] when no matcher survives.
+
+use crate::matcher::MatcherFailure;
+use crate::schema::SchemaError;
+
+/// Pipeline stage an error or matcher failure is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Reading and validating input tables and the ground truth.
+    Import,
+    /// Candidate generation, labeling, and splitting.
+    Prep,
+    /// Token / sorted-neighborhood blocking.
+    Blocking,
+    /// Similarity feature and token generation.
+    FeatureGen,
+    /// Matcher training.
+    Train,
+    /// Matcher scoring.
+    Score,
+    /// Fairness auditing.
+    Audit,
+    /// Ensemble / Pareto resolution.
+    Resolve,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Stage::Import => "import",
+            Stage::Prep => "prep",
+            Stage::Blocking => "blocking",
+            Stage::FeatureGen => "feature-gen",
+            Stage::Train => "train",
+            Stage::Score => "score",
+            Stage::Audit => "audit",
+            Stage::Resolve => "resolve",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A structured, stage-attributed suite failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteError {
+    /// Filesystem-level failure (path + OS detail).
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+    /// Table violated the schema contract (missing/duplicate ids).
+    Schema {
+        /// Which table (`"tableA"`, `"tableB"`).
+        table: String,
+        /// The underlying schema violation.
+        source: SchemaError,
+    },
+    /// Input data unusable at some stage (empty tables, no alignable
+    /// columns, missing sensitive/blocking columns, …).
+    Data {
+        /// Stage that rejected the data.
+        stage: Stage,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Invalid configuration (bad split fractions, bad thresholds, …).
+    Config {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A non-matcher stage panicked; the panic was contained and
+    /// converted.
+    Stage {
+        /// Stage the panic escaped from.
+        stage: Stage,
+        /// Captured panic payload.
+        detail: String,
+    },
+    /// Every requested matcher failed; nothing is left to audit.
+    AllMatchersFailed {
+        /// Per-matcher stage + reason for the post-mortem.
+        failures: Vec<MatcherFailure>,
+    },
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::Io { path, detail } => write!(f, "io error on {path:?}: {detail}"),
+            SuiteError::Schema { table, source } => write!(f, "schema error in {table}: {source}"),
+            SuiteError::Data { stage, detail } => write!(f, "data error at {stage}: {detail}"),
+            SuiteError::Config { detail } => write!(f, "config error: {detail}"),
+            SuiteError::Stage { stage, detail } => write!(f, "stage {stage} failed: {detail}"),
+            SuiteError::AllMatchersFailed { failures } => {
+                write!(f, "all {} matcher(s) failed:", failures.len())?;
+                for mf in failures {
+                    write!(f, " [{} at {}: {}]", mf.matcher, mf.stage, mf.reason)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Shorthand for suite-fallible functions.
+pub type SuiteResult<T> = Result<T, SuiteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_stage_and_cause() {
+        let e = SuiteError::Data {
+            stage: Stage::FeatureGen,
+            detail: "no alignable feature columns".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("feature-gen"), "{s}");
+        assert!(s.contains("no alignable"), "{s}");
+    }
+
+    #[test]
+    fn all_matchers_failed_lists_each_failure() {
+        let e = SuiteError::AllMatchersFailed {
+            failures: vec![
+                MatcherFailure {
+                    matcher: "DTMatcher".into(),
+                    stage: Stage::Train,
+                    reason: "injected".into(),
+                },
+                MatcherFailure {
+                    matcher: "SVMMatcher".into(),
+                    stage: Stage::Score,
+                    reason: "boom".into(),
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("DTMatcher at train: injected"), "{s}");
+        assert!(s.contains("SVMMatcher at score: boom"), "{s}");
+    }
+
+    #[test]
+    fn schema_error_wraps_source() {
+        let e = SuiteError::Schema {
+            table: "tableA".into(),
+            source: SchemaError::DuplicateId("a0".into()),
+        };
+        assert!(e.to_string().contains("a0"));
+    }
+}

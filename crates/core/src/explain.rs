@@ -5,9 +5,9 @@
 //! (confusion-matrix) decomposition, group representation, and sampled
 //! problematic examples.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::SeedableRng;
 
 use crate::confusion::ConfusionMatrix;
 use crate::fairness::{Disparity, FairnessMeasure};

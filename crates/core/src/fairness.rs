@@ -200,7 +200,11 @@ impl Disparity {
     /// input is `NaN` (insufficient data), which audits surface as
     /// "insufficient support" rather than a verdict.
     pub fn compute(self, overall: f64, group: f64, higher_is_better: bool) -> f64 {
-        if overall.is_nan() || group.is_nan() {
+        // NaN marks an undefined rate (no support), ±inf a degenerate
+        // one; both collapse to NaN so "insufficient evidence" can never
+        // masquerade as a finite disparity downstream (sorting, Pareto
+        // comparisons, threshold sweeps all treat NaN as "sorts last").
+        if !overall.is_finite() || !group.is_finite() {
             return f64::NAN;
         }
         // Orient so that "bigger = worse for the group".

@@ -58,13 +58,16 @@ pub mod audit;
 pub mod blocking;
 pub mod confusion;
 pub mod ensemble;
+pub mod error;
 pub mod explain;
 pub mod fairness;
+pub mod fault;
 pub mod features;
 pub mod matcher;
 pub mod multiworkload;
 pub mod pipeline;
 pub mod prep;
+pub mod quarantine;
 pub mod repair;
 pub mod report;
 pub mod resolution;
@@ -76,9 +79,12 @@ pub mod workload;
 pub use audit::{AuditConfig, AuditEntry, AuditReport, Auditor};
 pub use confusion::ConfusionMatrix;
 pub use ensemble::{EnsembleExplorer, ParetoPoint};
+pub use error::{Stage, SuiteError, SuiteResult};
+pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
-pub use matcher::{Matcher, MatcherKind, MatcherRegistry};
+pub use matcher::{Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
 pub use pipeline::FairEm360;
+pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};
 pub use resolution::{Feedback, Proposal, ResolutionSession};
 pub use schema::Table;
 pub use sensitive::{GroupId, GroupSpace, SensitiveAttr, SensitiveKind};

@@ -17,6 +17,9 @@ use fairem_neural::{
     DeepMatcherLite, DittoLite, HierMatcherLite, McanLite, NeuralMatcher, TokenPair, TrainConfig,
 };
 
+use crate::error::Stage;
+use crate::fault::{self, FaultPlan, FaultSite};
+
 /// The ten integrated matchers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatcherKind {
@@ -350,6 +353,55 @@ impl ExternalScores {
     }
 }
 
+/// One matcher's terminal failure: where it died and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatcherFailure {
+    /// Display name of the matcher (e.g. `"DTMatcher"`).
+    pub matcher: String,
+    /// Stage the failure occurred in ([`Stage::Train`] or [`Stage::Score`]).
+    pub stage: Stage,
+    /// Captured panic payload / cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for MatcherFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed at {}: {}", self.matcher, self.stage, self.reason)
+    }
+}
+
+/// Outcome of one matcher's train/score lifecycle under isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatcherStatus {
+    /// Trained and scored; part of the surviving fleet.
+    Ok,
+    /// Died; the session continues without it.
+    Failed {
+        /// Stage the matcher died in.
+        stage: Stage,
+        /// Captured cause.
+        reason: String,
+    },
+}
+
+/// Clamp a matcher's raw scores to the `[0, 1]` contract at the matcher
+/// boundary: NaN becomes 0.0 (predicted non-match — the conservative
+/// reading of "no usable evidence"), ±inf and out-of-range values clamp
+/// to the nearest bound. Returns how many scores were repaired.
+pub fn sanitize_scores(scores: &mut [f64]) -> usize {
+    let mut repaired = 0;
+    for s in scores.iter_mut() {
+        if s.is_nan() {
+            *s = 0.0;
+            repaired += 1;
+        } else if !(0.0..=1.0).contains(s) {
+            *s = s.clamp(0.0, 1.0);
+            repaired += 1;
+        }
+    }
+    repaired
+}
+
 /// The trained matcher fleet (the suite's "matcher selection" step).
 #[derive(Debug)]
 pub struct MatcherRegistry {
@@ -362,22 +414,73 @@ impl MatcherRegistry {
     /// matcher fleet. Results keep the order of `kinds`; every matcher
     /// remains individually deterministic (training threads share no
     /// mutable state).
+    ///
+    /// # Panics
+    /// If any matcher's training panics. Use [`MatcherRegistry::train_isolated`]
+    /// for degraded-mode execution.
     pub fn train(
         kinds: &[MatcherKind],
         input: &TrainInput<'_>,
         config: &MatcherTrainConfig,
     ) -> MatcherRegistry {
-        let matchers = std::thread::scope(|scope| {
-            let handles: Vec<_> = kinds
-                .iter()
-                .map(|&k| scope.spawn(move || k.train(input, config)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("matcher training panicked"))
-                .collect()
-        });
-        MatcherRegistry { matchers }
+        let (registry, failures) =
+            MatcherRegistry::train_isolated(kinds, input, config, &FaultPlan::default());
+        if let Some(f) = failures.first() {
+            panic!("matcher training panicked: {f}");
+        }
+        registry
+    }
+
+    /// Train with per-matcher panic isolation: each kind trains on its
+    /// own thread with its panics contained, and a training panic (or an
+    /// armed [`FaultPlan`] fault) removes only that matcher. Returns the
+    /// surviving fleet (in `kinds` order) plus one [`MatcherFailure`]
+    /// per casualty.
+    pub fn train_isolated(
+        kinds: &[MatcherKind],
+        input: &TrainInput<'_>,
+        config: &MatcherTrainConfig,
+        plan: &FaultPlan,
+    ) -> (MatcherRegistry, Vec<MatcherFailure>) {
+        let outcomes: Vec<(MatcherKind, Result<TrainedMatcher, String>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = kinds
+                    .iter()
+                    .map(|&k| {
+                        scope.spawn(move || {
+                            fault::guard(|| {
+                                plan.trip(FaultSite::Train, Some(k));
+                                k.train(input, config)
+                            })
+                        })
+                    })
+                    .collect();
+                kinds
+                    .iter()
+                    .zip(handles)
+                    .map(|(&k, h)| {
+                        // `guard` already contained the panic inside the
+                        // thread; join only fails on unguardable aborts.
+                        let outcome = h
+                            .join()
+                            .unwrap_or_else(|p| Err(fault::panic_message(&*p)));
+                        (k, outcome)
+                    })
+                    .collect()
+            });
+        let mut matchers = Vec::new();
+        let mut failures = Vec::new();
+        for (kind, outcome) in outcomes {
+            match outcome {
+                Ok(m) => matchers.push(m),
+                Err(reason) => failures.push(MatcherFailure {
+                    matcher: kind.name().to_owned(),
+                    stage: Stage::Train,
+                    reason,
+                }),
+            }
+        }
+        (MatcherRegistry { matchers }, failures)
     }
 
     /// Number of trained matchers.

@@ -9,13 +9,17 @@ use fairem_neural::{HashVocab, TokenPair};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::ensemble::EnsembleExplorer;
+use crate::error::{Stage, SuiteError, SuiteResult};
 use crate::explain::Explainer;
 use crate::fairness::{Disparity, FairnessMeasure};
+use crate::fault::{self, FaultPlan, FaultSite};
 use crate::features::FeatureGenerator;
 use crate::matcher::{
-    ExternalScores, Matcher, MatcherKind, MatcherRegistry, MatcherTrainConfig, TrainInput,
+    sanitize_scores, ExternalScores, Matcher, MatcherFailure, MatcherKind, MatcherRegistry,
+    MatcherTrainConfig, TrainInput,
 };
-use crate::prep::{prepare, PrepConfig, PreparedData};
+use crate::prep::{prepare_checked, PrepConfig, PreparedData};
+use crate::quarantine::QuarantineReport;
 use crate::schema::{SchemaError, Table};
 use crate::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
 use crate::workload::{Correspondence, Workload};
@@ -31,6 +35,9 @@ pub struct SuiteConfig {
     pub matching_threshold: f64,
     /// Hashing-vocabulary size for the neural matchers.
     pub vocab_size: u32,
+    /// Fault-injection plan (empty by default; used by robustness tests
+    /// and chaos drills to rehearse degraded-mode execution).
+    pub fault: FaultPlan,
 }
 
 impl Default for SuiteConfig {
@@ -40,6 +47,7 @@ impl Default for SuiteConfig {
             train: MatcherTrainConfig::default(),
             matching_threshold: 0.5,
             vocab_size: 512,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -63,11 +71,14 @@ pub struct FairEm360 {
     matches: Vec<(String, String)>,
     sensitive: Vec<SensitiveAttr>,
     config: SuiteConfig,
+    quarantine: QuarantineReport,
 }
 
 impl FairEm360 {
     /// Import a Magellan-shaped dataset: two tables, ground-truth match
-    /// id pairs, and the sensitive attributes to audit on.
+    /// id pairs, and the sensitive attributes to audit on. Strict: any
+    /// schema violation is an error. Use [`FairEm360::import_with`] for
+    /// the quarantining (fault-tolerant) path.
     pub fn import(
         table_a: CsvTable,
         table_b: CsvTable,
@@ -80,7 +91,57 @@ impl FairEm360 {
             matches,
             sensitive,
             config: SuiteConfig::default(),
+            quarantine: QuarantineReport::default(),
         })
+    }
+
+    /// Fault-tolerant import: rows with empty or duplicate ids are
+    /// quarantined (first occurrence kept) instead of failing the whole
+    /// dataset, and the returned [`QuarantineReport`] itemizes every
+    /// rejection. A missing `id` column is still a hard error. When the
+    /// config arms an import-site fault, rows are corrupted *before*
+    /// hygiene runs, so injected damage flows through the same
+    /// quarantine machinery as real damage.
+    pub fn import_with(
+        table_a: CsvTable,
+        table_b: CsvTable,
+        matches: Vec<(String, String)>,
+        sensitive: Vec<SensitiveAttr>,
+        config: SuiteConfig,
+    ) -> SuiteResult<(FairEm360, QuarantineReport)> {
+        let mut table_a = table_a;
+        let mut table_b = table_b;
+        if config.fault.corrupts_import() {
+            for t in [&mut table_a, &mut table_b] {
+                if let Some(id_col) = t.column_index("id") {
+                    config.fault.corrupt_rows(&mut t.rows, id_col);
+                }
+            }
+        }
+        let mut quarantine = QuarantineReport::default();
+        let (table_a, qa) =
+            Table::from_csv_lenient(table_a, "tableA").map_err(|source| SuiteError::Schema {
+                table: "tableA".into(),
+                source,
+            })?;
+        let (table_b, qb) =
+            Table::from_csv_lenient(table_b, "tableB").map_err(|source| SuiteError::Schema {
+                table: "tableB".into(),
+                source,
+            })?;
+        quarantine.extend(qa);
+        quarantine.extend(qb);
+        Ok((
+            FairEm360 {
+                table_a,
+                table_b,
+                matches,
+                sensitive,
+                config,
+                quarantine: quarantine.clone(),
+            },
+            quarantine,
+        ))
     }
 
     /// Replace the configuration.
@@ -92,21 +153,65 @@ impl FairEm360 {
     /// Step 2 (matcher selection) + training: run the Matching-and-
     /// Evaluation flow with the given integrated matchers, producing a
     /// [`Session`] holding trained matchers and the scored test split.
+    ///
+    /// # Panics
+    /// On any stage or matcher failure. Use [`FairEm360::try_run`] for
+    /// degraded-mode execution.
     pub fn run(self, kinds: &[MatcherKind]) -> Session {
+        match self.try_run(kinds) {
+            Ok(session) => {
+                if let Some(f) = session.failures().first() {
+                    panic!("matcher failed: {f}");
+                }
+                session
+            }
+            Err(e) => panic!("suite execution failed: {e}"),
+        }
+    }
+
+    /// Fault-tolerant run: stage panics become [`SuiteError::Stage`],
+    /// per-matcher train/score panics degrade the session instead of
+    /// aborting it (the survivors are still audited), and every matcher
+    /// score passes a non-finite/out-of-range clamp before thresholding.
+    /// Only when *no* matcher survives does the run fail, with
+    /// [`SuiteError::AllMatchersFailed`] carrying the post-mortem.
+    pub fn try_run(self, kinds: &[MatcherKind]) -> SuiteResult<Session> {
         let FairEm360 {
             table_a,
             table_b,
             matches,
             sensitive,
             config,
+            mut quarantine,
         } = self;
-        let space = GroupSpace::extract(&[&table_a, &table_b], sensitive);
+        let plan = config.fault.clone();
+
+        let space = fault::guard(|| GroupSpace::extract(&[&table_a, &table_b], sensitive))
+            .map_err(|detail| SuiteError::Stage {
+                stage: Stage::Prep,
+                detail,
+            })?;
         let enc_a = space.encode_table(&table_a);
         let enc_b = space.encode_table(&table_b);
 
-        let prepared = prepare(&table_a, &table_b, &matches, &config.prep);
+        let (prepared, prep_quarantine) =
+            fault::guard(|| prepare_checked(&table_a, &table_b, &matches, &config.prep)).map_err(
+                |detail| SuiteError::Stage {
+                    stage: Stage::Blocking,
+                    detail,
+                },
+            )??;
+        quarantine.extend(prep_quarantine);
+
         let exclude: Vec<&str> = space.attrs().iter().map(|a| a.column.as_str()).collect();
-        let features = FeatureGenerator::build(&table_a, &table_b, &exclude);
+        let features = fault::guard(|| {
+            plan.trip(FaultSite::FeatureGen, None);
+            FeatureGenerator::build(&table_a, &table_b, &exclude)
+        })
+        .map_err(|detail| SuiteError::Stage {
+            stage: Stage::FeatureGen,
+            detail,
+        })?;
         let vocab = HashVocab::new(config.vocab_size);
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
@@ -117,7 +222,8 @@ impl FairEm360 {
             tokens: &train_tokens,
             labels: &train_labels,
         };
-        let registry = MatcherRegistry::train(kinds, &input, &config.train);
+        let (registry, mut failures) =
+            MatcherRegistry::train_isolated(kinds, &input, &config.train, &plan);
         let train_config = config.train;
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
@@ -128,11 +234,29 @@ impl FairEm360 {
         let test_features = features.matrix(&table_a, &table_b, &test_pairs);
         let test_tokens = features.tokenize_all(&table_a, &table_b, &test_pairs, &vocab);
         let mut scores = HashMap::new();
+        let mut clamped_scores = 0usize;
         for m in registry.iter() {
-            scores.insert(
-                m.name().to_owned(),
-                m.score_batch(&test_features, &test_tokens),
-            );
+            let kind = m.kind();
+            match fault::guard(|| {
+                plan.trip(FaultSite::Score, Some(kind));
+                m.score_batch(&test_features, &test_tokens)
+            }) {
+                Ok(mut s) => {
+                    if plan.poisons(kind) {
+                        plan.corrupt_scores(kind, &mut s);
+                    }
+                    clamped_scores += sanitize_scores(&mut s);
+                    scores.insert(m.name().to_owned(), s);
+                }
+                Err(reason) => failures.push(MatcherFailure {
+                    matcher: m.name().to_owned(),
+                    stage: Stage::Score,
+                    reason,
+                }),
+            }
+        }
+        if scores.is_empty() && !kinds.is_empty() {
+            return Err(SuiteError::AllMatchersFailed { failures });
         }
 
         // Pseudo-workload over the training split (scores = truth) for
@@ -153,7 +277,7 @@ impl FairEm360 {
             0.5,
         );
 
-        Session {
+        Ok(Session {
             table_a,
             table_b,
             space,
@@ -177,7 +301,10 @@ impl FairEm360 {
             valid_labels,
             valid_features,
             valid_tokens,
-        }
+            failures,
+            quarantine,
+            clamped_scores,
+        })
     }
 }
 
@@ -214,12 +341,50 @@ pub struct Session {
     valid_labels: Vec<f64>,
     valid_features: Matrix,
     valid_tokens: Vec<TokenPair>,
+    failures: Vec<MatcherFailure>,
+    quarantine: QuarantineReport,
+    clamped_scores: usize,
 }
 
 impl Session {
-    /// Names of the matchers with cached test scores.
+    /// Names of the matchers with cached test scores — i.e. the
+    /// survivors. Matchers that failed at train or score time are
+    /// excluded, so audits, ensembles, and Pareto exploration run over
+    /// this degraded fleet transparently.
     pub fn matcher_names(&self) -> Vec<&str> {
-        self.registry.iter().map(|m| m.name()).collect()
+        self.registry
+            .iter()
+            .map(|m| m.name())
+            .filter(|n| self.scores.contains_key(*n))
+            .collect()
+    }
+
+    /// Per-matcher casualties (train- or score-stage), empty on a clean
+    /// run.
+    pub fn failures(&self) -> &[MatcherFailure] {
+        &self.failures
+    }
+
+    /// Rows quarantined during import and prep.
+    pub fn quarantine(&self) -> &QuarantineReport {
+        &self.quarantine
+    }
+
+    /// Number of matcher scores repaired by the non-finite/range clamp.
+    pub fn clamped_scores(&self) -> usize {
+        self.clamped_scores
+    }
+
+    /// True when at least one requested matcher failed (the session
+    /// completed over a reduced fleet).
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Fleet coverage as `(survivors, requested)`.
+    pub fn coverage(&self) -> (usize, usize) {
+        let survivors = self.matcher_names().len();
+        (survivors, survivors + self.failures.len())
     }
 
     /// Number of test correspondences.
@@ -283,16 +448,20 @@ impl Session {
         self.workload_from_scores(scores)
     }
 
-    /// Step 3: audit one matcher.
+    /// Step 3: audit one matcher. When the session is degraded, the
+    /// report carries the failed matchers so readers see the reduced
+    /// coverage alongside the verdicts.
     pub fn audit(&self, matcher: &str, auditor: &Auditor) -> AuditReport {
-        auditor.audit(matcher, &self.workload(matcher), &self.space)
+        let mut report = auditor.audit(matcher, &self.workload(matcher), &self.space);
+        report.degraded = self.failures.clone();
+        report
     }
 
-    /// Audit every trained matcher.
+    /// Audit every surviving matcher.
     pub fn audit_all(&self, auditor: &Auditor) -> Vec<AuditReport> {
         self.matcher_names()
             .iter()
-            .map(|name| auditor.audit(name, &self.workload(name), &self.space))
+            .map(|name| self.audit(name, auditor))
             .collect()
     }
 

@@ -3,11 +3,13 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::SeedableRng;
 
 use crate::blocking::token_blocking;
+use crate::error::{SuiteError, SuiteResult};
+use crate::quarantine::{QuarantineReport, RowIssue};
 use crate::schema::Table;
 
 /// Configuration for [`prepare`].
@@ -82,7 +84,8 @@ impl PreparedData {
 /// by [`crate::blocking::blocking_recall`]).
 ///
 /// # Panics
-/// If fractions are invalid or id lookups fail.
+/// If fractions are invalid or id lookups fail. Fallible callers should
+/// use [`prepare_checked`], which quarantines dangling matches instead.
 pub fn prepare(
     a: &Table,
     b: &Table,
@@ -97,20 +100,79 @@ pub fn prepare(
         config.train_frac + config.valid_frac < 1.0,
         "no test fraction left"
     );
+    for (ia, ib) in matches {
+        assert!(a.row_of(ia).is_some(), "unknown A id {ia:?}");
+        assert!(b.row_of(ib).is_some(), "unknown B id {ib:?}");
+    }
+    prepare_inner(a, b, matches, config, &mut QuarantineReport::default())
+}
+
+/// Fallible variant of [`prepare`]: invalid split fractions become a
+/// [`SuiteError::Config`], and ground-truth matches referencing ids
+/// absent from either table are quarantined (with the offending side and
+/// id) instead of panicking.
+pub fn prepare_checked(
+    a: &Table,
+    b: &Table,
+    matches: &[(String, String)],
+    config: &PrepConfig,
+) -> SuiteResult<(PreparedData, QuarantineReport)> {
+    if !(config.train_frac > 0.0 && config.valid_frac >= 0.0) {
+        return Err(SuiteError::Config {
+            detail: format!(
+                "bad split fractions: train={} valid={}",
+                config.train_frac, config.valid_frac
+            ),
+        });
+    }
+    if config.train_frac + config.valid_frac >= 1.0 {
+        return Err(SuiteError::Config {
+            detail: format!(
+                "no test fraction left: train={} + valid={} >= 1",
+                config.train_frac, config.valid_frac
+            ),
+        });
+    }
+    let mut quarantine = QuarantineReport::default();
+    let prep = prepare_inner(a, b, matches, config, &mut quarantine);
+    Ok((prep, quarantine))
+}
+
+fn prepare_inner(
+    a: &Table,
+    b: &Table,
+    matches: &[(String, String)],
+    config: &PrepConfig,
+    quarantine: &mut QuarantineReport,
+) -> PreparedData {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let truth: HashSet<(usize, usize)> = matches
-        .iter()
-        .map(|(ia, ib)| {
-            let ra = a
-                .row_of(ia)
-                .unwrap_or_else(|| panic!("unknown A id {ia:?}"));
-            let rb = b
-                .row_of(ib)
-                .unwrap_or_else(|| panic!("unknown B id {ib:?}"));
-            (ra, rb)
-        })
-        .collect();
+    let mut truth: HashSet<(usize, usize)> = HashSet::with_capacity(matches.len());
+    for (i, (ia, ib)) in matches.iter().enumerate() {
+        let ra = a.row_of(ia);
+        let rb = b.row_of(ib);
+        match (ra, rb) {
+            (Some(ra), Some(rb)) => {
+                truth.insert((ra, rb));
+            }
+            (None, _) => quarantine.push(
+                "matches",
+                i + 1,
+                RowIssue::UnknownMatchId {
+                    side: 'A',
+                    id: ia.clone(),
+                },
+            ),
+            (_, None) => quarantine.push(
+                "matches",
+                i + 1,
+                RowIssue::UnknownMatchId {
+                    side: 'B',
+                    id: ib.clone(),
+                },
+            ),
+        }
+    }
 
     let cols: Vec<&str> = config.blocking_columns.iter().map(String::as_str).collect();
     let candidates = token_blocking(a, b, &cols, config.max_block);
@@ -250,6 +312,57 @@ mod tests {
             &[("zz".into(), "b0".into())],
             &PrepConfig::default(),
         );
+    }
+
+    #[test]
+    fn checked_quarantines_dangling_matches() {
+        let (a, b, mut m) = fixture();
+        m.push(("zz".into(), "b0".into()));
+        m.push(("a2".into(), "nope".into()));
+        let (prep, q) = prepare_checked(&a, &b, &m, &PrepConfig::default()).unwrap();
+        assert_eq!(prep.n_positives(), 2, "valid matches survive");
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.rows[0].issue,
+            RowIssue::UnknownMatchId {
+                side: 'A',
+                id: "zz".into()
+            }
+        );
+        assert_eq!(
+            q.rows[1].issue,
+            RowIssue::UnknownMatchId {
+                side: 'B',
+                id: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn checked_rejects_bad_fractions_as_config_error() {
+        let (a, b, m) = fixture();
+        let e = prepare_checked(
+            &a,
+            &b,
+            &m,
+            &PrepConfig {
+                train_frac: 0.9,
+                valid_frac: 0.2,
+                ..PrepConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, SuiteError::Config { .. }), "{e}");
+    }
+
+    #[test]
+    fn checked_matches_panicking_path_on_clean_input() {
+        let (a, b, m) = fixture();
+        let p1 = prepare(&a, &b, &m, &PrepConfig::default());
+        let (p2, q) = prepare_checked(&a, &b, &m, &PrepConfig::default()).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(p1.pairs, p2.pairs);
+        assert_eq!(p1.train_idx, p2.train_idx);
     }
 
     #[test]

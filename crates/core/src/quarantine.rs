@@ -1,0 +1,151 @@
+//! Input hygiene: malformed rows are quarantined with per-row reasons
+//! instead of panicking the pipeline.
+//!
+//! The invariant consumers rely on: for every input table,
+//! `quarantined + kept == input rows`, and a row is quarantined only for
+//! one of the structural reasons below — valid rows are never dropped.
+
+/// Why one row was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowIssue {
+    /// The CSV row had a different field count than the header.
+    RaggedRow {
+        /// Fields found.
+        found: usize,
+        /// Fields the header demands.
+        expected: usize,
+    },
+    /// The row's `id` field is empty.
+    EmptyId,
+    /// The row repeats an id already adopted from an earlier row.
+    DuplicateId {
+        /// The clashing id.
+        id: String,
+    },
+    /// A ground-truth match references an id missing from a table.
+    UnknownMatchId {
+        /// `"A"` or `"B"` — which side failed to resolve.
+        side: char,
+        /// The unresolvable id.
+        id: String,
+    },
+    /// An external score failed to parse or was non-finite.
+    BadScore {
+        /// The offending raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for RowIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RowIssue::RaggedRow { found, expected } => {
+                write!(f, "ragged row: {found} fields, expected {expected}")
+            }
+            RowIssue::EmptyId => write!(f, "empty id"),
+            RowIssue::DuplicateId { id } => write!(f, "duplicate id {id:?}"),
+            RowIssue::UnknownMatchId { side, id } => {
+                write!(f, "match references unknown {side}-side id {id:?}")
+            }
+            RowIssue::BadScore { value } => write!(f, "unusable score {value:?}"),
+        }
+    }
+}
+
+/// One quarantined row: where it came from and why it was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// Source table (`"tableA"`, `"tableB"`, `"matches"`, `"scores"`).
+    pub table: String,
+    /// 1-based data-row number in the source (header excluded).
+    pub row: usize,
+    /// The reason this row was rejected.
+    pub issue: RowIssue,
+}
+
+/// All rows quarantined while ingesting one dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Rejected rows in input order.
+    pub rows: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// No rows quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of quarantined rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Record one rejected row.
+    pub fn push(&mut self, table: impl Into<String>, row: usize, issue: RowIssue) {
+        self.rows.push(QuarantinedRow {
+            table: table.into(),
+            row,
+            issue,
+        });
+    }
+
+    /// Absorb another report (e.g. per-table sub-reports).
+    pub fn extend(&mut self, other: QuarantineReport) {
+        self.rows.extend(other.rows);
+    }
+
+    /// Quarantined rows originating from `table`.
+    pub fn from_table(&self, table: &str) -> usize {
+        self.rows.iter().filter(|r| r.table == table).count()
+    }
+
+    /// Multi-line human-readable listing (empty string when clean).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.rows.is_empty() {
+            return out;
+        }
+        out.push_str(&format!("quarantined {} row(s):\n", self.rows.len()));
+        for r in &self.rows {
+            out.push_str(&format!("  {} row {}: {}\n", r.table, r.row, r.issue));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut q = QuarantineReport::default();
+        assert!(q.is_empty());
+        q.push("tableA", 3, RowIssue::EmptyId);
+        q.push(
+            "matches",
+            1,
+            RowIssue::UnknownMatchId {
+                side: 'B',
+                id: "b9".into(),
+            },
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.from_table("tableA"), 1);
+        let r = q.render();
+        assert!(r.contains("tableA row 3: empty id"), "{r}");
+        assert!(r.contains("unknown B-side id \"b9\""), "{r}");
+    }
+
+    #[test]
+    fn extend_merges_reports() {
+        let mut a = QuarantineReport::default();
+        a.push("tableA", 1, RowIssue::EmptyId);
+        let mut b = QuarantineReport::default();
+        b.push("tableB", 2, RowIssue::DuplicateId { id: "x".into() });
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.from_table("tableB"), 1);
+    }
+}

@@ -23,6 +23,15 @@ pub fn audit_text(report: &AuditReport) -> String {
         "audit: {} (match threshold {:.2}, fairness threshold {:.2})\n",
         report.matcher, report.matching_threshold, report.fairness_threshold
     ));
+    if report.is_degraded() {
+        out.push_str(&format!(
+            "DEGRADED COVERAGE: {} matcher(s) failed and are absent from this audit\n",
+            report.degraded.len()
+        ));
+        for f in &report.degraded {
+            out.push_str(&format!("  {f}\n"));
+        }
+    }
     out.push_str(&format!(
         "{:<10} {:<18} {:>8} {:>8} {:>9} {:>8}  {}\n",
         "measure", "group", "value", "overall", "disparity", "support", "verdict"
@@ -114,6 +123,13 @@ pub fn audit_json(report: &AuditReport) -> Json {
         ("matcher", report.matcher.as_str().into()),
         ("matching_threshold", report.matching_threshold.into()),
         ("fairness_threshold", report.fairness_threshold.into()),
+        ("degraded", Json::arr(report.degraded.iter().map(|f| {
+            Json::obj([
+                ("matcher", f.matcher.as_str().into()),
+                ("stage", f.stage.to_string().into()),
+                ("reason", f.reason.as_str().into()),
+            ])
+        }))),
         (
             "entries",
             Json::arr(report.entries.iter().map(|e| {

@@ -8,6 +8,8 @@ use std::collections::HashMap;
 
 use fairem_csvio::CsvTable;
 
+use crate::quarantine::{QuarantineReport, RowIssue};
+
 /// Errors raised while adopting a CSV table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
@@ -51,6 +53,44 @@ impl Table {
             id_col,
             id_index,
         })
+    }
+
+    /// Adopt a CSV table, quarantining rows with empty or duplicate ids
+    /// instead of erroring. The first occurrence of a duplicated id is
+    /// kept; later repeats are rejected. A missing `id` column is still a
+    /// hard error — nothing can be salvaged without identity.
+    ///
+    /// Invariant: `kept rows + quarantined rows == input rows`.
+    pub fn from_csv_lenient(
+        csv: CsvTable,
+        table_name: &str,
+    ) -> Result<(Table, QuarantineReport), SchemaError> {
+        let id_col = csv.column_index("id").ok_or(SchemaError::MissingId)?;
+        let mut quarantine = QuarantineReport::default();
+        let mut kept = CsvTable {
+            header: csv.header.clone(),
+            rows: Vec::with_capacity(csv.rows.len()),
+        };
+        let mut id_index = HashMap::with_capacity(csv.len());
+        for (i, row) in csv.rows.into_iter().enumerate() {
+            let id = &row[id_col];
+            if id.is_empty() {
+                quarantine.push(table_name, i + 1, RowIssue::EmptyId);
+            } else if id_index.contains_key(id) {
+                quarantine.push(table_name, i + 1, RowIssue::DuplicateId { id: id.clone() });
+            } else {
+                id_index.insert(id.clone(), kept.rows.len());
+                kept.rows.push(row);
+            }
+        }
+        Ok((
+            Table {
+                csv: kept,
+                id_col,
+                id_index,
+            },
+            quarantine,
+        ))
     }
 
     /// Number of records.
@@ -159,5 +199,30 @@ mod tests {
     fn rejects_duplicate_id() {
         let e = Table::from_csv(parse_csv_str("id\na\na\n").unwrap()).unwrap_err();
         assert_eq!(e, SchemaError::DuplicateId("a".into()));
+    }
+
+    #[test]
+    fn lenient_quarantines_empty_and_duplicate_ids() {
+        use crate::quarantine::RowIssue;
+        let csv = parse_csv_str("id,v\na1,1\n,2\na1,3\na2,4\n").unwrap();
+        let (t, q) = Table::from_csv_lenient(csv, "tableA").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.id(0), "a1");
+        assert_eq!(t.id(1), "a2");
+        assert_eq!(t.value_named(0, "v"), Some("1"), "first occurrence kept");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.rows[0].row, 2);
+        assert_eq!(q.rows[0].issue, RowIssue::EmptyId);
+        assert_eq!(q.rows[1].row, 3);
+        assert_eq!(q.rows[1].issue, RowIssue::DuplicateId { id: "a1".into() });
+        // kept + quarantined == input
+        assert_eq!(t.len() + q.len(), 4);
+    }
+
+    #[test]
+    fn lenient_still_requires_id_column() {
+        let csv = parse_csv_str("name\nx\n").unwrap();
+        let e = Table::from_csv_lenient(csv, "tableA").unwrap_err();
+        assert_eq!(e, SchemaError::MissingId);
     }
 }

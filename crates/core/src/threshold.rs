@@ -26,6 +26,11 @@ pub struct ThresholdSweep {
 
 impl ThresholdSweep {
     /// Max disparity across groups at each threshold.
+    ///
+    /// Non-finite disparities (a group with no evidence at some
+    /// threshold yields `NaN` from [`Disparity::compute`]) are excluded
+    /// from the fold, so an evidence-free group can never poison the
+    /// sweep or the fair-window computation built on it.
     pub fn max_disparity(&self, disparity: Disparity) -> Vec<f64> {
         let higher = self.measure.higher_is_better();
         self.thresholds
@@ -348,6 +353,50 @@ mod tests {
     fn group_auc_nan_without_both_classes() {
         let w = Workload::new(vec![c(0.5, true, 0b01)], 0.5);
         assert!(group_auc(&w, GroupId(0)).is_nan());
+    }
+
+    #[test]
+    fn sweep_ignores_evidence_free_groups() {
+        // Only cn appears in the workload; every us measure value is NaN
+        // (0/0 rates). Disparities and suggestions must stay finite.
+        let w = Workload::new(vec![c(0.9, true, 0b01), c(0.1, false, 0b01)], 0.5);
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let sw = sweep(
+            &w,
+            &sp,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            &default_grid(),
+        );
+        assert!(sw.per_group[1].1.iter().all(|v| v.is_nan()), "us is NaN");
+        for d in sw.max_disparity(Disparity::Subtraction) {
+            assert!(d.is_finite(), "{d}");
+        }
+        let t = suggest_threshold(
+            &w,
+            &sp,
+            &groups,
+            FairnessMeasure::TruePositiveRateParity,
+            Disparity::Subtraction,
+            0.2,
+            &default_grid(),
+        );
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn auc_parity_marks_evidence_free_groups_nan() {
+        let w = Workload::new(vec![c(0.9, true, 0b01), c(0.1, false, 0b01)], 0.5);
+        let sp = space();
+        let groups: Vec<GroupId> = sp.ids().collect();
+        let entries = auc_parity(&w, &sp, &groups, Disparity::Subtraction);
+        assert!(entries[0].disparity.is_finite());
+        assert!(entries[1].auc.is_nan());
+        assert!(
+            entries[1].disparity.is_nan(),
+            "no-evidence disparity must be NaN, not a finite verdict"
+        );
     }
 
     #[test]

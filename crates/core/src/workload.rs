@@ -7,8 +7,8 @@
 //! correspondence counts for the groups of `eᵢ` **and** the groups of
 //! `eⱼ` (unlike regular classification where each row counts once).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::{Rng, SeedableRng};
 
 use crate::confusion::ConfusionMatrix;
 use crate::sensitive::{GroupId, GroupVector};

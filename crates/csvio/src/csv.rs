@@ -114,7 +114,68 @@ pub fn parse_csv<R: Read>(mut reader: R) -> Result<CsvTable, CsvError> {
 }
 
 /// Parse CSV text. The first record is the header.
+///
+/// Strict: any ragged row (field count differing from the header) is an
+/// error. Use [`parse_csv_str_lenient`] to skip ragged rows instead.
 pub fn parse_csv_str(input: &str) -> Result<CsvTable, CsvError> {
+    let records = split_records(input)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    let expected = header.len();
+    let mut rows = Vec::new();
+    for (i, r) in it.enumerate() {
+        if r.len() != expected {
+            return Err(CsvError::RaggedRow {
+                row: i + 2,
+                found: r.len(),
+                expected,
+            });
+        }
+        rows.push(r);
+    }
+    Ok(CsvTable { header, rows })
+}
+
+/// A data row the lenient parser dropped, with its shape mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedRow {
+    /// 1-based data-row number (the row after the header is 1).
+    pub row: usize,
+    /// Fields found.
+    pub found: usize,
+    /// Fields the header demands.
+    pub expected: usize,
+}
+
+/// Parse CSV text, skipping ragged data rows instead of failing.
+///
+/// Structural errors that corrupt row framing (unterminated quotes, data
+/// after a closing quote, empty input) are still hard errors — past
+/// those, field boundaries can't be trusted. Returns the table of
+/// well-shaped rows plus one [`SkippedRow`] per dropped row.
+pub fn parse_csv_str_lenient(input: &str) -> Result<(CsvTable, Vec<SkippedRow>), CsvError> {
+    let records = split_records(input)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    let expected = header.len();
+    let mut rows = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, r) in it.enumerate() {
+        if r.len() != expected {
+            skipped.push(SkippedRow {
+                row: i + 1,
+                found: r.len(),
+                expected,
+            });
+        } else {
+            rows.push(r);
+        }
+    }
+    Ok((CsvTable { header, rows }, skipped))
+}
+
+/// Split CSV text into raw records (quote-aware, shape-unchecked).
+fn split_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
     let mut records = Vec::new();
     let mut field = String::new();
     let mut record: Vec<String> = Vec::new();
@@ -185,22 +246,7 @@ pub fn parse_csv_str(input: &str) -> Result<CsvTable, CsvError> {
         record.push(field);
         records.push(record);
     }
-
-    let mut it = records.into_iter();
-    let header = it.next().ok_or(CsvError::Empty)?;
-    let expected = header.len();
-    let mut rows = Vec::new();
-    for (i, r) in it.enumerate() {
-        if r.len() != expected {
-            return Err(CsvError::RaggedRow {
-                row: i + 2,
-                found: r.len(),
-                expected,
-            });
-        }
-        rows.push(r);
-    }
-    Ok(CsvTable { header, rows })
+    Ok(records)
 }
 
 fn needs_quoting(s: &str) -> bool {
@@ -236,6 +282,14 @@ pub fn write_csv<W: Write>(w: &mut W, table: &CsvTable) -> io::Result<()> {
 pub fn read_csv_file(path: &Path) -> Result<CsvTable, CsvError> {
     let f = std::fs::File::open(path)?;
     parse_csv(io::BufReader::new(f))
+}
+
+/// Read and leniently parse a CSV file from disk (ragged rows skipped
+/// and reported, not fatal).
+pub fn read_csv_file_lenient(path: &Path) -> Result<(CsvTable, Vec<SkippedRow>), CsvError> {
+    let mut buf = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut buf)?;
+    parse_csv_str_lenient(&buf)
 }
 
 /// Write a table to a CSV file on disk.
@@ -356,5 +410,47 @@ mod tests {
         write_csv_file(&path, &t).unwrap();
         let back = read_csv_file(&path).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn lenient_skips_ragged_rows_with_reasons() {
+        let (t, skipped) =
+            parse_csv_str_lenient("id,v\na0,1\na1\na2,2,extra\na3,3\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0], vec!["a0", "1"]);
+        assert_eq!(t.rows[1], vec!["a3", "3"]);
+        assert_eq!(
+            skipped,
+            vec![
+                SkippedRow {
+                    row: 2,
+                    found: 1,
+                    expected: 2
+                },
+                SkippedRow {
+                    row: 3,
+                    found: 3,
+                    expected: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let input = "id,v\na0,\"x,y\"\na1,2\n";
+        let strict = parse_csv_str(input).unwrap();
+        let (lenient, skipped) = parse_csv_str_lenient(input).unwrap();
+        assert_eq!(strict, lenient);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn lenient_still_rejects_structural_corruption() {
+        assert!(matches!(
+            parse_csv_str_lenient("id,v\na0,\"open\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+        assert!(matches!(parse_csv_str_lenient(""), Err(CsvError::Empty)));
     }
 }

@@ -9,6 +9,7 @@ pub mod csv;
 pub mod json;
 
 pub use csv::{
-    parse_csv, parse_csv_str, read_csv_file, write_csv, write_csv_file, CsvError, CsvTable,
+    parse_csv, parse_csv_str, parse_csv_str_lenient, read_csv_file, read_csv_file_lenient,
+    write_csv, write_csv_file, CsvError, CsvTable, SkippedRow,
 };
 pub use json::{Json, JsonError};

@@ -1,75 +1,82 @@
 //! Property tests: CSV write→parse round-trips for arbitrary field
 //! content, and JSON emission always produces structurally balanced
-//! output.
+//! output. Runs on the in-workspace `fairem_rng::check` harness.
 
 use fairem_csvio::{parse_csv_str, write_csv, CsvTable, Json};
-use proptest::prelude::*;
+use fairem_rng::check::{cases, Gen};
 
-fn arb_field() -> impl Strategy<Value = String> {
-    // Exercise quoting: commas, quotes, newlines, unicode, emptiness.
-    proptest::string::string_regex("[a-zA-Zäöü0-9 ,\"\n\r']{0,12}").expect("valid regex")
+/// Field alphabet chosen to exercise quoting: commas, quotes, newlines,
+/// carriage returns, unicode, and (via length 0) emptiness.
+const FIELD_ALPHABET: &str = "abzAZäöü019 ,\"'\n\r";
+
+fn arb_field(g: &mut Gen) -> String {
+    g.string(FIELD_ALPHABET, 12)
 }
 
-fn arb_table() -> impl Strategy<Value = CsvTable> {
-    (1usize..5, 0usize..8).prop_flat_map(|(cols, rows)| {
-        let header = (0..cols).map(|i| format!("c{i}")).collect::<Vec<_>>();
-        proptest::collection::vec(
-            proptest::collection::vec(arb_field(), cols..=cols),
-            rows..=rows,
-        )
-        .prop_map(move |rows| CsvTable {
-            header: header.clone(),
-            rows,
-        })
-    })
+fn arb_table(g: &mut Gen) -> CsvTable {
+    let cols = g.usize_in(1, 5);
+    let n_rows = g.usize_in(0, 8);
+    CsvTable {
+        header: (0..cols).map(|i| format!("c{i}")).collect(),
+        rows: (0..n_rows)
+            .map(|_| (0..cols).map(|_| arb_field(g)).collect())
+            .collect(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn csv_roundtrip(table in arb_table()) {
+#[test]
+fn csv_roundtrip() {
+    cases(128, 0xC5F, |g| {
+        let table = arb_table(g);
         let mut buf = Vec::new();
         write_csv(&mut buf, &table).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let back = parse_csv_str(&text).unwrap();
-        prop_assert_eq!(back, table);
-    }
+        assert_eq!(back, table);
+    });
+}
 
-    #[test]
-    fn json_strings_always_balanced(s in "\\PC{0,32}") {
+#[test]
+fn json_strings_always_balanced() {
+    cases(128, 0x15A1, |g| {
+        let s = g.string(FIELD_ALPHABET, 32);
         let j = Json::Str(s);
         let out = j.to_string_compact();
-        prop_assert!(out.starts_with('"') && out.ends_with('"'));
+        assert!(out.starts_with('"') && out.ends_with('"'));
         // No raw control characters below space leak through.
-        let clean = out.chars().all(|c| c >= ' ');
-        prop_assert!(clean);
-    }
+        assert!(out.chars().all(|c| c >= ' '));
+    });
+}
 
-    #[test]
-    fn json_nesting_depth_is_preserved(n in 0usize..30) {
+#[test]
+fn json_nesting_depth_is_preserved() {
+    cases(30, 0xDEE9, |g| {
+        let n = g.usize_in(0, 30);
         let mut j = Json::Num(1.0);
         for _ in 0..n {
             j = Json::arr([j]);
         }
         let out = j.to_string_compact();
-        prop_assert_eq!(out.matches('[').count(), n);
-        prop_assert_eq!(out.matches(']').count(), n);
-    }
+        assert_eq!(out.matches('[').count(), n);
+        assert_eq!(out.matches(']').count(), n);
+    });
+}
 
-    #[test]
-    fn json_parse_round_trips_any_string(s in "\\PC{0,48}") {
-        let j = Json::Str(s);
+#[test]
+fn json_parse_round_trips_any_string() {
+    cases(128, 0x5012, |g| {
+        let j = Json::Str(g.string(FIELD_ALPHABET, 48));
         let back = Json::parse(&j.to_string_compact()).unwrap();
-        prop_assert_eq!(back, j);
-    }
+        assert_eq!(back, j);
+    });
+}
 
-    #[test]
-    fn json_parse_round_trips_nested_values(
-        nums in proptest::collection::vec(-1e6f64..1e6, 0..6),
-        key in "[a-z]{1,8}",
-        flag in any::<bool>(),
-    ) {
+#[test]
+fn json_parse_round_trips_nested_values() {
+    cases(64, 0xE57, |g| {
+        let nums = g.vec(6, |g| g.f64_in(-1e6, 1e6));
+        let key = g.string_len("abcdefgh", 1, 8);
+        let flag = g.bool(0.5);
         let j = Json::Obj(vec![
             (key, Json::arr(nums.into_iter().map(Json::Num))),
             ("flag".to_owned(), Json::Bool(flag)),
@@ -79,20 +86,30 @@ proptest! {
         let pretty = Json::parse(&j.to_string_pretty()).unwrap();
         // Numbers may lose trailing precision in formatting; compare the
         // re-serialized forms, which is the stable contract.
-        prop_assert_eq!(compact.to_string_compact(), j.to_string_compact());
-        prop_assert_eq!(pretty.to_string_compact(), j.to_string_compact());
-    }
+        assert_eq!(compact.to_string_compact(), j.to_string_compact());
+        assert_eq!(pretty.to_string_compact(), j.to_string_compact());
+    });
+}
 
-    #[test]
-    fn json_pretty_and_compact_agree_modulo_whitespace(table in arb_table()) {
+#[test]
+fn json_pretty_and_compact_agree_modulo_whitespace() {
+    cases(64, 0xA9EE, |g| {
+        let table = arb_table(g);
         let j = Json::obj([
             ("rows", Json::Num(table.rows.len() as f64)),
-            ("header", Json::arr(table.header.iter().map(|h| Json::Str(h.clone())))),
+            (
+                "header",
+                Json::arr(table.header.iter().map(|h| Json::Str(h.clone()))),
+            ),
         ]);
         let compact = j.to_string_compact();
-        let pretty: String = j.to_string_pretty().chars().filter(|c| !c.is_whitespace()).collect();
+        let pretty: String = j
+            .to_string_pretty()
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
         // Compact form contains no structural whitespace outside strings
         // here (field names have none), so stripped-pretty == compact.
-        prop_assert_eq!(pretty, compact);
-    }
+        assert_eq!(pretty, compact);
+    });
 }

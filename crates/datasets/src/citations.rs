@@ -5,9 +5,9 @@
 //! audits (a matcher may systematically miss preprint-style venues whose
 //! metadata is noisier).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::{Rng, SeedableRng};
 
 use fairem_csvio::CsvTable;
 

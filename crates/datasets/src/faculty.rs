@@ -7,9 +7,9 @@
 //! often, reproducing the unfairness mechanism the demo explains in
 //! Figure 5 ("inherent similarities present in Chinese names").
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::{Rng, SeedableRng};
 
 use fairem_csvio::CsvTable;
 

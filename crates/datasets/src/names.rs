@@ -6,9 +6,9 @@
 //! larger and augmented with middle initials, so random collisions are
 //! rare there.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::Rng;
 
 /// A person name with generation metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,7 +267,7 @@ pub fn name_space_size(group: &str) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use fairem_rng::SeedableRng;
     use std::collections::HashSet;
 
     #[test]

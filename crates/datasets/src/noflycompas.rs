@@ -5,9 +5,9 @@
 //! subgroups (white-male, black-female, ...) for subgroup-based
 //! explanations and pairwise-fairness audits.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::{Rng, SeedableRng};
 
 use fairem_csvio::CsvTable;
 

@@ -5,8 +5,8 @@
 //! matches are non-trivial: typos, token-order flips (romanized
 //! East-Asian names), initialization of given names, and value drops.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::Rng;
 
 /// Introduce a single random character-level edit (substitute, delete,
 /// or duplicate) at a random position. Empty strings pass through.
@@ -100,7 +100,7 @@ pub fn maybe(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use fairem_rng::SeedableRng;
 
     #[test]
     fn typo_changes_string_by_one_edit() {

@@ -6,9 +6,9 @@
 //! (`budget` vs `premium`), with budget listings exhibiting noisier
 //! titles (marketplace resellers), a realistic non-social bias source.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::{Rng, SeedableRng};
 
 use fairem_csvio::CsvTable;
 

@@ -1,81 +1,92 @@
 //! Property tests over the dataset generators: structural validity and
-//! determinism for arbitrary (small) configurations.
+//! determinism for arbitrary (small) configurations. Runs on the
+//! in-workspace `fairem_rng::check` harness.
 
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
     NoFlyConfig, ProductsConfig,
 };
-use proptest::prelude::*;
+use fairem_rng::check::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn faculty_valid_for_any_config(
-        entities in 5usize..40,
-        match_rate in 0.0f64..=1.0,
-        drift in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn faculty_valid_for_any_config() {
+    cases(12, 0xDA7A1, |g| {
+        let entities = g.usize_in(5, 40);
+        let match_rate = g.unit_f64();
         let cfg = FacultyConfig {
             entities_per_group: entities,
             match_rate,
-            drift_prob: drift,
-            seed,
+            drift_prob: g.unit_f64(),
+            seed: g.u64(),
             ..FacultyConfig::default()
         };
         let d = faculty_match(&cfg);
         d.validate();
-        prop_assert_eq!(d.table_a.len(), entities * 5);
-        prop_assert!(d.matches.len() <= d.table_a.len());
+        assert_eq!(d.table_a.len(), entities * 5);
+        assert!(d.matches.len() <= d.table_a.len());
         // Matches scale with the rate (loose statistical bound).
         if match_rate == 0.0 {
-            prop_assert!(d.matches.is_empty());
+            assert!(d.matches.is_empty());
         }
         // Determinism.
         let d2 = faculty_match(&cfg);
-        prop_assert_eq!(d.table_b.rows, d2.table_b.rows);
-        prop_assert_eq!(d.matches, d2.matches);
-    }
+        assert_eq!(d.table_b.rows, d2.table_b.rows);
+        assert_eq!(d.matches, d2.matches);
+    });
+}
 
-    #[test]
-    fn noflycompas_valid_for_any_config(
-        per in 5usize..25,
-        boost in 1.0f64..2.5,
-        missing in 0.0f64..=0.9,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn noflycompas_valid_for_any_config() {
+    cases(12, 0xDA7A2, |g| {
         let cfg = NoFlyConfig {
-            per_subgroup: per,
-            majority_boost: boost,
-            dob_missing_prob: missing,
-            seed,
+            per_subgroup: g.usize_in(5, 25),
+            majority_boost: g.f64_in(1.0, 2.5),
+            dob_missing_prob: g.f64_in(0.0, 0.9),
+            seed: g.u64(),
             ..NoFlyConfig::default()
         };
         let d = nofly_compas(&cfg);
         d.validate();
-        prop_assert_eq!(d.sensitive.len(), 2);
+        assert_eq!(d.sensitive.len(), 2);
         // Arrest-record DOBs are always present.
         let bi = d.table_b.column_index("dob").unwrap();
-        prop_assert!(d.table_b.rows.iter().all(|r| !r[bi].is_empty()));
-    }
+        assert!(d.table_b.rows.iter().all(|r| !r[bi].is_empty()));
+    });
+}
 
-    #[test]
-    fn products_and_citations_valid(per in 5usize..25, seed in any::<u64>()) {
-        let p = wdc_products(&ProductsConfig { per_tier: per, seed, ..ProductsConfig::default() });
+#[test]
+fn products_and_citations_valid() {
+    cases(12, 0xDA7A3, |g| {
+        let per = g.usize_in(5, 25);
+        let seed = g.u64();
+        let p = wdc_products(&ProductsConfig {
+            per_tier: per,
+            seed,
+            ..ProductsConfig::default()
+        });
         p.validate();
-        prop_assert_eq!(p.table_a.len(), per * 2);
-        let c = citations(&CitationsConfig { per_venue: per, seed, ..CitationsConfig::default() });
+        assert_eq!(p.table_a.len(), per * 2);
+        let c = citations(&CitationsConfig {
+            per_venue: per,
+            seed,
+            ..CitationsConfig::default()
+        });
         c.validate();
-        prop_assert_eq!(c.table_a.len(), per * 4);
-    }
+        assert_eq!(c.table_a.len(), per * 4);
+    });
+}
 
-    #[test]
-    fn ids_are_disjoint_namespaces(seed in any::<u64>()) {
-        let d = faculty_match(&FacultyConfig { entities_per_group: 8, seed, ..FacultyConfig::default() });
+#[test]
+fn ids_are_disjoint_namespaces() {
+    cases(12, 0xDA7A4, |g| {
+        let d = faculty_match(&FacultyConfig {
+            entities_per_group: 8,
+            seed: g.u64(),
+            ..FacultyConfig::default()
+        });
         // A ids start with 'a', B ids with 'b' — they can never collide
         // when both tables are stacked by downstream consumers.
-        prop_assert!(d.table_a.rows.iter().all(|r| r[0].starts_with('a')));
-        prop_assert!(d.table_b.rows.iter().all(|r| r[0].starts_with('b')));
-    }
+        assert!(d.table_a.rows.iter().all(|r| r[0].starts_with('a')));
+        assert!(d.table_b.rows.iter().all(|r| r[0].starts_with('b')));
+    });
 }

@@ -1,8 +1,8 @@
 //! k-fold cross-validation utilities for model selection.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::SeedableRng;
 
 use crate::matrix::Matrix;
 use crate::metrics::f1_score;

@@ -1,8 +1,8 @@
 //! Random forest (bagged CART trees with feature subsampling) — RFMatcher.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 use crate::tree::DecisionTree;

@@ -1,8 +1,8 @@
 //! Linear SVM trained with Pegasos (primal stochastic sub-gradient
 //! descent) — SVMMatcher.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 use crate::{validate_fit_inputs, Classifier};

@@ -1,28 +1,28 @@
 //! Property tests on the ML substrate: score ranges, scaler algebra,
-//! metric bounds, calibration monotonicity, k-fold partitioning.
+//! metric bounds, calibration monotonicity, k-fold partitioning. Runs on
+//! the in-workspace `fairem_rng::check` harness.
 
 use fairem_ml::{
     accuracy, auc_roc, f1_score, kfold_indices, precision, recall, Classifier, DecisionTree,
     GaussianNb, IsotonicCalibrator, KnnClassifier, LinearRegression, LinearSvm, LogisticRegression,
     Matrix, PlattScaler, RandomForest, StandardScaler,
 };
-use proptest::prelude::*;
+use fairem_rng::check::{cases, Gen};
 
-fn arb_dataset() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
-    (2usize..30, 1usize..4).prop_flat_map(|(n, d)| {
-        (
-            proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, d..=d), n..=n),
-            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(1.0f64)], n..=n),
-        )
-            .prop_map(|(rows, labels)| (Matrix::from_rows(&rows), labels))
-    })
+fn gen_dataset(g: &mut Gen) -> (Matrix, Vec<f64>) {
+    let n = g.usize_in(2, 30);
+    let d = g.usize_in(1, 4);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| g.f64_in(-3.0, 3.0)).collect())
+        .collect();
+    let labels: Vec<f64> = (0..n).map(|_| f64::from(g.bool(0.5))).collect();
+    (Matrix::from_rows(&rows), labels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_model_scores_in_unit_interval((x, y) in arb_dataset()) {
+#[test]
+fn every_model_scores_in_unit_interval() {
+    cases(48, 0x3101, |g| {
+        let (x, y) = gen_dataset(g);
         let models: Vec<Box<dyn Classifier>> = vec![
             Box::new(DecisionTree::new(4, 2)),
             Box::new(RandomForest::new(5, 3, 1)),
@@ -36,94 +36,98 @@ proptest! {
             m.fit(&x, &y);
             for r in 0..x.rows() {
                 let s = m.score_one(x.row(r));
-                prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+                assert!((0.0..=1.0).contains(&s), "score {s}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn scaler_transform_is_affine_invertible((x, _) in arb_dataset()) {
+#[test]
+fn scaler_transform_is_affine_invertible() {
+    cases(48, 0x3102, |g| {
+        let (x, _) = gen_dataset(g);
         let sc = StandardScaler::fit(&x);
         let t = sc.transform(&x);
-        prop_assert_eq!(t.rows(), x.rows());
+        assert_eq!(t.rows(), x.rows());
         // Column means ~ 0 after transform (or exactly 0 for constants).
         for c in 0..t.cols() {
             let mean: f64 = (0..t.rows()).map(|r| t.get(r, c)).sum::<f64>() / t.rows() as f64;
-            prop_assert!(mean.abs() < 1e-6, "col {c} mean {mean}");
+            assert!(mean.abs() < 1e-6, "col {c} mean {mean}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn metrics_are_bounded(preds in proptest::collection::vec(any::<bool>(), 1..40),
-                           seed in any::<u64>()) {
-        let truths: Vec<bool> = preds.iter().enumerate()
-            .map(|(i, &p)| p ^ ((seed >> (i % 60)) & 1 == 1))
-            .collect();
-        for v in [accuracy(&preds, &truths), precision(&preds, &truths),
-                  recall(&preds, &truths), f1_score(&preds, &truths)] {
-            prop_assert!(v.is_nan() || (0.0..=1.0).contains(&v), "{v}");
+#[test]
+fn metrics_are_bounded() {
+    cases(48, 0x3103, |g| {
+        let preds = g.vec_len(1, 40, |g| g.bool(0.5));
+        let truths: Vec<bool> = preds.iter().map(|&p| p ^ g.bool(0.5)).collect();
+        for v in [
+            accuracy(&preds, &truths),
+            precision(&preds, &truths),
+            recall(&preds, &truths),
+            f1_score(&preds, &truths),
+        ] {
+            assert!(v.is_nan() || (0.0..=1.0).contains(&v), "{v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn auc_is_invariant_to_monotone_score_transforms(
-        scores in proptest::collection::vec(0.0f64..1.0, 4..30),
-        seed in any::<u64>(),
-    ) {
-        let truths: Vec<bool> = scores.iter().enumerate()
-            .map(|(i, _)| (seed >> (i % 60)) & 1 == 1)
-            .collect();
+#[test]
+fn auc_is_invariant_to_monotone_score_transforms() {
+    cases(48, 0x3104, |g| {
+        let scores = g.vec_len(4, 30, Gen::unit_f64);
+        let truths: Vec<bool> = scores.iter().map(|_| g.bool(0.5)).collect();
         let a = auc_roc(&scores, &truths);
         let squashed: Vec<f64> = scores.iter().map(|&s| s * s * 0.5).collect();
         let b = auc_roc(&squashed, &truths);
         if a.is_nan() {
-            prop_assert!(b.is_nan());
+            assert!(b.is_nan());
         } else {
-            prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn platt_is_monotone_everywhere(
-        scores in proptest::collection::vec(0.0f64..1.0, 4..40),
-        seed in any::<u64>(),
-    ) {
-        let labels: Vec<f64> = scores.iter().enumerate()
-            .map(|(i, _)| f64::from((seed >> (i % 60)) & 1 == 1))
-            .collect();
+#[test]
+fn platt_is_monotone_everywhere() {
+    cases(48, 0x3105, |g| {
+        let scores = g.vec_len(4, 40, Gen::unit_f64);
+        let labels: Vec<f64> = scores.iter().map(|_| f64::from(g.bool(0.5))).collect();
         let p = PlattScaler::fit(&scores, &labels);
         let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
         let out: Vec<f64> = grid.iter().map(|&s| p.transform(s)).collect();
         let increasing = out.windows(2).all(|w| w[0] <= w[1] + 1e-12);
         let decreasing = out.windows(2).all(|w| w[0] >= w[1] - 1e-12);
-        prop_assert!(increasing || decreasing);
-        prop_assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
-    }
+        assert!(increasing || decreasing);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    });
+}
 
-    #[test]
-    fn isotonic_output_is_monotone_and_bounded(
-        scores in proptest::collection::vec(0.0f64..1.0, 2..40),
-        seed in any::<u64>(),
-    ) {
-        let labels: Vec<f64> = scores.iter().enumerate()
-            .map(|(i, _)| f64::from((seed >> (i % 60)) & 1 == 1))
-            .collect();
+#[test]
+fn isotonic_output_is_monotone_and_bounded() {
+    cases(48, 0x3106, |g| {
+        let scores = g.vec_len(2, 40, Gen::unit_f64);
+        let labels: Vec<f64> = scores.iter().map(|_| f64::from(g.bool(0.5))).collect();
         let iso = IsotonicCalibrator::fit(&scores, &labels);
         let mut prev = -1.0;
         for i in 0..=20 {
             let v = iso.transform(i as f64 / 20.0);
-            prop_assert!((0.0..=1.0).contains(&v));
-            prop_assert!(v >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v >= prev - 1e-12);
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn kfold_is_a_partition(n in 4usize..60, k in 2usize..5, seed in any::<u64>()) {
-        prop_assume!(k <= n);
-        let folds = kfold_indices(n, k, seed);
+#[test]
+fn kfold_is_a_partition() {
+    cases(48, 0x3107, |g| {
+        let n = g.usize_in(4, 60);
+        let k = g.usize_in(2, 5).min(n);
+        let folds = kfold_indices(n, k, g.u64());
         let mut all: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    });
 }

@@ -6,8 +6,8 @@
 //! elementwise, and a classifier consumes the concatenated per-attribute
 //! comparison vectors.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::ParamStore;

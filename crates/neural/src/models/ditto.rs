@@ -7,8 +7,8 @@
 //! learned attention (standing in for the pretrained transformer), and
 //! classified from the pooled representation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::ParamStore;

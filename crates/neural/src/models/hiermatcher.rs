@@ -8,8 +8,8 @@
 //! per-side summarization, token-level alignment lets the model tolerate
 //! token-order and surface-form variation inside attributes.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::ParamStore;

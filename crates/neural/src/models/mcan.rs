@@ -7,8 +7,8 @@
 //! and a learned sigmoid gate fuses the self and cross views before the
 //! two sides are compared and classified.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::ParamStore;

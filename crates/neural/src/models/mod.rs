@@ -16,9 +16,9 @@ pub use ditto::DittoLite;
 pub use hiermatcher::HierMatcherLite;
 pub use mcan::McanLite;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::seq::SliceRandom;
+use fairem_rng::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::{Adam, ParamStore};

@@ -1,7 +1,7 @@
 //! Parameter storage, initialization, and the Adam optimizer.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::Rng;
 
 use crate::tensor::Tensor;
 
@@ -143,7 +143,7 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use fairem_rng::SeedableRng;
 
     #[test]
     fn store_registration_and_lookup() {

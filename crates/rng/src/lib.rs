@@ -1,0 +1,331 @@
+//! Deterministic, dependency-free pseudo-random numbers for the suite.
+//!
+//! The workspace must build hermetically (no crates-io access), so this
+//! crate replaces the external `rand` dependency with a SplitMix64-seeded
+//! xoshiro256++ generator behind a facade that mirrors the small slice of
+//! the `rand 0.8` API the suite uses: [`rngs::StdRng`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom`] (`shuffle` / `choose`). Migrating a call site off
+//! the external crate is a one-line import swap to `use fairem_rng::…`.
+//!
+//! Every generator is explicitly seeded — there is deliberately no
+//! entropy-based constructor, so every run of the suite is reproducible.
+//!
+//! The [`check`] module layers a miniature property-testing harness on
+//! top (seeded case generation with failure seeds reported on panic),
+//! standing in for `proptest` in the offline build.
+
+/// Core 64-bit generator interface implemented by every RNG here.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Element types [`Rng::gen_range`] can sample uniformly.
+///
+/// Mirrors `rand`'s `SampleUniform`: having one generic
+/// [`SampleRange`] impl per range shape (rather than one per element
+/// type) keeps integer-literal inference working at call sites like
+/// `gen_range(2005..2024)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[start, end)` (`inclusive == false`) or
+    /// `[start, end]` (`inclusive == true`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Ranges that can produce a uniform sample; mirrors `rand`'s
+/// `SampleRange` so `gen_range(0..n)` / `gen_range(a..=b)` both work.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        T::sample_in(rng, start, end, true)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            gen_unit_f64(self) < p
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform draw in `[0, 1)` with 53 bits of precision.
+fn gen_unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Top 53 bits scaled by 2^-53: the standard double-precision recipe.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` via modulo reduction.
+///
+/// The modulo bias is below 2^-32 for every span the suite uses (all far
+/// below 2^32) and determinism matters more than the last ulp of
+/// uniformity here.
+fn gen_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    rng.next_u64() % span
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: $t,
+                end: $t,
+                inclusive: bool,
+            ) -> $t {
+                let span = (end as i128 - start as i128) as u64;
+                let span = if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    span + 1
+                } else {
+                    span
+                };
+                (start as i128 + gen_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: $t,
+                end: $t,
+                _inclusive: bool,
+            ) -> $t {
+                start + (gen_unit_f64(rng) as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Slice sampling helpers, mirroring `rand::seq::SliceRandom`.
+pub mod seq {
+    use super::{gen_below, RngCore};
+
+    /// `shuffle` and `choose` on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, or `None` for an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = gen_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator seeded through SplitMix64.
+    ///
+    /// Named `StdRng` so `rand::rngs::StdRng` call sites migrate with an
+    /// import swap; the output stream differs from rand's ChaCha-based
+    /// `StdRng`, but every consumer in the workspace only relies on the
+    /// stream being deterministic per seed, not on specific values.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of
+            // state; guarantees a non-zero state for any seed.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+}
+
+pub mod check;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let u = rng.gen_range(0..10usize);
+            assert!(u < 10);
+            let i = rng.gen_range(1950..2003);
+            assert!((1950..2003).contains(&i));
+            let f = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let inc = rng.gen_range(-1.5..=1.5);
+            assert!((-1.5..=1.5).contains(&inc));
+            let b = rng.gen_range(0..3u8);
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_inc = [false; 3];
+        for _ in 0..500 {
+            seen_inc[rng.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edges_and_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        assert_eq!([7u8].choose(&mut rng), Some(&7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5usize);
+    }
+}

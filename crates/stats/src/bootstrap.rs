@@ -1,8 +1,8 @@
 //! Bootstrap resampling: the suite's multiple-workload analysis draws k
 //! workloads by sampling with replacement from a single test set.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fairem_rng::rngs::StdRng;
+use fairem_rng::{Rng, SeedableRng};
 
 /// Draw `n` indices uniformly with replacement from `0..n` (one bootstrap
 /// replicate of a length-`n` dataset).

@@ -65,15 +65,24 @@ impl TfIdfCorpus {
         ((1.0 + self.n_docs as f64) / (1.0 + df as f64)).ln() + 1.0
     }
 
-    fn weighted_vector<'a>(&self, tokens: &'a [String]) -> HashMap<&'a str, f64> {
+    /// Token-sorted TF-IDF vector. Sorted output keeps every downstream
+    /// float accumulation in a fixed order, so cosine values are
+    /// bit-identical across corpus instances (HashMap iteration order is
+    /// per-instance and would otherwise leak into the low bits of sums).
+    fn weighted_vector<'a>(&self, tokens: &'a [String]) -> Vec<(&'a str, f64)> {
         let mut tf: HashMap<&str, f64> = HashMap::with_capacity(tokens.len());
         for t in tokens {
             *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
         }
-        for (tok, w) in tf.iter_mut() {
-            *w *= self.idf(tok);
-        }
-        tf
+        let mut v: Vec<(&str, f64)> = tf
+            .into_iter()
+            .map(|(tok, count)| {
+                let w = count * self.idf(tok);
+                (tok, w)
+            })
+            .collect();
+        v.sort_unstable_by(|x, y| x.0.cmp(y.0));
+        v
     }
 
     /// TF-IDF weighted cosine similarity between two strings.
@@ -88,12 +97,22 @@ impl TfIdfCorpus {
         }
         let va = self.weighted_vector(&ta);
         let vb = self.weighted_vector(&tb);
-        let dot: f64 = va
-            .iter()
-            .filter_map(|(k, wa)| vb.get(k).map(|wb| wa * wb))
-            .sum();
-        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        // Merge-join over the token-sorted vectors.
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(vb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i].1 * vb[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = va.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -115,8 +134,8 @@ impl TfIdfCorpus {
         }
         let va = self.weighted_vector(&ta);
         let vb = self.weighted_vector(&tb);
-        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        let na: f64 = va.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
             return 0.0;
         }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo quality gate: the tier-1 verify (ROADMAP.md) plus the robustness
+# lints. Run from the repo root. Fails fast on the first broken step.
+#
+#   ./scripts/check.sh          # full gate
+#   SKIP_RELEASE=1 ./scripts/check.sh   # debug-only (faster inner loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (release) =="
+if [ "${SKIP_RELEASE:-0}" != "1" ]; then
+  cargo build --release
+else
+  echo "skipped (SKIP_RELEASE=1)"
+fi
+
+echo "== tier-1: workspace tests =="
+cargo test -q --workspace
+
+echo "== lints: clippy, warnings denied, unwrap() banned outside tests =="
+cargo clippy --workspace -- -D warnings -D clippy::unwrap_used
+
+echo "== check.sh: all gates passed =="

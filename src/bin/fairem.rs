@@ -1,4 +1,7 @@
 //! The `fairem` CLI binary — see `fairem360::cli::USAGE`.
+//!
+//! Exit codes (also listed in the usage text): 0 = success, 1 = usage
+//! error, 2 = data error, 3 = completed but degraded.
 
 use std::process::ExitCode;
 
@@ -6,12 +9,12 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match fairem360::cli::run(&argv) {
         Ok(out) => {
-            println!("{out}");
-            ExitCode::SUCCESS
+            println!("{}", out.text);
+            ExitCode::from(out.exit_code() as u8)
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit as u8)
         }
     }
 }

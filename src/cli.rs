@@ -15,26 +15,89 @@ use fairem_core::matcher::{ExternalScores, MatcherKind};
 use fairem_core::pipeline::FairEm360;
 use fairem_core::report::{audit_json, audit_text};
 use fairem_core::sensitive::SensitiveAttr;
+use fairem_core::SuiteError;
 use fairem_csvio::{read_csv_file, write_csv_file, CsvTable, Json};
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
     GeneratedDataset, NoFlyConfig, ProductsConfig,
 };
 
-/// CLI failure with a user-facing message.
+/// Process exit code: clean success.
+pub const EXIT_OK: i32 = 0;
+/// Process exit code: bad flags / unknown command / invalid config.
+pub const EXIT_USAGE: i32 = 1;
+/// Process exit code: unusable input data (unreadable file, schema
+/// violation, no surviving matcher).
+pub const EXIT_DATA: i32 = 2;
+/// Process exit code: the run completed, but degraded — matchers failed
+/// or input rows were quarantined; read the report's degraded section.
+pub const EXIT_DEGRADED: i32 = 3;
+
+/// CLI failure with a user-facing message and a process exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// User-facing description.
+    pub message: String,
+    /// Process exit code ([`EXIT_USAGE`] or [`EXIT_DATA`]).
+    pub exit: i32,
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        message: msg.into(),
+        exit: EXIT_USAGE,
+    }
+}
+
+fn data_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        message: msg.into(),
+        exit: EXIT_DATA,
+    }
+}
+
+fn suite_err(e: SuiteError) -> CliError {
+    match e {
+        SuiteError::Config { .. } => err(e.to_string()),
+        _ => data_err(e.to_string()),
+    }
+}
+
+/// Successful CLI output: the rendered text plus whether the run was
+/// degraded (matchers lost or rows quarantined), which decides the
+/// process exit code.
+#[derive(Debug)]
+pub struct CliOutput {
+    /// Rendered report / status text.
+    pub text: String,
+    /// True when the run completed over reduced coverage.
+    pub degraded: bool,
+}
+
+impl CliOutput {
+    fn clean(text: impl Into<String>) -> CliOutput {
+        CliOutput {
+            text: text.into(),
+            degraded: false,
+        }
+    }
+
+    /// The process exit code this output maps to.
+    pub fn exit_code(&self) -> i32 {
+        if self.degraded {
+            EXIT_DEGRADED
+        } else {
+            EXIT_OK
+        }
+    }
 }
 
 /// Usage text.
@@ -55,6 +118,13 @@ USAGE:
 FILES:
   matches csv: header `id_a,id_b`, one ground-truth pair per row
   scores  csv: header `id_a,id_b,score`, your matcher's predictions
+
+EXIT CODES:
+  0  success, full coverage
+  1  usage error (bad flags, unknown command, invalid configuration)
+  2  data error (unreadable file, schema violation, every matcher failed)
+  3  completed but degraded (matchers failed or input rows quarantined;
+     the report lists what is missing)
 ";
 
 /// Simple `--flag value` / `--flag` argument map.
@@ -121,8 +191,8 @@ impl Args {
 }
 
 /// Entry point: run the CLI on raw (post-program-name) arguments and
-/// return the rendered output.
-pub fn run(argv: &[String]) -> Result<String, CliError> {
+/// return the rendered output (plus degraded-coverage status).
+pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
@@ -132,12 +202,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             cmd_audit(&args, Some(PathBuf::from(path)))
         }
         "analyze" => cmd_analyze(&args),
-        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "help" | "--help" | "-h" => Ok(CliOutput::clean(USAGE)),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<String, CliError> {
+fn cmd_generate(args: &Args) -> Result<CliOutput, CliError> {
     let name = args.required("dataset")?;
     let out = PathBuf::from(args.required("out")?);
     let seed = args.get_usize("seed", 0)? as u64;
@@ -172,10 +242,10 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
         }
         other => return Err(err(format!("unknown dataset {other:?}"))),
     };
-    std::fs::create_dir_all(&out).map_err(|e| err(format!("cannot create {out:?}: {e}")))?;
+    std::fs::create_dir_all(&out).map_err(|e| data_err(format!("cannot create {out:?}: {e}")))?;
     let write = |name: &str, table: &CsvTable| -> Result<(), CliError> {
         let path = out.join(name);
-        write_csv_file(&path, table).map_err(|e| err(format!("writing {path:?}: {e}")))
+        write_csv_file(&path, table).map_err(|e| data_err(format!("writing {path:?}: {e}")))
     };
     write("tableA.csv", &dataset.table_a)?;
     write("tableB.csv", &dataset.table_b)?;
@@ -188,7 +258,7 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
             .collect(),
     };
     write("matches.csv", &matches)?;
-    Ok(format!(
+    Ok(CliOutput::clean(format!(
         "wrote {} (|A|={}, |B|={}, matches={}, sensitive={:?}) to {}",
         dataset.name,
         dataset.table_a.len(),
@@ -196,21 +266,21 @@ fn cmd_generate(args: &Args) -> Result<String, CliError> {
         dataset.matches.len(),
         dataset.sensitive,
         out.display()
-    ))
+    )))
 }
 
 fn read_table(path: &str) -> Result<CsvTable, CliError> {
-    read_csv_file(Path::new(path)).map_err(|e| err(format!("reading {path}: {e}")))
+    read_csv_file(Path::new(path)).map_err(|e| data_err(format!("reading {path}: {e}")))
 }
 
 fn read_matches(path: &str) -> Result<Vec<(String, String)>, CliError> {
     let t = read_table(path)?;
     let ia = t
         .column_index("id_a")
-        .ok_or_else(|| err("matches csv needs an id_a column"))?;
+        .ok_or_else(|| data_err("matches csv needs an id_a column"))?;
     let ib = t
         .column_index("id_b")
-        .ok_or_else(|| err("matches csv needs an id_b column"))?;
+        .ok_or_else(|| data_err("matches csv needs an id_b column"))?;
     Ok(t.rows
         .iter()
         .map(|r| (r[ia].clone(), r[ib].clone()))
@@ -230,7 +300,7 @@ where
         .collect()
 }
 
-fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliError> {
+fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, CliError> {
     let table_a = read_table(args.required("table-a")?)?;
     let table_b = read_table(args.required("table-b")?)?;
     let matches = read_matches(args.required("matches")?)?;
@@ -265,8 +335,6 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliErr
         pairwise_attr: 0,
     });
 
-    let suite = FairEm360::import(table_a, table_b, matches, sensitive)
-        .map_err(|e| err(format!("schema error: {e}")))?;
     let mut config = fairem_core::pipeline::SuiteConfig {
         matching_threshold,
         ..Default::default()
@@ -274,6 +342,10 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliErr
     if let Some(cols) = args.get("blocking") {
         config.prep.blocking_columns = cols.split(',').map(|c| c.trim().to_owned()).collect();
     }
+    // Fault-tolerant import: malformed rows are quarantined (and listed
+    // in the output) instead of failing the whole audit.
+    let (suite, _) =
+        FairEm360::import_with(table_a, table_b, matches, sensitive, config).map_err(suite_err)?;
 
     let dump_path = args.get("dump-workload").map(PathBuf::from);
     let dump = |session: &fairem_core::pipeline::Session,
@@ -281,7 +353,7 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliErr
                 w: &fairem_core::workload::Workload|
      -> Result<(), CliError> {
         let Some(dir) = &dump_path else { return Ok(()) };
-        std::fs::create_dir_all(dir).map_err(|e| err(format!("cannot create {dir:?}: {e}")))?;
+        std::fs::create_dir_all(dir).map_err(|e| data_err(format!("cannot create {dir:?}: {e}")))?;
         let table = CsvTable {
             header: ["id_a", "id_b", "score", "truth", "prediction"]
                 .map(String::from)
@@ -301,17 +373,18 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliErr
                 .collect(),
         };
         let path = dir.join(format!("workload_{matcher}.csv"));
-        write_csv_file(&path, &table).map_err(|e| err(format!("writing {path:?}: {e}")))
+        write_csv_file(&path, &table).map_err(|e| data_err(format!("writing {path:?}: {e}")))
     };
 
-    let reports = if let Some(scores_path) = scores_path {
+    let (session, reports) = if let Some(scores_path) = scores_path {
         // Evaluation-Only: train nothing beyond the cheapest matcher
         // (needed to build the test pairing), then audit the uploads.
         let ext = read_external_scores(&scores_path)?;
-        let session = suite.with_config(config).run(&[MatcherKind::DtMatcher]);
+        let session = suite.try_run(&[MatcherKind::DtMatcher]).map_err(suite_err)?;
         let w = session.external_workload(&ext);
         dump(&session, ext.name(), &w)?;
-        vec![auditor.audit(ext.name(), &w, &session.space)]
+        let reports = vec![auditor.audit(ext.name(), &w, &session.space)];
+        (session, reports)
     } else {
         let kinds: Vec<MatcherKind> = match args.get("matchers") {
             None => vec![
@@ -321,41 +394,65 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<String, CliErr
             ],
             Some(raw) => parse_list(raw, "matcher")?,
         };
-        let session = suite.with_config(config).run(&kinds);
+        let session = suite.try_run(&kinds).map_err(suite_err)?;
         for name in session.matcher_names() {
             dump(&session, name, &session.workload(name))?;
         }
-        session.audit_all(&auditor)
+        let reports = session.audit_all(&auditor);
+        (session, reports)
     };
 
-    if args.has("json") {
+    let degraded = session.is_degraded() || !session.quarantine().is_empty();
+    let text = if args.has("json") {
         let j = Json::arr(reports.iter().map(audit_json));
-        Ok(j.to_string_pretty())
+        j.to_string_pretty()
     } else {
-        Ok(reports
+        let mut text = reports
             .iter()
             .map(audit_text)
             .collect::<Vec<_>>()
-            .join("\n"))
-    }
+            .join("\n");
+        if !session.quarantine().is_empty() {
+            text.push('\n');
+            text.push_str(&session.quarantine().render());
+        }
+        if session.is_degraded() {
+            let (survivors, requested) = session.coverage();
+            text.push_str(&format!(
+                "\nDEGRADED RUN: {survivors}/{requested} matcher(s) survived\n"
+            ));
+            for f in session.failures() {
+                text.push_str(&format!("  {f}\n"));
+            }
+        }
+        if session.clamped_scores() > 0 {
+            text.push_str(&format!(
+                "\nnote: {} non-finite/out-of-range matcher score(s) clamped to [0,1]\n",
+                session.clamped_scores()
+            ));
+        }
+        text
+    };
+    Ok(CliOutput { text, degraded })
 }
 
 fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
-    let t = read_csv_file(path).map_err(|e| err(format!("reading {}: {e}", path.display())))?;
+    let t =
+        read_csv_file(path).map_err(|e| data_err(format!("reading {}: {e}", path.display())))?;
     let ia = t
         .column_index("id_a")
-        .ok_or_else(|| err("scores csv needs id_a"))?;
+        .ok_or_else(|| data_err("scores csv needs id_a"))?;
     let ib = t
         .column_index("id_b")
-        .ok_or_else(|| err("scores csv needs id_b"))?;
+        .ok_or_else(|| data_err("scores csv needs id_b"))?;
     let is = t
         .column_index("score")
-        .ok_or_else(|| err("scores csv needs score"))?;
+        .ok_or_else(|| data_err("scores csv needs score"))?;
     let mut preds = Vec::with_capacity(t.len());
     for r in &t.rows {
-        let s: f64 = r[is]
-            .parse()
-            .map_err(|_| err(format!("bad score {:?} for ({}, {})", r[is], r[ia], r[ib])))?;
+        let s: f64 = r[is].parse().map_err(|_| {
+            data_err(format!("bad score {:?} for ({}, {})", r[is], r[ia], r[ib]))
+        })?;
         preds.push(((r[ia].clone(), r[ib].clone()), s));
     }
     Ok(ExternalScores::new("UploadedScores", preds))
@@ -363,7 +460,7 @@ fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
 
 /// `fairem analyze`: threshold-sensitivity + AUC-parity analysis of an
 /// uploaded score file (the extension experiments, headless).
-fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+fn cmd_analyze(args: &Args) -> Result<CliOutput, CliError> {
     use fairem_core::threshold::{auc_parity, default_grid, suggest_threshold, sweep};
 
     let table_a = read_table(args.required("table-a")?)?;
@@ -383,8 +480,8 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
     let ext = read_external_scores(Path::new(args.required("scores")?))?;
 
     let suite = FairEm360::import(table_a, table_b, matches, sensitive)
-        .map_err(|e| err(format!("schema error: {e}")))?;
-    let session = suite.run(&[MatcherKind::DtMatcher]);
+        .map_err(|e| data_err(format!("schema error: {e}")))?;
+    let session = suite.try_run(&[MatcherKind::DtMatcher]).map_err(suite_err)?;
     let workload = session.external_workload(&ext);
     let groups: Vec<fairem_core::sensitive::GroupId> = session.space.level1_of_attr(0);
 
@@ -427,7 +524,7 @@ fn cmd_analyze(args: &Args) -> Result<String, CliError> {
             e.group, e.auc, e.disparity
         ));
     }
-    Ok(out)
+    Ok(CliOutput::clean(out))
 }
 
 #[cfg(test)]
@@ -447,20 +544,20 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        let out = run(&args(&["help"])).unwrap();
+        let out = run(&args(&["help"])).unwrap().text;
         assert!(out.contains("USAGE"));
     }
 
     #[test]
     fn unknown_command_errors() {
         let e = run(&args(&["frobnicate"])).unwrap_err();
-        assert!(e.0.contains("unknown command"));
+        assert!(e.message.contains("unknown command"));
     }
 
     #[test]
     fn missing_flag_errors() {
         let e = run(&args(&["generate", "--dataset", "faculty"])).unwrap_err();
-        assert!(e.0.contains("--out"));
+        assert!(e.message.contains("--out"));
     }
 
     #[test]
@@ -473,7 +570,8 @@ mod tests {
             "--out",
             dir.to_str().unwrap(),
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("FacultyMatch"));
         assert!(dir.join("tableA.csv").exists());
 
@@ -493,11 +591,65 @@ mod tests {
             "TPRP",
             "--min-support",
             "20",
+            "--fairness-threshold",
+            "0.15",
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(report.contains("LinRegMatcher"));
         assert!(report.contains("cn"));
         assert!(report.contains("UNFAIR"), "{report}");
+    }
+
+    #[test]
+    fn corrupted_input_degrades_audit_and_exit_code() {
+        let dir = tmpdir("degraded");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Vandalize tableA: duplicate one id, blank another.
+        let path = dir.join("tableA.csv");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = csv.lines().map(str::to_owned).collect();
+        assert!(lines.len() > 4, "generated table too small to corrupt");
+        let dup_id = lines[1].split(',').next().unwrap().to_owned();
+        lines[2] = {
+            let rest = lines[2].split_once(',').unwrap().1;
+            format!("{dup_id},{rest}")
+        };
+        lines[3] = {
+            let rest = lines[3].split_once(',').unwrap().1;
+            format!(",{rest}")
+        };
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let out = run(&args(&[
+            "audit",
+            "--table-a",
+            path.to_str().unwrap(),
+            "--table-b",
+            dir.join("tableB.csv").to_str().unwrap(),
+            "--matches",
+            dir.join("matches.csv").to_str().unwrap(),
+            "--sensitive",
+            "country",
+            "--matchers",
+            "LinRegMatcher",
+            "--min-support",
+            "20",
+        ]))
+        .unwrap();
+        // The audit completes, but the run is flagged and exits 3.
+        assert!(out.degraded);
+        assert_eq!(out.exit_code(), EXIT_DEGRADED);
+        assert!(out.text.contains("quarantined"), "{}", out.text);
+        assert!(out.text.contains("LinRegMatcher"));
     }
 
     #[test]
@@ -527,7 +679,8 @@ mod tests {
             "DTMatcher",
             "--json",
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(report.trim_start().starts_with('['));
         assert!(report.contains("\"entries\""));
     }
@@ -562,7 +715,8 @@ mod tests {
             "--disparity",
             "division",
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         // Pairwise group labels use the × separator.
         assert!(
             report.contains("cn×cn") || report.contains("cn×de"),
@@ -583,7 +737,7 @@ mod tests {
             "sideways",
         ]))
         .unwrap_err();
-        assert!(e.0.contains("unknown paradigm"));
+        assert!(e.message.contains("unknown paradigm"));
     }
 
     #[test]
@@ -661,7 +815,8 @@ mod tests {
             "--sensitive",
             "country",
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(report.contains("UploadedScores"));
         // Oracle scores → fair everywhere.
         assert!(!report.contains("UNFAIR"), "{report}");
@@ -701,7 +856,8 @@ mod tests {
             "--sensitive",
             "country",
         ]))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("threshold analysis"), "{out}");
         assert!(out.contains("AUC parity"));
         assert!(out.contains("cn"));

@@ -38,18 +38,18 @@ fn threshold_sweep_and_suggestion_on_real_session() {
     );
     assert_eq!(sw.thresholds.len(), grid.len());
     assert_eq!(sw.per_group.len(), groups.len());
-    // Disparity at 0.5 exceeds the threshold; a fair suggestion exists
-    // below it.
+    // Disparity at 0.5 exceeds a 0.15 fairness line; a fair suggestion
+    // exists below it.
     let disp = sw.max_disparity(Disparity::Subtraction);
     let i50 = grid.iter().position(|&t| (t - 0.5).abs() < 1e-9).unwrap();
-    assert!(disp[i50] > 0.2, "disparity at 0.5: {}", disp[i50]);
+    assert!(disp[i50] > 0.15, "disparity at 0.5: {}", disp[i50]);
     let t = suggest_threshold(
         &w,
         &s.space,
         &groups,
         FairnessMeasure::TruePositiveRateParity,
         Disparity::Subtraction,
-        0.2,
+        0.15,
         &grid,
     )
     .expect("a fair threshold exists");
