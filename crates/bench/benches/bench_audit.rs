@@ -115,5 +115,58 @@ fn bench_audit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_audit);
+/// Sequential vs pooled `audit_all` on the citations workload: trains
+/// one four-matcher session per parallelism policy, then times only the
+/// audit fan-out.
+fn bench_audit_parallel(c: &mut Criterion) {
+    use fairem_core::matcher::MatcherKind;
+    use fairem_core::pipeline::{FairEm360, SuiteConfig};
+    use fairem_core::prep::PrepConfig;
+    use fairem_core::Parallelism;
+    use fairem_datasets::{citations, CitationsConfig};
+
+    let data = citations(&CitationsConfig::default());
+    let session = |parallelism: Parallelism| {
+        FairEm360::builder()
+            .tables(data.table_a.clone(), data.table_b.clone())
+            .ground_truth(data.matches.clone())
+            .sensitive([SensitiveAttr::categorical("venue")])
+            .config(SuiteConfig {
+                prep: PrepConfig {
+                    blocking_columns: vec!["title".into()],
+                    ..PrepConfig::default()
+                },
+                parallelism,
+                ..SuiteConfig::default()
+            })
+            .build()
+            .unwrap()
+            .try_run(&[
+                MatcherKind::DtMatcher,
+                MatcherKind::LinRegMatcher,
+                MatcherKind::NbMatcher,
+                MatcherKind::LogRegMatcher,
+            ])
+            .unwrap()
+    };
+    let auditor = Auditor::new(AuditConfig {
+        measures: FairnessMeasure::ALL.to_vec(),
+        min_support: 1,
+        ..AuditConfig::default()
+    });
+
+    let mut g = c.benchmark_group("audit_all_parallel");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, policy) in [
+        ("citations_4_matchers/sequential", Parallelism::Off),
+        ("citations_4_matchers/workers_4", Parallelism::Fixed(4)),
+    ] {
+        let s = session(policy);
+        g.bench_function(label, |bch| bch.iter(|| s.audit_all(black_box(&auditor))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_audit, bench_audit_parallel);
 criterion_main!(benches);

@@ -76,5 +76,21 @@ fn bench_ensemble(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ensemble);
+/// The same `10^5` enumeration fanned out over the worker pool.
+fn bench_ensemble_parallel(c: &mut Criterion) {
+    use fairem_core::Parallelism;
+    let mut g = c.benchmark_group("pareto_frontier_parallel");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (label, policy) in [
+        ("10^5/sequential", Parallelism::Off),
+        ("10^5/workers_4", Parallelism::Fixed(4)),
+    ] {
+        let e = setup(10, 5).with_parallelism(policy);
+        g.bench_function(label, |bch| bch.iter(|| black_box(&e).pareto_frontier()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ensemble, bench_ensemble_parallel);
 criterion_main!(benches);

@@ -5,7 +5,8 @@ use fairem_bench::crit::{black_box, Criterion};
 use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::features::FeatureGenerator;
 use fairem_core::schema::Table;
-use fairem_datasets::{faculty_match, FacultyConfig};
+use fairem_core::WorkerPool;
+use fairem_datasets::{faculty_match, wdc_products, FacultyConfig, ProductsConfig};
 use fairem_neural::HashVocab;
 
 fn bench_features(c: &mut Criterion) {
@@ -31,5 +32,28 @@ fn bench_features(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_features);
+/// Sequential vs pooled featurization on the products workload: the
+/// worker-count sweep that backs the EXPERIMENTS.md parallel table.
+fn bench_features_parallel(c: &mut Criterion) {
+    let d = wdc_products(&ProductsConfig::default());
+    let a = Table::from_csv(d.table_a.clone()).unwrap();
+    let b = Table::from_csv(d.table_b.clone()).unwrap();
+    let gen = FeatureGenerator::build(&a, &b, &["tier"]);
+    let pairs: Vec<(usize, usize)> = (0..2_000)
+        .map(|i| (i % a.len(), (i * 7) % b.len()))
+        .collect();
+
+    let mut g = c.benchmark_group("features_parallel");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(workers);
+        g.bench_function(format!("products_2000_pairs/workers_{workers}"), |bch| {
+            bch.iter(|| gen.matrix_with(black_box(&a), black_box(&b), black_box(&pairs), &pool))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_features, bench_features_parallel);
 criterion_main!(benches);

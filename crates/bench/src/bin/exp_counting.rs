@@ -11,7 +11,7 @@ fn main() {
     let session = faculty_session();
     let measure = FairnessMeasure::TruePositiveRateParity;
     for matcher in ["LinRegMatcher", "RFMatcher"] {
-        let w = session.workload(matcher);
+        let w = session.workload(matcher).expect("matcher trained");
         let overall = measure.value(&w.overall_confusion());
         println!("{matcher} (overall TPR {overall:.3}):");
         println!(

@@ -17,7 +17,7 @@ fn main() {
     let auditor = default_auditor();
 
     for matcher in ["LinRegMatcher", "MCAN"] {
-        let base = session.workload(matcher);
+        let base = session.workload(matcher).expect("matcher trained");
         let report = analyze_bootstrap(matcher, &base, &session.space, &auditor, K, ALPHA, 2024);
         println!("{}", multiworkload_text(&report));
         let sig: Vec<String> = report
@@ -36,7 +36,9 @@ fn main() {
 
     // Ablation: subtraction vs division disparity on the same populations.
     println!("--- ablation: subtraction vs division disparity (LinRegMatcher, TPRP) ---");
-    let base = session.workload("LinRegMatcher");
+    let base = session
+        .workload("LinRegMatcher")
+        .expect("LinRegMatcher trained");
     for disparity in [Disparity::Subtraction, Disparity::Division] {
         let auditor = Auditor::new(AuditConfig {
             measures: vec![FairnessMeasure::TruePositiveRateParity],

@@ -11,11 +11,13 @@ use fairem_core::report::audit_text;
 fn main() {
     println!("=== NoFlyCompas: intersectional & pairwise audits ===\n");
     let dataset = nofly_dataset();
-    let session = import(&dataset).run(&[
-        MatcherKind::LinRegMatcher,
-        MatcherKind::RfMatcher,
-        MatcherKind::HierMatcher,
-    ]);
+    let session = import(&dataset)
+        .try_run(&[
+            MatcherKind::LinRegMatcher,
+            MatcherKind::RfMatcher,
+            MatcherKind::HierMatcher,
+        ])
+        .expect("nofly fleet trains");
     println!(
         "groups ({}): {:?}\n",
         session.space.len(),
@@ -40,7 +42,8 @@ fn main() {
         pairwise_attr: 0,
     });
     for matcher in session.matcher_names() {
-        let report = single.audit(matcher, &session.workload(matcher), &session.space);
+        let w = session.workload(matcher).expect("matcher trained");
+        let report = single.audit(matcher, &w, &session.space);
         let unfair: Vec<String> = report
             .unfair()
             .map(|e| format!("{}:{} ({:.3})", e.measure.name(), e.group, e.disparity))
@@ -67,11 +70,10 @@ fn main() {
         only_unfair: false,
         pairwise_attr: 0,
     });
-    let report = pairwise.audit(
-        "LinRegMatcher",
-        &session.workload("LinRegMatcher"),
-        &session.space,
-    );
+    let linreg = session
+        .workload("LinRegMatcher")
+        .expect("LinRegMatcher trained");
+    let report = pairwise.audit("LinRegMatcher", &linreg, &session.space);
     println!("{}", audit_text(&report));
 
     // Subgroup drill-down on the worst *level-1* group (those have
@@ -81,19 +83,14 @@ fn main() {
         .map(|g| session.space.name(g).to_owned())
         .collect();
     let worst = single
-        .audit(
-            "LinRegMatcher",
-            &session.workload("LinRegMatcher"),
-            &session.space,
-        )
+        .audit("LinRegMatcher", &linreg, &session.space)
         .entries
         .into_iter()
         .filter(|e| e.disparity.is_finite() && level1.contains(&e.group))
         .max_by(|a, b| a.disparity.total_cmp(&b.disparity));
     if let Some(e) = worst {
         println!("subgroup drill-down for {} w.r.t. {}:", e.group, e.measure);
-        let w = session.workload("LinRegMatcher");
-        let explainer = session.explainer(&w, Disparity::Division);
+        let explainer = session.explainer(&linreg, Disparity::Division);
         for row in explainer.subgroup(e.measure, &e.group).rows {
             println!(
                 "  {:<18} value {:>7.3} disparity {:>7.3} support {}",

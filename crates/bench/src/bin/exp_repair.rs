@@ -13,7 +13,9 @@ fn main() {
     let auditor = default_auditor();
     let cn = session.space.by_name("cn").expect("cn group exists");
 
-    let before_report = session.audit("LinRegMatcher", &auditor);
+    let before_report = session
+        .audit("LinRegMatcher", &auditor)
+        .expect("LinRegMatcher trained");
     let before = before_report
         .entry(FairnessMeasure::TruePositiveRateParity, "cn")
         .expect("cn entry")

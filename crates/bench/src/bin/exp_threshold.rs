@@ -11,7 +11,9 @@ fn main() {
     println!("=== Extension: threshold sensitivity & calibration (LinRegMatcher) ===\n");
     let session = faculty_session();
     let groups: Vec<GroupId> = session.space.level1_of_attr(0);
-    let workload = session.workload("LinRegMatcher");
+    let workload = session
+        .workload("LinRegMatcher")
+        .expect("LinRegMatcher trained");
 
     // 1. Threshold sweep of TPRP.
     let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
@@ -69,7 +71,9 @@ fn main() {
 
     // 4. Per-group Platt calibration as a resolution.
     println!("\nper-group calibration resolution (TPRP at threshold 0.5):");
-    let calibrated = session.calibrated_workload("LinRegMatcher", &groups);
+    let calibrated = session
+        .calibrated_workload("LinRegMatcher", &groups)
+        .expect("LinRegMatcher trained");
     for &g in &groups {
         let before = workload.group_confusion(g).tpr();
         let after = calibrated.group_confusion(g).tpr();

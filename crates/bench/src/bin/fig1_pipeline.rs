@@ -22,7 +22,7 @@ fn main() {
     let suite = import(&dataset);
 
     // Logic layer.
-    let session = suite.run(&MatcherKind::ALL);
+    let session = suite.try_run(&MatcherKind::ALL).expect("fleet trains");
     println!(
         "[logic layer] groups extracted: {:?}",
         session
@@ -65,7 +65,7 @@ fn main() {
         println!(
             "\nworst audited cell: {matcher} on group {group} w.r.t. {measure} (disparity {disparity:.3})"
         );
-        let w = session.workload(&matcher);
+        let w = session.workload(&matcher).expect("matcher trained");
         let explainer = session.explainer(&w, Disparity::Subtraction);
         println!(
             "explanation: {}",

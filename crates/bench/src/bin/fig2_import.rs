@@ -22,7 +22,9 @@ fn main() {
         );
         println!("  ground-truth matches: {}", dataset.matches.len());
         println!("  sensitive attributes: {:?}", dataset.sensitive);
-        let session = import(&dataset).run(&[MatcherKind::DtMatcher]);
+        let session = import(&dataset)
+            .try_run(&[MatcherKind::DtMatcher])
+            .expect("DtMatcher trains");
         let names: Vec<String> = session
             .space
             .ids()
@@ -34,7 +36,9 @@ fn main() {
     // Evaluation-Only: the user uploads scores instead of training.
     println!("--- Evaluation-Only mode ---");
     let dataset = faculty_dataset();
-    let session = import(&dataset).run(&[MatcherKind::DtMatcher]);
+    let session = import(&dataset)
+        .try_run(&[MatcherKind::DtMatcher])
+        .expect("DtMatcher trains");
     // Simulate an uploaded prediction file: exact-name-equality matcher.
     let name_col_a = dataset.table_a.column_index("name").expect("name column");
     let name_col_b = dataset.table_b.column_index("name").expect("name column");

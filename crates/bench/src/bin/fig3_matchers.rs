@@ -25,7 +25,7 @@ fn main() {
         "matcher", "F1", "precision", "recall", "accuracy"
     );
     for k in MatcherKind::ALL {
-        let p = session.performance(k.name());
+        let p = session.performance(k.name()).expect("matcher trained");
         println!(
             "{:<14} {:>8.3} {:>10.3} {:>8.3} {:>10.3}",
             p.matcher, p.f1, p.precision, p.recall, p.accuracy

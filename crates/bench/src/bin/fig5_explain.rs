@@ -32,7 +32,7 @@ fn main() {
         "explaining: {matcher} unfair on {group} w.r.t. {measure} (disparity {disparity:.3})\n"
     );
 
-    let workload = session.workload(&matcher);
+    let workload = session.workload(&matcher).expect("matcher trained");
     let explainer = session.explainer(&workload, Disparity::Subtraction);
 
     println!("--- measure-based explanation ---");

@@ -24,15 +24,14 @@ pub fn import(dataset: &GeneratedDataset) -> FairEm360 {
         .sensitive
         .iter()
         .map(|c| SensitiveAttr::categorical(c.clone()))
-        .collect();
-    FairEm360::import(
-        dataset.table_a.clone(),
-        dataset.table_b.clone(),
-        dataset.matches.clone(),
-        sensitive,
-    )
-    .expect("generated datasets are schema-valid")
-    .with_config(suite_config())
+        .collect::<Vec<_>>();
+    FairEm360::builder()
+        .tables(dataset.table_a.clone(), dataset.table_b.clone())
+        .ground_truth(dataset.matches.clone())
+        .sensitive(sensitive)
+        .config(suite_config())
+        .build()
+        .expect("generated datasets are schema-valid")
 }
 
 /// The suite configuration shared by all figures.
@@ -63,14 +62,18 @@ pub fn nofly_dataset() -> GeneratedDataset {
 /// Train the full ten-matcher fleet on FacultyMatch (the session behind
 /// Figures 1 and 3–7).
 pub fn faculty_session() -> Session {
-    import(&faculty_dataset()).run(&MatcherKind::ALL)
+    import(&faculty_dataset())
+        .try_run(&MatcherKind::ALL)
+        .expect("faculty fleet trains")
 }
 
 /// Train a reduced fleet (fast; used by benches that only need two
 /// matchers' workloads).
 pub fn faculty_session_small() -> Session {
     let dataset = faculty_match(&FacultyConfig::small());
-    import(&dataset).run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+    import(&dataset)
+        .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+        .expect("reduced fleet trains")
 }
 
 /// The default auditor used by the figures: single fairness, the five

@@ -3,6 +3,8 @@
 //! space, and surface the fairness/performance Pareto frontier for the
 //! user to pick a resolution from.
 
+use fairem_par::{Parallelism, WorkerPool};
+
 use crate::fairness::{Disparity, FairnessMeasure};
 use crate::sensitive::{GroupId, GroupSpace};
 use crate::workload::Workload;
@@ -34,6 +36,7 @@ pub struct EnsembleExplorer {
     supports: Vec<f64>,
     measure: FairnessMeasure,
     disparity: Disparity,
+    parallelism: Parallelism,
 }
 
 impl EnsembleExplorer {
@@ -83,7 +86,16 @@ impl EnsembleExplorer {
             supports,
             measure,
             disparity,
+            parallelism: Parallelism::Off,
         }
+    }
+
+    /// Set the worker-pool policy for [`Self::pareto_frontier`]'s
+    /// assignment enumeration. The frontier is identical for every
+    /// policy; only enumeration wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> EnsembleExplorer {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Matcher names, index-aligned with assignments.
@@ -169,7 +181,7 @@ impl EnsembleExplorer {
                             vb.total_cmp(&va)
                         }
                     })
-                    .expect("at least one matcher")
+                    .unwrap_or(0) // matchers is non-empty (asserted in build)
             })
             .collect()
     }
@@ -184,28 +196,28 @@ impl EnsembleExplorer {
     pub fn pareto_frontier(&self) -> Vec<ParetoPoint> {
         let m = self.matchers.len();
         let k = self.groups.len();
-        let total = (m as f64).powi(k as i32);
-        assert!(total <= 1e7, "assignment space too large: {m}^{k}");
+        assert!(
+            (m as f64).powi(k as i32) <= 1e7,
+            "assignment space too large: {m}^{k}"
+        );
+        let total = m.pow(k as u32);
         let higher = self.measure.higher_is_better();
-        let mut points: Vec<ParetoPoint> = Vec::new();
-        let mut assignment = vec![0usize; k];
-        loop {
-            points.push(self.evaluate(&assignment));
-            // Odometer increment.
-            let mut pos = 0;
-            loop {
-                if pos == k {
-                    // Finished: build the frontier.
-                    return frontier(points, higher);
-                }
-                assignment[pos] += 1;
-                if assignment[pos] < m {
-                    break;
-                }
-                assignment[pos] = 0;
-                pos += 1;
+        // Candidate evaluation fans out over the pool: each linear index
+        // decodes (mixed-radix, position 0 fastest) to exactly the
+        // assignment the old odometer visited at that step, and the pool
+        // returns points in index order — so the point sequence, and
+        // therefore the frontier, is identical for any worker count.
+        let pool = WorkerPool::with_parallelism(self.parallelism);
+        let points = pool.par_map(total, |idx| {
+            let mut assignment = vec![0usize; k];
+            let mut rest = idx;
+            for slot in assignment.iter_mut() {
+                *slot = rest % m;
+                rest /= m;
             }
-        }
+            self.evaluate(&assignment)
+        });
+        frontier(points, higher)
     }
 
     /// The assignment minimizing unfairness (ties broken by performance)
@@ -362,6 +374,14 @@ mod tests {
         for p in &f {
             assert!(p.unfairness <= all_a.unfairness + 1e-12 || p.performance > all_a.performance);
         }
+    }
+
+    #[test]
+    fn frontier_is_identical_for_any_worker_count() {
+        let e = explorer();
+        let seq = e.clone().with_parallelism(Parallelism::Off).pareto_frontier();
+        let par = e.with_parallelism(Parallelism::Fixed(4)).pareto_frontier();
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub enum SuiteError {
         /// Per-matcher stage + reason for the post-mortem.
         failures: Vec<MatcherFailure>,
     },
+    /// A session accessor named a matcher that is not in the session
+    /// (never trained, or quarantined by a failure).
+    UnknownMatcher {
+        /// The name that was asked for.
+        matcher: String,
+        /// The matchers the session actually holds, in registry order.
+        known: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SuiteError {
@@ -106,6 +114,16 @@ impl std::fmt::Display for SuiteError {
                     write!(f, " [{} at {}: {}]", mf.matcher, mf.stage, mf.reason)?;
                 }
                 Ok(())
+            }
+            SuiteError::UnknownMatcher { matcher, known } => {
+                write!(f, "matcher {matcher:?} not in session (have: ")?;
+                for (i, k) in known.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(k)?;
+                }
+                f.write_str(")")
             }
         }
     }
@@ -150,6 +168,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("DTMatcher at train: injected"), "{s}");
         assert!(s.contains("SVMMatcher at score: boom"), "{s}");
+    }
+
+    #[test]
+    fn unknown_matcher_names_the_alternatives() {
+        let e = SuiteError::UnknownMatcher {
+            matcher: "NoSuchMatcher".into(),
+            known: vec!["DTMatcher".into(), "SVMMatcher".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("\"NoSuchMatcher\" not in session"), "{s}");
+        assert!(s.contains("DTMatcher, SVMMatcher"), "{s}");
     }
 
     #[test]

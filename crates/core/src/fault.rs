@@ -7,11 +7,9 @@
 //! pipeline wraps stage and matcher work in: it catches unwinds,
 //! extracts the payload text, and suppresses the default panic-hook
 //! stderr noise for panics it contains (other threads' panics are
-//! untouched).
-
-use std::cell::Cell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Once;
+//! untouched). Containment itself lives in `fairem-par` (the worker
+//! pool needs the identical semantics per chunk); `guard` re-exports
+//! that primitive so existing call sites keep working.
 
 use fairem_rng::rngs::StdRng;
 use fairem_rng::{Rng, SeedableRng};
@@ -190,53 +188,25 @@ impl FaultPlan {
         if rows.len() >= 3 {
             // First index that is neither the duplicate source nor its
             // target — always exists with ≥3 rows.
-            let blank = (0..rows.len())
-                .find(|&i| i != src && i != dst)
-                .expect("three distinct rows");
-            rows[blank][id_col] = String::new();
+            if let Some(blank) = (0..rows.len()).find(|&i| i != src && i != dst) {
+                rows[blank][id_col] = String::new();
+            }
         }
     }
 }
 
-thread_local! {
-    static CONTAINED: Cell<bool> = const { Cell::new(false) };
-}
-
-static HOOK_INIT: Once = Once::new();
-
-fn install_quiet_hook() {
-    HOOK_INIT.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !CONTAINED.with(Cell::get) {
-                previous(info);
-            }
-        }));
-    });
-}
-
 /// Extract a readable message from a caught panic payload.
-pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else {
-        "opaque panic payload".to_owned()
-    }
-}
+pub use fairem_par::panic_message;
 
 /// Run `f`, containing any panic and returning its message as `Err`.
 ///
 /// Panics raised inside `f` on *this* thread are kept off stderr (the
 /// containment is the report); panics on other threads still reach the
-/// default hook.
+/// default hook. The active-containment flag is restored by a drop
+/// guard inside [`fairem_par::contain`], so it can never stay latched
+/// even if payload extraction itself panics.
 pub fn guard<T>(f: impl FnOnce() -> T) -> Result<T, String> {
-    install_quiet_hook();
-    let was = CONTAINED.with(|c| c.replace(true));
-    let outcome = catch_unwind(AssertUnwindSafe(f));
-    CONTAINED.with(|c| c.set(was));
-    outcome.map_err(|p| panic_message(&*p))
+    fairem_par::contain(f)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
+use fairem_par::{ChunkPanic, WorkerPool};
 use fairem_text::{rel_diff_sim, StringMeasure, TfIdfCorpus, TfIdfCorpusBuilder};
 
 use crate::schema::Table;
@@ -156,6 +157,31 @@ impl FeatureGenerator {
         m
     }
 
+    /// [`FeatureGenerator::matrix`] fanned out over a worker pool,
+    /// pair-chunked. Row `i` of the result is always `features(pairs[i])`
+    /// — the pool stitches chunks in index order, so the matrix is
+    /// bit-for-bit identical to the sequential one for any worker count.
+    /// A panic inside feature evaluation is contained and returned as a
+    /// [`ChunkPanic`] naming the pair range it escaped from.
+    pub fn matrix_with(
+        &self,
+        a: &Table,
+        b: &Table,
+        pairs: &[(usize, usize)],
+        pool: &WorkerPool,
+    ) -> Result<Matrix, ChunkPanic> {
+        let d = self.n_features();
+        let rows = pool.try_par_map(pairs.len(), |i| {
+            let (ra, rb) = pairs[i];
+            self.features(a, ra, b, rb)
+        })?;
+        let mut m = Matrix::zeros(pairs.len(), d);
+        for (i, f) in rows.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(f);
+        }
+        Ok(m)
+    }
+
     /// Tokenize one pair for the neural matchers over the same aligned
     /// columns (one attribute per column).
     pub fn tokenize(
@@ -267,6 +293,29 @@ mod tests {
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), g.n_features());
         assert_eq!(m.row(0), g.features(&a, 0, &b, 0).as_slice());
+    }
+
+    #[test]
+    fn parallel_matrix_is_bitwise_identical_to_sequential() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let pairs: Vec<(usize, usize)> = (0..a.len())
+            .flat_map(|ra| (0..b.len()).map(move |rb| (ra, rb)))
+            .collect();
+        let seq = g.matrix(&a, &b, &pairs);
+        for workers in [1, 4] {
+            let par = g
+                .matrix_with(&a, &b, &pairs, &WorkerPool::new(workers))
+                .unwrap();
+            assert_eq!(par.rows(), seq.rows());
+            for i in 0..seq.rows() {
+                let (s, p) = (seq.row(i), par.row(i));
+                assert!(
+                    s.iter().zip(p).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "row {i} differs with {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

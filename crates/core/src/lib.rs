@@ -16,9 +16,13 @@
 //!   [`ensemble`] (group→matcher assignments and the fairness/performance
 //!   Pareto frontier), and [`report`] (text/JSON rendering).
 //!
-//! The [`pipeline::FairEm360`] builder strings the four demo steps
+//! The [`pipeline::SuiteBuilder`] front door (via
+//! [`pipeline::FairEm360::builder`]) strings the four demo steps
 //! together: data import → matcher selection → fairness evaluation →
-//! ensemble-based resolution.
+//! ensemble-based resolution. Hot paths (feature matrices, matcher
+//! train/score, audits, Pareto enumeration) fan out over the
+//! `fairem-par` worker pool under a [`Parallelism`] policy; results are
+//! identical for every policy, sequential included.
 //!
 //! # Example: audit a hand-built workload
 //!
@@ -83,7 +87,8 @@ pub use error::{Stage, SuiteError, SuiteResult};
 pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
 pub use matcher::{Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
-pub use pipeline::FairEm360;
+pub use fairem_par::{Parallelism, WorkerPool};
+pub use pipeline::{FairEm360, MatcherPerformance, Session, SuiteBuilder, SuiteConfig};
 pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};
 pub use resolution::{Feedback, Proposal, ResolutionSession};
 pub use schema::Table;

@@ -17,8 +17,10 @@ use fairem_neural::{
     DeepMatcherLite, DittoLite, HierMatcherLite, McanLite, NeuralMatcher, TokenPair, TrainConfig,
 };
 
+use fairem_par::WorkerPool;
+
 use crate::error::Stage;
-use crate::fault::{self, FaultPlan, FaultSite};
+use crate::fault::{FaultPlan, FaultSite};
 
 /// The ten integrated matchers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,7 +122,7 @@ impl MatcherKind {
     /// Train this matcher on the shared pair representation.
     pub fn train(self, input: &TrainInput<'_>, config: &MatcherTrainConfig) -> TrainedMatcher {
         let imp = if self.is_neural() {
-            let mut model: Box<dyn NeuralMatcher + Send> = match self {
+            let mut model: Box<dyn NeuralMatcher + Send + Sync> = match self {
                 MatcherKind::DeepMatcher => Box::new(DeepMatcherLite::new(config.neural)),
                 MatcherKind::Ditto => {
                     // Ditto-Lite converges more slowly (no built-in
@@ -140,7 +142,7 @@ impl MatcherKind {
         } else {
             let scaler = StandardScaler::fit(input.features);
             let x = scaler.transform(input.features);
-            let mut model: Box<dyn Classifier + Send> = match self {
+            let mut model: Box<dyn Classifier + Send + Sync> = match self {
                 MatcherKind::DtMatcher => Box::new(DecisionTree::new(8, 4)),
                 MatcherKind::SvmMatcher => Box::new(LinearSvm::new(1e-3, 30, config.seed)),
                 MatcherKind::RfMatcher => Box::new(RandomForest::new(30, 8, config.seed)),
@@ -260,10 +262,10 @@ pub trait Matcher {
 
 enum Imp {
     Classic {
-        model: Box<dyn Classifier + Send>,
+        model: Box<dyn Classifier + Send + Sync>,
         scaler: StandardScaler,
     },
-    Neural(Box<dyn NeuralMatcher + Send>),
+    Neural(Box<dyn NeuralMatcher + Send + Sync>),
 }
 
 impl std::fmt::Debug for Imp {
@@ -409,11 +411,11 @@ pub struct MatcherRegistry {
 }
 
 impl MatcherRegistry {
-    /// Train the given kinds on shared input, one thread per matcher —
-    /// the in-process analogue of the original system's per-container
-    /// matcher fleet. Results keep the order of `kinds`; every matcher
-    /// remains individually deterministic (training threads share no
-    /// mutable state).
+    /// Train the given kinds on shared input, fanned out over one worker
+    /// per matcher — the in-process analogue of the original system's
+    /// per-container matcher fleet. Results keep the order of `kinds`;
+    /// every matcher remains individually deterministic (training
+    /// workers share no mutable state).
     ///
     /// # Panics
     /// If any matcher's training panics. Use [`MatcherRegistry::train_isolated`]
@@ -423,54 +425,35 @@ impl MatcherRegistry {
         input: &TrainInput<'_>,
         config: &MatcherTrainConfig,
     ) -> MatcherRegistry {
+        let pool = WorkerPool::new(kinds.len());
         let (registry, failures) =
-            MatcherRegistry::train_isolated(kinds, input, config, &FaultPlan::default());
+            MatcherRegistry::train_isolated(kinds, input, config, &FaultPlan::default(), &pool);
         if let Some(f) = failures.first() {
             panic!("matcher training panicked: {f}");
         }
         registry
     }
 
-    /// Train with per-matcher panic isolation: each kind trains on its
-    /// own thread with its panics contained, and a training panic (or an
-    /// armed [`FaultPlan`] fault) removes only that matcher. Returns the
-    /// surviving fleet (in `kinds` order) plus one [`MatcherFailure`]
-    /// per casualty.
+    /// Train with per-matcher panic isolation on a worker pool: each
+    /// kind trains as one isolated work item, and a training panic (or
+    /// an armed [`FaultPlan`] fault) removes only that matcher. Returns
+    /// the surviving fleet (in `kinds` order, whatever the worker count)
+    /// plus one [`MatcherFailure`] per casualty.
     pub fn train_isolated(
         kinds: &[MatcherKind],
         input: &TrainInput<'_>,
         config: &MatcherTrainConfig,
         plan: &FaultPlan,
+        pool: &WorkerPool,
     ) -> (MatcherRegistry, Vec<MatcherFailure>) {
-        let outcomes: Vec<(MatcherKind, Result<TrainedMatcher, String>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = kinds
-                    .iter()
-                    .map(|&k| {
-                        scope.spawn(move || {
-                            fault::guard(|| {
-                                plan.trip(FaultSite::Train, Some(k));
-                                k.train(input, config)
-                            })
-                        })
-                    })
-                    .collect();
-                kinds
-                    .iter()
-                    .zip(handles)
-                    .map(|(&k, h)| {
-                        // `guard` already contained the panic inside the
-                        // thread; join only fails on unguardable aborts.
-                        let outcome = h
-                            .join()
-                            .unwrap_or_else(|p| Err(fault::panic_message(&*p)));
-                        (k, outcome)
-                    })
-                    .collect()
-            });
+        let outcomes = pool.par_map_isolated(kinds.len(), |i| {
+            let k = kinds[i];
+            plan.trip(FaultSite::Train, Some(k));
+            k.train(input, config)
+        });
         let mut matchers = Vec::new();
         let mut failures = Vec::new();
-        for (kind, outcome) in outcomes {
+        for (&kind, outcome) in kinds.iter().zip(outcomes) {
             match outcome {
                 Ok(m) => matchers.push(m),
                 Err(reason) => failures.push(MatcherFailure {

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use fairem_csvio::CsvTable;
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
+use fairem_par::{Parallelism, WorkerPool};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::ensemble::EnsembleExplorer;
@@ -38,6 +39,10 @@ pub struct SuiteConfig {
     /// Fault-injection plan (empty by default; used by robustness tests
     /// and chaos drills to rehearse degraded-mode execution).
     pub fault: FaultPlan,
+    /// Worker-pool policy for the parallel hot paths (feature matrices,
+    /// matcher train/score fan-out, audits, Pareto enumeration). Results
+    /// are identical for every policy; only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SuiteConfig {
@@ -48,6 +53,7 @@ impl Default for SuiteConfig {
             matching_threshold: 0.5,
             vocab_size: 512,
             fault: FaultPlan::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -59,6 +65,125 @@ impl SuiteConfig {
             train: MatcherTrainConfig::fast(),
             vocab_size: 128,
             ..SuiteConfig::default()
+        }
+    }
+}
+
+/// The one front door for assembling a suite run: collect tables,
+/// ground truth, sensitive attributes, and configuration, then
+/// [`SuiteBuilder::build`] into a validated [`FairEm360`].
+///
+/// ```ignore
+/// let session = FairEm360::builder()
+///     .tables(a, b)
+///     .ground_truth(matches)
+///     .sensitive([SensitiveAttr::categorical("country")])
+///     .parallelism(Parallelism::Fixed(4))
+///     .build()?
+///     .try_run(&MatcherKind::NON_NEURAL)?;
+/// ```
+///
+/// By default the builder imports leniently — rows with empty or
+/// duplicate ids are quarantined (inspect them via
+/// [`FairEm360::quarantine`]) instead of failing the dataset. Call
+/// [`SuiteBuilder::strict`] to turn any schema violation into an error.
+#[derive(Debug, Default)]
+pub struct SuiteBuilder {
+    table_a: Option<CsvTable>,
+    table_b: Option<CsvTable>,
+    matches: Vec<(String, String)>,
+    sensitive: Vec<SensitiveAttr>,
+    config: SuiteConfig,
+    strict: bool,
+}
+
+impl SuiteBuilder {
+    /// The two tables to match (left and right).
+    pub fn tables(mut self, table_a: CsvTable, table_b: CsvTable) -> SuiteBuilder {
+        self.table_a = Some(table_a);
+        self.table_b = Some(table_b);
+        self
+    }
+
+    /// Ground-truth match id pairs `(id_a, id_b)`.
+    pub fn ground_truth(mut self, matches: Vec<(String, String)>) -> SuiteBuilder {
+        self.matches = matches;
+        self
+    }
+
+    /// The sensitive attributes to audit on (appended).
+    pub fn sensitive(
+        mut self,
+        attrs: impl IntoIterator<Item = SensitiveAttr>,
+    ) -> SuiteBuilder {
+        self.sensitive.extend(attrs);
+        self
+    }
+
+    /// Replace the whole configuration.
+    pub fn config(mut self, config: SuiteConfig) -> SuiteBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Worker-pool policy for the run (shorthand for mutating
+    /// [`SuiteConfig::parallelism`]).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> SuiteBuilder {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Fault-injection plan (shorthand for mutating
+    /// [`SuiteConfig::fault`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> SuiteBuilder {
+        self.config.fault = plan;
+        self
+    }
+
+    /// Treat any schema violation as an error instead of quarantining
+    /// the offending rows.
+    pub fn strict(mut self) -> SuiteBuilder {
+        self.strict = true;
+        self
+    }
+
+    /// Validate and import. Missing tables are a
+    /// [`SuiteError::Config`]; schema problems are quarantined (or, in
+    /// strict mode, returned as [`SuiteError::Schema`]).
+    pub fn build(self) -> SuiteResult<FairEm360> {
+        let SuiteBuilder {
+            table_a,
+            table_b,
+            matches,
+            sensitive,
+            config,
+            strict,
+        } = self;
+        let (Some(table_a), Some(table_b)) = (table_a, table_b) else {
+            return Err(SuiteError::Config {
+                detail: "both tables are required: call .tables(table_a, table_b)".into(),
+            });
+        };
+        if strict {
+            let table_a = Table::from_csv(table_a).map_err(|source| SuiteError::Schema {
+                table: "tableA".into(),
+                source,
+            })?;
+            let table_b = Table::from_csv(table_b).map_err(|source| SuiteError::Schema {
+                table: "tableB".into(),
+                source,
+            })?;
+            Ok(FairEm360 {
+                table_a,
+                table_b,
+                matches,
+                sensitive,
+                config,
+                quarantine: QuarantineReport::default(),
+            })
+        } else {
+            FairEm360::import_with(table_a, table_b, matches, sensitive, config)
+                .map(|(suite, _quarantine)| suite)
         }
     }
 }
@@ -75,10 +200,21 @@ pub struct FairEm360 {
 }
 
 impl FairEm360 {
+    /// Start assembling a suite run — the front door for new code.
+    pub fn builder() -> SuiteBuilder {
+        SuiteBuilder::default()
+    }
+
+    /// Rows quarantined during import (empty in strict mode).
+    pub fn quarantine(&self) -> &QuarantineReport {
+        &self.quarantine
+    }
+
     /// Import a Magellan-shaped dataset: two tables, ground-truth match
     /// id pairs, and the sensitive attributes to audit on. Strict: any
     /// schema violation is an error. Use [`FairEm360::import_with`] for
     /// the quarantining (fault-tolerant) path.
+    #[deprecated(note = "use FairEm360::builder()")]
     pub fn import(
         table_a: CsvTable,
         table_b: CsvTable,
@@ -157,6 +293,7 @@ impl FairEm360 {
     /// # Panics
     /// On any stage or matcher failure. Use [`FairEm360::try_run`] for
     /// degraded-mode execution.
+    #[deprecated(note = "use FairEm360::builder() and try_run()")]
     pub fn run(self, kinds: &[MatcherKind]) -> Session {
         match self.try_run(kinds) {
             Ok(session) => {
@@ -213,9 +350,18 @@ impl FairEm360 {
             detail,
         })?;
         let vocab = HashVocab::new(config.vocab_size);
+        let pool = WorkerPool::with_parallelism(config.parallelism);
+        let feature_matrix = |pairs: &[(usize, usize)]| {
+            features
+                .matrix_with(&table_a, &table_b, pairs, &pool)
+                .map_err(|p| SuiteError::Stage {
+                    stage: Stage::FeatureGen,
+                    detail: p.to_string(),
+                })
+        };
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
-        let train_features = features.matrix(&table_a, &table_b, &train_pairs);
+        let train_features = feature_matrix(&train_pairs)?;
         let train_tokens = features.tokenize_all(&table_a, &table_b, &train_pairs, &vocab);
         let input = TrainInput {
             features: &train_features,
@@ -223,27 +369,34 @@ impl FairEm360 {
             labels: &train_labels,
         };
         let (registry, mut failures) =
-            MatcherRegistry::train_isolated(kinds, &input, &config.train, &plan);
+            MatcherRegistry::train_isolated(kinds, &input, &config.train, &plan, &pool);
         let train_config = config.train;
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
-        let valid_features = features.matrix(&table_a, &table_b, &valid_pairs);
+        let valid_features = feature_matrix(&valid_pairs)?;
         let valid_tokens = features.tokenize_all(&table_a, &table_b, &valid_pairs, &vocab);
 
         let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
-        let test_features = features.matrix(&table_a, &table_b, &test_pairs);
+        let test_features = feature_matrix(&test_pairs)?;
         let test_tokens = features.tokenize_all(&table_a, &table_b, &test_pairs, &vocab);
+
+        // Per-matcher scoring fan-out: each matcher is one isolated work
+        // item, so a scoring panic degrades only that matcher no matter
+        // how the pool schedules the fleet. Outcomes come back in
+        // registry order, keeping degradation bookkeeping deterministic.
+        let fleet: Vec<_> = registry.iter().collect();
+        let outcomes = pool.par_map_isolated(fleet.len(), |i| {
+            let m = fleet[i];
+            plan.trip(FaultSite::Score, Some(m.kind()));
+            m.score_batch(&test_features, &test_tokens)
+        });
         let mut scores = HashMap::new();
         let mut clamped_scores = 0usize;
-        for m in registry.iter() {
-            let kind = m.kind();
-            match fault::guard(|| {
-                plan.trip(FaultSite::Score, Some(kind));
-                m.score_batch(&test_features, &test_tokens)
-            }) {
+        for (m, outcome) in fleet.iter().zip(outcomes) {
+            match outcome {
                 Ok(mut s) => {
-                    if plan.poisons(kind) {
-                        plan.corrupt_scores(kind, &mut s);
+                    if plan.poisons(m.kind()) {
+                        plan.corrupt_scores(m.kind(), &mut s);
                     }
                     clamped_scores += sanitize_scores(&mut s);
                     scores.insert(m.name().to_owned(), s);
@@ -304,6 +457,7 @@ impl FairEm360 {
             failures,
             quarantine,
             clamped_scores,
+            parallelism: config.parallelism,
         })
     }
 }
@@ -344,6 +498,7 @@ pub struct Session {
     failures: Vec<MatcherFailure>,
     quarantine: QuarantineReport,
     clamped_scores: usize,
+    parallelism: Parallelism,
 }
 
 impl Session {
@@ -397,16 +552,32 @@ impl Session {
         &self.train_workload
     }
 
-    /// Build the evaluation workload for a trained matcher.
-    ///
-    /// # Panics
-    /// If the matcher was not part of this session.
-    pub fn workload(&self, matcher: &str) -> Workload {
+    /// The worker-pool policy this session was run (and audits) with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The error for a matcher name the session does not hold.
+    fn unknown_matcher(&self, matcher: &str) -> SuiteError {
+        SuiteError::UnknownMatcher {
+            matcher: matcher.to_owned(),
+            known: self
+                .matcher_names()
+                .iter()
+                .map(|n| (*n).to_owned())
+                .collect(),
+        }
+    }
+
+    /// Build the evaluation workload for a trained matcher. A name the
+    /// session does not hold (never trained, or quarantined by a
+    /// failure) is a [`SuiteError::UnknownMatcher`], not a panic.
+    pub fn workload(&self, matcher: &str) -> SuiteResult<Workload> {
         let scores = self
             .scores
             .get(matcher)
-            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
-        self.workload_from_scores(scores.clone())
+            .ok_or_else(|| self.unknown_matcher(matcher))?;
+        Ok(self.workload_from_scores(scores.clone()))
     }
 
     /// Build a workload from raw scores aligned with the test pairs
@@ -450,18 +621,24 @@ impl Session {
 
     /// Step 3: audit one matcher. When the session is degraded, the
     /// report carries the failed matchers so readers see the reduced
-    /// coverage alongside the verdicts.
-    pub fn audit(&self, matcher: &str, auditor: &Auditor) -> AuditReport {
-        let mut report = auditor.audit(matcher, &self.workload(matcher), &self.space);
+    /// coverage alongside the verdicts. Unknown names are a
+    /// [`SuiteError::UnknownMatcher`].
+    pub fn audit(&self, matcher: &str, auditor: &Auditor) -> SuiteResult<AuditReport> {
+        let mut report = auditor.audit(matcher, &self.workload(matcher)?, &self.space);
         report.degraded = self.failures.clone();
-        report
+        Ok(report)
     }
 
-    /// Audit every surviving matcher.
+    /// Audit every surviving matcher, fanned out over the session's
+    /// worker pool (one matcher per work item; each audit covers every
+    /// measure). Reports come back in [`Session::matcher_names`] order
+    /// for any worker count.
     pub fn audit_all(&self, auditor: &Auditor) -> Vec<AuditReport> {
-        self.matcher_names()
-            .iter()
-            .map(|name| self.audit(name, auditor))
+        let names = self.matcher_names();
+        let pool = WorkerPool::with_parallelism(self.parallelism);
+        pool.par_map(names.len(), |i| self.audit(names[i], auditor))
+            .into_iter()
+            .filter_map(Result::ok) // names are known, so always Ok
             .collect()
     }
 
@@ -490,27 +667,33 @@ impl Session {
         let workloads: Vec<(String, Workload)> = self
             .matcher_names()
             .iter()
-            .map(|n| ((*n).to_owned(), self.workload(n)))
+            .filter_map(|n| {
+                // `matcher_names` only lists matchers with cached scores.
+                let scores = self.scores.get(*n)?;
+                Some(((*n).to_owned(), self.workload_from_scores(scores.clone())))
+            })
             .collect();
         let refs: Vec<(String, &Workload)> =
             workloads.iter().map(|(n, w)| (n.clone(), w)).collect();
         EnsembleExplorer::build(&refs, &self.space, &groups, measure, disparity)
+            .with_parallelism(self.parallelism)
     }
 
     /// Tune a matcher's matching threshold on the *validation* split:
     /// returns the grid threshold maximizing validation F1, falling back
     /// to the session default when the validation split is empty or F1
     /// is undefined everywhere. This is the data-driven answer to the
-    /// demo's Step-3 "specify the matching threshold" knob.
-    pub fn tune_threshold(&self, matcher: &str) -> f64 {
-        if self.valid_labels.is_empty() {
-            return self.matching_threshold;
-        }
+    /// demo's Step-3 "specify the matching threshold" knob. Unknown
+    /// names are a [`SuiteError::UnknownMatcher`].
+    pub fn tune_threshold(&self, matcher: &str) -> SuiteResult<f64> {
         let m = self
             .registry
             .iter()
             .find(|m| m.name() == matcher)
-            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
+            .ok_or_else(|| self.unknown_matcher(matcher))?;
+        if self.valid_labels.is_empty() {
+            return Ok(self.matching_threshold);
+        }
         let scores = m.score_batch(&self.valid_features, &self.valid_tokens);
         let truths: Vec<bool> = self.valid_labels.iter().map(|&y| y == 1.0).collect();
         let mut best: Option<(f64, f64)> = None; // (f1, threshold)
@@ -522,7 +705,7 @@ impl Session {
                 best = Some((f1, t));
             }
         }
-        best.map_or(self.matching_threshold, |(_, t)| t)
+        Ok(best.map_or(self.matching_threshold, |(_, t)| t))
     }
 
     /// Data-repair resolution (refs \[12\]/\[16\] style): retrain a matcher
@@ -569,19 +752,20 @@ impl Session {
 
     /// Calibration-based resolution (ref \[10\] style): per-group Platt
     /// calibration of a matcher's scores fitted on the training split,
-    /// applied to the evaluation workload.
+    /// applied to the evaluation workload. Unknown names are a
+    /// [`SuiteError::UnknownMatcher`].
     pub fn calibrated_workload(
         &self,
         matcher: &str,
         groups: &[crate::sensitive::GroupId],
-    ) -> Workload {
+    ) -> SuiteResult<Workload> {
         // Score the *training* pairs with the trained matcher to fit the
         // calibrators on held-in data.
         let m = self
             .registry
             .iter()
             .find(|m| m.name() == matcher)
-            .unwrap_or_else(|| panic!("matcher {matcher:?} not in session"));
+            .ok_or_else(|| self.unknown_matcher(matcher))?;
         let train_scores = m.score_batch(&self.train_features, &self.train_tokens);
         let train_items: Vec<Correspondence> = self
             .train_pairs
@@ -598,22 +782,27 @@ impl Session {
             })
             .collect();
         let train_workload = Workload::new(train_items, self.matching_threshold);
-        crate::threshold::calibrate_per_group(&train_workload, &self.workload(matcher), groups)
+        Ok(crate::threshold::calibrate_per_group(
+            &train_workload,
+            &self.workload(matcher)?,
+            groups,
+        ))
     }
 
     /// Matching-quality summary of a matcher on the test split
     /// (F1 / precision / recall / accuracy at the session threshold) —
-    /// the demo's matcher-selection card.
-    pub fn performance(&self, matcher: &str) -> MatcherPerformance {
-        let w = self.workload(matcher);
+    /// the demo's matcher-selection card. Unknown names are a
+    /// [`SuiteError::UnknownMatcher`].
+    pub fn performance(&self, matcher: &str) -> SuiteResult<MatcherPerformance> {
+        let w = self.workload(matcher)?;
         let cm = w.overall_confusion();
-        MatcherPerformance {
+        Ok(MatcherPerformance {
             matcher: matcher.to_owned(),
             f1: cm.f1(),
             precision: cm.ppv(),
             recall: cm.tpr(),
             accuracy: cm.accuracy(),
-        }
+        })
     }
 }
 
@@ -676,20 +865,29 @@ mod tests {
         )
     }
 
+    fn config() -> SuiteConfig {
+        SuiteConfig {
+            prep: PrepConfig {
+                train_frac: 0.5,
+                valid_frac: 0.0,
+                negative_ratio: f64::INFINITY,
+                ..PrepConfig::default()
+            },
+            ..SuiteConfig::fast()
+        }
+    }
+
     fn session() -> Session {
         let (a, b, m) = dataset();
-        let suite = FairEm360::import(a, b, m, vec![SensitiveAttr::categorical("country")])
+        FairEm360::builder()
+            .tables(a, b)
+            .ground_truth(m)
+            .sensitive([SensitiveAttr::categorical("country")])
+            .config(config())
+            .build()
             .unwrap()
-            .with_config(SuiteConfig {
-                prep: PrepConfig {
-                    train_frac: 0.5,
-                    valid_frac: 0.0,
-                    negative_ratio: f64::INFINITY,
-                    ..PrepConfig::default()
-                },
-                ..SuiteConfig::fast()
-            });
-        suite.run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+            .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+            .unwrap()
     }
 
     #[test]
@@ -697,13 +895,13 @@ mod tests {
         let s = session();
         assert_eq!(s.matcher_names(), vec!["DTMatcher", "LinRegMatcher"]);
         assert!(s.test_size() > 0);
-        let w = s.workload("DTMatcher");
+        let w = s.workload("DTMatcher").unwrap();
         assert_eq!(w.len(), s.test_size());
         let auditor = Auditor::new(AuditConfig {
             min_support: 1,
             ..AuditConfig::default()
         });
-        let report = s.audit("DTMatcher", &auditor);
+        let report = s.audit("DTMatcher", &auditor).unwrap();
         assert!(!report.entries.is_empty());
         let all = s.audit_all(&auditor);
         assert_eq!(all.len(), 2);
@@ -732,7 +930,7 @@ mod tests {
     #[test]
     fn performance_summary_is_finite_for_trained_matcher() {
         let s = session();
-        let p = s.performance("DTMatcher");
+        let p = s.performance("DTMatcher").unwrap();
         assert!(p.accuracy.is_finite());
         assert_eq!(p.matcher, "DTMatcher");
     }
@@ -751,45 +949,42 @@ mod tests {
     fn tune_threshold_returns_grid_point_or_default() {
         let (a, b, m) = dataset();
         // With a validation split.
-        let s = FairEm360::import(
-            a.clone(),
-            b.clone(),
-            m.clone(),
-            vec![SensitiveAttr::categorical("country")],
-        )
-        .unwrap()
-        .with_config(SuiteConfig {
-            prep: PrepConfig {
-                train_frac: 0.5,
-                valid_frac: 0.2,
-                negative_ratio: f64::INFINITY,
-                ..PrepConfig::default()
-            },
-            ..SuiteConfig::fast()
-        })
-        .run(&[MatcherKind::DtMatcher]);
-        let t = s.tune_threshold("DTMatcher");
-        assert!((0.0..=1.0).contains(&t));
-        // Without one: falls back to the session default.
-        let s = FairEm360::import(a, b, m, vec![SensitiveAttr::categorical("country")])
-            .unwrap()
-            .with_config(SuiteConfig {
+        let s = FairEm360::builder()
+            .tables(a.clone(), b.clone())
+            .ground_truth(m.clone())
+            .sensitive([SensitiveAttr::categorical("country")])
+            .config(SuiteConfig {
                 prep: PrepConfig {
                     train_frac: 0.5,
-                    valid_frac: 0.0,
+                    valid_frac: 0.2,
                     negative_ratio: f64::INFINITY,
                     ..PrepConfig::default()
                 },
                 ..SuiteConfig::fast()
             })
-            .run(&[MatcherKind::DtMatcher]);
-        assert_eq!(s.tune_threshold("DTMatcher"), s.matching_threshold);
+            .build()
+            .unwrap()
+            .try_run(&[MatcherKind::DtMatcher])
+            .unwrap();
+        let t = s.tune_threshold("DTMatcher").unwrap();
+        assert!((0.0..=1.0).contains(&t));
+        // Without one: falls back to the session default.
+        let s = FairEm360::builder()
+            .tables(a, b)
+            .ground_truth(m)
+            .sensitive([SensitiveAttr::categorical("country")])
+            .config(config())
+            .build()
+            .unwrap()
+            .try_run(&[MatcherKind::DtMatcher])
+            .unwrap();
+        assert_eq!(s.tune_threshold("DTMatcher").unwrap(), s.matching_threshold);
     }
 
     #[test]
     fn explainer_runs_on_session_workload() {
         let s = session();
-        let w = s.workload("LinRegMatcher");
+        let w = s.workload("LinRegMatcher").unwrap();
         let ex = s.explainer(&w, Disparity::Subtraction);
         let rep = ex.representation("cn");
         assert!(rep.share_overall > 0.0);
@@ -797,9 +992,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in session")]
-    fn unknown_matcher_workload_panics() {
+    fn unknown_matcher_is_a_checked_error() {
         let s = session();
-        let _ = s.workload("MCAN");
+        for outcome in [
+            s.workload("MCAN").map(|_| ()),
+            s.tune_threshold("MCAN").map(|_| ()),
+            s.performance("MCAN").map(|_| ()),
+            s.calibrated_workload("MCAN", &[]).map(|_| ()),
+        ] {
+            match outcome {
+                Err(SuiteError::UnknownMatcher { matcher, known }) => {
+                    assert_eq!(matcher, "MCAN");
+                    assert_eq!(known, vec!["DTMatcher", "LinRegMatcher"]);
+                }
+                other => panic!("expected UnknownMatcher, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_without_tables_is_a_config_error() {
+        let err = FairEm360::builder().build().expect_err("must fail");
+        assert!(matches!(err, SuiteError::Config { .. }), "{err}");
+        assert!(err.to_string().contains(".tables("), "{err}");
+    }
+
+    #[test]
+    fn builder_strict_mode_surfaces_schema_errors() {
+        let bad = parse_csv_str("id,name\na0,x\na0,y\n").unwrap();
+        let good = parse_csv_str("id,name\nb0,z\n").unwrap();
+        let err = FairEm360::builder()
+            .tables(bad.clone(), good.clone())
+            .strict()
+            .build()
+            .expect_err("duplicate id must fail strict import");
+        assert!(matches!(err, SuiteError::Schema { .. }), "{err}");
+        // Lenient default quarantines instead.
+        let suite = FairEm360::builder().tables(bad, good).build().unwrap();
+        assert_eq!(suite.quarantine().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_import_and_run_still_work() {
+        let (a, b, m) = dataset();
+        let s = FairEm360::import(a, b, m, vec![SensitiveAttr::categorical("country")])
+            .unwrap()
+            .with_config(config())
+            .run(&[MatcherKind::DtMatcher]);
+        assert_eq!(s.matcher_names(), vec!["DTMatcher"]);
+    }
+
+    #[test]
+    fn sessions_agree_across_parallelism_policies() {
+        let run = |p: Parallelism| {
+            let (a, b, m) = dataset();
+            FairEm360::builder()
+                .tables(a, b)
+                .ground_truth(m)
+                .sensitive([SensitiveAttr::categorical("country")])
+                .config(config())
+                .parallelism(p)
+                .build()
+                .unwrap()
+                .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+                .unwrap()
+        };
+        let base = run(Parallelism::Off);
+        let wide = run(Parallelism::Fixed(4));
+        for name in base.matcher_names() {
+            let (wb, ww) = (base.workload(name).unwrap(), wide.workload(name).unwrap());
+            assert_eq!(wb.len(), ww.len());
+            for (x, y) in wb.items.iter().zip(&ww.items) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{name}");
+            }
+        }
     }
 }

@@ -1,0 +1,114 @@
+//! Panic containment with a drop-guarded quiet hook.
+//!
+//! [`contain`] runs a closure under `catch_unwind`, returning the panic
+//! payload text as `Err` instead of unwinding. While a containment is
+//! active on a thread, the process-wide panic hook stays silent for
+//! *that thread's* panics (the containment result is the report; the
+//! default hook's stderr noise would be misleading), while panics on
+//! other threads still reach the default hook.
+//!
+//! The active-containment flag is restored by an RAII guard, not by a
+//! manual set/unset pair, so the flag can never stay latched — not even
+//! if the payload extraction itself panics while the hook is swapped.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static CONTAINED: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK_INIT: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK_INIT.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINED.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// RAII restorer for the per-thread containment flag: captures the
+/// previous value on construction and writes it back on drop, so every
+/// exit path (normal return, caught unwind, nested containment) leaves
+/// the flag exactly as it found it.
+struct Restore(bool);
+
+impl Restore {
+    fn engage() -> Restore {
+        Restore(CONTAINED.with(|c| c.replace(true)))
+    }
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CONTAINED.with(|c| c.set(self.0));
+    }
+}
+
+/// Extract a readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Run `f`, containing any panic and returning its message as `Err`.
+///
+/// Panics raised inside `f` on *this* thread are kept off stderr (the
+/// containment is the report); panics on other threads still reach the
+/// default hook. Nested containments compose: the innermost one catches.
+pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    let _restore = Restore::engage();
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contain_returns_value_or_panic_text() {
+        assert_eq!(contain(|| 41 + 1), Ok(42));
+        let err = contain(|| panic!("boom {}", 7)).expect_err("panic contained");
+        assert_eq!(err, "boom 7");
+    }
+
+    #[test]
+    fn containment_flag_is_restored_after_panic() {
+        let _ = contain(|| panic!("first"));
+        // If the flag leaked, this uncontained closure's hook state
+        // would be wrong; we can only observe the *flag* indirectly by
+        // containing again, which must still work.
+        assert_eq!(contain(|| 1), Ok(1));
+        CONTAINED.with(|c| assert!(!c.get(), "flag must reset after contain"));
+    }
+
+    #[test]
+    fn nested_containments_restore_outer_state() {
+        let outer = contain(|| {
+            CONTAINED.with(|c| assert!(c.get()));
+            let inner = contain(|| panic!("inner"));
+            assert!(inner.is_err());
+            // The inner Restore must re-latch the *outer* containment.
+            CONTAINED.with(|c| assert!(c.get(), "outer containment lost"));
+            7
+        });
+        assert_eq!(outer, Ok(7));
+    }
+
+    #[test]
+    fn opaque_payloads_get_a_placeholder() {
+        let err = contain(|| std::panic::panic_any(13_u32)).expect_err("contained");
+        assert_eq!(err, "opaque panic payload");
+    }
+}

@@ -1,0 +1,33 @@
+//! # fairem-par
+//!
+//! A from-scratch, std-only parallel execution engine for the suite:
+//! a fixed-size [`WorkerPool`] with chunked [`WorkerPool::par_map`] /
+//! [`WorkerPool::par_for_each`] over index ranges, deterministic result
+//! ordering (output is identical to sequential execution, bit for bit,
+//! regardless of worker count), and panic capture that integrates with
+//! the suite's degraded-mode error taxonomy.
+//!
+//! Three layers:
+//!
+//! - [`Parallelism`] — the user-facing policy (`Off` / `Auto` /
+//!   `Fixed(n)`), threaded through `SuiteConfig` and the CLI `--jobs`
+//!   flag. `Auto` consults the `FAIREM_JOBS` environment variable before
+//!   falling back to the hardware thread count.
+//! - [`contain`] — the panic-containment primitive (drop-guarded quiet
+//!   hook + `catch_unwind`) shared by the pool and by
+//!   `fairem-core::fault::guard`.
+//! - [`WorkerPool`] — the scheduler: workers pull index chunks from an
+//!   atomic cursor and results are stitched back in chunk order, so a
+//!   run with 4 workers produces exactly the sequence a run with 1
+//!   worker (or no pool at all) produces.
+//!
+//! The crate has zero dependencies (not even on the rest of the
+//! workspace) so every other crate can adopt it without cycles.
+
+mod contain;
+mod parallelism;
+mod pool;
+
+pub use contain::{contain, panic_message};
+pub use parallelism::{Parallelism, JOBS_ENV};
+pub use pool::{ChunkPanic, WorkerPool};

@@ -1,0 +1,117 @@
+//! The user-facing parallelism policy.
+
+/// Environment variable consulted by [`Parallelism::Auto`] (and the
+/// test gate in `scripts/check.sh`): a worker count, or `auto`/`0` for
+/// hardware detection.
+pub const JOBS_ENV: &str = "FAIREM_JOBS";
+
+/// How much parallelism a suite run may use.
+///
+/// Whatever the policy, results are **identical** — the pool assembles
+/// chunk outputs in index order, every stage is a pure function of its
+/// index, and the suite's own seeds are never shared across workers.
+/// The policy only decides wall-clock time and thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Strictly sequential: no worker threads are spawned at all.
+    Off,
+    /// Use `FAIREM_JOBS` if set, else one worker per hardware thread.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Parse a `--jobs` / `FAIREM_JOBS` value: `auto` or `0` mean
+    /// [`Parallelism::Auto`], a positive integer means
+    /// [`Parallelism::Fixed`]. Returns `None` for anything else.
+    pub fn parse_jobs(raw: &str) -> Option<Parallelism> {
+        let raw = raw.trim();
+        if raw.eq_ignore_ascii_case("auto") {
+            return Some(Parallelism::Auto);
+        }
+        match raw.parse::<usize>() {
+            Ok(0) => Some(Parallelism::Auto),
+            Ok(n) => Some(Parallelism::Fixed(n)),
+            Err(_) => None,
+        }
+    }
+
+    /// The policy armed by the environment, if any.
+    pub fn from_env() -> Option<Parallelism> {
+        std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| Parallelism::parse_jobs(&v))
+    }
+
+    /// The worker count this policy resolves to on this machine. `Auto`
+    /// re-reads the environment on every call, so a policy stored in a
+    /// long-lived config tracks `FAIREM_JOBS` changes.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => match Parallelism::from_env() {
+                Some(Parallelism::Fixed(n)) => n.max(1),
+                // `FAIREM_JOBS=auto`/`0` or unset: hardware count.
+                _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            },
+        }
+    }
+
+    /// True when this policy never spawns worker threads.
+    pub fn is_sequential(self) -> bool {
+        self.workers() <= 1
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Off => f.write_str("off"),
+            Parallelism::Auto => f.write_str("auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_jobs_covers_the_flag_grammar() {
+        assert_eq!(Parallelism::parse_jobs("auto"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse_jobs("AUTO"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse_jobs("0"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse_jobs("1"), Some(Parallelism::Fixed(1)));
+        assert_eq!(Parallelism::parse_jobs(" 4 "), Some(Parallelism::Fixed(4)));
+        assert_eq!(Parallelism::parse_jobs("-1"), None);
+        assert_eq!(Parallelism::parse_jobs("many"), None);
+        assert_eq!(Parallelism::parse_jobs(""), None);
+    }
+
+    #[test]
+    fn workers_resolution_is_at_least_one() {
+        assert_eq!(Parallelism::Off.workers(), 1);
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert_eq!(Parallelism::Fixed(7).workers(), 7);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn sequential_policies_report_it() {
+        assert!(Parallelism::Off.is_sequential());
+        assert!(Parallelism::Fixed(1).is_sequential());
+        assert!(!Parallelism::Fixed(4).is_sequential());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for p in [Parallelism::Auto, Parallelism::Fixed(3)] {
+            assert_eq!(Parallelism::parse_jobs(&p.to_string()), Some(p));
+        }
+        assert_eq!(Parallelism::Off.to_string(), "off");
+    }
+}

@@ -1,0 +1,281 @@
+//! The fixed-size worker pool.
+//!
+//! Scheduling model: a parallel region partitions the index range
+//! `0..n` into fixed chunks, spawns `workers` scoped threads, and the
+//! threads pull chunk indices from one atomic cursor (work stealing at
+//! chunk granularity). Each thread tags its chunk outputs with the
+//! chunk index, and the caller stitches outputs back in chunk order —
+//! so the assembled result is **bit-for-bit identical** to a sequential
+//! run no matter how many workers raced or how chunks interleaved.
+//!
+//! Worker threads are scoped to the parallel region (fork-join): the
+//! pool object carries the policy, not live threads, so there is no
+//! cross-call state, no job-queue lifetime unsafety, and a poisoned
+//! region can never leak threads into the next one.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::contain::contain;
+use crate::parallelism::Parallelism;
+
+/// A contained panic, attributed to the chunk of work it escaped from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPanic {
+    /// The index range of the chunk that panicked.
+    pub range: Range<usize>,
+    /// The captured panic payload text.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ChunkPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chunk {}..{} panicked: {}",
+            self.range.start, self.range.end, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ChunkPanic {}
+
+/// A fixed-size worker pool over index ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with exactly `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized by a [`Parallelism`] policy.
+    pub fn with_parallelism(p: Parallelism) -> WorkerPool {
+        WorkerPool::new(p.workers())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The chunk size used for `n` items: roughly four chunks per
+    /// worker, so stragglers rebalance without drowning the scheduler
+    /// in tiny chunks.
+    fn chunk_for(&self, n: usize) -> usize {
+        n.div_ceil(self.workers * 4).max(1)
+    }
+
+    /// Run `per_chunk` over every chunk of `0..n` and return the
+    /// outputs in chunk order. `per_chunk` must not unwind (callers
+    /// wrap it in [`contain`]); if it does anyway, the panic is
+    /// re-raised on the calling thread after all workers finish.
+    fn run_chunks<T: Send>(
+        &self,
+        n: usize,
+        per_chunk: impl Fn(Range<usize>) -> T + Sync,
+    ) -> Vec<T> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = self.chunk_for(n);
+        let n_chunks = n.div_ceil(chunk);
+        let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+        if self.workers == 1 || n_chunks == 1 {
+            // Sequential fast path: no threads at all (Parallelism::Off).
+            return (0..n_chunks).map(|c| per_chunk(range_of(c))).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.min(n_chunks);
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                return out;
+                            }
+                            out.push((c, per_chunk(range_of(c))));
+                        }
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(n_chunks);
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    // Only reachable if `per_chunk` unwound despite the
+                    // contract; surface it on the calling thread.
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+            all
+        });
+        tagged.sort_unstable_by_key(|(c, _)| *c);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Chunked parallel map over `0..n` with deterministic ordering:
+    /// `par_map(n, f)[i] == f(i)` for every `i`, regardless of worker
+    /// count. Panics are captured per chunk and the first (in chunk
+    /// order) is re-raised after every worker has finished, so no work
+    /// is silently lost mid-region.
+    ///
+    /// # Panics
+    /// If `f` panics for any index.
+    pub fn par_map<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        match self.try_par_map(n, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{}", p.detail),
+        }
+    }
+
+    /// Like [`WorkerPool::par_map`], but a contained chunk panic is
+    /// returned as a [`ChunkPanic`] (the first failing chunk in chunk
+    /// order) instead of unwinding — the shape stage-level callers need
+    /// to convert into the suite's error taxonomy.
+    pub fn try_par_map<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Result<Vec<T>, ChunkPanic> {
+        let f = &f;
+        let chunks = self.run_chunks(n, move |range| {
+            let r = range.clone();
+            contain(move || r.map(f).collect::<Vec<T>>())
+                .map_err(|detail| ChunkPanic { range, detail })
+        });
+        let mut out = Vec::with_capacity(n);
+        for c in chunks {
+            out.extend(c?);
+        }
+        Ok(out)
+    }
+
+    /// Parallel map with **per-item** panic isolation: every index gets
+    /// its own contained outcome, so one poisoned item degrades only
+    /// itself — the shape the per-matcher train/score fan-out needs.
+    pub fn par_map_isolated<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<Result<T, String>> {
+        self.run_chunks(n, |range| {
+            range.map(|i| contain(|| f(i))).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Chunked parallel loop over `0..n` for side-effecting work whose
+    /// outputs live elsewhere (e.g. thread-safe accumulators).
+    ///
+    /// # Panics
+    /// If `f` panics for any index (first chunk in chunk order wins).
+    pub fn par_for_each(&self, n: usize, f: impl Fn(usize) + Sync) {
+        self.par_map(n, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_every_worker_count() {
+        let n = 1003;
+        let expected: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for workers in [1, 2, 3, 4, 9] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.par_map(n, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_respects_parallelism_policy() {
+        assert_eq!(WorkerPool::with_parallelism(Parallelism::Off).workers(), 1);
+        assert_eq!(
+            WorkerPool::with_parallelism(Parallelism::Fixed(4)).workers(),
+            4
+        );
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.par_map(0, |i| i).is_empty());
+        assert_eq!(pool.try_par_map(0, |i| i), Ok(Vec::new()));
+        assert!(pool.par_map_isolated(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn try_par_map_attributes_the_panicking_chunk() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .try_par_map(100, |i| {
+                assert!(i != 57, "item 57 is cursed");
+                i
+            })
+            .expect_err("must fail");
+        assert!(err.range.contains(&57), "{:?}", err.range);
+        assert!(err.detail.contains("cursed"), "{}", err.detail);
+        assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn par_map_isolated_degrades_only_the_poisoned_item() {
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.par_map_isolated(10, |i| {
+                assert!(i != 3, "injected: item 3 dies");
+                i * 2
+            });
+            assert_eq!(out.len(), 10);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let e = r.as_ref().expect_err("item 3 must fail");
+                    assert!(e.contains("item 3 dies"));
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(i * 2), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item 5 detonated")]
+    fn par_map_repanics_after_joining() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.par_map(20, |i| assert!(i != 5, "item 5 detonated"));
+    }
+
+    #[test]
+    fn par_for_each_runs_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkerPool::new(4);
+        pool.par_for_each(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunking_covers_the_range_without_overlap() {
+        // Indirectly verified by identity map: output == input order.
+        for n in [1, 2, 7, 64, 65, 1000] {
+            let pool = WorkerPool::new(4);
+            let got = pool.par_map(n, |i| i);
+            assert_eq!(got, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+}

@@ -38,14 +38,14 @@ fn main() {
     // Keep copies for building "uploaded" predictions later.
     let (table_a, table_b) = (data.table_a.clone(), data.table_b.clone());
 
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("valid dataset")
-    .run(&[MatcherKind::DtMatcher]); // one integrated matcher as baseline
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .expect("valid dataset")
+        .try_run(&[MatcherKind::DtMatcher]) // one integrated matcher as baseline
+        .expect("baseline trains");
 
     let auditor = Auditor::new(AuditConfig {
         min_support: 10,

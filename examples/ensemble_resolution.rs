@@ -16,21 +16,21 @@ use fairem360::prelude::FairEm360;
 
 fn main() {
     let data = faculty_match(&FacultyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("valid dataset")
-    .run(&[
-        MatcherKind::DtMatcher,
-        MatcherKind::RfMatcher,
-        MatcherKind::LinRegMatcher,
-        MatcherKind::SvmMatcher,
-        MatcherKind::NbMatcher,
-        MatcherKind::Mcan,
-    ]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .expect("valid dataset")
+        .try_run(&[
+            MatcherKind::DtMatcher,
+            MatcherKind::RfMatcher,
+            MatcherKind::LinRegMatcher,
+            MatcherKind::SvmMatcher,
+            MatcherKind::NbMatcher,
+            MatcherKind::Mcan,
+        ])
+        .expect("fleet trains");
 
     let explorer = session.ensemble(
         0,

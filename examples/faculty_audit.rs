@@ -23,17 +23,16 @@ fn main() {
         data.table_b.len(),
         data.matches.len()
     );
-    let suite = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("valid dataset");
+    let suite = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .expect("valid dataset");
 
     // Step 2: matcher selection — the full fleet.
     println!("step 2 — training {} matchers ...", MatcherKind::ALL.len());
-    let session = suite.run(&MatcherKind::ALL);
+    let session = suite.try_run(&MatcherKind::ALL).expect("fleet trains");
 
     // Step 3: fairness evaluation.
     let auditor = Auditor::new(AuditConfig {
@@ -68,7 +67,7 @@ fn main() {
     println!("worst cell: {matcher} / {measure} / {group} (disparity {disparity:.3})");
 
     // Explanations for the worst cell.
-    let workload = session.workload(&matcher);
+    let workload = session.workload(&matcher).expect("matcher trained");
     let explainer = session.explainer(&workload, Disparity::Subtraction);
     println!("\nexplanations:");
     println!(

@@ -16,14 +16,14 @@ use fairem360::prelude::FairEm360;
 
 fn main() {
     let data = faculty_match(&FacultyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("valid dataset")
-    .run(&[MatcherKind::LinRegMatcher]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .expect("valid dataset")
+        .try_run(&[MatcherKind::LinRegMatcher])
+        .expect("matcher trains");
 
     let auditor = Auditor::new(AuditConfig {
         measures: vec![FairnessMeasure::TruePositiveRateParity],
@@ -32,7 +32,9 @@ fn main() {
     });
 
     // Mode A: one test set → k bootstrap workloads.
-    let base = session.workload("LinRegMatcher");
+    let base = session
+        .workload("LinRegMatcher")
+        .expect("LinRegMatcher trained");
     let report = analyze_bootstrap(
         "LinRegMatcher",
         &base,

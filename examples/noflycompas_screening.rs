@@ -14,17 +14,18 @@ use fairem360::prelude::FairEm360;
 
 fn main() {
     let data = nofly_compas(&NoFlyConfig::default());
-    let suite = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![
+    let suite = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([
             SensitiveAttr::categorical("race"),
             SensitiveAttr::categorical("sex"),
-        ],
-    )
-    .expect("valid dataset");
-    let session = suite.run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher]);
+        ])
+        .build()
+        .expect("valid dataset");
+    let session = suite
+        .try_run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher])
+        .expect("matchers train");
 
     println!(
         "extracted {} (sub)groups, including intersections:",
@@ -43,7 +44,7 @@ fn main() {
         ..AuditConfig::default()
     });
     for matcher in session.matcher_names() {
-        let report = session.audit(matcher, &auditor);
+        let report = session.audit(matcher, &auditor).expect("matcher trained");
         println!("{matcher}:");
         for e in &report.entries {
             if e.disparity.is_finite() && e.disparity > 0.05 {
@@ -66,7 +67,9 @@ fn main() {
         min_support: 10,
         ..AuditConfig::default()
     });
-    let report = session.audit("LinRegMatcher", &pairwise);
+    let report = session
+        .audit("LinRegMatcher", &pairwise)
+        .expect("LinRegMatcher trained");
     println!("\npairwise (race×race) TPRP for LinRegMatcher:");
     for e in &report.entries {
         if !e.insufficient() {
@@ -78,14 +81,18 @@ fn main() {
     }
 
     // Drill into the most disparate subgroup via the lattice.
-    let single = session.audit("LinRegMatcher", &auditor);
+    let single = session
+        .audit("LinRegMatcher", &auditor)
+        .expect("LinRegMatcher trained");
     if let Some(worst) = single
         .entries
         .iter()
         .filter(|e| e.disparity.is_finite())
         .max_by(|a, b| a.disparity.total_cmp(&b.disparity))
     {
-        let w = session.workload("LinRegMatcher");
+        let w = session
+            .workload("LinRegMatcher")
+            .expect("LinRegMatcher trained");
         let explainer = session.explainer(&w, Disparity::Division);
         println!("\nsubgroup drill-down for {}:", worst.group);
         for row in explainer.subgroup(worst.measure, &worst.group).rows {

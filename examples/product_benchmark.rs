@@ -20,21 +20,21 @@ use fairem360::prelude::FairEm360;
 fn main() {
     // --- WDC-style products, sensitive attribute: brand tier ---
     let data = wdc_products(&ProductsConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("tier")],
-    )
-    .expect("valid dataset")
-    .with_config(SuiteConfig {
-        prep: PrepConfig {
-            blocking_columns: vec!["title".into()],
-            ..PrepConfig::default()
-        },
-        ..SuiteConfig::default()
-    })
-    .run(&[MatcherKind::RfMatcher, MatcherKind::LogRegMatcher]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("tier")])
+        .config(SuiteConfig {
+            prep: PrepConfig {
+                blocking_columns: vec!["title".into()],
+                ..PrepConfig::default()
+            },
+            ..SuiteConfig::default()
+        })
+        .build()
+        .expect("valid dataset")
+        .try_run(&[MatcherKind::RfMatcher, MatcherKind::LogRegMatcher])
+        .expect("matchers train");
 
     let auditor = Auditor::new(AuditConfig {
         measures: vec![
@@ -51,21 +51,21 @@ fn main() {
 
     // --- Citations, sensitive attribute: venue ---
     let data = citations(&CitationsConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("venue")],
-    )
-    .expect("valid dataset")
-    .with_config(SuiteConfig {
-        prep: PrepConfig {
-            blocking_columns: vec!["title".into()],
-            ..PrepConfig::default()
-        },
-        ..SuiteConfig::default()
-    })
-    .run(&[MatcherKind::RfMatcher]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("venue")])
+        .config(SuiteConfig {
+            prep: PrepConfig {
+                blocking_columns: vec!["title".into()],
+                ..PrepConfig::default()
+            },
+            ..SuiteConfig::default()
+        })
+        .build()
+        .expect("valid dataset")
+        .try_run(&[MatcherKind::RfMatcher])
+        .expect("matcher trains");
     println!("== Citations (per-venue) ==");
     for report in session.audit_all(&auditor) {
         println!("{}", audit_text(&report));

@@ -16,16 +16,17 @@ fn main() {
     let data = faculty_match(&FacultyConfig::small());
 
     // 2. Import it, declaring which column carries the sensitive groups.
-    let suite = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("valid dataset");
+    let suite = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .expect("valid dataset");
 
     // 3. Train a couple of the integrated matchers.
-    let session = suite.run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher]);
+    let session = suite
+        .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
+        .expect("matchers train");
 
     // 4. Audit them — five headline measures, 20% fairness threshold.
     let auditor = Auditor::new(AuditConfig {

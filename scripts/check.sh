@@ -14,10 +14,19 @@ else
   echo "skipped (SKIP_RELEASE=1)"
 fi
 
-echo "== tier-1: workspace tests =="
-cargo test -q --workspace
+# The suite promises identical results under every parallelism policy,
+# so the whole test matrix runs twice: pinned sequential and pinned to
+# a 4-worker pool (FAIREM_JOBS drives Parallelism::Auto).
+echo "== tier-1: workspace tests (FAIREM_JOBS=1) =="
+FAIREM_JOBS=1 cargo test -q --workspace
+
+echo "== tier-1: workspace tests (FAIREM_JOBS=4) =="
+FAIREM_JOBS=4 cargo test -q --workspace
 
 echo "== lints: clippy, warnings denied, unwrap() banned outside tests =="
 cargo clippy --workspace -- -D warnings -D clippy::unwrap_used
+
+echo "== lints: expect() banned in the pool and suite crates =="
+cargo clippy --no-deps -p fairem-par -p fairem-core -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== check.sh: all gates passed =="

@@ -15,7 +15,7 @@ use fairem_core::matcher::{ExternalScores, MatcherKind};
 use fairem_core::pipeline::FairEm360;
 use fairem_core::report::{audit_json, audit_text};
 use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::SuiteError;
+use fairem_core::{Parallelism, SuiteError};
 use fairem_csvio::{read_csv_file, write_csv_file, CsvTable, Json};
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
@@ -110,14 +110,21 @@ USAGE:
          [--matchers <name,..>] [--measures <name,..>] [--paradigm single|pairwise]
          [--disparity subtraction|division] [--threshold <f>] [--fairness-threshold <f>]
          [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
+         [--jobs <n|auto>]
   fairem audit-scores --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
          --sensitive <col[,col]> [audit options as above]
   fairem analyze --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
          --sensitive <col[,col]> [--measure <name>] [--fairness-threshold <f>]
+         [--jobs <n|auto>]
 
 FILES:
   matches csv: header `id_a,id_b`, one ground-truth pair per row
   scores  csv: header `id_a,id_b,score`, your matcher's predictions
+
+PARALLELISM:
+  --jobs N uses a fixed pool of N workers; `auto` or `0` (the default)
+  sizes the pool from FAIREM_JOBS or the hardware thread count. Results
+  are identical for every setting; only wall-clock time changes.
 
 EXIT CODES:
   0  success, full coverage
@@ -186,6 +193,15 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| err(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    fn jobs(&self) -> Result<Parallelism, CliError> {
+        match self.get("jobs") {
+            None => Ok(Parallelism::Auto),
+            Some(v) => Parallelism::parse_jobs(v).ok_or_else(|| {
+                err(format!("--jobs expects a worker count, `0`, or `auto`, got {v:?}"))
+            }),
         }
     }
 }
@@ -337,15 +353,22 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
 
     let mut config = fairem_core::pipeline::SuiteConfig {
         matching_threshold,
+        parallelism: args.jobs()?,
         ..Default::default()
     };
     if let Some(cols) = args.get("blocking") {
         config.prep.blocking_columns = cols.split(',').map(|c| c.trim().to_owned()).collect();
     }
-    // Fault-tolerant import: malformed rows are quarantined (and listed
-    // in the output) instead of failing the whole audit.
-    let (suite, _) =
-        FairEm360::import_with(table_a, table_b, matches, sensitive, config).map_err(suite_err)?;
+    // Fault-tolerant import (the builder's default): malformed rows are
+    // quarantined (and listed in the output) instead of failing the
+    // whole audit.
+    let suite = FairEm360::builder()
+        .tables(table_a, table_b)
+        .ground_truth(matches)
+        .sensitive(sensitive)
+        .config(config)
+        .build()
+        .map_err(suite_err)?;
 
     let dump_path = args.get("dump-workload").map(PathBuf::from);
     let dump = |session: &fairem_core::pipeline::Session,
@@ -396,7 +419,8 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
         };
         let session = suite.try_run(&kinds).map_err(suite_err)?;
         for name in session.matcher_names() {
-            dump(&session, name, &session.workload(name))?;
+            let w = session.workload(name).map_err(suite_err)?;
+            dump(&session, name, &w)?;
         }
         let reports = session.audit_all(&auditor);
         (session, reports)
@@ -479,8 +503,14 @@ fn cmd_analyze(args: &Args) -> Result<CliOutput, CliError> {
     let fairness_threshold = args.get_f64("fairness-threshold", 0.2)?;
     let ext = read_external_scores(Path::new(args.required("scores")?))?;
 
-    let suite = FairEm360::import(table_a, table_b, matches, sensitive)
-        .map_err(|e| data_err(format!("schema error: {e}")))?;
+    let suite = FairEm360::builder()
+        .tables(table_a, table_b)
+        .ground_truth(matches)
+        .sensitive(sensitive)
+        .parallelism(args.jobs()?)
+        .strict()
+        .build()
+        .map_err(suite_err)?;
     let session = suite.try_run(&[MatcherKind::DtMatcher]).map_err(suite_err)?;
     let workload = session.external_workload(&ext);
     let groups: Vec<fairem_core::sensitive::GroupId> = session.space.level1_of_attr(0);
@@ -650,6 +680,45 @@ mod tests {
         assert_eq!(out.exit_code(), EXIT_DEGRADED);
         assert!(out.text.contains("quarantined"), "{}", out.text);
         assert!(out.text.contains("LinRegMatcher"));
+    }
+
+    #[test]
+    fn jobs_flag_is_validated_and_does_not_change_output() {
+        let dir = tmpdir("jobs");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let audit = |jobs: &str| {
+            run(&args(&[
+                "audit",
+                "--table-a",
+                dir.join("tableA.csv").to_str().unwrap(),
+                "--table-b",
+                dir.join("tableB.csv").to_str().unwrap(),
+                "--matches",
+                dir.join("matches.csv").to_str().unwrap(),
+                "--sensitive",
+                "country",
+                "--matchers",
+                "LinRegMatcher",
+                "--min-support",
+                "20",
+                "--jobs",
+                jobs,
+            ]))
+        };
+        let seq = audit("1").unwrap();
+        let par = audit("4").unwrap();
+        assert_eq!(seq.text, par.text, "report must not depend on --jobs");
+        assert_eq!(seq.exit_code(), par.exit_code());
+        let e = audit("banana").unwrap_err();
+        assert!(e.message.contains("--jobs expects"), "{}", e.message);
+        assert_eq!(e.exit, EXIT_USAGE);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! examples, tests and downstream users can depend on a single name:
 //!
 //! - [`text`] — string similarity kernels and TF-IDF.
+//! - [`par`] — the deterministic worker pool behind the suite's
+//!   parallel hot paths (see [`core::Parallelism`]).
 //! - [`csvio`] — CSV (RFC 4180) and JSON IO substrate.
 //! - [`stats`] — distributions, hypothesis tests, bootstrap.
 //! - [`ml`] — classic from-scratch matchers (DT, RF, SVM, ...).
@@ -26,6 +28,7 @@ pub use fairem_core as core;
 pub use fairem_csvio as csvio;
 pub use fairem_datasets as datasets;
 pub use fairem_ml as ml;
+pub use fairem_par as par;
 pub use fairem_neural as neural;
 pub use fairem_stats as stats;
 pub use fairem_text as text;
@@ -37,8 +40,9 @@ pub mod prelude {
     pub use fairem_core::ensemble::{EnsembleExplorer, ParetoPoint};
     pub use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
     pub use fairem_core::matcher::{Matcher, MatcherKind, MatcherRegistry};
-    pub use fairem_core::pipeline::FairEm360;
+    pub use fairem_core::pipeline::{FairEm360, SuiteBuilder, SuiteConfig};
     pub use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
     pub use fairem_core::workload::Workload;
+    pub use fairem_par::Parallelism;
     pub use fairem_datasets::{faculty_match, nofly_compas};
 }

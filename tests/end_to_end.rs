@@ -12,15 +12,15 @@ use fairem360::datasets::{faculty_match, FacultyConfig};
 
 fn session(kinds: &[MatcherKind]) -> Session {
     let data = faculty_match(&FacultyConfig::small());
-    FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .expect("generated dataset is schema-valid")
-    .with_config(SuiteConfig::fast())
-    .run(kinds)
+    FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .config(SuiteConfig::fast())
+        .build()
+        .expect("generated dataset is schema-valid")
+        .try_run(kinds)
+        .expect("matchers train")
 }
 
 #[test]
@@ -50,7 +50,7 @@ fn classic_pipeline_produces_full_audit() {
 #[test]
 fn neural_matcher_runs_in_pipeline() {
     let s = session(&[MatcherKind::DeepMatcher]);
-    let w = s.workload("DeepMatcher");
+    let w = s.workload("DeepMatcher").expect("DeepMatcher trained");
     assert_eq!(w.len(), s.test_size());
     let cm = w.overall_confusion();
     // The neural matcher must be meaningfully better than chance.
@@ -66,7 +66,7 @@ fn pairwise_paradigm_covers_group_pairs() {
         min_support: 1,
         ..AuditConfig::default()
     });
-    let report = s.audit("DTMatcher", &auditor);
+    let report = s.audit("DTMatcher", &auditor).expect("DTMatcher trained");
     // 5 groups → C(5,2) + 5 = 15 pairs.
     assert_eq!(report.entries.len(), 15);
 }
@@ -79,7 +79,7 @@ fn multiworkload_analysis_runs_on_session() {
         min_support: 5,
         ..AuditConfig::default()
     });
-    let base = s.workload("LinRegMatcher");
+    let base = s.workload("LinRegMatcher").expect("LinRegMatcher trained");
     let report = analyze_bootstrap("LinRegMatcher", &base, &s.space, &auditor, 10, 0.05, 3);
     assert_eq!(report.k, 10);
     assert!(!report.tests.is_empty());
@@ -92,7 +92,7 @@ fn multiworkload_analysis_runs_on_session() {
 #[test]
 fn explanations_cover_all_four_families() {
     let s = session(&[MatcherKind::LinRegMatcher]);
-    let w = s.workload("LinRegMatcher");
+    let w = s.workload("LinRegMatcher").expect("LinRegMatcher trained");
     let ex = s.explainer(&w, Disparity::Subtraction);
     let measure = FairnessMeasure::TruePositiveRateParity;
     // Subgroup family: single attribute → no children, but no panic.
@@ -142,8 +142,8 @@ fn resolution_never_increases_unfairness_over_best_single() {
 fn session_is_deterministic() {
     let a = session(&[MatcherKind::DtMatcher]);
     let b = session(&[MatcherKind::DtMatcher]);
-    let wa = a.workload("DTMatcher");
-    let wb = b.workload("DTMatcher");
+    let wa = a.workload("DTMatcher").expect("DTMatcher trained");
+    let wb = b.workload("DTMatcher").expect("DTMatcher trained");
     assert_eq!(wa.len(), wb.len());
     for (x, y) in wa.items.iter().zip(&wb.items) {
         assert_eq!(x.score, y.score);

@@ -13,21 +13,21 @@ use fairem360::datasets::{faculty_match, FacultyConfig};
 
 fn faculty_session() -> fairem360::core::pipeline::Session {
     let data = faculty_match(&FacultyConfig::default());
-    FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .unwrap()
-    .run(&[MatcherKind::LinRegMatcher])
+    FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .build()
+        .unwrap()
+        .try_run(&[MatcherKind::LinRegMatcher])
+        .unwrap()
 }
 
 #[test]
 fn threshold_sweep_and_suggestion_on_real_session() {
     let s = faculty_session();
     let groups: Vec<GroupId> = s.space.level1_of_attr(0);
-    let w = s.workload("LinRegMatcher");
+    let w = s.workload("LinRegMatcher").unwrap();
     let grid = default_grid();
     let sw = sweep(
         &w,
@@ -60,7 +60,7 @@ fn threshold_sweep_and_suggestion_on_real_session() {
 fn auc_parity_shows_calibration_not_ranking_harm() {
     let s = faculty_session();
     let groups: Vec<GroupId> = s.space.level1_of_attr(0);
-    let w = s.workload("LinRegMatcher");
+    let w = s.workload("LinRegMatcher").unwrap();
     let entries = auc_parity(&w, &s.space, &groups, Disparity::Subtraction);
     let cn = entries.iter().find(|e| e.group == "cn").unwrap();
     // The ranking is nearly intact even though threshold-0.5 TPR breaks.
@@ -77,8 +77,12 @@ fn calibration_resolution_reduces_cn_disparity() {
     let s = faculty_session();
     let groups: Vec<GroupId> = s.space.level1_of_attr(0);
     let cn = s.space.by_name("cn").unwrap();
-    let before = s.workload("LinRegMatcher").group_confusion(cn).tpr();
-    let calibrated = s.calibrated_workload("LinRegMatcher", &groups);
+    let before = s
+        .workload("LinRegMatcher")
+        .unwrap()
+        .group_confusion(cn)
+        .tpr();
+    let calibrated = s.calibrated_workload("LinRegMatcher", &groups).unwrap();
     let after = calibrated.group_confusion(cn).tpr();
     assert!(after > before + 0.1, "calibration: {before} -> {after}");
 }
@@ -93,7 +97,11 @@ fn repair_resolution_reduces_cn_disparity() {
         ..AuditConfig::default()
     });
     let before = auditor
-        .audit("LinRegMatcher", &s.workload("LinRegMatcher"), &s.space)
+        .audit(
+            "LinRegMatcher",
+            &s.workload("LinRegMatcher").unwrap(),
+            &s.space,
+        )
         .entry(FairnessMeasure::TruePositiveRateParity, "cn")
         .unwrap()
         .disparity;
@@ -123,24 +131,29 @@ fn setwise_sensitive_attribute_flows_through_pipeline() {
     .unwrap();
     let matches: Vec<(String, String)> =
         (0..6).map(|i| (format!("a{i}"), format!("b{i}"))).collect();
-    let session = FairEm360::import(a, b, matches, vec![SensitiveAttr::set_valued("lang")])
+    let session = FairEm360::builder()
+        .tables(a, b)
+        .ground_truth(matches)
+        .sensitive([SensitiveAttr::set_valued("lang")])
+        .config(SuiteConfig::fast())
+        .build()
         .unwrap()
-        .with_config(SuiteConfig::fast())
-        .run(&[MatcherKind::DtMatcher]);
+        .try_run(&[MatcherKind::DtMatcher])
+        .unwrap();
     // Three languages → three groups; multi-membership encodings.
     assert_eq!(session.space.len(), 3);
     let auditor = Auditor::new(AuditConfig {
         min_support: 1,
         ..AuditConfig::default()
     });
-    let report = session.audit("DTMatcher", &auditor);
+    let report = session.audit("DTMatcher", &auditor).unwrap();
     assert_eq!(report.entries.len(), 3 * 5);
     // Entities with two languages are counted toward both groups: total
     // single-group support exceeds the workload size.
     let zh = session.space.by_name("zh").unwrap();
     let en = session.space.by_name("en").unwrap();
     let de = session.space.by_name("de").unwrap();
-    let w = session.workload("DTMatcher");
+    let w = session.workload("DTMatcher").unwrap();
     let sum = w.group_support(zh) + w.group_support(en) + w.group_support(de);
     assert!(
         sum >= w.len(),

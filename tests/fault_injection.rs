@@ -95,7 +95,9 @@ fn killing_one_matcher_degrades_but_completes() {
         // Surviving matchers are still auditable, and the report carries
         // the degraded-coverage flag.
         let auditor = auditor();
-        let report = session.audit("LinRegMatcher", &auditor);
+        let report = session
+            .audit("LinRegMatcher", &auditor)
+            .expect("survivor audits");
         assert!(report.is_degraded());
         assert_eq!(report.degraded.len(), 1);
         assert!(!report.entries.is_empty(), "survivor audit must be real");
@@ -147,12 +149,14 @@ fn poisoned_scores_are_clamped_before_thresholding() {
     assert_eq!(session.coverage(), (2, 2));
 
     // Everything downstream of the clamp stays finite and in-range.
-    let w = session.workload("LinRegMatcher");
+    let w = session.workload("LinRegMatcher").expect("matcher trained");
     assert!(w
         .items
         .iter()
         .all(|c| c.score.is_finite() && (0.0..=1.0).contains(&c.score)));
-    let report = session.audit("LinRegMatcher", &auditor());
+    let report = session
+        .audit("LinRegMatcher", &auditor())
+        .expect("matcher trained");
     assert!(
         !report.entries.is_empty(),
         "clamped scores must still be auditable"
@@ -198,8 +202,53 @@ fn corrupted_import_rows_are_quarantined_and_run_completes() {
         !session.quarantine().is_empty(),
         "the session carries the quarantine forward for reporting"
     );
-    let report = session.audit("LinRegMatcher", &auditor());
+    let report = session
+        .audit("LinRegMatcher", &auditor())
+        .expect("matcher trained");
     assert!(!report.entries.is_empty());
+}
+
+#[test]
+fn parallel_chunk_panic_degrades_identically_to_sequential() {
+    use fairem360::core::Parallelism;
+    let session_with = |parallelism: Parallelism| {
+        let plan = FaultPlan::seeded(7).kill(MatcherKind::DtMatcher, FaultSite::Score);
+        let data = faculty_match(&dataset_config());
+        let mut config = suite_config(plan);
+        config.parallelism = parallelism;
+        let (suite, _) = FairEm360::import_with(
+            data.table_a,
+            data.table_b,
+            data.matches,
+            vec![SensitiveAttr::categorical("country")],
+            config,
+        )
+        .expect("clean import");
+        suite.try_run(&KINDS).expect("run must complete")
+    };
+    let seq = session_with(Parallelism::Off);
+    let par = session_with(Parallelism::Fixed(4));
+
+    // The fault is contained inside a pool worker, yet degrades exactly
+    // like the sequential run: same survivors, same attribution.
+    assert_eq!(seq.coverage(), par.coverage());
+    assert_eq!(seq.matcher_names(), par.matcher_names());
+    let (sf, pf) = (seq.failures(), par.failures());
+    assert_eq!(sf.len(), 1);
+    assert_eq!(pf.len(), 1);
+    assert_eq!(sf[0].matcher, pf[0].matcher);
+    assert_eq!(sf[0].stage, pf[0].stage);
+
+    // And the survivor's audit is bit-for-bit the same report.
+    let a = auditor();
+    let rs = seq.audit("LinRegMatcher", &a).expect("survivor audits");
+    let rp = par.audit("LinRegMatcher", &a).expect("survivor audits");
+    assert_eq!(rs.degraded.len(), rp.degraded.len());
+    assert_eq!(rs.entries.len(), rp.entries.len());
+    for (es, ep) in rs.entries.iter().zip(&rp.entries) {
+        assert_eq!(es.group, ep.group);
+        assert_eq!(es.disparity.to_bits(), ep.disparity.to_bits());
+    }
 }
 
 #[test]

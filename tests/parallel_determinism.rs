@@ -1,0 +1,112 @@
+//! Determinism across parallelism policies: the worker pool must be an
+//! invisible optimization. Every session artifact — workload scores,
+//! audit reports, Pareto frontiers — must be bit-for-bit identical
+//! whether the suite runs sequentially (`Off`), on one worker
+//! (`Fixed(1)`), or fanned out (`Fixed(4)`).
+
+use fairem360::core::audit::{AuditConfig, Auditor};
+use fairem360::core::fairness::{Disparity, FairnessMeasure};
+use fairem360::core::matcher::MatcherKind;
+use fairem360::core::pipeline::{FairEm360, Session, SuiteConfig};
+use fairem360::core::sensitive::SensitiveAttr;
+use fairem360::datasets::{faculty_match, FacultyConfig};
+use fairem360::prelude::Parallelism;
+
+const KINDS: [MatcherKind; 3] = [
+    MatcherKind::DtMatcher,
+    MatcherKind::LinRegMatcher,
+    MatcherKind::NbMatcher,
+];
+
+fn session(parallelism: Parallelism) -> Session {
+    let data = faculty_match(&FacultyConfig::small());
+    FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .config(SuiteConfig::fast())
+        .parallelism(parallelism)
+        .build()
+        .expect("generated dataset is schema-valid")
+        .try_run(&KINDS)
+        .expect("matchers train")
+}
+
+fn auditor() -> Auditor {
+    Auditor::new(AuditConfig {
+        min_support: 5,
+        ..AuditConfig::default()
+    })
+}
+
+#[test]
+fn workloads_are_bitwise_identical_across_policies() {
+    let baseline = session(Parallelism::Off);
+    for policy in [Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+        let other = session(policy);
+        assert_eq!(baseline.matcher_names(), other.matcher_names());
+        for name in baseline.matcher_names() {
+            let wb = baseline.workload(name).expect("matcher trained");
+            let wo = other.workload(name).expect("matcher trained");
+            assert_eq!(wb.len(), wo.len());
+            for (x, y) in wb.items.iter().zip(&wo.items) {
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{name} diverged under {policy}"
+                );
+                assert_eq!(x.truth, y.truth);
+                assert_eq!((x.a_row, x.b_row), (y.a_row, y.b_row));
+            }
+        }
+    }
+}
+
+#[test]
+fn audit_reports_are_identical_across_policies() {
+    let auditor = auditor();
+    let baseline = session(Parallelism::Off);
+    let parallel = session(Parallelism::Fixed(4));
+    let ra = baseline.audit_all(&auditor);
+    let rb = parallel.audit_all(&auditor);
+    assert_eq!(ra.len(), rb.len());
+    for (a, b) in ra.iter().zip(&rb) {
+        assert_eq!(a.matcher, b.matcher, "audit_all order must be stable");
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (ea, eb) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(ea.group, eb.group);
+            assert_eq!(ea.measure, eb.measure);
+            assert_eq!(ea.disparity.to_bits(), eb.disparity.to_bits());
+            assert_eq!(ea.unfair, eb.unfair);
+        }
+    }
+}
+
+#[test]
+fn pareto_frontiers_are_identical_across_policies() {
+    let baseline = session(Parallelism::Off);
+    let parallel = session(Parallelism::Fixed(4));
+    for s in [&baseline, &parallel] {
+        assert_eq!(s.coverage(), (3, 3));
+    }
+    let fa = baseline
+        .ensemble(
+            0,
+            FairnessMeasure::TruePositiveRateParity,
+            Disparity::Subtraction,
+        )
+        .pareto_frontier();
+    let fb = parallel
+        .ensemble(
+            0,
+            FairnessMeasure::TruePositiveRateParity,
+            Disparity::Subtraction,
+        )
+        .pareto_frontier();
+    assert_eq!(fa.len(), fb.len());
+    for (a, b) in fa.iter().zip(&fb) {
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.unfairness.to_bits(), b.unfairness.to_bits());
+        assert_eq!(a.performance.to_bits(), b.performance.to_bits());
+    }
+}

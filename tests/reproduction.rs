@@ -50,18 +50,18 @@ fn auditor() -> Auditor {
 #[test]
 fn figure4_linreg_unfair_on_cn_tree_fair() {
     let data = faculty_match(&FacultyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .unwrap()
-    .with_config(suite_config())
-    .run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .config(suite_config())
+        .build()
+        .unwrap()
+        .try_run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher])
+        .unwrap();
 
     let auditor = auditor();
-    let linreg = session.audit("LinRegMatcher", &auditor);
+    let linreg = session.audit("LinRegMatcher", &auditor).unwrap();
     let cn = linreg
         .entry(FairnessMeasure::TruePositiveRateParity, "cn")
         .unwrap();
@@ -79,27 +79,27 @@ fn figure4_linreg_unfair_on_cn_tree_fair() {
         assert!(!e.unfair, "{g} unexpectedly unfair: {}", e.disparity);
     }
     // The random forest handles the cn drift.
-    let rf = session.audit("RFMatcher", &auditor);
+    let rf = session.audit("RFMatcher", &auditor).unwrap();
     assert!(!rf.any_unfair(), "RFMatcher should be fair everywhere");
 }
 
 #[test]
 fn figures6_7_resolution_brings_cn_within_threshold() {
     let data = faculty_match(&FacultyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .unwrap()
-    .with_config(suite_config())
-    .run(&[
-        MatcherKind::LinRegMatcher,
-        MatcherKind::RfMatcher,
-        MatcherKind::DtMatcher,
-        MatcherKind::NbMatcher,
-    ]);
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .config(suite_config())
+        .build()
+        .unwrap()
+        .try_run(&[
+            MatcherKind::LinRegMatcher,
+            MatcherKind::RfMatcher,
+            MatcherKind::DtMatcher,
+            MatcherKind::NbMatcher,
+        ])
+        .unwrap();
 
     let explorer = session.ensemble(
         0,
@@ -136,16 +136,16 @@ fn figures6_7_resolution_brings_cn_within_threshold() {
 #[test]
 fn multiworkload_confirms_cn_unfairness_is_repeatable() {
     let data = faculty_match(&FacultyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![SensitiveAttr::categorical("country")],
-    )
-    .unwrap()
-    .with_config(suite_config())
-    .run(&[MatcherKind::LinRegMatcher]);
-    let base = session.workload("LinRegMatcher");
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([SensitiveAttr::categorical("country")])
+        .config(suite_config())
+        .build()
+        .unwrap()
+        .try_run(&[MatcherKind::LinRegMatcher])
+        .unwrap();
+    let base = session.workload("LinRegMatcher").unwrap();
     let report = analyze_bootstrap(
         "LinRegMatcher",
         &base,
@@ -176,25 +176,25 @@ fn multiworkload_confirms_cn_unfairness_is_repeatable() {
 #[test]
 fn noflycompas_intersectional_subgroup_is_worse() {
     let data = nofly_compas(&NoFlyConfig::default());
-    let session = FairEm360::import(
-        data.table_a,
-        data.table_b,
-        data.matches,
-        vec![
+    let session = FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive([
             SensitiveAttr::categorical("race"),
             SensitiveAttr::categorical("sex"),
-        ],
-    )
-    .unwrap()
-    .with_config(suite_config())
-    .run(&[MatcherKind::LinRegMatcher]);
+        ])
+        .config(suite_config())
+        .build()
+        .unwrap()
+        .try_run(&[MatcherKind::LinRegMatcher])
+        .unwrap();
 
     let auditor = Auditor::new(AuditConfig {
         measures: vec![FairnessMeasure::TruePositiveRateParity],
         min_support: 15,
         ..AuditConfig::default()
     });
-    let report = session.audit("LinRegMatcher", &auditor);
+    let report = session.audit("LinRegMatcher", &auditor).unwrap();
     let asian = report
         .entry(FairnessMeasure::TruePositiveRateParity, "asian")
         .unwrap();
@@ -204,7 +204,7 @@ fn noflycompas_intersectional_subgroup_is_worse() {
         asian.disparity
     );
     // Drill down: at least one intersectional child is at least as bad.
-    let w = session.workload("LinRegMatcher");
+    let w = session.workload("LinRegMatcher").unwrap();
     let explainer = session.explainer(&w, Disparity::Subtraction);
     let sub = explainer.subgroup(FairnessMeasure::TruePositiveRateParity, "asian");
     assert!(!sub.rows.is_empty());
