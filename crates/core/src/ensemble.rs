@@ -3,7 +3,7 @@
 //! space, and surface the fairness/performance Pareto frontier for the
 //! user to pick a resolution from.
 
-use fairem_par::{Parallelism, WorkerPool};
+use fairem_par::{CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 
 use crate::fairness::{Disparity, FairnessMeasure};
 use crate::sensitive::{GroupId, GroupSpace};
@@ -37,6 +37,7 @@ pub struct EnsembleExplorer {
     measure: FairnessMeasure,
     disparity: Disparity,
     parallelism: Parallelism,
+    cancel: CancelToken,
 }
 
 impl EnsembleExplorer {
@@ -87,6 +88,7 @@ impl EnsembleExplorer {
             measure,
             disparity,
             parallelism: Parallelism::Off,
+            cancel: CancelToken::inert(),
         }
     }
 
@@ -95,6 +97,14 @@ impl EnsembleExplorer {
     /// policy; only enumeration wall-clock changes.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> EnsembleExplorer {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Cancellation token observed during assignment enumeration (a
+    /// session passes its run token through). With the default inert
+    /// token the enumeration always completes.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> EnsembleExplorer {
+        self.cancel = cancel;
         self
     }
 
@@ -194,6 +204,19 @@ impl EnsembleExplorer {
     /// If the assignment space exceeds `10⁷` points; restrict groups or
     /// matchers first.
     pub fn pareto_frontier(&self) -> Vec<ParetoPoint> {
+        self.try_pareto_frontier().0
+    }
+
+    /// Cancellable [`Self::pareto_frontier`]: when the explorer's token
+    /// (see [`Self::with_cancel`]) trips mid-enumeration, returns the
+    /// frontier of the contiguous prefix of assignments evaluated so
+    /// far, plus the [`Interrupt`] record — a usable partial result
+    /// instead of an all-or-nothing abort.
+    ///
+    /// # Panics
+    /// If the assignment space exceeds `10⁷` points; restrict groups or
+    /// matchers first.
+    pub fn try_pareto_frontier(&self) -> (Vec<ParetoPoint>, Option<Interrupt>) {
         let m = self.matchers.len();
         let k = self.groups.len();
         assert!(
@@ -208,7 +231,7 @@ impl EnsembleExplorer {
         // returns points in index order — so the point sequence, and
         // therefore the frontier, is identical for any worker count.
         let pool = WorkerPool::with_parallelism(self.parallelism);
-        let points = pool.par_map(total, |idx| {
+        let outcome = pool.par_map_within(total, &self.cancel, |idx| {
             let mut assignment = vec![0usize; k];
             let mut rest = idx;
             for slot in assignment.iter_mut() {
@@ -217,7 +240,12 @@ impl EnsembleExplorer {
             }
             self.evaluate(&assignment)
         });
-        frontier(points, higher)
+        match outcome {
+            ParOutcome::Complete(points) => (frontier(points, higher), None),
+            ParOutcome::Interrupted {
+                done, interrupt, ..
+            } => (frontier(done, higher), Some(interrupt)),
+        }
     }
 
     /// The assignment minimizing unfairness (ties broken by performance)

@@ -98,6 +98,19 @@ pub enum SuiteError {
         /// The matchers the session actually holds, in registry order.
         known: Vec<String>,
     },
+    /// The whole-suite budget expired (or the run was cancelled) at a
+    /// pipeline stage. Per-matcher budget expiries do **not** raise
+    /// this — they degrade the session exactly like a matcher panic and
+    /// only escalate through [`SuiteError::AllMatchersFailed`].
+    TimedOut {
+        /// Stage the budget expired in.
+        stage: Stage,
+        /// The matcher being processed when the cut landed, if the
+        /// stage was matcher-scoped.
+        matcher: Option<String>,
+        /// Wall time from run start to the cut.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for SuiteError {
@@ -114,6 +127,17 @@ impl std::fmt::Display for SuiteError {
                     write!(f, " [{} at {}: {}]", mf.matcher, mf.stage, mf.reason)?;
                 }
                 Ok(())
+            }
+            SuiteError::TimedOut {
+                stage,
+                matcher,
+                elapsed,
+            } => {
+                write!(f, "run timed out at {stage}")?;
+                if let Some(m) = matcher {
+                    write!(f, " (processing {m})")?;
+                }
+                write!(f, " after {:.3}s", elapsed.as_secs_f64())
             }
             SuiteError::UnknownMatcher { matcher, known } => {
                 write!(f, "matcher {matcher:?} not in session (have: ")?;
@@ -153,16 +177,8 @@ mod tests {
     fn all_matchers_failed_lists_each_failure() {
         let e = SuiteError::AllMatchersFailed {
             failures: vec![
-                MatcherFailure {
-                    matcher: "DTMatcher".into(),
-                    stage: Stage::Train,
-                    reason: "injected".into(),
-                },
-                MatcherFailure {
-                    matcher: "SVMMatcher".into(),
-                    stage: Stage::Score,
-                    reason: "boom".into(),
-                },
+                MatcherFailure::panicked("DTMatcher", Stage::Train, "injected".into()),
+                MatcherFailure::panicked("SVMMatcher", Stage::Score, "boom".into()),
             ],
         };
         let s = e.to_string();
@@ -179,6 +195,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("\"NoSuchMatcher\" not in session"), "{s}");
         assert!(s.contains("DTMatcher, SVMMatcher"), "{s}");
+    }
+
+    #[test]
+    fn timed_out_names_stage_matcher_and_elapsed() {
+        let e = SuiteError::TimedOut {
+            stage: Stage::Train,
+            matcher: Some("RFMatcher".into()),
+            elapsed: std::time::Duration::from_millis(1250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("timed out at train"), "{s}");
+        assert!(s.contains("RFMatcher"), "{s}");
+        assert!(s.contains("1.250s"), "{s}");
+        let anon = SuiteError::TimedOut {
+            stage: Stage::FeatureGen,
+            matcher: None,
+            elapsed: std::time::Duration::from_secs(2),
+        };
+        assert!(anon.to_string().contains("timed out at feature-gen"));
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub enum FaultMode {
     /// Duplicate and blank a seeded subset of row ids (Import site only),
     /// exercising the quarantine path.
     CorruptRows,
+    /// Sleep for `millis` at the injection point, polling the active
+    /// [`CancelToken`] in small slices — a deterministic stand-in for a
+    /// hung or pathologically slow matcher that deadline budgets can
+    /// cut cooperatively.
+    Stall {
+        /// How long the stall runs if no budget cuts it.
+        millis: u64,
+    },
 }
 
 /// One armed fault.
@@ -120,6 +128,28 @@ impl FaultPlan {
         self
     }
 
+    /// Arm a cooperative stall of `millis` for one matcher at `Train`
+    /// or `Score` — the deterministic way to test budgets and timeouts.
+    pub fn stall(mut self, matcher: MatcherKind, site: FaultSite, millis: u64) -> FaultPlan {
+        self.faults.push(InjectedFault {
+            site,
+            matcher: Some(matcher),
+            mode: FaultMode::Stall { millis },
+        });
+        self
+    }
+
+    /// Arm a cooperative stall at a non-matcher stage
+    /// (`Import` / `FeatureGen`), for whole-suite budget testing.
+    pub fn stall_stage(mut self, site: FaultSite, millis: u64) -> FaultPlan {
+        self.faults.push(InjectedFault {
+            site,
+            matcher: None,
+            mode: FaultMode::Stall { millis },
+        });
+        self
+    }
+
     /// True when no fault is armed.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -141,6 +171,39 @@ impl FaultPlan {
                 panic!("{msg}");
             }
         }
+    }
+
+    /// Run any armed `Stall` fault for this site/matcher: sleep in
+    /// ~5 ms slices, checkpointing `token` between slices so an armed
+    /// budget (or an explicit cancel) cuts the stall cooperatively.
+    /// Returns `Err` with the interrupt record when the token tripped
+    /// mid-stall, `Ok` when the stall ran to completion (or none was
+    /// armed).
+    pub fn stall_if_armed(
+        &self,
+        site: FaultSite,
+        matcher: Option<MatcherKind>,
+        token: &fairem_par::CancelToken,
+    ) -> Result<(), fairem_par::Interrupt> {
+        let armed = self.faults.iter().find(|f| {
+            f.site == site
+                && (f.matcher.is_none() || f.matcher == matcher)
+                && matches!(f.mode, FaultMode::Stall { .. })
+        });
+        let Some(InjectedFault {
+            mode: FaultMode::Stall { millis },
+            ..
+        }) = armed
+        else {
+            return Ok(());
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(*millis);
+        const SLICE: std::time::Duration = std::time::Duration::from_millis(5);
+        while std::time::Instant::now() < deadline {
+            token.checkpoint()?;
+            std::thread::sleep(SLICE);
+        }
+        Ok(())
     }
 
     /// True when `PoisonScores` is armed for this matcher.
@@ -264,6 +327,36 @@ mod tests {
         let blank = ids.iter().any(|i| i.is_empty());
         assert!(dup, "expected a duplicated id: {ids:?}");
         assert!(blank, "expected a blanked id: {ids:?}");
+    }
+
+    #[test]
+    fn stall_runs_to_completion_without_a_budget() {
+        use fairem_par::CancelToken;
+        let plan = FaultPlan::seeded(1).stall(MatcherKind::DtMatcher, FaultSite::Train, 20);
+        let t0 = std::time::Instant::now();
+        plan.stall_if_armed(FaultSite::Train, Some(MatcherKind::DtMatcher), &CancelToken::inert())
+            .expect("inert token never cuts the stall");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        // Wrong matcher / site: no stall at all.
+        plan.stall_if_armed(FaultSite::Train, Some(MatcherKind::SvmMatcher), &CancelToken::inert())
+            .expect("not armed");
+    }
+
+    #[test]
+    fn budget_cuts_a_long_stall_cooperatively() {
+        use fairem_par::{Budget, CancelCause, CancelToken};
+        let plan = FaultPlan::seeded(1).stall_stage(FaultSite::FeatureGen, 60_000);
+        let token = CancelToken::with_budget(Budget::wall_ms(60));
+        let t0 = std::time::Instant::now();
+        let i = plan
+            .stall_if_armed(FaultSite::FeatureGen, None, &token)
+            .expect_err("60ms budget must cut a 60s stall");
+        assert_eq!(i.cause, CancelCause::Deadline);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "stall must end promptly, took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

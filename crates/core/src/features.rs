@@ -8,7 +8,7 @@
 
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
-use fairem_par::{ChunkPanic, WorkerPool};
+use fairem_par::{CancelToken, ChunkPanic, Interrupt, ParOutcome, WorkerPool};
 use fairem_text::{rel_diff_sim, StringMeasure, TfIdfCorpus, TfIdfCorpusBuilder};
 
 use crate::schema::Table;
@@ -170,16 +170,39 @@ impl FeatureGenerator {
         pairs: &[(usize, usize)],
         pool: &WorkerPool,
     ) -> Result<Matrix, ChunkPanic> {
+        match self.matrix_within(a, b, pairs, pool, &CancelToken::inert())? {
+            // An inert token never trips.
+            Err(i) => unreachable!("inert token interrupted feature generation: {i}"),
+            Ok(m) => Ok(m),
+        }
+    }
+
+    /// Cancellable [`FeatureGenerator::matrix_with`]: the pool observes
+    /// `token` between pair chunks, so a budget expiry or cancel stops
+    /// the fan-out promptly. An interrupted build returns the
+    /// [`Interrupt`] record (inner `Err`); a contained panic still wins
+    /// and comes back as the outer [`ChunkPanic`].
+    pub fn matrix_within(
+        &self,
+        a: &Table,
+        b: &Table,
+        pairs: &[(usize, usize)],
+        pool: &WorkerPool,
+        token: &CancelToken,
+    ) -> Result<Result<Matrix, Interrupt>, ChunkPanic> {
         let d = self.n_features();
-        let rows = pool.try_par_map(pairs.len(), |i| {
+        let rows = match pool.try_par_map_within(pairs.len(), token, |i| {
             let (ra, rb) = pairs[i];
             self.features(a, ra, b, rb)
-        })?;
+        })? {
+            ParOutcome::Complete(rows) => rows,
+            ParOutcome::Interrupted { interrupt, .. } => return Ok(Err(interrupt)),
+        };
         let mut m = Matrix::zeros(pairs.len(), d);
         for (i, f) in rows.iter().enumerate() {
             m.row_mut(i).copy_from_slice(f);
         }
-        Ok(m)
+        Ok(Ok(m))
     }
 
     /// Tokenize one pair for the neural matchers over the same aligned

@@ -86,8 +86,8 @@ pub use ensemble::{EnsembleExplorer, ParetoPoint};
 pub use error::{Stage, SuiteError, SuiteResult};
 pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
-pub use matcher::{Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
-pub use fairem_par::{Parallelism, WorkerPool};
+pub use matcher::{FailureCause, Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
+pub use fairem_par::{Budget, CancelToken, Interrupt, Parallelism, WorkerPool};
 pub use pipeline::{FairEm360, MatcherPerformance, Session, SuiteBuilder, SuiteConfig};
 pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};
 pub use resolution::{Feedback, Proposal, ResolutionSession};

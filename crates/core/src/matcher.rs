@@ -17,7 +17,7 @@ use fairem_neural::{
     DeepMatcherLite, DittoLite, HierMatcherLite, McanLite, NeuralMatcher, TokenPair, TrainConfig,
 };
 
-use fairem_par::WorkerPool;
+use fairem_par::{Budget, CancelToken, Interrupt, WorkerPool};
 
 use crate::error::Stage;
 use crate::fault::{FaultPlan, FaultSite};
@@ -121,6 +121,24 @@ impl MatcherKind {
 
     /// Train this matcher on the shared pair representation.
     pub fn train(self, input: &TrainInput<'_>, config: &MatcherTrainConfig) -> TrainedMatcher {
+        match self.train_within(input, config, &CancelToken::inert()) {
+            Ok(m) => m,
+            // An inert token never trips.
+            Err(i) => unreachable!("inert token interrupted training: {i}"),
+        }
+    }
+
+    /// Cancellable [`MatcherKind::train`]: the trainers poll `token` at
+    /// their checkpoint granularity (per epoch / tree / round for the
+    /// classic models, per example step for the neural ones) and bail
+    /// with the [`Interrupt`] record when it trips. With an untripped
+    /// token the trained model is bit-for-bit the `train` output.
+    pub fn train_within(
+        self,
+        input: &TrainInput<'_>,
+        config: &MatcherTrainConfig,
+        token: &CancelToken,
+    ) -> Result<TrainedMatcher, Interrupt> {
         let imp = if self.is_neural() {
             let mut model: Box<dyn NeuralMatcher + Send + Sync> = match self {
                 MatcherKind::DeepMatcher => Box::new(DeepMatcherLite::new(config.neural)),
@@ -137,7 +155,7 @@ impl MatcherKind {
                 MatcherKind::Mcan => Box::new(McanLite::new(config.neural)),
                 _ => unreachable!("non-neural kind in neural branch"),
             };
-            model.fit(input.tokens, input.labels);
+            model.fit_within(input.tokens, input.labels, token)?;
             Imp::Neural(model)
         } else {
             let scaler = StandardScaler::fit(input.features);
@@ -151,10 +169,10 @@ impl MatcherKind {
                 MatcherKind::NbMatcher => Box::new(GaussianNb::new()),
                 _ => unreachable!("neural kind in classic branch"),
             };
-            model.fit(&x, input.labels);
+            model.fit_within(&x, input.labels, token)?;
             Imp::Classic { model, scaler }
         };
-        TrainedMatcher { kind: self, imp }
+        Ok(TrainedMatcher { kind: self, imp })
     }
 }
 
@@ -355,6 +373,17 @@ impl ExternalScores {
     }
 }
 
+/// How a matcher died: an escaped panic, or a cooperative cut by a
+/// budget / cancellation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The matcher panicked; the panic was contained.
+    Panic,
+    /// The matcher's budget expired (or the run was cancelled) and the
+    /// matcher unwound cooperatively at a checkpoint.
+    Interrupted(Interrupt),
+}
+
 /// One matcher's terminal failure: where it died and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatcherFailure {
@@ -364,11 +393,56 @@ pub struct MatcherFailure {
     pub stage: Stage,
     /// Captured panic payload / cause.
     pub reason: String,
+    /// Panic vs. cooperative interruption.
+    pub cause: FailureCause,
+}
+
+impl MatcherFailure {
+    /// A failure from a contained panic.
+    pub fn panicked(matcher: impl Into<String>, stage: Stage, reason: String) -> MatcherFailure {
+        MatcherFailure {
+            matcher: matcher.into(),
+            stage,
+            reason,
+            cause: FailureCause::Panic,
+        }
+    }
+
+    /// A failure from a budget expiry / cancellation. The reason text
+    /// carries the interrupt's elapsed time and progress.
+    pub fn interrupted(
+        matcher: impl Into<String>,
+        stage: Stage,
+        interrupt: Interrupt,
+    ) -> MatcherFailure {
+        MatcherFailure {
+            matcher: matcher.into(),
+            stage,
+            reason: interrupt.to_string(),
+            cause: FailureCause::Interrupted(interrupt),
+        }
+    }
+
+    /// The interrupt record, when the failure was a cooperative cut.
+    pub fn interrupt(&self) -> Option<&Interrupt> {
+        match &self.cause {
+            FailureCause::Panic => None,
+            FailureCause::Interrupted(i) => Some(i),
+        }
+    }
 }
 
 impl std::fmt::Display for MatcherFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} failed at {}: {}", self.matcher, self.stage, self.reason)
+        let verb = match &self.cause {
+            FailureCause::Panic => "failed",
+            FailureCause::Interrupted(_) => "cut",
+        };
+        write!(
+            f,
+            "{} {verb} at {}: {}",
+            self.matcher, self.stage, self.reason
+        )
     }
 }
 
@@ -426,8 +500,15 @@ impl MatcherRegistry {
         config: &MatcherTrainConfig,
     ) -> MatcherRegistry {
         let pool = WorkerPool::new(kinds.len());
-        let (registry, failures) =
-            MatcherRegistry::train_isolated(kinds, input, config, &FaultPlan::default(), &pool);
+        let (registry, failures) = MatcherRegistry::train_isolated(
+            kinds,
+            input,
+            config,
+            &FaultPlan::default(),
+            &pool,
+            &CancelToken::inert(),
+            Budget::UNLIMITED,
+        );
         if let Some(f) = failures.first() {
             panic!("matcher training panicked: {f}");
         }
@@ -436,31 +517,49 @@ impl MatcherRegistry {
 
     /// Train with per-matcher panic isolation on a worker pool: each
     /// kind trains as one isolated work item, and a training panic (or
-    /// an armed [`FaultPlan`] fault) removes only that matcher. Returns
-    /// the surviving fleet (in `kinds` order, whatever the worker count)
-    /// plus one [`MatcherFailure`] per casualty.
+    /// an armed [`FaultPlan`] fault) removes only that matcher. Each
+    /// matcher trains under its own child of `suite_token` carrying
+    /// `matcher_budget`, so a budget expiry (or a suite-wide cancel)
+    /// likewise removes only that matcher — with the interrupt's
+    /// elapsed/progress recorded in the failure. Returns the surviving
+    /// fleet (in `kinds` order, whatever the worker count) plus one
+    /// [`MatcherFailure`] per casualty.
+    #[allow(clippy::too_many_arguments)]
     pub fn train_isolated(
         kinds: &[MatcherKind],
         input: &TrainInput<'_>,
         config: &MatcherTrainConfig,
         plan: &FaultPlan,
         pool: &WorkerPool,
+        suite_token: &CancelToken,
+        matcher_budget: Budget,
     ) -> (MatcherRegistry, Vec<MatcherFailure>) {
+        // The fan-out itself is not interrupted mid-fleet: every matcher
+        // gets its turn, and each one's child token (which also observes
+        // the suite token) decides its fate — so attribution stays
+        // deterministic whatever the worker count.
         let outcomes = pool.par_map_isolated(kinds.len(), |i| {
             let k = kinds[i];
+            let token = suite_token.child(matcher_budget);
+            plan.stall_if_armed(FaultSite::Train, Some(k), &token)?;
             plan.trip(FaultSite::Train, Some(k));
-            k.train(input, config)
+            k.train_within(input, config, &token)
         });
         let mut matchers = Vec::new();
         let mut failures = Vec::new();
         for (&kind, outcome) in kinds.iter().zip(outcomes) {
             match outcome {
-                Ok(m) => matchers.push(m),
-                Err(reason) => failures.push(MatcherFailure {
-                    matcher: kind.name().to_owned(),
-                    stage: Stage::Train,
-                    reason,
-                }),
+                Ok(Ok(m)) => matchers.push(m),
+                Ok(Err(interrupt)) => {
+                    failures.push(MatcherFailure::interrupted(
+                        kind.name(),
+                        Stage::Train,
+                        interrupt,
+                    ));
+                }
+                Err(reason) => {
+                    failures.push(MatcherFailure::panicked(kind.name(), Stage::Train, reason));
+                }
             }
         }
         (MatcherRegistry { matchers }, failures)

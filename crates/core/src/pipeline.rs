@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use fairem_csvio::CsvTable;
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
-use fairem_par::{Parallelism, WorkerPool};
+use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::ensemble::EnsembleExplorer;
@@ -43,6 +43,20 @@ pub struct SuiteConfig {
     /// matcher train/score fan-out, audits, Pareto enumeration). Results
     /// are identical for every policy; only wall-clock time changes.
     pub parallelism: Parallelism,
+    /// Whole-suite budget. When it expires the run stops at the next
+    /// checkpoint with [`SuiteError::TimedOut`]. Unlimited by default;
+    /// an unlimited budget adds no observable behavior — the run is
+    /// bit-for-bit the unbudgeted one.
+    pub budget: Budget,
+    /// Per-matcher train/score budget. Each matcher runs under its own
+    /// child token carrying this budget, so an expiry degrades only that
+    /// matcher (exactly like a contained panic) and the survivors are
+    /// still audited. Unlimited by default.
+    pub matcher_budget: Budget,
+    /// External cancellation handle: trip it (e.g. from a Ctrl-C
+    /// handler) and the run winds down cooperatively at the next
+    /// checkpoint, yielding partial results. Inert by default.
+    pub cancel: CancelToken,
 }
 
 impl Default for SuiteConfig {
@@ -54,6 +68,9 @@ impl Default for SuiteConfig {
             vocab_size: 512,
             fault: FaultPlan::default(),
             parallelism: Parallelism::Auto,
+            budget: Budget::UNLIMITED,
+            matcher_budget: Budget::UNLIMITED,
+            cancel: CancelToken::inert(),
         }
     }
 }
@@ -137,6 +154,30 @@ impl SuiteBuilder {
     /// [`SuiteConfig::fault`]).
     pub fn fault_plan(mut self, plan: FaultPlan) -> SuiteBuilder {
         self.config.fault = plan;
+        self
+    }
+
+    /// Whole-suite budget (shorthand for mutating
+    /// [`SuiteConfig::budget`]). When it expires, `try_run` returns
+    /// [`SuiteError::TimedOut`] at the next checkpoint.
+    pub fn budget(mut self, budget: Budget) -> SuiteBuilder {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Per-matcher budget (shorthand for mutating
+    /// [`SuiteConfig::matcher_budget`]). An expiry cuts only that
+    /// matcher; the session degrades and the survivors are audited.
+    pub fn matcher_budget(mut self, budget: Budget) -> SuiteBuilder {
+        self.config.matcher_budget = budget;
+        self
+    }
+
+    /// External cancellation handle (shorthand for mutating
+    /// [`SuiteConfig::cancel`]): trip it from another thread — e.g. a
+    /// Ctrl-C handler — to wind the run down cooperatively.
+    pub fn cancel_token(mut self, token: CancelToken) -> SuiteBuilder {
+        self.config.cancel = token;
         self
     }
 
@@ -312,6 +353,13 @@ impl FairEm360 {
     /// score passes a non-finite/out-of-range clamp before thresholding.
     /// Only when *no* matcher survives does the run fail, with
     /// [`SuiteError::AllMatchersFailed`] carrying the post-mortem.
+    ///
+    /// Budgets degrade along the same seams: a per-matcher budget expiry
+    /// ([`SuiteConfig::matcher_budget`]) cuts only that matcher, while a
+    /// whole-suite expiry or external cancel ([`SuiteConfig::budget`],
+    /// [`SuiteConfig::cancel`]) stops the run at the next checkpoint
+    /// with [`SuiteError::TimedOut`]. With everything unlimited (the
+    /// default) the run is bit-for-bit the unbudgeted one.
     pub fn try_run(self, kinds: &[MatcherKind]) -> SuiteResult<Session> {
         let FairEm360 {
             table_a,
@@ -322,7 +370,19 @@ impl FairEm360 {
             mut quarantine,
         } = self;
         let plan = config.fault.clone();
+        // One token for the whole run: every stage checkpoints it, every
+        // matcher trains/scores under a child of it, and the session
+        // keeps it so audits and ensembles observe the same handle.
+        let suite_token = config.cancel.child(config.budget);
+        let timed_out = |stage: Stage, interrupt: Interrupt| SuiteError::TimedOut {
+            stage,
+            matcher: None,
+            elapsed: interrupt.elapsed,
+        };
 
+        suite_token
+            .checkpoint()
+            .map_err(|i| timed_out(Stage::Prep, i))?;
         let space = fault::guard(|| GroupSpace::extract(&[&table_a, &table_b], sensitive))
             .map_err(|detail| SuiteError::Stage {
                 stage: Stage::Prep,
@@ -341,6 +401,11 @@ impl FairEm360 {
         quarantine.extend(prep_quarantine);
 
         let exclude: Vec<&str> = space.attrs().iter().map(|a| a.column.as_str()).collect();
+        suite_token
+            .checkpoint()
+            .map_err(|i| timed_out(Stage::FeatureGen, i))?;
+        plan.stall_if_armed(FaultSite::FeatureGen, None, &suite_token)
+            .map_err(|i| timed_out(Stage::FeatureGen, i))?;
         let features = fault::guard(|| {
             plan.trip(FaultSite::FeatureGen, None);
             FeatureGenerator::build(&table_a, &table_b, &exclude)
@@ -353,11 +418,12 @@ impl FairEm360 {
         let pool = WorkerPool::with_parallelism(config.parallelism);
         let feature_matrix = |pairs: &[(usize, usize)]| {
             features
-                .matrix_with(&table_a, &table_b, pairs, &pool)
+                .matrix_within(&table_a, &table_b, pairs, &pool, &suite_token)
                 .map_err(|p| SuiteError::Stage {
                     stage: Stage::FeatureGen,
                     detail: p.to_string(),
-                })
+                })?
+                .map_err(|i| timed_out(Stage::FeatureGen, i))
         };
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
@@ -368,8 +434,18 @@ impl FairEm360 {
             tokens: &train_tokens,
             labels: &train_labels,
         };
-        let (registry, mut failures) =
-            MatcherRegistry::train_isolated(kinds, &input, &config.train, &plan, &pool);
+        suite_token
+            .checkpoint()
+            .map_err(|i| timed_out(Stage::Train, i))?;
+        let (registry, mut failures) = MatcherRegistry::train_isolated(
+            kinds,
+            &input,
+            &config.train,
+            &plan,
+            &pool,
+            &suite_token,
+            config.matcher_budget,
+        );
         let train_config = config.train;
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
@@ -384,28 +460,39 @@ impl FairEm360 {
         // item, so a scoring panic degrades only that matcher no matter
         // how the pool schedules the fleet. Outcomes come back in
         // registry order, keeping degradation bookkeeping deterministic.
+        // As at train time, each matcher scores under its own child of
+        // the suite token, so a budget cut removes only that matcher.
+        suite_token
+            .checkpoint()
+            .map_err(|i| timed_out(Stage::Score, i))?;
         let fleet: Vec<_> = registry.iter().collect();
         let outcomes = pool.par_map_isolated(fleet.len(), |i| {
             let m = fleet[i];
+            let token = suite_token.child(config.matcher_budget);
+            plan.stall_if_armed(FaultSite::Score, Some(m.kind()), &token)?;
+            token.checkpoint()?;
             plan.trip(FaultSite::Score, Some(m.kind()));
-            m.score_batch(&test_features, &test_tokens)
+            Ok(m.score_batch(&test_features, &test_tokens))
         });
         let mut scores = HashMap::new();
         let mut clamped_scores = 0usize;
         for (m, outcome) in fleet.iter().zip(outcomes) {
             match outcome {
-                Ok(mut s) => {
+                Ok(Ok(mut s)) => {
                     if plan.poisons(m.kind()) {
                         plan.corrupt_scores(m.kind(), &mut s);
                     }
                     clamped_scores += sanitize_scores(&mut s);
                     scores.insert(m.name().to_owned(), s);
                 }
-                Err(reason) => failures.push(MatcherFailure {
-                    matcher: m.name().to_owned(),
-                    stage: Stage::Score,
-                    reason,
-                }),
+                Ok(Err(interrupt)) => failures.push(MatcherFailure::interrupted(
+                    m.name(),
+                    Stage::Score,
+                    interrupt,
+                )),
+                Err(reason) => {
+                    failures.push(MatcherFailure::panicked(m.name(), Stage::Score, reason))
+                }
             }
         }
         if scores.is_empty() && !kinds.is_empty() {
@@ -458,6 +545,7 @@ impl FairEm360 {
             quarantine,
             clamped_scores,
             parallelism: config.parallelism,
+            cancel: suite_token,
         })
     }
 }
@@ -499,6 +587,7 @@ pub struct Session {
     quarantine: QuarantineReport,
     clamped_scores: usize,
     parallelism: Parallelism,
+    cancel: CancelToken,
 }
 
 impl Session {
@@ -634,12 +723,39 @@ impl Session {
     /// measure). Reports come back in [`Session::matcher_names`] order
     /// for any worker count.
     pub fn audit_all(&self, auditor: &Auditor) -> Vec<AuditReport> {
+        self.try_audit_all(auditor).0
+    }
+
+    /// Cancellable [`Session::audit_all`]: when the run token trips
+    /// mid-fleet, returns the contiguous prefix of reports finished so
+    /// far plus the [`Interrupt`] record — the graceful-shutdown path
+    /// for Step 3. With no budget configured the interrupt is `None` and
+    /// the reports are exactly the `audit_all` output.
+    pub fn try_audit_all(&self, auditor: &Auditor) -> (Vec<AuditReport>, Option<Interrupt>) {
         let names = self.matcher_names();
         let pool = WorkerPool::with_parallelism(self.parallelism);
-        pool.par_map(names.len(), |i| self.audit(names[i], auditor))
-            .into_iter()
-            .filter_map(Result::ok) // names are known, so always Ok
-            .collect()
+        let outcome = pool.par_map_within(names.len(), &self.cancel, |i| {
+            self.audit(names[i], auditor)
+        });
+        let (reports, interrupt) = match outcome {
+            ParOutcome::Complete(reports) => (reports, None),
+            ParOutcome::Interrupted {
+                done, interrupt, ..
+            } => (done, Some(interrupt)),
+        };
+        (
+            reports
+                .into_iter()
+                .filter_map(Result::ok) // names are known, so always Ok
+                .collect(),
+            interrupt,
+        )
+    }
+
+    /// The run's cancellation token: audits, ensembles, and any caller
+    /// polling for graceful shutdown observe this handle.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Build an explainer over a matcher's workload (the workload must
@@ -677,6 +793,7 @@ impl Session {
             workloads.iter().map(|(n, w)| (n.clone(), w)).collect();
         EnsembleExplorer::build(&refs, &self.space, &groups, measure, disparity)
             .with_parallelism(self.parallelism)
+            .with_cancel(self.cancel.clone())
     }
 
     /// Tune a matcher's matching threshold on the *validation* split:

@@ -6,6 +6,8 @@
 //! (residual `y − p`), and leaf values take a Newton step
 //! `Σr / Σp(1−p)`. Scores are `σ(F(x))`.
 
+use fairem_par::{CancelToken, Interrupt};
+
 use crate::matrix::Matrix;
 use crate::{validate_fit_inputs, Classifier};
 
@@ -205,6 +207,13 @@ fn sigmoid(z: f64) -> f64 {
 
 impl Classifier for GradientBoostedTrees {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // An inert token never trips, so this cannot fail.
+        let _ = self.fit_within(x, y, &CancelToken::inert());
+    }
+
+    /// One checkpoint per boosting round. On interrupt the partial
+    /// ensemble is discarded — fewer rounds means a different model.
+    fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();
         // Base score: log-odds of the positive rate (clamped).
@@ -216,6 +225,10 @@ impl Classifier for GradientBoostedTrees {
         let mut residual = vec![0.0; n];
         let mut hessian = vec![0.0; n];
         for _ in 0..self.n_rounds {
+            if let Err(i) = token.checkpoint() {
+                self.trees.clear();
+                return Err(i);
+            }
             #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let p = sigmoid(raw[i]);
@@ -229,6 +242,7 @@ impl Classifier for GradientBoostedTrees {
             }
             self.trees.push(tree);
         }
+        Ok(())
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
@@ -319,5 +333,17 @@ mod tests {
     fn score_before_fit_panics() {
         let m = GradientBoostedTrees::new(3, 2, 0.1);
         let _ = m.score_one(&[0.0]);
+    }
+
+    #[test]
+    fn step_budget_cuts_boosting_per_round_and_discards_partial_rounds() {
+        use fairem_par::{Budget, CancelCause};
+        let (x, y) = xor_data();
+        let mut m = GradientBoostedTrees::new(30, 3, 0.3);
+        let token = CancelToken::with_budget(Budget::steps(4));
+        let i = m.fit_within(&x, &y, &token).expect_err("4 < 30 rounds");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 4, "exactly four rounds completed before the cut");
+        assert_eq!(m.n_trees(), 0, "partial ensemble must be discarded");
     }
 }

@@ -1,5 +1,6 @@
 //! Random forest (bagged CART trees with feature subsampling) — RFMatcher.
 
+use fairem_par::{CancelToken, Interrupt};
 use fairem_rng::rngs::StdRng;
 use fairem_rng::seq::SliceRandom;
 use fairem_rng::{Rng, SeedableRng};
@@ -39,6 +40,14 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // An inert token never trips, so this cannot fail.
+        let _ = self.fit_within(x, y, &CancelToken::inert());
+    }
+
+    /// One checkpoint per bagged tree. On interrupt the partial forest
+    /// is discarded — a half-grown forest would score differently from
+    /// the configured one.
+    fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = x.rows();
@@ -48,6 +57,10 @@ impl Classifier for RandomForest {
         self.trees = Vec::with_capacity(self.n_trees);
         let all_features: Vec<usize> = (0..d).collect();
         for _ in 0..self.n_trees {
+            if let Err(i) = token.checkpoint() {
+                self.trees.clear();
+                return Err(i);
+            }
             let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
             let mut feats = all_features.clone();
             feats.shuffle(&mut rng);
@@ -58,6 +71,7 @@ impl Classifier for RandomForest {
             tree.fit(&xb, &yb);
             self.trees.push(tree);
         }
+        Ok(())
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
@@ -126,5 +140,17 @@ mod tests {
     fn score_before_fit_panics() {
         let f = RandomForest::new(3, 2, 0);
         let _ = f.score_one(&[0.0]);
+    }
+
+    #[test]
+    fn step_budget_cuts_growth_per_tree_and_discards_the_partial_forest() {
+        use fairem_par::{Budget, CancelCause};
+        let (x, y) = blobs(20);
+        let mut f = RandomForest::new(20, 3, 7);
+        let token = CancelToken::with_budget(Budget::steps(5));
+        let i = f.fit_within(&x, &y, &token).expect_err("5 < 20 trees");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 5, "exactly five trees were grown before the cut");
+        assert_eq!(f.n_trees(), 0, "partial forest must be discarded");
     }
 }

@@ -54,6 +54,25 @@ pub trait Classifier {
     /// Implementations panic if `x.rows() != y.len()` or `x` is empty.
     fn fit(&mut self, x: &Matrix, y: &[f64]);
 
+    /// Cancellable [`Classifier::fit`]: polls `token` at the model's
+    /// natural checkpoints (per epoch / per tree / per round) and bails
+    /// with the [`Interrupt`] record when it trips, leaving the model
+    /// unfitted. With an untripped token this is bit-for-bit `fit`.
+    ///
+    /// The default implementation checkpoints once and then trains
+    /// atomically — right for non-iterative models (trees, k-NN, naive
+    /// Bayes, closed-form regression); iterative trainers override it.
+    fn fit_within(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        token: &fairem_par::CancelToken,
+    ) -> Result<(), fairem_par::Interrupt> {
+        token.checkpoint()?;
+        self.fit(x, y);
+        Ok(())
+    }
+
     /// Score one feature row; higher means more likely a match.
     fn score_one(&self, row: &[f64]) -> f64;
 

@@ -1,5 +1,7 @@
 //! Logistic regression trained by full-batch gradient descent — LogRegMatcher.
 
+use fairem_par::{CancelToken, Interrupt};
+
 use crate::matrix::Matrix;
 use crate::{validate_fit_inputs, Classifier};
 
@@ -53,14 +55,22 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // An inert token never trips, so this cannot fail.
+        let _ = self.fit_within(x, y, &CancelToken::inert());
+    }
+
+    /// One checkpoint per gradient-descent epoch.
+    fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();
         let d = x.cols();
         self.weights = vec![0.0; d];
         self.bias = 0.0;
+        self.fitted = false;
         let inv_n = 1.0 / n as f64;
         let mut grad = vec![0.0; d];
         for _ in 0..self.epochs {
+            token.checkpoint()?;
             grad.iter_mut().for_each(|g| *g = 0.0);
             let mut grad_b = 0.0;
             #[allow(clippy::needless_range_loop)]
@@ -84,6 +94,7 @@ impl Classifier for LogisticRegression {
             self.bias -= self.learning_rate * grad_b * inv_n;
         }
         self.fitted = true;
+        Ok(())
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
@@ -162,5 +173,32 @@ mod tests {
     fn score_before_fit_panics() {
         let m = LogisticRegression::new(0.1, 10, 0.0);
         let _ = m.score_one(&[0.0]);
+    }
+
+    #[test]
+    fn step_budget_cuts_training_per_epoch_and_leaves_model_unfitted() {
+        use fairem_par::{Budget, CancelCause};
+        let (x, y) = linear_data();
+        let mut m = LogisticRegression::new(0.5, 500, 0.0);
+        let token = CancelToken::with_budget(Budget::steps(3));
+        let i = m.fit_within(&x, &y, &token).expect_err("3 < 500 epochs");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 3, "exactly three epochs completed");
+        assert!(!m.fitted, "interrupted model must not claim to be fitted");
+    }
+
+    #[test]
+    fn fit_within_on_an_inert_token_matches_fit_bit_for_bit() {
+        let (x, y) = linear_data();
+        let mut plain = LogisticRegression::new(0.5, 300, 0.001);
+        plain.fit(&x, &y);
+        let mut within = LogisticRegression::new(0.5, 300, 0.001);
+        within
+            .fit_within(&x, &y, &CancelToken::inert())
+            .expect("inert token");
+        assert_eq!(plain.bias().to_bits(), within.bias().to_bits());
+        for (a, b) in plain.weights().iter().zip(within.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Linear SVM trained with Pegasos (primal stochastic sub-gradient
 //! descent) — SVMMatcher.
 
+use fairem_par::{CancelToken, Interrupt};
 use fairem_rng::rngs::StdRng;
 use fairem_rng::{Rng, SeedableRng};
 
@@ -50,14 +51,24 @@ impl LinearSvm {
 
 impl Classifier for LinearSvm {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // An inert token never trips, so this cannot fail.
+        let _ = self.fit_within(x, y, &CancelToken::inert());
+    }
+
+    /// One checkpoint per Pegasos pass (every `n` sub-gradient steps).
+    fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();
         let d = x.cols();
         self.weights = vec![0.0; d];
         self.bias = 0.0;
+        self.fitted = false;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let total_steps = self.epochs * n;
         for t in 1..=total_steps {
+            if (t - 1) % n == 0 {
+                token.checkpoint()?;
+            }
             let i = rng.gen_range(0..n);
             let row = x.row(i);
             let target = if y[i] == 1.0 { 1.0 } else { -1.0 };
@@ -81,6 +92,7 @@ impl Classifier for LinearSvm {
             }
         }
         self.fitted = true;
+        Ok(())
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
@@ -154,5 +166,17 @@ mod tests {
     fn margin_before_fit_panics() {
         let m = LinearSvm::new(0.1, 10, 0);
         let _ = m.margin(&[0.0]);
+    }
+
+    #[test]
+    fn step_budget_cuts_training_per_pass() {
+        use fairem_par::{Budget, CancelCause};
+        let (x, y) = band_data();
+        let mut m = LinearSvm::new(0.01, 100, 5);
+        let token = CancelToken::with_budget(Budget::steps(2));
+        let i = m.fit_within(&x, &y, &token).expect_err("2 < 100 passes");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 2, "exactly two passes completed");
+        assert!(!m.fitted);
     }
 }

@@ -99,6 +99,18 @@ impl McanLite {
 
 impl NeuralMatcher for McanLite {
     fn fit(&mut self, pairs: &[TokenPair], labels: &[f64]) {
+        // An inert token never trips, so this cannot fail.
+        let _ = self.fit_within(pairs, labels, &fairem_par::CancelToken::inert());
+    }
+
+    /// One checkpoint per training step; an interrupted fit leaves the
+    /// model untrained (the partly-updated parameters are discarded).
+    fn fit_within(
+        &mut self,
+        pairs: &[TokenPair],
+        labels: &[f64],
+        token: &fairem_par::CancelToken,
+    ) -> Result<(), fairem_par::Interrupt> {
         let n_attrs = validate_training_inputs(pairs, labels);
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
         let mut store = ParamStore::new();
@@ -121,13 +133,15 @@ impl NeuralMatcher for McanLite {
             &self.config,
             pairs,
             labels,
+            token,
             |g, s, pair, target| {
                 let logit = arch.forward_logit(g, s, pair);
                 g.bce_with_logit(logit, target)
             },
-        );
+        )?;
         self.store = store;
         self.arch = Some(arch);
+        Ok(())
     }
 
     fn score(&self, pair: &TokenPair) -> f64 {

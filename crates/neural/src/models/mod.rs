@@ -102,6 +102,23 @@ pub trait NeuralMatcher {
     /// pairs have inconsistent attribute counts.
     fn fit(&mut self, pairs: &[TokenPair], labels: &[f64]);
 
+    /// Cancellable [`NeuralMatcher::fit`]: polls `token` once per
+    /// training step (one example forward/backward/Adam update) and
+    /// bails with the [`fairem_par::Interrupt`] record when it trips,
+    /// leaving the model unfitted. With an untripped token this is
+    /// bit-for-bit `fit`. All four Lite models override this; the
+    /// default checkpoints once and trains atomically.
+    fn fit_within(
+        &mut self,
+        pairs: &[TokenPair],
+        labels: &[f64],
+        token: &fairem_par::CancelToken,
+    ) -> Result<(), fairem_par::Interrupt> {
+        token.checkpoint()?;
+        self.fit(pairs, labels);
+        Ok(())
+    }
+
     /// Match score in `[0, 1]` for one pair.
     fn score(&self, pair: &TokenPair) -> f64;
 
@@ -139,14 +156,18 @@ pub(crate) fn positive_weight(labels: &[f64]) -> f32 {
 }
 
 /// Shared SGD loop: per-example forward/backward through `forward_loss`,
-/// one Adam step per example, shuffled each epoch.
+/// one Adam step per example, shuffled each epoch. Polls `token` before
+/// every step — the finest checkpoint granularity in the suite, so even
+/// a single-epoch fit on a large workload is cut within one example of
+/// the deadline.
 pub(crate) fn train_loop(
     store: &mut ParamStore,
     config: &TrainConfig,
     pairs: &[TokenPair],
     labels: &[f64],
+    token: &fairem_par::CancelToken,
     mut forward_loss: impl FnMut(&mut Graph, &ParamStore, &TokenPair, f32) -> NodeId,
-) {
+) -> Result<(), fairem_par::Interrupt> {
     let pos_w = positive_weight(labels);
     let mut opt = Adam::new(store, config.lr);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
@@ -154,6 +175,7 @@ pub(crate) fn train_loop(
     for _ in 0..config.epochs {
         order.shuffle(&mut rng);
         for &i in &order {
+            token.checkpoint()?;
             let mut g = Graph::new();
             let target = labels[i] as f32;
             let loss = forward_loss(&mut g, store, &pairs[i], target);
@@ -166,6 +188,7 @@ pub(crate) fn train_loop(
             opt.step(store, &grads);
         }
     }
+    Ok(())
 }
 
 /// Two-layer MLP head: `logit = W₂·relu(x·W₁ + b₁) + b₂` for a `1×D` input.
@@ -310,6 +333,41 @@ mod tests {
         let mut labels = vec![0.0; 100];
         labels.push(1.0);
         assert_eq!(positive_weight(&labels), 8.0);
+    }
+
+    #[test]
+    fn step_budget_cuts_training_per_example_and_leaves_model_unfitted() {
+        use crate::token::HashVocab;
+        use fairem_par::{Budget, CancelCause, CancelToken};
+        let vocab = HashVocab::new(128);
+        let (pairs, labels) = testutil::synthetic_pairs(40, &vocab);
+        let mut m = DeepMatcherLite::new(TrainConfig::fast());
+        let token = CancelToken::with_budget(Budget::steps(10));
+        let i = m
+            .fit_within(&pairs, &labels, &token)
+            .expect_err("10 steps < 5 epochs x 40 examples");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 10, "exactly ten examples were stepped");
+        // The interrupted model never becomes scoreable.
+        let r = std::panic::catch_unwind(|| m.score(&pairs[0]));
+        assert!(r.is_err(), "interrupted model must not score");
+    }
+
+    #[test]
+    fn fit_within_on_an_inert_token_matches_fit_bit_for_bit() {
+        use crate::token::HashVocab;
+        use fairem_par::CancelToken;
+        let vocab = HashVocab::new(128);
+        let (pairs, labels) = testutil::synthetic_pairs(30, &vocab);
+        let mut plain = DittoLite::new(TrainConfig::fast());
+        plain.fit(&pairs, &labels);
+        let mut within = DittoLite::new(TrainConfig::fast());
+        within
+            .fit_within(&pairs, &labels, &CancelToken::inert())
+            .expect("inert token");
+        for p in &pairs {
+            assert_eq!(plain.score(p).to_bits(), within.score(p).to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Cooperative cancellation: tokens, budgets, and interrupt records.
+//!
+//! The suite never kills threads. Instead, every long-running region —
+//! pool chunks, trainer epochs, per-example neural steps — polls a
+//! [`CancelToken`] at natural checkpoints and unwinds *cooperatively*
+//! when the token trips. A token trips for one of three reasons:
+//!
+//! - someone called [`CancelToken::cancel`] (Ctrl-C, programmatic stop),
+//! - its wall-clock deadline passed ([`Budget::wall`]),
+//! - its step allowance ran out ([`Budget::steps`]).
+//!
+//! Tokens form a tree: a per-matcher token created with
+//! [`CancelToken::child`] trips when its own budget expires **or** when
+//! any ancestor trips, so cancelling the suite token cuts every matcher
+//! at its next checkpoint. Checks are cheap — one or two relaxed atomic
+//! loads plus a monotonic clock read when a deadline is armed — so
+//! polling once per epoch/chunk/example costs nothing measurable.
+//!
+//! When a region is cut it reports an [`Interrupt`]: the cause, the
+//! elapsed wall time, and how many checkpoints (steps) completed before
+//! the cut. That record is what degraded-mode reports surface so the
+//! user can see *who* was cut and *how far* it got.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A time/step allowance for a region of work.
+///
+/// The default budget is unlimited; [`Budget::wall`] and
+/// [`Budget::steps`] arm the two limits independently and
+/// [`Budget::and_steps`] combines them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum wall-clock time, measured from token creation.
+    pub wall: Option<Duration>,
+    /// Maximum number of [`CancelToken::checkpoint`] calls.
+    pub max_steps: Option<u64>,
+}
+
+impl Budget {
+    /// The unlimited budget: never trips on its own.
+    pub const UNLIMITED: Budget = Budget {
+        wall: None,
+        max_steps: None,
+    };
+
+    /// A wall-clock budget.
+    pub fn wall(limit: Duration) -> Budget {
+        Budget {
+            wall: Some(limit),
+            max_steps: None,
+        }
+    }
+
+    /// A wall-clock budget in milliseconds.
+    pub fn wall_ms(millis: u64) -> Budget {
+        Budget::wall(Duration::from_millis(millis))
+    }
+
+    /// A step budget: at most `max` checkpoints may complete.
+    pub fn steps(max: u64) -> Budget {
+        Budget {
+            wall: None,
+            max_steps: Some(max),
+        }
+    }
+
+    /// Add a step limit to this budget.
+    pub fn and_steps(mut self, max: u64) -> Budget {
+        self.max_steps = Some(max);
+        self
+    }
+
+    /// True when neither limit is armed.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none() && self.max_steps.is_none()
+    }
+}
+
+/// Why a token tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called on this token or an ancestor.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step allowance ran out.
+    StepLimit,
+}
+
+/// The record of a cooperative cut: why, when, and how far the work got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupt {
+    /// Why the token tripped.
+    pub cause: CancelCause,
+    /// Wall time from token creation to the observed cut.
+    pub elapsed: Duration,
+    /// Checkpoints completed on this token before the cut.
+    pub steps: u64,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let secs = self.elapsed.as_secs_f64();
+        match self.cause {
+            CancelCause::Cancelled => {
+                write!(f, "cancelled after {secs:.3}s ({} steps done)", self.steps)
+            }
+            CancelCause::Deadline => {
+                write!(f, "timed out after {secs:.3}s ({} steps done)", self.steps)
+            }
+            CancelCause::StepLimit => write!(
+                f,
+                "step budget exhausted after {} steps ({secs:.3}s)",
+                self.steps
+            ),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Explicit cancellation (Ctrl-C, programmatic).
+    flag: AtomicBool,
+    /// When this token was created — the budget's epoch.
+    started: Instant,
+    /// Absolute wall-clock deadline, if armed.
+    deadline: Option<Instant>,
+    /// Step allowance, if armed.
+    max_steps: Option<u64>,
+    /// Checkpoints completed on this token.
+    steps: AtomicU64,
+    /// Ancestor chain: a child trips when any ancestor trips.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn new(budget: Budget, parent: Option<Arc<Inner>>) -> Inner {
+        let started = Instant::now();
+        Inner {
+            flag: AtomicBool::new(false),
+            started,
+            deadline: budget.wall.map(|w| started + w),
+            max_steps: budget.max_steps,
+            steps: AtomicU64::new(0),
+            parent,
+        }
+    }
+
+    /// Own cause only — ancestors are consulted by [`Inner::cause`].
+    fn own_cause(&self) -> Option<CancelCause> {
+        if self.flag.load(Ordering::Relaxed) {
+            return Some(CancelCause::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(CancelCause::Deadline);
+            }
+        }
+        if let Some(max) = self.max_steps {
+            if self.steps.load(Ordering::Relaxed) >= max {
+                return Some(CancelCause::StepLimit);
+            }
+        }
+        None
+    }
+
+    fn cause(&self) -> Option<CancelCause> {
+        let mut node = Some(self);
+        while let Some(n) = node {
+            if let Some(c) = n.own_cause() {
+                return Some(c);
+            }
+            node = n.parent.as_deref();
+        }
+        None
+    }
+}
+
+/// A shareable, cheap-to-poll cancellation token.
+///
+/// Cloning shares state: all clones observe the same flag, deadline,
+/// and step counter. See the module docs for the full semantics.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::inert()
+    }
+}
+
+impl CancelToken {
+    /// A token with no budget and no parent: it trips only if
+    /// [`CancelToken::cancel`] is called. The right token to pass when
+    /// cancellation is not in play — checkpoints on it never fail.
+    pub fn inert() -> CancelToken {
+        CancelToken::with_budget(Budget::UNLIMITED)
+    }
+
+    /// A root token with the given budget, started now.
+    pub fn with_budget(budget: Budget) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner::new(budget, None)),
+        }
+    }
+
+    /// A child token with its own budget (started now) that also trips
+    /// whenever `self` or any of `self`'s ancestors trips. Child steps
+    /// and deadlines are independent of the parent's.
+    pub fn child(&self, budget: Budget) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner::new(budget, Some(Arc::clone(&self.inner)))),
+        }
+    }
+
+    /// Trip this token (and, transitively, every child). Idempotent and
+    /// async-signal-safe: a single relaxed atomic store.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True when [`CancelToken::cancel`] was called on this token
+    /// itself (not on an ancestor, not via a budget). The CLI uses this
+    /// to distinguish a user interrupt from a deadline.
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.flag.load(Ordering::Relaxed)
+    }
+
+    /// Why this token has tripped, if it has. Checks the explicit flag,
+    /// then the deadline, then the step allowance, then ancestors.
+    pub fn cause(&self) -> Option<CancelCause> {
+        self.inner.cause()
+    }
+
+    /// Cheap poll: has this token (or an ancestor) tripped?
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// Record one unit of progress and poll. Returns `Err` with the
+    /// [`Interrupt`] record when the token has tripped; the step that
+    /// tripped a step limit is *not* counted as done.
+    pub fn checkpoint(&self) -> Result<(), Interrupt> {
+        match self.cause() {
+            None => {
+                self.inner.steps.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(cause) => Err(self.interrupt_with(cause)),
+        }
+    }
+
+    /// Checkpoints completed on this token so far.
+    pub fn steps_done(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// Wall time since this token was created.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// The [`Interrupt`] record for a token known (or assumed) to have
+    /// tripped. If the token has not actually tripped, the cause is
+    /// reported as [`CancelCause::Cancelled`].
+    pub fn interrupt(&self) -> Interrupt {
+        self.interrupt_with(self.cause().unwrap_or(CancelCause::Cancelled))
+    }
+
+    fn interrupt_with(&self, cause: CancelCause) -> Interrupt {
+        Interrupt {
+            cause,
+            elapsed: self.elapsed(),
+            steps: self.steps_done(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_trips() {
+        let t = CancelToken::inert();
+        assert!(!t.is_cancelled());
+        for _ in 0..1000 {
+            assert!(t.checkpoint().is_ok());
+        }
+        assert_eq!(t.steps_done(), 1000);
+        assert_eq!(t.cause(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_trips_and_is_shared_across_clones() {
+        let t = CancelToken::inert();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(c.cancel_requested());
+        let i = c.checkpoint().expect_err("must trip");
+        assert_eq!(i.cause, CancelCause::Cancelled);
+        assert_eq!(i.steps, 0);
+    }
+
+    #[test]
+    fn step_budget_trips_at_the_limit_exactly() {
+        let t = CancelToken::with_budget(Budget::steps(3));
+        assert!(t.checkpoint().is_ok());
+        assert!(t.checkpoint().is_ok());
+        assert!(t.checkpoint().is_ok());
+        let i = t.checkpoint().expect_err("4th checkpoint must trip");
+        assert_eq!(i.cause, CancelCause::StepLimit);
+        assert_eq!(i.steps, 3, "the tripping step is not counted as done");
+    }
+
+    #[test]
+    fn deadline_trips_after_it_passes() {
+        let t = CancelToken::with_budget(Budget::wall_ms(20));
+        assert!(t.checkpoint().is_ok(), "fresh deadline must not trip");
+        std::thread::sleep(Duration::from_millis(40));
+        let i = t.checkpoint().expect_err("deadline passed");
+        assert_eq!(i.cause, CancelCause::Deadline);
+        assert!(i.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn child_trips_when_parent_does_but_keeps_its_own_progress() {
+        let parent = CancelToken::inert();
+        let child = parent.child(Budget::UNLIMITED);
+        assert!(child.checkpoint().is_ok());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(
+            !child.cancel_requested(),
+            "the child itself was not cancelled"
+        );
+        let i = child.checkpoint().expect_err("parent cancel propagates");
+        assert_eq!(i.cause, CancelCause::Cancelled);
+        assert_eq!(i.steps, 1);
+    }
+
+    #[test]
+    fn child_budget_is_independent_of_the_parent() {
+        let parent = CancelToken::inert();
+        let child = parent.child(Budget::steps(1));
+        assert!(child.checkpoint().is_ok());
+        assert!(child.checkpoint().is_err(), "child limit trips the child");
+        assert!(!parent.is_cancelled(), "but never the parent");
+        assert!(parent.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+        let b = Budget::wall_ms(500).and_steps(10);
+        assert_eq!(b.wall, Some(Duration::from_millis(500)));
+        assert_eq!(b.max_steps, Some(10));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn interrupt_display_names_the_cause_and_progress() {
+        let i = Interrupt {
+            cause: CancelCause::Deadline,
+            elapsed: Duration::from_millis(1500),
+            steps: 42,
+        };
+        let s = i.to_string();
+        assert!(s.contains("timed out"), "{s}");
+        assert!(s.contains("1.500s"), "{s}");
+        assert!(s.contains("42 steps"), "{s}");
+        let c = Interrupt {
+            cause: CancelCause::Cancelled,
+            ..i
+        };
+        assert!(c.to_string().contains("cancelled"), "{c}");
+        let l = Interrupt {
+            cause: CancelCause::StepLimit,
+            ..i
+        };
+        assert!(l.to_string().contains("step budget exhausted"), "{l}");
+    }
+}

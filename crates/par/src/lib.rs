@@ -7,7 +7,7 @@
 //! regardless of worker count), and panic capture that integrates with
 //! the suite's degraded-mode error taxonomy.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! - [`Parallelism`] — the user-facing policy (`Off` / `Auto` /
 //!   `Fixed(n)`), threaded through `SuiteConfig` and the CLI `--jobs`
@@ -16,18 +16,26 @@
 //! - [`contain`] — the panic-containment primitive (drop-guarded quiet
 //!   hook + `catch_unwind`) shared by the pool and by
 //!   `fairem-core::fault::guard`.
+//! - [`CancelToken`] / [`Budget`] — cooperative cancellation: tokens
+//!   with optional wall-clock deadlines and step allowances, polled at
+//!   chunk boundaries by the pool and at epoch/step boundaries by the
+//!   trainers, so a hung or slow region is cut without killing threads.
 //! - [`WorkerPool`] — the scheduler: workers pull index chunks from an
 //!   atomic cursor and results are stitched back in chunk order, so a
 //!   run with 4 workers produces exactly the sequence a run with 1
-//!   worker (or no pool at all) produces.
+//!   worker (or no pool at all) produces. The `*_within` variants
+//!   observe a token between chunks and report partial progress via
+//!   [`ParOutcome`].
 //!
 //! The crate has zero dependencies (not even on the rest of the
 //! workspace) so every other crate can adopt it without cycles.
 
+mod cancel;
 mod contain;
 mod parallelism;
 mod pool;
 
+pub use cancel::{Budget, CancelCause, CancelToken, Interrupt};
 pub use contain::{contain, panic_message};
 pub use parallelism::{Parallelism, JOBS_ENV};
-pub use pool::{ChunkPanic, WorkerPool};
+pub use pool::{ChunkPanic, ParOutcome, WorkerPool};

@@ -38,11 +38,43 @@ impl Parallelism {
         }
     }
 
-    /// The policy armed by the environment, if any.
+    /// Interpret a raw `FAIREM_JOBS` value. `auto` and positive worker
+    /// counts are honored as-is; everything else — `0`, negatives,
+    /// unparseable text — falls back to [`Parallelism::Auto`] and the
+    /// second element carries a warning for the caller to surface.
+    /// Split out from [`Parallelism::from_env`] so the fallback policy
+    /// is unit-testable without touching process environment.
+    pub fn interpret_env_jobs(raw: &str) -> (Parallelism, Option<String>) {
+        match Parallelism::parse_jobs(raw) {
+            Some(p @ Parallelism::Fixed(_)) => (p, None),
+            Some(Parallelism::Auto) if raw.trim().eq_ignore_ascii_case("auto") => {
+                (Parallelism::Auto, None)
+            }
+            // `0` (parsed as Auto but ambiguous as a worker count),
+            // negative, or unparseable: degrade to Auto, loudly.
+            _ => (
+                Parallelism::Auto,
+                Some(format!(
+                    "warning: {JOBS_ENV}={raw:?} is not a positive worker count or \
+                     `auto`; falling back to auto (hardware threads)"
+                )),
+            ),
+        }
+    }
+
+    /// The policy armed by the environment, if any. Invalid values fall
+    /// back to [`Parallelism::Auto`] with a one-time stderr warning
+    /// rather than being silently ignored.
     pub fn from_env() -> Option<Parallelism> {
-        std::env::var(JOBS_ENV)
-            .ok()
-            .and_then(|v| Parallelism::parse_jobs(&v))
+        let raw = std::env::var(JOBS_ENV).ok()?;
+        let (policy, warning) = Parallelism::interpret_env_jobs(&raw);
+        if let Some(w) = warning {
+            // Warn once per process: `workers()` re-reads the env on
+            // every parallel region and repeating the line is noise.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("{w}"));
+        }
+        Some(policy)
     }
 
     /// The worker count this policy resolves to on this machine. `Auto`
@@ -90,6 +122,27 @@ mod tests {
         assert_eq!(Parallelism::parse_jobs("-1"), None);
         assert_eq!(Parallelism::parse_jobs("many"), None);
         assert_eq!(Parallelism::parse_jobs(""), None);
+    }
+
+    #[test]
+    fn invalid_env_jobs_fall_back_to_auto_with_a_warning() {
+        // Honored verbatim, no warning.
+        assert_eq!(
+            Parallelism::interpret_env_jobs("4"),
+            (Parallelism::Fixed(4), None)
+        );
+        assert_eq!(
+            Parallelism::interpret_env_jobs(" auto "),
+            (Parallelism::Auto, None)
+        );
+        // 0, negative, and garbage all degrade to Auto and warn.
+        for bad in ["0", "-2", "banana", "", "1.5"] {
+            let (policy, warning) = Parallelism::interpret_env_jobs(bad);
+            assert_eq!(policy, Parallelism::Auto, "{bad:?}");
+            let w = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(w.contains(JOBS_ENV), "{w}");
+            assert!(w.contains("falling back to auto"), "{w}");
+        }
     }
 
     #[test]

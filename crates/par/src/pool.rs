@@ -16,6 +16,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::contain::contain;
 use crate::parallelism::Parallelism;
 
@@ -39,6 +40,62 @@ impl std::fmt::Display for ChunkPanic {
 }
 
 impl std::error::Error for ChunkPanic {}
+
+/// The outcome of a cancellable parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParOutcome<T> {
+    /// Every item ran; the output is bit-for-bit the sequential result.
+    Complete(Vec<T>),
+    /// The token tripped mid-region. Workers stop pulling new chunks
+    /// (in-flight chunks finish), so the region ends promptly and no
+    /// output is torn mid-chunk.
+    Interrupted {
+        /// The longest contiguous prefix of results, in index order —
+        /// identical to what a sequential run would have produced for
+        /// those indices. Safe to consume as a partial result.
+        done: Vec<T>,
+        /// Total items that finished anywhere (≥ `done.len()`, since
+        /// out-of-order chunks past the first gap are accounted but not
+        /// returned).
+        completed: usize,
+        /// Items the full region would have processed.
+        total: usize,
+        /// Why and when the region was cut.
+        interrupt: Interrupt,
+    },
+}
+
+impl<T> ParOutcome<T> {
+    /// The completed results, discarding partial-progress metadata.
+    pub fn into_done(self) -> Vec<T> {
+        match self {
+            ParOutcome::Complete(v) => v,
+            ParOutcome::Interrupted { done, .. } => done,
+        }
+    }
+
+    /// The interrupt record, if the region was cut.
+    pub fn interrupt(&self) -> Option<&Interrupt> {
+        match self {
+            ParOutcome::Complete(_) => None,
+            ParOutcome::Interrupted { interrupt, .. } => Some(interrupt),
+        }
+    }
+}
+
+/// Chunk outputs harvested from a (possibly interrupted) region:
+/// `(chunk index, output)` pairs sorted by chunk index, plus the chunk
+/// count the full region would have had.
+struct Harvest<T> {
+    tagged: Vec<(usize, T)>,
+    n_chunks: usize,
+}
+
+impl<T> Harvest<T> {
+    fn is_complete(&self) -> bool {
+        self.tagged.len() == self.n_chunks
+    }
+}
 
 /// A fixed-size worker pool over index ranges.
 #[derive(Debug, Clone, Copy)]
@@ -71,24 +128,38 @@ impl WorkerPool {
         n.div_ceil(self.workers * 4).max(1)
     }
 
-    /// Run `per_chunk` over every chunk of `0..n` and return the
-    /// outputs in chunk order. `per_chunk` must not unwind (callers
-    /// wrap it in [`contain`]); if it does anyway, the panic is
-    /// re-raised on the calling thread after all workers finish.
-    fn run_chunks<T: Send>(
+    /// Run `per_chunk` over chunks of `0..n`, observing `token` (when
+    /// given) before each chunk is pulled: a tripped token stops the
+    /// pull, in-flight chunks finish, and the harvest may be partial.
+    /// `per_chunk` must not unwind (callers wrap it in [`contain`]); if
+    /// it does anyway, the panic is re-raised on the calling thread
+    /// after all workers finish.
+    fn harvest<T: Send>(
         &self,
         n: usize,
+        token: Option<&CancelToken>,
         per_chunk: impl Fn(Range<usize>) -> T + Sync,
-    ) -> Vec<T> {
+    ) -> Harvest<T> {
         if n == 0 {
-            return Vec::new();
+            return Harvest {
+                tagged: Vec::new(),
+                n_chunks: 0,
+            };
         }
         let chunk = self.chunk_for(n);
         let n_chunks = n.div_ceil(chunk);
         let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+        let tripped = || token.is_some_and(CancelToken::is_cancelled);
         if self.workers == 1 || n_chunks == 1 {
             // Sequential fast path: no threads at all (Parallelism::Off).
-            return (0..n_chunks).map(|c| per_chunk(range_of(c))).collect();
+            let mut tagged = Vec::with_capacity(n_chunks);
+            for c in 0..n_chunks {
+                if tripped() {
+                    break;
+                }
+                tagged.push((c, per_chunk(range_of(c))));
+            }
+            return Harvest { tagged, n_chunks };
         }
         let cursor = AtomicUsize::new(0);
         let threads = self.workers.min(n_chunks);
@@ -98,6 +169,9 @@ impl WorkerPool {
                     scope.spawn(|| {
                         let mut out: Vec<(usize, T)> = Vec::new();
                         loop {
+                            if tripped() {
+                                return out;
+                            }
                             let c = cursor.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 return out;
@@ -119,7 +193,49 @@ impl WorkerPool {
             all
         });
         tagged.sort_unstable_by_key(|(c, _)| *c);
-        tagged.into_iter().map(|(_, t)| t).collect()
+        Harvest { tagged, n_chunks }
+    }
+
+    /// Run `per_chunk` over every chunk of `0..n` and return the
+    /// outputs in chunk order.
+    fn run_chunks<T: Send>(
+        &self,
+        n: usize,
+        per_chunk: impl Fn(Range<usize>) -> T + Sync,
+    ) -> Vec<T> {
+        // Without a token the harvest is always complete.
+        self.harvest(n, None, per_chunk)
+            .tagged
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Stitch a harvest of per-chunk item vectors into a [`ParOutcome`]:
+    /// complete when every chunk ran, otherwise the contiguous prefix
+    /// plus progress accounting.
+    fn assemble<T>(h: Harvest<Vec<T>>, n: usize, token: &CancelToken) -> ParOutcome<T> {
+        if h.is_complete() {
+            let mut out = Vec::with_capacity(n);
+            for (_, v) in h.tagged {
+                out.extend(v);
+            }
+            return ParOutcome::Complete(out);
+        }
+        let completed = h.tagged.iter().map(|(_, v)| v.len()).sum();
+        let mut done = Vec::new();
+        for (next, (c, v)) in h.tagged.into_iter().enumerate() {
+            if c != next {
+                break;
+            }
+            done.extend(v);
+        }
+        ParOutcome::Interrupted {
+            done,
+            completed,
+            total: n,
+            interrupt: token.interrupt(),
+        }
     }
 
     /// Chunked parallel map over `0..n` with deterministic ordering:
@@ -182,6 +298,65 @@ impl WorkerPool {
     /// If `f` panics for any index (first chunk in chunk order wins).
     pub fn par_for_each(&self, n: usize, f: impl Fn(usize) + Sync) {
         self.par_map(n, f);
+    }
+
+    /// Cancellable [`WorkerPool::par_map`]: workers stop pulling chunks
+    /// once `token` trips, and the outcome carries the contiguous
+    /// prefix of results plus progress accounting. With an untripped
+    /// token the output is bit-for-bit the `par_map` output.
+    ///
+    /// # Panics
+    /// If `f` panics for any completed index.
+    pub fn par_map_within<T: Send>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> ParOutcome<T> {
+        match self.try_par_map_within(n, token, f) {
+            Ok(out) => out,
+            Err(p) => panic!("{}", p.detail),
+        }
+    }
+
+    /// Cancellable [`WorkerPool::try_par_map`]. A contained chunk panic
+    /// takes precedence over an interruption: if any chunk that ran
+    /// panicked, the first such chunk (in chunk order) is returned as
+    /// the error even when the token also tripped.
+    pub fn try_par_map_within<T: Send>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Result<ParOutcome<T>, ChunkPanic> {
+        let f = &f;
+        let h = self.harvest(n, Some(token), move |range| {
+            let r = range.clone();
+            contain(move || r.map(f).collect::<Vec<T>>())
+                .map_err(|detail| ChunkPanic { range, detail })
+        });
+        let n_chunks = h.n_chunks;
+        let mut tagged = Vec::with_capacity(h.tagged.len());
+        for (c, r) in h.tagged {
+            tagged.push((c, r?));
+        }
+        Ok(WorkerPool::assemble(Harvest { tagged, n_chunks }, n, token))
+    }
+
+    /// Cancellable [`WorkerPool::par_map_isolated`]: per-item panic
+    /// isolation plus cooperative cancellation between chunks. Panicked
+    /// items are `Err` entries in the outcome (they count as completed
+    /// — the item *ran*, it just failed).
+    pub fn par_map_isolated_within<T: Send>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> ParOutcome<Result<T, String>> {
+        let h = self.harvest(n, Some(token), |range| {
+            range.map(|i| contain(|| f(i))).collect::<Vec<_>>()
+        });
+        WorkerPool::assemble(h, n, token)
     }
 }
 
@@ -267,6 +442,116 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn untripped_token_outcome_is_bitwise_the_par_map_output() {
+        use crate::cancel::CancelToken;
+        let n = 777;
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let plain = pool.par_map(n, |i| (i as u64).wrapping_mul(0x9E37));
+            let token = CancelToken::inert();
+            match pool.par_map_within(n, &token, |i| (i as u64).wrapping_mul(0x9E37)) {
+                ParOutcome::Complete(v) => assert_eq!(v, plain, "workers={workers}"),
+                other => panic!("untripped token must complete: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pretripped_token_yields_empty_partial_with_accounting() {
+        use crate::cancel::{CancelCause, CancelToken};
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let token = CancelToken::inert();
+            token.cancel();
+            match pool.par_map_within(500, &token, |i| i) {
+                ParOutcome::Interrupted {
+                    done,
+                    completed,
+                    total,
+                    interrupt,
+                } => {
+                    assert!(done.is_empty(), "workers={workers}");
+                    assert_eq!(completed, 0);
+                    assert_eq!(total, 500);
+                    assert_eq!(interrupt.cause, CancelCause::Cancelled);
+                }
+                ParOutcome::Complete(_) => panic!("pre-tripped token must interrupt"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_region_cancel_returns_a_contiguous_prefix() {
+        use crate::cancel::CancelToken;
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let token = CancelToken::inert();
+            let cut = 100;
+            let outcome = pool.par_map_within(100_000, &token, |i| {
+                if i == cut {
+                    token.cancel();
+                }
+                i
+            });
+            match outcome {
+                ParOutcome::Interrupted {
+                    done,
+                    completed,
+                    total,
+                    ..
+                } => {
+                    // The prefix is exactly the sequential result for
+                    // those indices, and accounting is consistent.
+                    assert_eq!(done, (0..done.len()).collect::<Vec<_>>());
+                    assert!(completed >= done.len(), "workers={workers}");
+                    assert_eq!(total, 100_000);
+                    assert!(completed < total, "cancel must cut the region short");
+                }
+                ParOutcome::Complete(_) => {
+                    panic!("cancel at item {cut} must interrupt (workers={workers})")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_wins_over_interruption_in_try_par_map_within() {
+        use crate::cancel::CancelToken;
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::inert();
+        let err = pool
+            .try_par_map_within(1000, &token, |i| {
+                if i == 10 {
+                    token.cancel();
+                }
+                assert!(i != 5, "item 5 is cursed");
+                i
+            })
+            .expect_err("chunk panic must surface");
+        assert!(err.range.contains(&5), "{:?}", err.range);
+        assert!(err.detail.contains("cursed"));
+    }
+
+    #[test]
+    fn isolated_within_keeps_per_item_attribution_under_cancellation() {
+        use crate::cancel::{Budget, CancelToken};
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::with_budget(Budget::UNLIMITED);
+        let outcome = pool.par_map_isolated_within(10, &token, |i| {
+            assert!(i != 3, "injected: item 3 dies");
+            i * 2
+        });
+        match outcome {
+            ParOutcome::Complete(out) => {
+                assert_eq!(out.len(), 10);
+                assert!(out[3].is_err());
+                assert_eq!(out[7].as_ref().copied(), Ok(14));
+            }
+            other => panic!("untripped token must complete: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Direct tests of the public pool API as an external consumer —
+//! previously `par_map_isolated` attribution and `par_for_each` were
+//! only exercised indirectly through the suite.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fairem_par::{Budget, CancelCause, CancelToken, ParOutcome, WorkerPool};
+
+#[test]
+fn par_map_isolated_attributes_each_poisoned_item() {
+    // Several poisoned items, spread across chunks, each attributed to
+    // exactly itself — under every worker count.
+    let poisoned = [3usize, 57, 58, 199];
+    for workers in [1, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        let out = pool.par_map_isolated(200, |i| {
+            assert!(!poisoned.contains(&i), "injected: item {i} dies");
+            i * i
+        });
+        assert_eq!(out.len(), 200, "workers={workers}");
+        for (i, r) in out.iter().enumerate() {
+            if poisoned.contains(&i) {
+                let e = r.as_ref().expect_err("poisoned item must fail");
+                assert!(
+                    e.contains(&format!("item {i} dies")),
+                    "workers={workers} i={i}: wrong attribution: {e}"
+                );
+            } else {
+                assert_eq!(r.as_ref().copied(), Ok(i * i), "workers={workers} i={i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn par_map_isolated_with_no_failures_is_all_ok() {
+    let pool = WorkerPool::new(4);
+    let out = pool.par_map_isolated(64, |i| i + 1);
+    assert!(out.iter().enumerate().all(|(i, r)| r == &Ok(i + 1)));
+}
+
+#[test]
+fn par_for_each_visits_every_index_exactly_once_per_worker_count() {
+    for workers in [1, 3, 4, 7] {
+        let hits: Vec<AtomicUsize> = (0..501).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkerPool::new(workers);
+        pool.par_for_each(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "workers={workers} i={i}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "item 9 detonated")]
+fn par_for_each_surfaces_a_worker_panic() {
+    let pool = WorkerPool::new(4);
+    pool.par_for_each(100, |i| assert!(i != 9, "item 9 detonated"));
+}
+
+#[test]
+fn cancellable_map_accounts_partial_progress() {
+    let pool = WorkerPool::new(4);
+    let token = CancelToken::with_budget(Budget::UNLIMITED);
+    token.cancel();
+    match pool.par_map_isolated_within(100, &token, |i| i) {
+        ParOutcome::Interrupted {
+            done,
+            completed,
+            total,
+            interrupt,
+        } => {
+            assert!(done.is_empty());
+            assert_eq!((completed, total), (0, 100));
+            assert_eq!(interrupt.cause, CancelCause::Cancelled);
+        }
+        ParOutcome::Complete(_) => panic!("pre-cancelled token must interrupt"),
+    }
+}

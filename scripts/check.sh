@@ -17,11 +17,28 @@ fi
 # The suite promises identical results under every parallelism policy,
 # so the whole test matrix runs twice: pinned sequential and pinned to
 # a 4-worker pool (FAIREM_JOBS drives Parallelism::Auto).
-echo "== tier-1: workspace tests (FAIREM_JOBS=1) =="
-FAIREM_JOBS=1 cargo test -q --workspace
+#
+# Every test invocation runs under a hard wall-clock timeout: the
+# deadline subsystem exists so nothing can hang, and a regression that
+# reintroduces a hang must fail this gate fast, not stall it. The limit
+# is generous (the full debug matrix runs in ~1 min on the build box);
+# override with CHECK_TEST_TIMEOUT=<secs> on slow machines.
+TEST_TIMEOUT="${CHECK_TEST_TIMEOUT:-900}"
+run_tests() {
+  # timeout(1) sends TERM, then KILL 10s later if the run ignores it.
+  local status=0
+  timeout --kill-after=10 "$TEST_TIMEOUT" "$@" || status=$?
+  if [ "$status" -eq 124 ] || [ "$status" -eq 137 ]; then
+    echo "check.sh: FAIL — test run exceeded ${TEST_TIMEOUT}s wall clock (a hang?)" >&2
+  fi
+  return "$status"
+}
 
-echo "== tier-1: workspace tests (FAIREM_JOBS=4) =="
-FAIREM_JOBS=4 cargo test -q --workspace
+echo "== tier-1: workspace tests (FAIREM_JOBS=1, ${TEST_TIMEOUT}s cap) =="
+FAIREM_JOBS=1 run_tests cargo test -q --workspace
+
+echo "== tier-1: workspace tests (FAIREM_JOBS=4, ${TEST_TIMEOUT}s cap) =="
+FAIREM_JOBS=4 run_tests cargo test -q --workspace
 
 echo "== lints: clippy, warnings denied, unwrap() banned outside tests =="
 cargo clippy --workspace -- -D warnings -D clippy::unwrap_used

@@ -8,14 +8,17 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
+use fairem_core::fault::FaultSite;
 use fairem_core::matcher::{ExternalScores, MatcherKind};
 use fairem_core::pipeline::FairEm360;
 use fairem_core::report::{audit_json, audit_text};
 use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::{Parallelism, SuiteError};
+use fairem_core::{Budget, CancelToken, Parallelism, SuiteError};
 use fairem_csvio::{read_csv_file, write_csv_file, CsvTable, Json};
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
@@ -32,6 +35,14 @@ pub const EXIT_DATA: i32 = 2;
 /// Process exit code: the run completed, but degraded — matchers failed
 /// or input rows were quarantined; read the report's degraded section.
 pub const EXIT_DEGRADED: i32 = 3;
+/// Process exit code: a deadline budget expired — either the whole-suite
+/// `--timeout` aborted the run, or a per-matcher `--matcher-timeout` cut
+/// at least one matcher (the report names who was cut and where).
+pub const EXIT_TIMEOUT: i32 = 4;
+/// Process exit code: the run was interrupted (Ctrl-C / explicit
+/// cancellation) and wound down cooperatively; any output produced is a
+/// valid partial result. 130 = 128 + SIGINT, the shell convention.
+pub const EXIT_INTERRUPTED: i32 = 130;
 
 /// CLI failure with a user-facing message and a process exit code.
 #[derive(Debug)]
@@ -71,15 +82,20 @@ fn suite_err(e: SuiteError) -> CliError {
     }
 }
 
-/// Successful CLI output: the rendered text plus whether the run was
-/// degraded (matchers lost or rows quarantined), which decides the
-/// process exit code.
+/// Successful CLI output: the rendered text plus how the run ended
+/// (degraded coverage, budget cuts, external interruption), which
+/// decides the process exit code.
 #[derive(Debug)]
 pub struct CliOutput {
     /// Rendered report / status text.
     pub text: String,
     /// True when the run completed over reduced coverage.
     pub degraded: bool,
+    /// True when a deadline budget cut at least one matcher or audit.
+    pub timed_out: bool,
+    /// True when the run was cancelled externally (Ctrl-C) and wound
+    /// down with partial results.
+    pub interrupted: bool,
 }
 
 impl CliOutput {
@@ -87,12 +103,21 @@ impl CliOutput {
         CliOutput {
             text: text.into(),
             degraded: false,
+            timed_out: false,
+            interrupted: false,
         }
     }
 
-    /// The process exit code this output maps to.
+    /// The process exit code this output maps to. Interruption outranks
+    /// timeout outranks degradation: the most externally-caused ending
+    /// wins, so scripts can distinguish "you stopped it" from "it was
+    /// slow" from "it lost matchers".
     pub fn exit_code(&self) -> i32 {
-        if self.degraded {
+        if self.interrupted {
+            EXIT_INTERRUPTED
+        } else if self.timed_out {
+            EXIT_TIMEOUT
+        } else if self.degraded {
             EXIT_DEGRADED
         } else {
             EXIT_OK
@@ -110,7 +135,8 @@ USAGE:
          [--matchers <name,..>] [--measures <name,..>] [--paradigm single|pairwise]
          [--disparity subtraction|division] [--threshold <f>] [--fairness-threshold <f>]
          [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
-         [--jobs <n|auto>]
+         [--jobs <n|auto>] [--timeout <secs>] [--matcher-timeout <secs>]
+         [--inject-stall <matcher>:<train|score>:<millis>]
   fairem audit-scores --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
          --sensitive <col[,col]> [audit options as above]
   fairem analyze --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
@@ -126,12 +152,25 @@ PARALLELISM:
   sizes the pool from FAIREM_JOBS or the hardware thread count. Results
   are identical for every setting; only wall-clock time changes.
 
+DEADLINES:
+  --timeout S aborts the whole run after S seconds (exit 4). With
+  --matcher-timeout S each matcher trains and scores under its own
+  S-second budget: an expiry cuts only that matcher — the survivors are
+  still audited and the report names who was cut, where, and after how
+  long. Ctrl-C winds the run down cooperatively at the same checkpoints
+  and exits 130 with whatever partial output exists. --inject-stall is
+  a chaos flag that makes one matcher sleep at train or score time, for
+  rehearsing the above deterministically.
+
 EXIT CODES:
-  0  success, full coverage
-  1  usage error (bad flags, unknown command, invalid configuration)
-  2  data error (unreadable file, schema violation, every matcher failed)
-  3  completed but degraded (matchers failed or input rows quarantined;
-     the report lists what is missing)
+  0    success, full coverage
+  1    usage error (bad flags, unknown command, invalid configuration)
+  2    data error (unreadable file, schema violation, every matcher failed)
+  3    completed but degraded (matchers failed or input rows quarantined;
+       the report lists what is missing)
+  4    a deadline budget expired (--timeout aborted the run, or
+       --matcher-timeout cut at least one matcher)
+  130  interrupted (Ctrl-C); any output is a valid partial result
 ";
 
 /// Simple `--flag value` / `--flag` argument map.
@@ -204,20 +243,115 @@ impl Args {
             }),
         }
     }
+
+    /// Parse `--<name> <secs>` into a wall-clock [`Budget`] (fractional
+    /// seconds allowed). Absent flag → `None`; zero/negative/NaN → usage
+    /// error.
+    fn wall_budget(&self, name: &str) -> Result<Option<Budget>, CliError> {
+        let Some(v) = self.get(name) else {
+            return Ok(None);
+        };
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| err(format!("--{name} expects seconds, got {v:?}")))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(err(format!(
+                "--{name} expects a positive number of seconds, got {v:?}"
+            )));
+        }
+        Ok(Some(Budget::wall(Duration::from_secs_f64(secs))))
+    }
 }
 
+/// Parse `--inject-stall <matcher>:<train|score>:<millis>` into an
+/// armed stall fault (the CLI's deterministic chaos knob for deadline
+/// rehearsals).
+fn parse_inject_stall(
+    spec: &str,
+    plan: fairem_core::FaultPlan,
+) -> Result<fairem_core::FaultPlan, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [matcher, site, millis] = parts[..] else {
+        return Err(err(format!(
+            "--inject-stall expects <matcher>:<train|score>:<millis>, got {spec:?}"
+        )));
+    };
+    let kind: MatcherKind = matcher
+        .parse()
+        .map_err(|e| err(format!("bad --inject-stall matcher: {e}")))?;
+    let site = match site {
+        "train" => FaultSite::Train,
+        "score" => FaultSite::Score,
+        other => {
+            return Err(err(format!(
+                "--inject-stall site must be `train` or `score`, got {other:?}"
+            )))
+        }
+    };
+    let millis: u64 = millis
+        .parse()
+        .map_err(|_| err(format!("--inject-stall expects integer millis, got {millis:?}")))?;
+    Ok(plan.stall(kind, site, millis))
+}
+
+/// The process-wide cancellation token the SIGINT handler trips. The
+/// binary passes it to [`run_with_token`]; library callers normally
+/// never need it.
+pub fn global_cancel_token() -> &'static CancelToken {
+    static GLOBAL_CANCEL: OnceLock<CancelToken> = OnceLock::new();
+    GLOBAL_CANCEL.get_or_init(CancelToken::inert)
+}
+
+/// Install a SIGINT (Ctrl-C) handler that trips [`global_cancel_token`],
+/// so an in-flight run winds down cooperatively at its next checkpoint
+/// and still emits a valid partial report (exit 130). Idempotent; no-op
+/// on non-unix platforms.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    use std::sync::Once;
+    static INSTALLED: Once = Once::new();
+    INSTALLED.call_once(|| {
+        extern "C" fn on_sigint(_signum: i32) {
+            // Async-signal-safe: tripping the token is one atomic store.
+            global_cancel_token().cancel();
+        }
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SAFETY: installs a handler that only performs an atomic store.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    });
+}
+
+/// See the unix variant; signal handling is not wired on this platform.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
 /// Entry point: run the CLI on raw (post-program-name) arguments and
-/// return the rendered output (plus degraded-coverage status).
+/// return the rendered output (plus how the run ended). Uses an inert
+/// cancellation token — Ctrl-C integration goes through
+/// [`run_with_token`].
 pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
+    run_with_token(argv, &CancelToken::inert())
+}
+
+/// [`run`] under an external cancellation token: trip `cancel` (e.g.
+/// from the SIGINT handler) and the suite winds down cooperatively —
+/// completed audits are still rendered and the exit code is
+/// [`EXIT_INTERRUPTED`].
+pub fn run_with_token(argv: &[String], cancel: &CancelToken) -> Result<CliOutput, CliError> {
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "generate" => cmd_generate(&args),
-        "audit" => cmd_audit(&args, None),
+        "audit" => cmd_audit(&args, None, cancel),
         "audit-scores" => {
             let path = args.required("scores")?.to_owned();
-            cmd_audit(&args, Some(PathBuf::from(path)))
+            cmd_audit(&args, Some(PathBuf::from(path)), cancel)
         }
-        "analyze" => cmd_analyze(&args),
+        "analyze" => cmd_analyze(&args, cancel),
         "help" | "--help" | "-h" => Ok(CliOutput::clean(USAGE)),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -316,7 +450,29 @@ where
         .collect()
 }
 
-fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, CliError> {
+/// Map a suite error to a CLI error: timeouts get the deadline exit
+/// codes (130 when the cut came from an external cancel), config errors
+/// are usage errors, everything else is a data error.
+fn run_err(e: SuiteError, cancel: &CancelToken) -> CliError {
+    match &e {
+        SuiteError::TimedOut { .. } => CliError {
+            message: e.to_string(),
+            exit: if cancel.cancel_requested() {
+                EXIT_INTERRUPTED
+            } else {
+                EXIT_TIMEOUT
+            },
+        },
+        SuiteError::Config { .. } => err(e.to_string()),
+        _ => data_err(e.to_string()),
+    }
+}
+
+fn cmd_audit(
+    args: &Args,
+    scores_path: Option<PathBuf>,
+    cancel: &CancelToken,
+) -> Result<CliOutput, CliError> {
     let table_a = read_table(args.required("table-a")?)?;
     let table_b = read_table(args.required("table-b")?)?;
     let matches = read_matches(args.required("matches")?)?;
@@ -354,8 +510,18 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
     let mut config = fairem_core::pipeline::SuiteConfig {
         matching_threshold,
         parallelism: args.jobs()?,
+        cancel: cancel.clone(),
         ..Default::default()
     };
+    if let Some(budget) = args.wall_budget("timeout")? {
+        config.budget = budget;
+    }
+    if let Some(budget) = args.wall_budget("matcher-timeout")? {
+        config.matcher_budget = budget;
+    }
+    if let Some(spec) = args.get("inject-stall") {
+        config.fault = parse_inject_stall(spec, config.fault)?;
+    }
     if let Some(cols) = args.get("blocking") {
         config.prep.blocking_columns = cols.split(',').map(|c| c.trim().to_owned()).collect();
     }
@@ -399,15 +565,17 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
         write_csv_file(&path, &table).map_err(|e| data_err(format!("writing {path:?}: {e}")))
     };
 
-    let (session, reports) = if let Some(scores_path) = scores_path {
+    let (session, reports, audit_interrupt) = if let Some(scores_path) = scores_path {
         // Evaluation-Only: train nothing beyond the cheapest matcher
         // (needed to build the test pairing), then audit the uploads.
         let ext = read_external_scores(&scores_path)?;
-        let session = suite.try_run(&[MatcherKind::DtMatcher]).map_err(suite_err)?;
+        let session = suite
+            .try_run(&[MatcherKind::DtMatcher])
+            .map_err(|e| run_err(e, cancel))?;
         let w = session.external_workload(&ext);
         dump(&session, ext.name(), &w)?;
         let reports = vec![auditor.audit(ext.name(), &w, &session.space)];
-        (session, reports)
+        (session, reports, None)
     } else {
         let kinds: Vec<MatcherKind> = match args.get("matchers") {
             None => vec![
@@ -417,16 +585,19 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
             ],
             Some(raw) => parse_list(raw, "matcher")?,
         };
-        let session = suite.try_run(&kinds).map_err(suite_err)?;
+        let session = suite.try_run(&kinds).map_err(|e| run_err(e, cancel))?;
         for name in session.matcher_names() {
             let w = session.workload(name).map_err(suite_err)?;
             dump(&session, name, &w)?;
         }
-        let reports = session.audit_all(&auditor);
-        (session, reports)
+        let (reports, interrupt) = session.try_audit_all(&auditor);
+        (session, reports, interrupt)
     };
 
     let degraded = session.is_degraded() || !session.quarantine().is_empty();
+    let timed_out = audit_interrupt.is_some()
+        || session.failures().iter().any(|f| f.interrupt().is_some());
+    let interrupted = cancel.cancel_requested();
     let text = if args.has("json") {
         let j = Json::arr(reports.iter().map(audit_json));
         j.to_string_pretty()
@@ -449,6 +620,13 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
                 text.push_str(&format!("  {f}\n"));
             }
         }
+        if let Some(i) = &audit_interrupt {
+            text.push_str(&format!(
+                "\nAUDIT INTERRUPTED: {i} — {}/{} report(s) completed\n",
+                reports.len(),
+                session.matcher_names().len()
+            ));
+        }
         if session.clamped_scores() > 0 {
             text.push_str(&format!(
                 "\nnote: {} non-finite/out-of-range matcher score(s) clamped to [0,1]\n",
@@ -457,7 +635,12 @@ fn cmd_audit(args: &Args, scores_path: Option<PathBuf>) -> Result<CliOutput, Cli
         }
         text
     };
-    Ok(CliOutput { text, degraded })
+    Ok(CliOutput {
+        text,
+        degraded,
+        timed_out,
+        interrupted,
+    })
 }
 
 fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
@@ -484,7 +667,7 @@ fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
 
 /// `fairem analyze`: threshold-sensitivity + AUC-parity analysis of an
 /// uploaded score file (the extension experiments, headless).
-fn cmd_analyze(args: &Args) -> Result<CliOutput, CliError> {
+fn cmd_analyze(args: &Args, cancel: &CancelToken) -> Result<CliOutput, CliError> {
     use fairem_core::threshold::{auc_parity, default_grid, suggest_threshold, sweep};
 
     let table_a = read_table(args.required("table-a")?)?;
@@ -508,10 +691,13 @@ fn cmd_analyze(args: &Args) -> Result<CliOutput, CliError> {
         .ground_truth(matches)
         .sensitive(sensitive)
         .parallelism(args.jobs()?)
+        .cancel_token(cancel.clone())
         .strict()
         .build()
         .map_err(suite_err)?;
-    let session = suite.try_run(&[MatcherKind::DtMatcher]).map_err(suite_err)?;
+    let session = suite
+        .try_run(&[MatcherKind::DtMatcher])
+        .map_err(|e| run_err(e, cancel))?;
     let workload = session.external_workload(&ext);
     let groups: Vec<fairem_core::sensitive::GroupId> = session.space.level1_of_attr(0);
 

@@ -43,6 +43,6 @@ pub mod prelude {
     pub use fairem_core::pipeline::{FairEm360, SuiteBuilder, SuiteConfig};
     pub use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
     pub use fairem_core::workload::Workload;
-    pub use fairem_par::Parallelism;
+    pub use fairem_par::{Budget, CancelToken, Interrupt, Parallelism};
     pub use fairem_datasets::{faculty_match, nofly_compas};
 }

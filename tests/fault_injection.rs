@@ -209,6 +209,66 @@ fn corrupted_import_rows_are_quarantined_and_run_completes() {
 }
 
 #[test]
+fn quarantine_accounting_holds_under_a_parallel_import() {
+    // The partition invariant (kept + quarantined == input) was only
+    // pinned on the sequential path; here the lenient imports themselves
+    // run concurrently on a 4-worker pool (the shape check.sh's
+    // FAIREM_JOBS=4 leg drives through Parallelism::Auto), and the
+    // downstream suite runs under Fixed(4) — accounting must not care.
+    use fairem360::core::schema::Table;
+    use fairem360::core::Parallelism;
+    use fairem360::par::WorkerPool;
+
+    let plan = FaultPlan::seeded(5).corrupt_import();
+    let data = faculty_match(&dataset_config());
+    let mut corrupted = [data.table_a.clone(), data.table_b.clone()];
+    for t in &mut corrupted {
+        let id_col = t.column_index("id").expect("generated tables have ids");
+        plan.corrupt_rows(&mut t.rows, id_col);
+    }
+
+    let pool = WorkerPool::with_parallelism(Parallelism::Fixed(4));
+    let outcomes = pool.par_map_isolated(corrupted.len(), |i| {
+        let name = ["tableA", "tableB"][i];
+        Table::from_csv_lenient(corrupted[i].clone(), name).expect("id column present")
+    });
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let (table, q) = outcome.expect("lenient import survives corruption");
+        assert_eq!(
+            table.len() + q.len(),
+            corrupted[i].rows.len(),
+            "table {i}: every input row must be kept or quarantined"
+        );
+        assert!(!q.is_empty(), "table {i}: corruption must be quarantined");
+    }
+
+    // End to end: the quarantine the session reports is identical under
+    // a sequential and a 4-worker suite.
+    let session_with = |parallelism: Parallelism| {
+        let data = faculty_match(&dataset_config());
+        let mut config = suite_config(FaultPlan::seeded(5).corrupt_import());
+        config.parallelism = parallelism;
+        let (suite, quarantine) = FairEm360::import_with(
+            data.table_a,
+            data.table_b,
+            data.matches,
+            vec![SensitiveAttr::categorical("country")],
+            config,
+        )
+        .expect("corrupted import must still succeed");
+        (quarantine, suite.try_run(&KINDS).expect("run over kept rows"))
+    };
+    let (q_seq, s_seq) = session_with(Parallelism::Off);
+    let (q_par, s_par) = session_with(Parallelism::Fixed(4));
+    assert!(!q_seq.is_empty());
+    assert_eq!(q_seq.rows.len(), q_par.rows.len());
+    for (a, b) in q_seq.rows.iter().zip(&q_par.rows) {
+        assert_eq!((a.table.as_str(), a.row), (b.table.as_str(), b.row));
+    }
+    assert_eq!(s_seq.quarantine().render(), s_par.quarantine().render());
+}
+
+#[test]
 fn parallel_chunk_panic_degrades_identically_to_sequential() {
     use fairem360::core::Parallelism;
     let session_with = |parallelism: Parallelism| {
