@@ -1,0 +1,202 @@
+//! `bench_baseline` — the suite's end-to-end per-stage wall-time
+//! baseline, measured through the `fairem-obs` recorder rather than an
+//! external profiler, so the numbers are exactly what `--metrics`
+//! reports in production.
+//!
+//! Two modes:
+//!
+//! - `bench_baseline [--out <path>]` (default `BENCH_baseline.json`):
+//!   run WDCProducts and Citations end to end (import → train → score →
+//!   audit → ensemble) under 1 and 4 fixed workers, and write the
+//!   per-stage totals as JSON.
+//! - `bench_baseline --validate <path>`: parse a `fairem-obs/1`
+//!   snapshot (as written by `fairem audit --metrics <path>`), print its
+//!   per-stage totals, and exit non-zero if it does not parse — the
+//!   check-gate leg that keeps the snapshot schema honest.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fairem_bench::{default_auditor, MATCHING_THRESHOLD};
+use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_core::matcher::MatcherKind;
+use fairem_core::pipeline::{FairEm360, SuiteConfig};
+use fairem_core::prep::PrepConfig;
+use fairem_core::sensitive::SensitiveAttr;
+use fairem_core::{Parallelism, Recorder};
+use fairem_csvio::Json;
+use fairem_datasets::{citations, wdc_products, CitationsConfig, GeneratedDataset, ProductsConfig};
+
+/// The CLI's default fleet — what `fairem audit` trains when no
+/// `--matchers` flag is given, so the baseline matches real runs.
+const MATCHERS: &[MatcherKind] = &[
+    MatcherKind::DtMatcher,
+    MatcherKind::RfMatcher,
+    MatcherKind::LinRegMatcher,
+];
+
+/// The worker counts the determinism tests pin (sequential and a small
+/// fixed pool).
+const JOBS: &[usize] = &[1, 4];
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("--validate") => {
+            let Some(path) = argv.get(1) else {
+                eprintln!("--validate expects a snapshot path");
+                return ExitCode::FAILURE;
+            };
+            validate(Path::new(path))
+        }
+        Some("--out") => {
+            let Some(path) = argv.get(1) else {
+                eprintln!("--out expects an output path");
+                return ExitCode::FAILURE;
+            };
+            baseline(Path::new(path))
+        }
+        None => baseline(Path::new("BENCH_baseline.json")),
+        Some(other) => {
+            eprintln!("unknown flag {other:?}; usage: bench_baseline [--out <path> | --validate <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Run every (dataset × jobs) cell and write the baseline JSON.
+fn baseline(out: &Path) -> ExitCode {
+    let datasets = [
+        wdc_products(&ProductsConfig::default()),
+        citations(&CitationsConfig::default()),
+    ];
+    let mut runs = Vec::new();
+    for dataset in &datasets {
+        for &jobs in JOBS {
+            eprintln!("measuring {} under {jobs} worker(s)...", dataset.name);
+            let stages = run_once(dataset, jobs);
+            let mut obj = Json::obj([
+                ("dataset", Json::Str(dataset.name.clone())),
+                ("jobs", Json::Num(jobs as f64)),
+            ]);
+            let mut table = Json::obj([]);
+            for (stage, secs) in &stages {
+                println!("  {:>12} {:>10.4}s  ({} x{jobs})", stage, secs, dataset.name);
+                table.push(stage.clone(), Json::Num(*secs));
+            }
+            obj.push("stage_secs", table);
+            runs.push(obj);
+        }
+    }
+    let doc = Json::obj([
+        ("schema", Json::Str("fairem-bench-baseline/1".into())),
+        (
+            "matchers",
+            Json::arr(MATCHERS.iter().map(|k| Json::Str(k.name().into()))),
+        ),
+        ("runs", Json::arr(runs)),
+    ]);
+    if let Err(e) = std::fs::write(out, doc.to_string_pretty() + "\n") {
+        eprintln!("writing {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// One full pipeline pass under a live recorder; returns the per-stage
+/// totals ([`fairem_obs::Snapshot::stage_totals`] order).
+fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Vec<(String, f64)> {
+    let observe = Recorder::enabled();
+    let config = SuiteConfig {
+        prep: PrepConfig {
+            // Both benchmark datasets block on `title`.
+            blocking_columns: vec!["title".into()],
+            negative_ratio: 6.0,
+            train_frac: 0.55,
+            valid_frac: 0.05,
+            ..PrepConfig::default()
+        },
+        matching_threshold: MATCHING_THRESHOLD,
+        parallelism: Parallelism::Fixed(jobs),
+        observe: observe.clone(),
+        ..SuiteConfig::default()
+    };
+    let sensitive: Vec<SensitiveAttr> = dataset
+        .sensitive
+        .iter()
+        .map(|c| SensitiveAttr::categorical(c.clone()))
+        .collect();
+    let session = FairEm360::builder()
+        .tables(dataset.table_a.clone(), dataset.table_b.clone())
+        .ground_truth(dataset.matches.clone())
+        .sensitive(sensitive)
+        .config(config)
+        .build()
+        .expect("generated datasets are schema-valid")
+        .try_run(MATCHERS)
+        .expect("baseline fleet trains");
+    let _ = session.audit_all(&default_auditor());
+    let _ = session
+        .ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction)
+        .pareto_frontier();
+    observe.snapshot().stage_totals()
+}
+
+/// Parse a `fairem-obs/1` snapshot and print per-stage totals (root
+/// spans aggregated by name, first-seen order — the same reduction as
+/// `Snapshot::stage_totals`).
+fn validate(path: &Path) -> ExitCode {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match Json::parse(&raw) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("{} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if json.get("schema").and_then(Json::as_str) != Some("fairem-obs/1") {
+        eprintln!("{} does not carry the fairem-obs/1 schema", path.display());
+        return ExitCode::FAILURE;
+    }
+    let Some(Json::Arr(spans)) = json.get("spans") else {
+        eprintln!("{} has no spans array", path.display());
+        return ExitCode::FAILURE;
+    };
+    let mut order: Vec<&str> = Vec::new();
+    let mut totals: Vec<f64> = Vec::new();
+    for span in spans {
+        if span.get("parent") != Some(&Json::Null) {
+            continue;
+        }
+        let (Some(name), Some(secs)) = (
+            span.get("name").and_then(Json::as_str),
+            span.get("secs").and_then(Json::as_num),
+        ) else {
+            eprintln!("malformed span record: {}", span.to_string_compact());
+            return ExitCode::FAILURE;
+        };
+        match order.iter().position(|n| *n == name) {
+            Some(i) => totals[i] += secs,
+            None => {
+                order.push(name);
+                totals.push(secs);
+            }
+        }
+    }
+    if order.is_empty() {
+        eprintln!("{} contains no root spans", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("per-stage totals from {}:", path.display());
+    for (name, secs) in order.iter().zip(&totals) {
+        println!("  {name:>12} {secs:>10.4}s");
+    }
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,7 @@
 //! space, and surface the fairness/performance Pareto frontier for the
 //! user to pick a resolution from.
 
+use fairem_obs::{Recorder, SpanStatus};
 use fairem_par::{CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 
 use crate::fairness::{Disparity, FairnessMeasure};
@@ -38,6 +39,7 @@ pub struct EnsembleExplorer {
     disparity: Disparity,
     parallelism: Parallelism,
     cancel: CancelToken,
+    observe: Recorder,
 }
 
 impl EnsembleExplorer {
@@ -89,6 +91,7 @@ impl EnsembleExplorer {
             disparity,
             parallelism: Parallelism::Off,
             cancel: CancelToken::inert(),
+            observe: Recorder::disabled(),
         }
     }
 
@@ -105,6 +108,15 @@ impl EnsembleExplorer {
     /// token the enumeration always completes.
     pub fn with_cancel(mut self, cancel: CancelToken) -> EnsembleExplorer {
         self.cancel = cancel;
+        self
+    }
+
+    /// Observability recorder for the enumeration (a session passes its
+    /// run recorder through): each frontier exploration records an
+    /// `ensemble` span plus the assignment-space size. The default
+    /// disabled recorder keeps enumeration bit-for-bit inert.
+    pub fn with_observe(mut self, recorder: Recorder) -> EnsembleExplorer {
+        self.observe = recorder;
         self
     }
 
@@ -225,12 +237,16 @@ impl EnsembleExplorer {
         );
         let total = m.pow(k as u32);
         let higher = self.measure.higher_is_better();
+        let span = self.observe.span("ensemble");
+        span.note(format!("{m}^{k} = {total} assignments"));
+        self.observe.gauge("ensemble.assignments", total as f64);
         // Candidate evaluation fans out over the pool: each linear index
         // decodes (mixed-radix, position 0 fastest) to exactly the
         // assignment the old odometer visited at that step, and the pool
         // returns points in index order — so the point sequence, and
         // therefore the frontier, is identical for any worker count.
-        let pool = WorkerPool::with_parallelism(self.parallelism);
+        let pool =
+            WorkerPool::with_parallelism(self.parallelism).observe(self.observe.clone());
         let outcome = pool.par_map_within(total, &self.cancel, |idx| {
             let mut assignment = vec![0usize; k];
             let mut rest = idx;
@@ -244,7 +260,11 @@ impl EnsembleExplorer {
             ParOutcome::Complete(points) => (frontier(points, higher), None),
             ParOutcome::Interrupted {
                 done, interrupt, ..
-            } => (frontier(done, higher), Some(interrupt)),
+            } => {
+                span.set_status(SpanStatus::Cut);
+                span.note(interrupt.to_string());
+                (frontier(done, higher), Some(interrupt))
+            }
         }
     }
 

@@ -87,6 +87,7 @@ pub use error::{Stage, SuiteError, SuiteResult};
 pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
 pub use matcher::{FailureCause, Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
+pub use fairem_obs::{Recorder, Snapshot, SpanStatus};
 pub use fairem_par::{Budget, CancelToken, Interrupt, Parallelism, WorkerPool};
 pub use pipeline::{FairEm360, MatcherPerformance, Session, SuiteBuilder, SuiteConfig};
 pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};

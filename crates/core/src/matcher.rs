@@ -17,6 +17,7 @@ use fairem_neural::{
     DeepMatcherLite, DittoLite, HierMatcherLite, McanLite, NeuralMatcher, TokenPair, TrainConfig,
 };
 
+use fairem_obs::SpanStatus;
 use fairem_par::{Budget, CancelToken, Interrupt, WorkerPool};
 
 use crate::error::Stage;
@@ -307,6 +308,17 @@ impl TrainedMatcher {
     pub fn kind(&self) -> MatcherKind {
         self.kind
     }
+
+    /// The trainer's cooperative-cancel checkpoint granularity (e.g.
+    /// `"per-epoch"` for logistic regression, `"per-example"` for the
+    /// neural models) — surfaced in train-span annotations so a cut
+    /// record names the unit of work that was abandoned.
+    pub fn step_unit(&self) -> &'static str {
+        match &self.imp {
+            Imp::Classic { model, .. } => model.step_unit(),
+            Imp::Neural(model) => model.step_unit(),
+        }
+    }
 }
 
 impl Matcher for TrainedMatcher {
@@ -538,12 +550,36 @@ impl MatcherRegistry {
         // gets its turn, and each one's child token (which also observes
         // the suite token) decides its fate — so attribution stays
         // deterministic whatever the worker count.
+        let stage = pool.recorder().span("train");
+        let stage = &stage;
         let outcomes = pool.par_map_isolated(kinds.len(), |i| {
             let k = kinds[i];
+            let span = stage.child(&format!("train.{}", k.name()));
+            // Pessimistic status: a panic unwinds through this guard
+            // before any exit path runs, so a record still reading
+            // `Panicked` marks the span the panic escaped from.
+            span.set_status(SpanStatus::Panicked);
+            let cut = |i: &Interrupt| {
+                span.set_status(SpanStatus::Cut);
+                span.note(i.to_string());
+            };
             let token = suite_token.child(matcher_budget);
-            plan.stall_if_armed(FaultSite::Train, Some(k), &token)?;
+            plan.stall_if_armed(FaultSite::Train, Some(k), &token)
+                .inspect_err(&cut)?;
             plan.trip(FaultSite::Train, Some(k));
-            k.train_within(input, config, &token)
+            let out = k.train_within(input, config, &token);
+            match &out {
+                Ok(m) => {
+                    span.set_status(SpanStatus::Ok);
+                    span.note(format!(
+                        "{} checkpoints, {} steps",
+                        m.step_unit(),
+                        token.steps_done()
+                    ));
+                }
+                Err(i) => cut(i),
+            }
+            out
         });
         let mut matchers = Vec::new();
         let mut failures = Vec::new();

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use fairem_csvio::CsvTable;
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
+use fairem_obs::{Recorder, Span, SpanStatus};
 use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 
 use crate::audit::{AuditReport, Auditor};
@@ -57,6 +58,12 @@ pub struct SuiteConfig {
     /// handler) and the run winds down cooperatively at the next
     /// checkpoint, yielding partial results. Inert by default.
     pub cancel: CancelToken,
+    /// Observability recorder. The default disabled recorder is
+    /// bit-for-bit inert — no locks, no clock reads — so metrics-off
+    /// runs are byte-identical to runs predating observability. Pass
+    /// [`Recorder::enabled`] (e.g. via [`SuiteBuilder::observe`]) to
+    /// collect per-stage spans and `par.*` pool metrics.
+    pub observe: Recorder,
 }
 
 impl Default for SuiteConfig {
@@ -71,6 +78,7 @@ impl Default for SuiteConfig {
             budget: Budget::UNLIMITED,
             matcher_budget: Budget::UNLIMITED,
             cancel: CancelToken::inert(),
+            observe: Recorder::disabled(),
         }
     }
 }
@@ -181,6 +189,16 @@ impl SuiteBuilder {
         self
     }
 
+    /// Observability recorder (shorthand for mutating
+    /// [`SuiteConfig::observe`]): pass [`Recorder::enabled`] to collect
+    /// per-stage spans, counters, and pool metrics for this run and its
+    /// session's audits/ensembles. The default disabled recorder keeps
+    /// the run bit-for-bit identical to one without observability.
+    pub fn observe(mut self, recorder: Recorder) -> SuiteBuilder {
+        self.config.observe = recorder;
+        self
+    }
+
     /// Treat any schema violation as an error instead of quarantining
     /// the offending rows.
     pub fn strict(mut self) -> SuiteBuilder {
@@ -286,6 +304,7 @@ impl FairEm360 {
         sensitive: Vec<SensitiveAttr>,
         config: SuiteConfig,
     ) -> SuiteResult<(FairEm360, QuarantineReport)> {
+        let span = config.observe.span("import");
         let mut table_a = table_a;
         let mut table_b = table_b;
         if config.fault.corrupts_import() {
@@ -295,6 +314,9 @@ impl FairEm360 {
                 }
             }
         }
+        config
+            .observe
+            .add("import.rows", (table_a.rows.len() + table_b.rows.len()) as u64);
         let mut quarantine = QuarantineReport::default();
         let (table_a, qa) =
             Table::from_csv_lenient(table_a, "tableA").map_err(|source| SuiteError::Schema {
@@ -308,6 +330,11 @@ impl FairEm360 {
             })?;
         quarantine.extend(qa);
         quarantine.extend(qb);
+        config
+            .observe
+            .add("import.quarantined", quarantine.len() as u64);
+        span.note(format!("{} row(s) quarantined", quarantine.len()));
+        drop(span);
         Ok((
             FairEm360 {
                 table_a,
@@ -370,6 +397,7 @@ impl FairEm360 {
             mut quarantine,
         } = self;
         let plan = config.fault.clone();
+        let obs = config.observe.clone();
         // One token for the whole run: every stage checkpoints it, every
         // matcher trains/scores under a child of it, and the session
         // keeps it so audits and ensembles observe the same handle.
@@ -379,55 +407,94 @@ impl FairEm360 {
             matcher: None,
             elapsed: interrupt.elapsed,
         };
+        // Annotate a stage span that ended in a cooperative cut, so the
+        // Interrupt record carries (and the trace shows) which span the
+        // budget/cancel severed.
+        let cut_span = |span: &Span, i: &Interrupt| {
+            span.set_status(SpanStatus::Cut);
+            span.note(i.to_string());
+        };
 
-        suite_token
-            .checkpoint()
-            .map_err(|i| timed_out(Stage::Prep, i))?;
+        let prep_span = obs.span("prep");
+        suite_token.checkpoint().map_err(|i| {
+            cut_span(&prep_span, &i);
+            timed_out(Stage::Prep, i)
+        })?;
         let space = fault::guard(|| GroupSpace::extract(&[&table_a, &table_b], sensitive))
-            .map_err(|detail| SuiteError::Stage {
-                stage: Stage::Prep,
-                detail,
+            .map_err(|detail| {
+                prep_span.set_status(SpanStatus::Panicked);
+                SuiteError::Stage {
+                    stage: Stage::Prep,
+                    detail,
+                }
             })?;
         let enc_a = space.encode_table(&table_a);
         let enc_b = space.encode_table(&table_b);
+        drop(prep_span);
 
+        let blocking_span = obs.span("blocking");
         let (prepared, prep_quarantine) =
             fault::guard(|| prepare_checked(&table_a, &table_b, &matches, &config.prep)).map_err(
-                |detail| SuiteError::Stage {
-                    stage: Stage::Blocking,
-                    detail,
+                |detail| {
+                    blocking_span.set_status(SpanStatus::Panicked);
+                    SuiteError::Stage {
+                        stage: Stage::Blocking,
+                        detail,
+                    }
                 },
             )??;
         quarantine.extend(prep_quarantine);
+        obs.gauge("pairs.train", prepared.train_idx.len() as f64);
+        obs.gauge("pairs.valid", prepared.valid_idx.len() as f64);
+        obs.gauge("pairs.test", prepared.test_idx.len() as f64);
+        drop(blocking_span);
 
         let exclude: Vec<&str> = space.attrs().iter().map(|a| a.column.as_str()).collect();
-        suite_token
-            .checkpoint()
-            .map_err(|i| timed_out(Stage::FeatureGen, i))?;
+        let build_span = obs.span("features");
+        build_span.note("build generator");
+        suite_token.checkpoint().map_err(|i| {
+            cut_span(&build_span, &i);
+            timed_out(Stage::FeatureGen, i)
+        })?;
         plan.stall_if_armed(FaultSite::FeatureGen, None, &suite_token)
-            .map_err(|i| timed_out(Stage::FeatureGen, i))?;
+            .map_err(|i| {
+                cut_span(&build_span, &i);
+                timed_out(Stage::FeatureGen, i)
+            })?;
         let features = fault::guard(|| {
             plan.trip(FaultSite::FeatureGen, None);
             FeatureGenerator::build(&table_a, &table_b, &exclude)
         })
-        .map_err(|detail| SuiteError::Stage {
-            stage: Stage::FeatureGen,
-            detail,
+        .map_err(|detail| {
+            build_span.set_status(SpanStatus::Panicked);
+            SuiteError::Stage {
+                stage: Stage::FeatureGen,
+                detail,
+            }
         })?;
+        drop(build_span);
         let vocab = HashVocab::new(config.vocab_size);
-        let pool = WorkerPool::with_parallelism(config.parallelism);
-        let feature_matrix = |pairs: &[(usize, usize)]| {
+        let pool = WorkerPool::with_parallelism(config.parallelism).observe(obs.clone());
+        let feature_matrix = |split: &str, pairs: &[(usize, usize)]| {
+            let span = obs.span("features");
+            span.note(format!("{split} split: {} pair(s)", pairs.len()));
             features
                 .matrix_within(&table_a, &table_b, pairs, &pool, &suite_token)
-                .map_err(|p| SuiteError::Stage {
-                    stage: Stage::FeatureGen,
-                    detail: p.to_string(),
+                .map_err(|p| {
+                    span.set_status(SpanStatus::Panicked);
+                    SuiteError::Stage {
+                        stage: Stage::FeatureGen,
+                        detail: p.to_string(),
+                    }
                 })?
-                .map_err(|i| timed_out(Stage::FeatureGen, i))
+                .map_err(|i| {
+                    cut_span(&span, &i);
+                    timed_out(Stage::FeatureGen, i)
+                })
         };
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
-        let train_features = feature_matrix(&train_pairs)?;
+        let train_features = feature_matrix("train", &train_pairs)?;
         let train_tokens = features.tokenize_all(&table_a, &table_b, &train_pairs, &vocab);
         let input = TrainInput {
             features: &train_features,
@@ -449,11 +516,11 @@ impl FairEm360 {
         let train_config = config.train;
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
-        let valid_features = feature_matrix(&valid_pairs)?;
+        let valid_features = feature_matrix("valid", &valid_pairs)?;
         let valid_tokens = features.tokenize_all(&table_a, &table_b, &valid_pairs, &vocab);
 
         let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
-        let test_features = feature_matrix(&test_pairs)?;
+        let test_features = feature_matrix("test", &test_pairs)?;
         let test_tokens = features.tokenize_all(&table_a, &table_b, &test_pairs, &vocab);
 
         // Per-matcher scoring fan-out: each matcher is one isolated work
@@ -466,14 +533,24 @@ impl FairEm360 {
             .checkpoint()
             .map_err(|i| timed_out(Stage::Score, i))?;
         let fleet: Vec<_> = registry.iter().collect();
+        let score_span = obs.span("score");
         let outcomes = pool.par_map_isolated(fleet.len(), |i| {
             let m = fleet[i];
+            let span = score_span.child(&format!("score.{}", m.name()));
+            // Pessimistic status (see train_isolated): a contained panic
+            // leaves the record at `Panicked`.
+            span.set_status(SpanStatus::Panicked);
             let token = suite_token.child(config.matcher_budget);
-            plan.stall_if_armed(FaultSite::Score, Some(m.kind()), &token)?;
-            token.checkpoint()?;
+            let cut = |i: &Interrupt| cut_span(&span, i);
+            plan.stall_if_armed(FaultSite::Score, Some(m.kind()), &token)
+                .inspect_err(&cut)?;
+            token.checkpoint().inspect_err(&cut)?;
             plan.trip(FaultSite::Score, Some(m.kind()));
-            Ok(m.score_batch(&test_features, &test_tokens))
+            let s = m.score_batch(&test_features, &test_tokens);
+            span.set_status(SpanStatus::Ok);
+            Ok(s)
         });
+        drop(score_span);
         let mut scores = HashMap::new();
         let mut clamped_scores = 0usize;
         for (m, outcome) in fleet.iter().zip(outcomes) {
@@ -546,6 +623,7 @@ impl FairEm360 {
             clamped_scores,
             parallelism: config.parallelism,
             cancel: suite_token,
+            observe: obs,
         })
     }
 }
@@ -588,6 +666,7 @@ pub struct Session {
     clamped_scores: usize,
     parallelism: Parallelism,
     cancel: CancelToken,
+    observe: Recorder,
 }
 
 impl Session {
@@ -733,15 +812,22 @@ impl Session {
     /// the reports are exactly the `audit_all` output.
     pub fn try_audit_all(&self, auditor: &Auditor) -> (Vec<AuditReport>, Option<Interrupt>) {
         let names = self.matcher_names();
-        let pool = WorkerPool::with_parallelism(self.parallelism);
+        let span = self.observe.span("audit");
+        let pool =
+            WorkerPool::with_parallelism(self.parallelism).observe(self.observe.clone());
         let outcome = pool.par_map_within(names.len(), &self.cancel, |i| {
+            let _child = span.child(&format!("audit.{}", names[i]));
             self.audit(names[i], auditor)
         });
         let (reports, interrupt) = match outcome {
             ParOutcome::Complete(reports) => (reports, None),
             ParOutcome::Interrupted {
                 done, interrupt, ..
-            } => (done, Some(interrupt)),
+            } => {
+                span.set_status(SpanStatus::Cut);
+                span.note(interrupt.to_string());
+                (done, Some(interrupt))
+            }
         };
         (
             reports
@@ -756,6 +842,13 @@ impl Session {
     /// polling for graceful shutdown observe this handle.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// The observability recorder the run recorded into (disabled unless
+    /// [`SuiteBuilder::observe`] attached an enabled one). Snapshot it
+    /// after audits/ensembles to get the full per-stage picture.
+    pub fn recorder(&self) -> &Recorder {
+        &self.observe
     }
 
     /// Build an explainer over a matcher's workload (the workload must
@@ -794,6 +887,7 @@ impl Session {
         EnsembleExplorer::build(&refs, &self.space, &groups, measure, disparity)
             .with_parallelism(self.parallelism)
             .with_cancel(self.cancel.clone())
+            .with_observe(self.observe.clone())
     }
 
     /// Tune a matcher's matching threshold on the *validation* split:

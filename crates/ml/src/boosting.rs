@@ -213,6 +213,10 @@ impl Classifier for GradientBoostedTrees {
 
     /// One checkpoint per boosting round. On interrupt the partial
     /// ensemble is discarded — fewer rounds means a different model.
+    fn step_unit(&self) -> &'static str {
+        "per-round"
+    }
+
     fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();

@@ -47,6 +47,10 @@ impl Classifier for RandomForest {
     /// One checkpoint per bagged tree. On interrupt the partial forest
     /// is discarded — a half-grown forest would score differently from
     /// the configured one.
+    fn step_unit(&self) -> &'static str {
+        "per-tree"
+    }
+
     fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let mut rng = StdRng::seed_from_u64(self.seed);

@@ -73,6 +73,14 @@ pub trait Classifier {
         Ok(())
     }
 
+    /// The checkpoint granularity of [`Classifier::fit_within`] as a
+    /// human-readable unit (e.g. `"per-epoch"`, `"per-tree"`), surfaced
+    /// in observability span annotations. The default matches the
+    /// default `fit_within`: one checkpoint, then an atomic fit.
+    fn step_unit(&self) -> &'static str {
+        "per-fit"
+    }
+
     /// Score one feature row; higher means more likely a match.
     fn score_one(&self, row: &[f64]) -> f64;
 

@@ -60,6 +60,10 @@ impl Classifier for LogisticRegression {
     }
 
     /// One checkpoint per gradient-descent epoch.
+    fn step_unit(&self) -> &'static str {
+        "per-epoch"
+    }
+
     fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();

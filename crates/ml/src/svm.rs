@@ -56,6 +56,10 @@ impl Classifier for LinearSvm {
     }
 
     /// One checkpoint per Pegasos pass (every `n` sub-gradient steps).
+    fn step_unit(&self) -> &'static str {
+        "per-pass"
+    }
+
     fn fit_within(&mut self, x: &Matrix, y: &[f64], token: &CancelToken) -> Result<(), Interrupt> {
         validate_fit_inputs(x, y);
         let n = x.rows();

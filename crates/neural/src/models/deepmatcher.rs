@@ -66,6 +66,10 @@ impl NeuralMatcher for DeepMatcherLite {
 
     /// One checkpoint per training step; an interrupted fit leaves the
     /// model untrained (the partly-updated parameters are discarded).
+    fn step_unit(&self) -> &'static str {
+        "per-example"
+    }
+
     fn fit_within(
         &mut self,
         pairs: &[TokenPair],

@@ -105,6 +105,10 @@ impl NeuralMatcher for McanLite {
 
     /// One checkpoint per training step; an interrupted fit leaves the
     /// model untrained (the partly-updated parameters are discarded).
+    fn step_unit(&self) -> &'static str {
+        "per-example"
+    }
+
     fn fit_within(
         &mut self,
         pairs: &[TokenPair],

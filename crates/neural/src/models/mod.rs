@@ -119,6 +119,15 @@ pub trait NeuralMatcher {
         Ok(())
     }
 
+    /// The checkpoint granularity of [`NeuralMatcher::fit_within`] as a
+    /// human-readable unit, surfaced in observability span annotations.
+    /// The default matches the default `fit_within`: one checkpoint,
+    /// then an atomic fit. The Lite models override it to
+    /// `"per-example"`, matching their per-step polling.
+    fn step_unit(&self) -> &'static str {
+        "per-fit"
+    }
+
     /// Match score in `[0, 1]` for one pair.
     fn score(&self, pair: &TokenPair) -> f64;
 

@@ -1,0 +1,87 @@
+//! # fairem-obs
+//!
+//! Hermetic observability for the FairEM360 suite: a zero-dependency
+//! metrics registry (monotonic counters, gauges, fixed-bucket
+//! [`Histogram`]s with p50/p95/p99 readout) plus lightweight span-based
+//! tracing (enter/exit wall timing with explicit parent links, collected
+//! from any thread and stitched deterministically — the tracing analogue
+//! of `fairem-par`'s chunk-index result stitching).
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`] — the cheap-clone handle threaded through
+//!   `SuiteBuilder::observe`, the worker pool, and the CLI. The
+//!   *disabled* recorder (the default everywhere) is **bit-for-bit
+//!   inert**: every operation returns without locking, allocating, or
+//!   reading the clock, so a metrics-off run is indistinguishable from
+//!   a run predating this crate.
+//! - [`Span`] — an RAII guard measuring one region. Children are opened
+//!   with [`Span::child`] carrying an explicit parent id, so fan-out
+//!   work on pool threads stitches under its stage span no matter which
+//!   worker ran it. A span that ends early records *why*
+//!   ([`SpanStatus::Cut`] for cooperative budget cuts,
+//!   [`SpanStatus::Panicked`] for contained panics).
+//! - [`Snapshot`] — a frozen, deterministic view (name-sorted maps,
+//!   id-sorted spans) with [`Snapshot::to_json`] emission in the
+//!   `fairem-obs/1` schema and [`Snapshot::render_spans`] for the CLI's
+//!   `--trace` tree.
+//!
+//! ## Overhead contract
+//!
+//! Disabled: one `Option` check per call, nothing else — no clock, no
+//! lock, no allocation. Enabled: recording is per *stage* and per
+//! *matcher* (never per pair), so a handful of mutex hops per run;
+//! `Instant` reads happen only at span open/close.
+
+pub mod metrics;
+pub mod recorder;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{Histogram, HistogramSummary};
+pub use recorder::{Recorder, Span};
+pub use snapshot::Snapshot;
+pub use span::{render_tree, SpanId, SpanRecord, SpanStatus};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite check: boundary-aligned histogram quantiles agree with
+    /// `fairem_stats::desc::quantile` exactly (same interpolation rule,
+    /// lossless reconstruction when samples sit on bucket bounds).
+    #[test]
+    fn histogram_quantiles_match_fairem_stats_on_bucket_boundaries() {
+        let bounds: Vec<f64> = (1..=64).map(|i| i as f64 * 0.25).collect();
+        let sample: Vec<f64> = [1, 3, 3, 8, 8, 8, 21, 40, 64, 64]
+            .iter()
+            .map(|&i| i as f64 * 0.25)
+            .collect();
+        let mut h = Histogram::with_bounds(&bounds);
+        for &v in &sample {
+            h.record(v);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let want = fairem_stats::quantile(&sample, q);
+            let got = h.quantile(q);
+            assert_eq!(got.to_bits(), want.to_bits(), "q={q}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_record_snapshot_render() {
+        let rec = Recorder::enabled();
+        {
+            let root = rec.span("suite");
+            let _child = root.child("suite.import");
+            rec.incr("rows");
+            rec.observe("lat", 0.002);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let json = snap.to_json();
+        assert!(json.contains("\"suite.import\""));
+        let tree = snap.render_spans();
+        assert!(tree.contains("suite.import"), "{tree}");
+    }
+}

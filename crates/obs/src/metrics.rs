@@ -1,0 +1,276 @@
+//! The metrics registry primitives: monotonic counters, last-write
+//! gauges, and fixed-bucket histograms with quantile readout.
+//!
+//! Histograms store counts against a fixed ascending ladder of bucket
+//! upper bounds, so recording is O(log buckets) with no per-value
+//! allocation. Quantiles are reconstructed from the bucket counts by
+//! placing every value at its bucket's upper bound and applying the
+//! same linear interpolation as `fairem_stats::desc::quantile`
+//! (`pos = q · (n − 1)`): when every recorded value lands exactly on a
+//! bucket boundary the reconstruction is lossless and the two agree to
+//! the bit.
+
+/// A fixed-bucket histogram: ascending upper bounds plus an overflow
+/// bucket, with exact `count`/`sum`/`min`/`max` tracked alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds; value `v` lands in the first
+    /// bucket with `bounds[i] >= v`.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow bucket
+    /// for values above the last bound.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default duration ladder (seconds): a 1–2–5 progression from
+    /// 1 µs to 100 s, the range suite stages actually span.
+    pub fn durations() -> Histogram {
+        let mut bounds = Vec::with_capacity(25);
+        let mut decade = 1e-6;
+        while decade < 100.0 * 1.5 {
+            for m in [1.0, 2.0, 5.0] {
+                bounds.push(decade * m);
+            }
+            decade *= 10.0;
+        }
+        bounds.truncate(bounds.len() - 2); // end the ladder at 1e2
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Record one value. Non-finite values are counted in overflow (they
+    /// carry no bucket information) but excluded from `min`/`max`.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v.is_finite() {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.bounds.len());
+        let slot = if v.is_finite() && v <= self.bounds[self.bounds.len() - 1] {
+            idx
+        } else {
+            self.bounds.len()
+        };
+        self.counts[slot] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest finite recorded value; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Largest finite recorded value; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// The representative value of bucket `i`: its upper bound, or the
+    /// observed maximum for the overflow bucket.
+    fn representative(&self, i: usize) -> f64 {
+        if i < self.bounds.len() {
+            self.bounds[i]
+        } else {
+            self.max()
+        }
+    }
+
+    /// The representative value at sorted rank `r` (0-based) of the
+    /// reconstructed multiset.
+    fn value_at_rank(&self, r: u64) -> f64 {
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if r < seen {
+                return self.representative(i);
+            }
+        }
+        self.representative(self.counts.len() - 1)
+    }
+
+    /// Linear-interpolated quantile of the reconstructed multiset,
+    /// `q ∈ [0, 1]`; `NaN` when empty. Mirrors
+    /// `fairem_stats::desc::quantile` (`pos = q · (n − 1)`, linear
+    /// interpolation between the straddling ranks), so on
+    /// boundary-aligned samples the two agree exactly.
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let pos = q * (self.count - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let vlo = self.value_at_rank(lo);
+        if lo == hi {
+            vlo
+        } else {
+            let vhi = self.value_at_rank(hi);
+            let frac = pos - lo as f64;
+            vlo * (1.0 - frac) + vhi * frac
+        }
+    }
+
+    /// An immutable point-in-time summary (the snapshot schema's
+    /// histogram entry).
+    pub fn summarize(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Arithmetic mean (`NaN` when empty).
+    pub mean: f64,
+    /// Smallest finite recorded value (`NaN` when empty).
+    pub min: f64,
+    /// Largest finite recorded value (`NaN` when empty).
+    pub max: f64,
+    /// Median (bucket-reconstructed).
+    pub p50: f64,
+    /// 95th percentile (bucket-reconstructed).
+    pub p95: f64,
+    /// 99th percentile (bucket-reconstructed).
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_buckets() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 4.9, 7.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 7.0);
+        // Buckets: (<=1): 0.5, 1.0 | (<=2): 1.5, 2.0 | (<=5): 4.9 | over: 7.0
+        assert_eq!(h.quantile(0.0), 1.0); // rank 0 reconstructs to bound 1.0
+    }
+
+    #[test]
+    fn boundary_aligned_quantiles_are_exact() {
+        let bounds: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let mut h = Histogram::with_bounds(&bounds);
+        let sample = [1.0, 2.0, 2.0, 5.0, 9.0, 13.0, 20.0];
+        for v in sample {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            // Reference: exact sorted-sample interpolation.
+            let pos = q * (sample.len() - 1) as f64;
+            let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+            let frac = pos - lo as f64;
+            let want = sample[lo] * (1.0 - frac) + sample[hi] * frac;
+            assert_eq!(h.quantile(q).to_bits(), want.to_bits(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_yields_nan_summary() {
+        let h = Histogram::durations();
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan() && s.p50.is_nan() && s.min.is_nan());
+    }
+
+    #[test]
+    fn duration_ladder_is_ascending_and_spans_the_range() {
+        let h = Histogram::durations();
+        assert!(h.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(h.bounds.first().copied(), Some(1e-6));
+        assert_eq!(h.bounds.last().copied(), Some(1e2));
+    }
+
+    #[test]
+    fn overflow_and_nonfinite_values_are_accounted() {
+        let mut h = Histogram::with_bounds(&[1.0]);
+        h.record(100.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100.0);
+        // Overflow representative is the observed max.
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::with_bounds(&[2.0, 1.0]);
+    }
+}

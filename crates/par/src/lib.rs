@@ -27,8 +27,12 @@
 //!   observe a token between chunks and report partial progress via
 //!   [`ParOutcome`].
 //!
-//! The crate has zero dependencies (not even on the rest of the
-//! workspace) so every other crate can adopt it without cycles.
+//! The pool optionally carries a `fairem-obs` [`Recorder`]
+//! ([`WorkerPool::observe`]): enabled regions count chunks and time
+//! them into `par.*` metrics, while the default disabled recorder keeps
+//! every region on the exact pre-instrumentation code path. That handle
+//! is the crate's only dependency (itself dependency-free), so the
+//! engine stays hermetic.
 
 mod cancel;
 mod contain;
@@ -37,5 +41,6 @@ mod pool;
 
 pub use cancel::{Budget, CancelCause, CancelToken, Interrupt};
 pub use contain::{contain, panic_message};
+pub use fairem_obs::Recorder;
 pub use parallelism::{Parallelism, JOBS_ENV};
 pub use pool::{ChunkPanic, ParOutcome, WorkerPool};

@@ -16,6 +16,8 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use fairem_obs::Recorder;
+
 use crate::cancel::{CancelToken, Interrupt};
 use crate::contain::contain;
 use crate::parallelism::Parallelism;
@@ -98,22 +100,42 @@ impl<T> Harvest<T> {
 }
 
 /// A fixed-size worker pool over index ranges.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorkerPool {
     workers: usize,
+    recorder: Recorder,
 }
 
 impl WorkerPool {
-    /// A pool with exactly `workers` workers (clamped to at least 1).
+    /// A pool with exactly `workers` workers (clamped to at least 1),
+    /// carrying the inert (disabled) recorder.
     pub fn new(workers: usize) -> WorkerPool {
         WorkerPool {
             workers: workers.max(1),
+            recorder: Recorder::disabled(),
         }
     }
 
     /// A pool sized by a [`Parallelism`] policy.
     pub fn with_parallelism(p: Parallelism) -> WorkerPool {
         WorkerPool::new(p.workers())
+    }
+
+    /// Attach an observability recorder: parallel regions count their
+    /// chunks and time them into `par.*` metrics, and stage code that
+    /// holds only the pool can reach the recorder via
+    /// [`WorkerPool::recorder`]. The default (disabled) recorder keeps
+    /// every region bit-for-bit on the pre-observability path — no
+    /// clock reads, no locks.
+    pub fn observe(mut self, recorder: Recorder) -> WorkerPool {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder this pool carries (disabled unless
+    /// [`WorkerPool::observe`] attached one).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The configured worker count.
@@ -150,6 +172,27 @@ impl WorkerPool {
         let n_chunks = n.div_ceil(chunk);
         let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
         let tripped = || token.is_some_and(CancelToken::is_cancelled);
+        // Observability: a disabled recorder takes the untimed branch —
+        // no clock read, no lock — so metrics-off regions run the exact
+        // pre-instrumentation code path.
+        let observed = self.recorder.is_enabled();
+        if observed {
+            self.recorder.incr("par.regions");
+            self.recorder.add("par.items", n as u64);
+        }
+        let per_chunk = &per_chunk;
+        let run = move |r: Range<usize>| {
+            if observed {
+                let start = std::time::Instant::now();
+                let out = per_chunk(r);
+                self.recorder
+                    .observe("par.chunk_secs", start.elapsed().as_secs_f64());
+                self.recorder.incr("par.chunks");
+                out
+            } else {
+                per_chunk(r)
+            }
+        };
         if self.workers == 1 || n_chunks == 1 {
             // Sequential fast path: no threads at all (Parallelism::Off).
             let mut tagged = Vec::with_capacity(n_chunks);
@@ -157,7 +200,7 @@ impl WorkerPool {
                 if tripped() {
                     break;
                 }
-                tagged.push((c, per_chunk(range_of(c))));
+                tagged.push((c, run(range_of(c))));
             }
             return Harvest { tagged, n_chunks };
         }
@@ -176,7 +219,7 @@ impl WorkerPool {
                             if c >= n_chunks {
                                 return out;
                             }
-                            out.push((c, per_chunk(range_of(c))));
+                            out.push((c, run(range_of(c))));
                         }
                     })
                 })
@@ -552,6 +595,45 @@ mod tests {
             }
             other => panic!("untripped token must complete: {other:?}"),
         }
+    }
+
+    #[test]
+    fn observed_pool_counts_regions_and_chunks_without_changing_output() {
+        let n = 403;
+        let expected: Vec<usize> = (0..n).map(|i| i * 3).collect();
+        for workers in [1, 4] {
+            let rec = Recorder::enabled();
+            let pool = WorkerPool::new(workers).observe(rec.clone());
+            assert!(pool.recorder().is_enabled());
+            let got = pool.par_map(n, |i| i * 3);
+            assert_eq!(got, expected, "workers={workers}");
+            let snap = rec.snapshot();
+            let counter = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| *v)
+            };
+            assert_eq!(counter("par.regions"), Some(1), "workers={workers}");
+            assert_eq!(counter("par.items"), Some(n as u64));
+            let chunks = counter("par.chunks").unwrap_or(0);
+            assert!(chunks >= 1, "workers={workers}");
+            let hist = snap
+                .histograms
+                .iter()
+                .find(|(k, _)| k == "par.chunk_secs")
+                .map(|(_, h)| h.count);
+            assert_eq!(hist, Some(chunks), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_snapshot_stays_empty_after_regions() {
+        let pool = WorkerPool::new(4);
+        let _ = pool.par_map(100, |i| i);
+        let snap = pool.recorder().snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
     }
 
     #[test]

@@ -40,6 +40,21 @@ FAIREM_JOBS=1 run_tests cargo test -q --workspace
 echo "== tier-1: workspace tests (FAIREM_JOBS=4, ${TEST_TIMEOUT}s cap) =="
 FAIREM_JOBS=4 run_tests cargo test -q --workspace
 
+echo "== observability: products audit under --metrics, snapshot validated =="
+# The recorder must produce a parseable fairem-obs/1 snapshot on a real
+# CLI run; bench_baseline --validate parses it and prints the per-stage
+# totals (failing the gate if the schema drifts).
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run -q --release -p fairem360 --bin fairem -- generate \
+  --dataset products --out "$OBS_DIR"
+cargo run -q --release -p fairem360 --bin fairem -- audit \
+  --table-a "$OBS_DIR/tableA.csv" --table-b "$OBS_DIR/tableB.csv" \
+  --matches "$OBS_DIR/matches.csv" --sensitive tier --blocking title \
+  --metrics "$OBS_DIR/metrics.json" > /dev/null
+cargo run -q --release -p fairem-bench --bin bench_baseline -- \
+  --validate "$OBS_DIR/metrics.json"
+
 echo "== lints: clippy, warnings denied, unwrap() banned outside tests =="
 cargo clippy --workspace -- -D warnings -D clippy::unwrap_used
 

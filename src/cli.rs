@@ -137,6 +137,7 @@ USAGE:
          [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
          [--jobs <n|auto>] [--timeout <secs>] [--matcher-timeout <secs>]
          [--inject-stall <matcher>:<train|score>:<millis>]
+         [--metrics <path>] [--trace]
   fairem audit-scores --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
          --sensitive <col[,col]> [audit options as above]
   fairem analyze --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
@@ -161,6 +162,14 @@ DEADLINES:
   and exits 130 with whatever partial output exists. --inject-stall is
   a chaos flag that makes one matcher sleep at train or score time, for
   rehearsing the above deterministically.
+
+OBSERVABILITY:
+  --metrics PATH writes a JSON snapshot (schema `fairem-obs/1`) of
+  per-stage timings, counters, and histograms after the run. --trace
+  appends the span tree (import → features → train/score → audit →
+  ensemble, with per-matcher children) to the text report. Both are off
+  by default; with neither flag the recorder is inert and the run is
+  bit-for-bit identical to an uninstrumented one.
 
 EXIT CODES:
   0    success, full coverage
@@ -245,10 +254,17 @@ impl Args {
     }
 
     /// Parse `--<name> <secs>` into a wall-clock [`Budget`] (fractional
-    /// seconds allowed). Absent flag → `None`; zero/negative/NaN → usage
-    /// error.
+    /// seconds allowed). Absent flag → `None`; flag without a value,
+    /// zero/negative/NaN → usage error.
     fn wall_budget(&self, name: &str) -> Result<Option<Budget>, CliError> {
         let Some(v) = self.get(name) else {
+            if self.has(name) {
+                // `--timeout` with no value would otherwise parse as a
+                // bare switch and silently run without a deadline.
+                return Err(err(format!(
+                    "--{name} expects a positive number of seconds, but no value was given"
+                )));
+            }
             return Ok(None);
         };
         let secs: f64 = v
@@ -507,10 +523,29 @@ fn cmd_audit(
         pairwise_attr: 0,
     });
 
+    // Observability: `--metrics <path>` and/or `--trace` swap the inert
+    // default recorder for a live one. With neither flag the recorder
+    // stays disabled and the run is bit-for-bit what it always was.
+    let metrics_path = match (args.has("metrics"), args.get("metrics")) {
+        (true, None) => {
+            return Err(err(
+                "--metrics expects an output path, but no value was given",
+            ))
+        }
+        (_, v) => v.map(PathBuf::from),
+    };
+    let trace = args.has("trace");
+    let observe = if metrics_path.is_some() || trace {
+        fairem_core::Recorder::enabled()
+    } else {
+        fairem_core::Recorder::disabled()
+    };
+
     let mut config = fairem_core::pipeline::SuiteConfig {
         matching_threshold,
         parallelism: args.jobs()?,
         cancel: cancel.clone(),
+        observe: observe.clone(),
         ..Default::default()
     };
     if let Some(budget) = args.wall_budget("timeout")? {
@@ -594,11 +629,24 @@ fn cmd_audit(
         (session, reports, interrupt)
     };
 
+    // With observability on, also enumerate the ensemble Pareto frontier
+    // so the snapshot covers every stage the suite can run. Skipped when
+    // the assignment space would trip the explorer's enumeration cap.
+    if observe.is_enabled() && !session.matcher_names().is_empty() {
+        let m = session.matcher_names().len() as f64;
+        let k = session.space.level1_of_attr(0).len() as f64;
+        if m.powf(k) <= 1e7 {
+            let _ = session
+                .ensemble(0, FairnessMeasure::AccuracyParity, disparity)
+                .try_pareto_frontier();
+        }
+    }
+
     let degraded = session.is_degraded() || !session.quarantine().is_empty();
     let timed_out = audit_interrupt.is_some()
         || session.failures().iter().any(|f| f.interrupt().is_some());
     let interrupted = cancel.cancel_requested();
-    let text = if args.has("json") {
+    let mut text = if args.has("json") {
         let j = Json::arr(reports.iter().map(audit_json));
         j.to_string_pretty()
     } else {
@@ -621,8 +669,10 @@ fn cmd_audit(
             }
         }
         if let Some(i) = &audit_interrupt {
+            // Same `cut at <stage>` phrasing as a MatcherFailure line, so
+            // every deadline cut in the report names its stage one way.
             text.push_str(&format!(
-                "\nAUDIT INTERRUPTED: {i} — {}/{} report(s) completed\n",
+                "\nAUDIT INTERRUPTED: cut at audit: {i} — {}/{} report(s) completed\n",
                 reports.len(),
                 session.matcher_names().len()
             ));
@@ -635,6 +685,18 @@ fn cmd_audit(
         }
         text
     };
+    if observe.is_enabled() {
+        // Snapshot once, after every instrumented stage has run.
+        let snapshot = observe.snapshot();
+        if trace && !args.has("json") {
+            text.push_str("\nTRACE:\n");
+            text.push_str(&snapshot.render_spans());
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, snapshot.to_json())
+                .map_err(|e| data_err(format!("writing metrics to {path:?}: {e}")))?;
+        }
+    }
     Ok(CliOutput {
         text,
         degraded,
@@ -1033,6 +1095,106 @@ mod tests {
         assert!(!w.is_empty());
         let si = w.column_index("score").unwrap();
         assert!(w.rows.iter().all(|r| r[si].parse::<f64>().is_ok()));
+    }
+
+    #[test]
+    fn valueless_deadline_and_metrics_flags_are_usage_errors() {
+        let dir = tmpdir("valueless");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let check = |flag: &str, needle: &str| {
+            let e = run(&args(&[
+                "audit",
+                "--table-a",
+                dir.join("tableA.csv").to_str().unwrap(),
+                "--table-b",
+                dir.join("tableB.csv").to_str().unwrap(),
+                "--matches",
+                dir.join("matches.csv").to_str().unwrap(),
+                "--sensitive",
+                "country",
+                flag,
+            ]))
+            .unwrap_err();
+            assert!(
+                e.message.contains(flag) && e.message.contains(needle),
+                "{flag}: {}",
+                e.message
+            );
+            assert_eq!(e.exit, EXIT_USAGE, "{flag}");
+        };
+        // `--timeout` with no value must not silently run undeadlined,
+        // and `--metrics` needs an output path.
+        check("--timeout", "no value was given");
+        check("--matcher-timeout", "no value was given");
+        check("--metrics", "no value was given");
+    }
+
+    #[test]
+    fn metrics_and_trace_cover_every_stage() {
+        let dir = tmpdir("metrics");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let metrics = dir.join("metrics.json");
+        let (ta, tb, m) = (
+            dir.join("tableA.csv"),
+            dir.join("tableB.csv"),
+            dir.join("matches.csv"),
+        );
+        let base = [
+            "audit",
+            "--table-a",
+            ta.to_str().unwrap(),
+            "--table-b",
+            tb.to_str().unwrap(),
+            "--matches",
+            m.to_str().unwrap(),
+            "--sensitive",
+            "country",
+            "--matchers",
+            "DTMatcher,LinRegMatcher",
+            "--min-support",
+            "20",
+        ];
+        let mut with_obs = base.to_vec();
+        with_obs.extend(["--metrics", metrics.to_str().unwrap(), "--trace"]);
+        let out = run(&args(&with_obs)).unwrap();
+
+        // The trace tree names each stage and each per-matcher child.
+        assert!(out.text.contains("TRACE:"), "{}", out.text);
+        for stage in ["import", "prep", "blocking", "features", "audit", "ensemble"] {
+            assert!(out.text.contains(stage), "missing {stage} in:\n{}", out.text);
+        }
+        assert!(out.text.contains("train.DTMatcher"), "{}", out.text);
+        assert!(out.text.contains("score.LinRegMatcher"), "{}", out.text);
+
+        // The snapshot parses and carries the same coverage.
+        let raw = std::fs::read_to_string(&metrics).unwrap();
+        let json = Json::parse(&raw).expect("snapshot must be valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("fairem-obs/1")
+        );
+        for stage in ["import", "train", "score", "audit", "ensemble"] {
+            assert!(raw.contains(&format!("\"{stage}\"")), "missing {stage}");
+        }
+
+        // The report itself is unchanged by instrumentation.
+        let plain = run(&args(&base)).unwrap();
+        assert!(out.text.starts_with(&plain.text), "{}", out.text);
+        assert_eq!(out.exit_code(), plain.exit_code());
     }
 
     #[test]

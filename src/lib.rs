@@ -15,6 +15,8 @@
 //! - [`ml`] — classic from-scratch matchers (DT, RF, SVM, ...).
 //! - [`neural`] — tape autograd + the four Lite deep-matcher models.
 //! - [`datasets`] — synthetic FacultyMatch / NoFlyCompas generators.
+//! - [`obs`] — hermetic metrics + span tracing (the `--metrics` and
+//!   `--trace` recorder; inert unless switched on).
 //! - [`core`] — the three-layer FairEM360 suite itself (data, logic,
 //!   presentation), including auditing, explanations, and the
 //!   ensemble-based resolution with its Pareto frontier.
@@ -28,6 +30,7 @@ pub use fairem_core as core;
 pub use fairem_csvio as csvio;
 pub use fairem_datasets as datasets;
 pub use fairem_ml as ml;
+pub use fairem_obs as obs;
 pub use fairem_par as par;
 pub use fairem_neural as neural;
 pub use fairem_stats as stats;
@@ -43,6 +46,7 @@ pub mod prelude {
     pub use fairem_core::pipeline::{FairEm360, SuiteBuilder, SuiteConfig};
     pub use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
     pub use fairem_core::workload::Workload;
+    pub use fairem_obs::{Recorder, Snapshot};
     pub use fairem_par::{Budget, CancelToken, Interrupt, Parallelism};
     pub use fairem_datasets::{faculty_match, nofly_compas};
 }

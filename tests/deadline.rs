@@ -359,7 +359,9 @@ mod cli {
         };
         bad(&["--timeout", "0"], "--timeout expects a positive");
         bad(&["--timeout", "banana"], "--timeout expects seconds");
+        bad(&["--timeout"], "no value was given");
         bad(&["--matcher-timeout", "-1"], "positive");
+        bad(&["--matcher-timeout"], "no value was given");
         bad(&["--inject-stall", "DTMatcher:train"], "--inject-stall expects");
         bad(&["--inject-stall", "DTMatcher:prep:100"], "train` or `score");
         bad(&["--inject-stall", "NoSuchMatcher:train:100"], "matcher");

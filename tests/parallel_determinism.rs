@@ -10,7 +10,7 @@ use fairem360::core::matcher::MatcherKind;
 use fairem360::core::pipeline::{FairEm360, Session, SuiteConfig};
 use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
-use fairem360::prelude::Parallelism;
+use fairem360::prelude::{Parallelism, Recorder};
 
 const KINDS: [MatcherKind; 3] = [
     MatcherKind::DtMatcher,
@@ -18,7 +18,7 @@ const KINDS: [MatcherKind; 3] = [
     MatcherKind::NbMatcher,
 ];
 
-fn session(parallelism: Parallelism) -> Session {
+fn session_observed(parallelism: Parallelism, observe: Recorder) -> Session {
     let data = faculty_match(&FacultyConfig::small());
     FairEm360::builder()
         .tables(data.table_a, data.table_b)
@@ -26,10 +26,15 @@ fn session(parallelism: Parallelism) -> Session {
         .sensitive([SensitiveAttr::categorical("country")])
         .config(SuiteConfig::fast())
         .parallelism(parallelism)
+        .observe(observe)
         .build()
         .expect("generated dataset is schema-valid")
         .try_run(&KINDS)
         .expect("matchers train")
+}
+
+fn session(parallelism: Parallelism) -> Session {
+    session_observed(parallelism, Recorder::disabled())
 }
 
 fn auditor() -> Auditor {
@@ -79,6 +84,52 @@ fn audit_reports_are_identical_across_policies() {
             assert_eq!(ea.disparity.to_bits(), eb.disparity.to_bits());
             assert_eq!(ea.unfair, eb.unfair);
         }
+    }
+}
+
+/// A live recorder is a pure observer: under every parallelism policy,
+/// an instrumented session's workloads and audits are bit-for-bit what
+/// the uninstrumented (default, disabled-recorder) session produces.
+#[test]
+fn observability_does_not_change_results_under_any_policy() {
+    let auditor = auditor();
+    for policy in [Parallelism::Off, Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+        let plain = session(policy);
+        let observe = Recorder::enabled();
+        let observed = session_observed(policy, observe.clone());
+        assert_eq!(plain.matcher_names(), observed.matcher_names());
+        for name in plain.matcher_names() {
+            let wp = plain.workload(name).expect("matcher trained");
+            let wo = observed.workload(name).expect("matcher trained");
+            assert_eq!(wp.len(), wo.len());
+            for (x, y) in wp.items.iter().zip(&wo.items) {
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{name} diverged under observation ({policy})"
+                );
+            }
+        }
+        let ra = plain.audit_all(&auditor);
+        let rb = observed.audit_all(&auditor);
+        assert_eq!(ra.len(), rb.len());
+        for (a, b) in ra.iter().zip(&rb) {
+            assert_eq!(a.matcher, b.matcher);
+            for (ea, eb) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(ea.disparity.to_bits(), eb.disparity.to_bits());
+                assert_eq!(ea.unfair, eb.unfair);
+            }
+        }
+        // The observer really observed: spans for every pipeline stage,
+        // while the plain session's inert recorder kept nothing.
+        let snapshot = observe.snapshot();
+        for stage in ["import", "prep", "blocking", "features", "train", "score", "audit"] {
+            assert!(
+                snapshot.spans.iter().any(|s| s.name == stage),
+                "missing {stage} span under {policy}"
+            );
+        }
+        assert!(plain.recorder().snapshot().spans.is_empty());
     }
 }
 
