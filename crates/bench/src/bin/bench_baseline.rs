@@ -26,6 +26,7 @@ use fairem_core::sensitive::SensitiveAttr;
 use fairem_core::{Parallelism, Recorder};
 use fairem_csvio::Json;
 use fairem_datasets::{citations, wdc_products, CitationsConfig, GeneratedDataset, ProductsConfig};
+use fairem_bench::OrFail;
 
 /// The CLI's default fleet — what `fairem audit` trains when no
 /// `--matchers` flag is given, so the baseline matches real runs.
@@ -133,9 +134,9 @@ fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Vec<(String, f64)> {
         .sensitive(sensitive)
         .config(config)
         .build()
-        .expect("generated datasets are schema-valid")
+        .orfail("generated datasets are schema-valid")
         .try_run(MATCHERS)
-        .expect("baseline fleet trains");
+        .orfail("baseline fleet trains");
     let _ = session.audit_all(&default_auditor());
     let _ = session
         .ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction)

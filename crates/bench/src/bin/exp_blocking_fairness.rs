@@ -9,19 +9,20 @@ use fairem_core::blocking::{
 };
 use fairem_core::schema::Table;
 use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Extension: per-group blocking recall (FacultyMatch) ===\n");
     let d = faculty_dataset();
-    let a = Table::from_csv(d.table_a.clone()).expect("valid table");
-    let b = Table::from_csv(d.table_b.clone()).expect("valid table");
+    let a = Table::from_csv(d.table_a.clone()).orfail("valid table");
+    let b = Table::from_csv(d.table_b.clone()).orfail("valid table");
     let space = GroupSpace::extract(&[&a, &b], vec![SensitiveAttr::categorical("country")]);
     let enc_a = space.encode_table(&a);
     let enc_b = space.encode_table(&b);
     let truth: Vec<(usize, usize)> = d
         .matches
         .iter()
-        .map(|(ia, ib)| (a.row_of(ia).expect("id"), b.row_of(ib).expect("id")))
+        .map(|(ia, ib)| (a.row_of(ia).orfail("id"), b.row_of(ib).orfail("id")))
         .collect();
 
     let schemes: [(&str, Vec<(usize, usize)>); 3] = [

@@ -5,13 +5,14 @@
 
 use fairem_bench::{faculty_session, FAIRNESS_THRESHOLD};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Ablation: both-sides vs once-per-correspondence group counting ===\n");
     let session = faculty_session();
     let measure = FairnessMeasure::TruePositiveRateParity;
     for matcher in ["LinRegMatcher", "RFMatcher"] {
-        let w = session.workload(matcher).expect("matcher trained");
+        let w = session.workload(matcher).orfail("matcher trained");
         let overall = measure.value(&w.overall_confusion());
         println!("{matcher} (overall TPR {overall:.3}):");
         println!(
@@ -49,8 +50,8 @@ fn main() {
     use fairem_core::sensitive::{GroupSpace, SensitiveAttr};
     use fairem_core::workload::{Correspondence, Workload};
     use fairem_csvio::parse_csv_str;
-    let csv = parse_csv_str("id,g\na1,cn\na2,us\n").expect("literal csv");
-    let t = Table::from_csv(csv).expect("valid");
+    let csv = parse_csv_str("id,g\na1,cn\na2,us\n").orfail("literal csv");
+    let t = Table::from_csv(csv).orfail("valid");
     let space = GroupSpace::extract(&[&t], vec![SensitiveAttr::categorical("g")]);
     let (cn, us) = (space.encode(&t, 0), space.encode(&t, 1));
     let mut items = Vec::new();
@@ -77,7 +78,7 @@ fn main() {
         });
     }
     let w = Workload::new(items, 0.5);
-    let g_cn = space.by_name("cn").expect("cn");
+    let g_cn = space.by_name("cn").orfail("cn");
     let both = w.group_confusion(g_cn).tpr();
     let once = w.group_confusion_once(g_cn).tpr();
     println!("mixed-pair demonstration (10 missed cn-cn + 10 found cn-us matches):");

@@ -7,6 +7,7 @@ use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::multiworkload::analyze_bootstrap;
 use fairem_core::report::multiworkload_text;
+use fairem_bench::OrFail;
 
 const K: usize = 30;
 const ALPHA: f64 = 0.05;
@@ -17,7 +18,7 @@ fn main() {
     let auditor = default_auditor();
 
     for matcher in ["LinRegMatcher", "MCAN"] {
-        let base = session.workload(matcher).expect("matcher trained");
+        let base = session.workload(matcher).orfail("matcher trained");
         let report = analyze_bootstrap(matcher, &base, &session.space, &auditor, K, ALPHA, 2024);
         println!("{}", multiworkload_text(&report));
         let sig: Vec<String> = report
@@ -38,7 +39,7 @@ fn main() {
     println!("--- ablation: subtraction vs division disparity (LinRegMatcher, TPRP) ---");
     let base = session
         .workload("LinRegMatcher")
-        .expect("LinRegMatcher trained");
+        .orfail("LinRegMatcher trained");
     for disparity in [Disparity::Subtraction, Disparity::Division] {
         let auditor = Auditor::new(AuditConfig {
             measures: vec![FairnessMeasure::TruePositiveRateParity],

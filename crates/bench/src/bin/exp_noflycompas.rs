@@ -7,6 +7,7 @@ use fairem_core::audit::{AuditConfig, Auditor};
 use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
 use fairem_core::matcher::MatcherKind;
 use fairem_core::report::audit_text;
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== NoFlyCompas: intersectional & pairwise audits ===\n");
@@ -17,7 +18,7 @@ fn main() {
             MatcherKind::RfMatcher,
             MatcherKind::HierMatcher,
         ])
-        .expect("nofly fleet trains");
+        .orfail("nofly fleet trains");
     println!(
         "groups ({}): {:?}\n",
         session.space.len(),
@@ -42,7 +43,7 @@ fn main() {
         pairwise_attr: 0,
     });
     for matcher in session.matcher_names() {
-        let w = session.workload(matcher).expect("matcher trained");
+        let w = session.workload(matcher).orfail("matcher trained");
         let report = single.audit(matcher, &w, &session.space);
         let unfair: Vec<String> = report
             .unfair()
@@ -72,7 +73,7 @@ fn main() {
     });
     let linreg = session
         .workload("LinRegMatcher")
-        .expect("LinRegMatcher trained");
+        .orfail("LinRegMatcher trained");
     let report = pairwise.audit("LinRegMatcher", &linreg, &session.space);
     println!("{}", audit_text(&report));
 

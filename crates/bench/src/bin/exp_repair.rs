@@ -6,19 +6,20 @@ use fairem_bench::{default_auditor, faculty_session};
 use fairem_core::fairness::FairnessMeasure;
 use fairem_core::matcher::MatcherKind;
 use fairem_core::repair::RepairOutcome;
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Extension: data-repair resolution (oversampling cn training matches) ===\n");
     let session = faculty_session();
     let auditor = default_auditor();
-    let cn = session.space.by_name("cn").expect("cn group exists");
+    let cn = session.space.by_name("cn").orfail("cn group exists");
 
     let before_report = session
         .audit("LinRegMatcher", &auditor)
-        .expect("LinRegMatcher trained");
+        .orfail("LinRegMatcher trained");
     let before = before_report
         .entry(FairnessMeasure::TruePositiveRateParity, "cn")
-        .expect("cn entry")
+        .orfail("cn entry")
         .disparity;
     println!("LinRegMatcher cn TPRP disparity before repair: {before:.3}\n");
 
@@ -29,7 +30,7 @@ fn main() {
         let report = auditor.audit("LinRegMatcher+repair", &repaired, &session.space);
         let entry = report
             .entry(FairnessMeasure::TruePositiveRateParity, "cn")
-            .expect("cn entry");
+            .orfail("cn entry");
         let f1 = repaired.overall_confusion().f1();
         let outcome = RepairOutcome {
             matcher: "LinRegMatcher".into(),

@@ -6,6 +6,7 @@ use fairem_bench::{faculty_session, FAIRNESS_THRESHOLD};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::sensitive::GroupId;
 use fairem_core::threshold::{auc_parity, default_grid, suggest_threshold, sweep};
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Extension: threshold sensitivity & calibration (LinRegMatcher) ===\n");
@@ -13,7 +14,7 @@ fn main() {
     let groups: Vec<GroupId> = session.space.level1_of_attr(0);
     let workload = session
         .workload("LinRegMatcher")
-        .expect("LinRegMatcher trained");
+        .orfail("LinRegMatcher trained");
 
     // 1. Threshold sweep of TPRP.
     let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
@@ -30,7 +31,7 @@ fn main() {
         .per_group
         .iter()
         .find(|(n, _)| n == "cn")
-        .expect("cn exists")
+        .orfail("cn exists")
         .1;
     for (i, &t) in sw.thresholds.iter().enumerate() {
         println!(
@@ -73,7 +74,7 @@ fn main() {
     println!("\nper-group calibration resolution (TPRP at threshold 0.5):");
     let calibrated = session
         .calibrated_workload("LinRegMatcher", &groups)
-        .expect("LinRegMatcher trained");
+        .orfail("LinRegMatcher trained");
     for &g in &groups {
         let before = workload.group_confusion(g).tpr();
         let after = calibrated.group_confusion(g).tpr();

@@ -6,6 +6,7 @@
 use fairem_bench::{default_auditor, faculty_dataset, import};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::matcher::MatcherKind;
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Figure 1: FairEM360 three-layer pipeline (FacultyMatch) ===\n");
@@ -22,7 +23,7 @@ fn main() {
     let suite = import(&dataset);
 
     // Logic layer.
-    let session = suite.try_run(&MatcherKind::ALL).expect("fleet trains");
+    let session = suite.try_run(&MatcherKind::ALL).orfail("fleet trains");
     println!(
         "[logic layer] groups extracted: {:?}",
         session
@@ -65,7 +66,7 @@ fn main() {
         println!(
             "\nworst audited cell: {matcher} on group {group} w.r.t. {measure} (disparity {disparity:.3})"
         );
-        let w = session.workload(&matcher).expect("matcher trained");
+        let w = session.workload(&matcher).orfail("matcher trained");
         let explainer = session.explainer(&w, Disparity::Subtraction);
         println!(
             "explanation: {}",

@@ -5,6 +5,7 @@
 
 use fairem_bench::{faculty_dataset, import, nofly_dataset};
 use fairem_core::matcher::{ExternalScores, MatcherKind};
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Figure 2: data import ===\n");
@@ -24,7 +25,7 @@ fn main() {
         println!("  sensitive attributes: {:?}", dataset.sensitive);
         let session = import(&dataset)
             .try_run(&[MatcherKind::DtMatcher])
-            .expect("DtMatcher trains");
+            .orfail("DtMatcher trains");
         let names: Vec<String> = session
             .space
             .ids()
@@ -38,10 +39,10 @@ fn main() {
     let dataset = faculty_dataset();
     let session = import(&dataset)
         .try_run(&[MatcherKind::DtMatcher])
-        .expect("DtMatcher trains");
+        .orfail("DtMatcher trains");
     // Simulate an uploaded prediction file: exact-name-equality matcher.
-    let name_col_a = dataset.table_a.column_index("name").expect("name column");
-    let name_col_b = dataset.table_b.column_index("name").expect("name column");
+    let name_col_a = dataset.table_a.column_index("name").orfail("name column");
+    let name_col_b = dataset.table_b.column_index("name").orfail("name column");
     let preds: Vec<((String, String), f64)> = dataset
         .table_a
         .rows

@@ -3,6 +3,7 @@
 
 use fairem_bench::faculty_session;
 use fairem_core::matcher::MatcherKind;
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Figure 3: matcher selection (FacultyMatch test split) ===\n");
@@ -25,7 +26,7 @@ fn main() {
         "matcher", "F1", "precision", "recall", "accuracy"
     );
     for k in MatcherKind::ALL {
-        let p = session.performance(k.name()).expect("matcher trained");
+        let p = session.performance(k.name()).orfail("matcher trained");
         println!(
             "{:<14} {:>8.3} {:>10.3} {:>8.3} {:>10.3}",
             p.matcher, p.f1, p.precision, p.recall, p.accuracy

@@ -4,6 +4,7 @@
 
 use fairem_bench::{default_auditor, faculty_session};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_bench::OrFail;
 
 fn main() {
     println!("=== Figure 5: unfairness explanations ===\n");
@@ -32,7 +33,7 @@ fn main() {
         "explaining: {matcher} unfair on {group} w.r.t. {measure} (disparity {disparity:.3})\n"
     );
 
-    let workload = session.workload(&matcher).expect("matcher trained");
+    let workload = session.workload(&matcher).orfail("matcher trained");
     let explainer = session.explainer(&workload, Disparity::Subtraction);
 
     println!("--- measure-based explanation ---");

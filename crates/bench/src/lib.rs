@@ -13,6 +13,39 @@ use fairem_core::prep::PrepConfig;
 use fairem_core::sensitive::SensitiveAttr;
 use fairem_datasets::{faculty_match, nofly_compas, FacultyConfig, GeneratedDataset, NoFlyConfig};
 
+/// Abort with an actionable message when a value the figures rely on is
+/// missing.
+///
+/// The figure binaries are CLI tools: a missing matcher, group, or
+/// column is an operator/setup error, reported on stderr with exit
+/// code 2 instead of a panic and backtrace.
+pub trait OrFail<T> {
+    fn orfail(self, what: &str) -> T;
+}
+
+impl<T> OrFail<T> for Option<T> {
+    fn orfail(self, what: &str) -> T {
+        match self {
+            Some(v) => v,
+            None => fail(what),
+        }
+    }
+}
+
+impl<T, E: std::fmt::Display> OrFail<T> for Result<T, E> {
+    fn orfail(self, what: &str) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => fail(&format!("{what}: {e}")),
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fairem-bench: {msg}");
+    std::process::exit(2)
+}
+
 /// The matching threshold every figure evaluates at (demo Step 3).
 pub const MATCHING_THRESHOLD: f64 = 0.5;
 /// The fairness threshold (the demo's red line, the 20% rule).
@@ -31,7 +64,7 @@ pub fn import(dataset: &GeneratedDataset) -> FairEm360 {
         .sensitive(sensitive)
         .config(suite_config())
         .build()
-        .expect("generated datasets are schema-valid")
+        .orfail("generated datasets are schema-valid")
 }
 
 /// The suite configuration shared by all figures.
@@ -64,7 +97,7 @@ pub fn nofly_dataset() -> GeneratedDataset {
 pub fn faculty_session() -> Session {
     import(&faculty_dataset())
         .try_run(&MatcherKind::ALL)
-        .expect("faculty fleet trains")
+        .orfail("faculty fleet trains")
 }
 
 /// Train a reduced fleet (fast; used by benches that only need two
@@ -73,7 +106,7 @@ pub fn faculty_session_small() -> Session {
     let dataset = faculty_match(&FacultyConfig::small());
     import(&dataset)
         .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
-        .expect("reduced fleet trains")
+        .orfail("reduced fleet trains")
 }
 
 /// The default auditor used by the figures: single fairness, the five

@@ -5,7 +5,7 @@
 //! token blocking (share any word token in the blocking columns) and
 //! sorted-neighborhood (windowed scan over a sort key).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use fairem_text::word_tokens;
 
@@ -20,15 +20,16 @@ pub type CandidatePairs = Vec<(usize, usize)>;
 /// skipped as non-discriminative (stop-token guard).
 pub fn token_blocking(a: &Table, b: &Table, columns: &[&str], max_block: usize) -> CandidatePairs {
     assert!(!columns.is_empty(), "blocking needs at least one column");
-    let index_side = |t: &Table| -> HashMap<String, Vec<usize>> {
+    let index_side = |t: &Table| -> BTreeMap<String, Vec<usize>> {
         let cols: Vec<usize> = columns
             .iter()
             .map(|c| {
                 t.column_index(c)
+                    // fairem: allow(panic) — documented contract: blocking columns come from validated config
                     .unwrap_or_else(|| panic!("blocking column {c:?} missing"))
             })
             .collect();
-        let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for row in 0..t.len() {
             let mut seen: HashSet<String> = HashSet::new();
             for &c in &cols {
@@ -43,7 +44,7 @@ pub fn token_blocking(a: &Table, b: &Table, columns: &[&str], max_block: usize) 
     };
     let ia = index_side(a);
     let ib = index_side(b);
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut out: CandidatePairs = Vec::new();
     for (tok, rows_a) in &ia {
         let Some(rows_b) = ib.get(tok) else { continue };
         if rows_a.len() * rows_b.len() > max_block * max_block {
@@ -51,12 +52,12 @@ pub fn token_blocking(a: &Table, b: &Table, columns: &[&str], max_block: usize) 
         }
         for &ra in rows_a {
             for &rb in rows_b {
-                pairs.insert((ra, rb));
+                out.push((ra, rb));
             }
         }
     }
-    let mut out: CandidatePairs = pairs.into_iter().collect();
     out.sort_unstable();
+    out.dedup();
     out
 }
 
@@ -72,9 +73,11 @@ pub fn sorted_neighborhood(
     assert!(window >= 2, "window must be at least 2");
     let ka = a
         .column_index(key_column)
+        // fairem: allow(panic) — documented contract: key column comes from validated config
         .unwrap_or_else(|| panic!("key column {key_column:?} missing in A"));
     let kb = b
         .column_index(key_column)
+        // fairem: allow(panic) — documented contract: key column comes from validated config
         .unwrap_or_else(|| panic!("key column {key_column:?} missing in B"));
     // Merge records of both sides tagged with origin.
     let mut merged: Vec<(String, bool, usize)> = Vec::with_capacity(a.len() + b.len());
@@ -85,23 +88,23 @@ pub fn sorted_neighborhood(
         merged.push((b.value(row, kb).to_lowercase(), true, row));
     }
     merged.sort();
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut out: CandidatePairs = Vec::new();
     for i in 0..merged.len() {
         let end = (i + window).min(merged.len());
         for j in (i + 1)..end {
             match (&merged[i], &merged[j]) {
                 ((_, false, ra), (_, true, rb)) => {
-                    pairs.insert((*ra, *rb));
+                    out.push((*ra, *rb));
                 }
                 ((_, true, rb), (_, false, ra)) => {
-                    pairs.insert((*ra, *rb));
+                    out.push((*ra, *rb));
                 }
                 _ => {}
             }
         }
     }
-    let mut out: CandidatePairs = pairs.into_iter().collect();
     out.sort_unstable();
+    out.dedup();
     out
 }
 

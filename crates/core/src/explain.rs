@@ -326,6 +326,7 @@ impl<'a> Explainer<'a> {
     fn lookup(&self, group: &str) -> GroupId {
         self.space
             .by_name(group)
+            // fairem: allow(panic) — internal invariant: group names come from the same GroupSpace
             .unwrap_or_else(|| panic!("unknown group {group:?}"))
     }
 }

@@ -168,6 +168,7 @@ impl FaultPlan {
     pub fn trip(&self, site: FaultSite, matcher: Option<MatcherKind>) {
         if let Some(f) = self.armed(site, matcher) {
             if let FaultMode::Panic(msg) = &f.mode {
+                // fairem: allow(panic) — documented # Panics contract: fault injection fires by design
                 panic!("{msg}");
             }
         }

@@ -522,6 +522,7 @@ impl MatcherRegistry {
             Budget::UNLIMITED,
         );
         if let Some(f) = failures.first() {
+            // fairem: allow(panic) — documented # Panics contract on the non-try training entrypoint
             panic!("matcher training panicked: {f}");
         }
         registry

@@ -366,10 +366,12 @@ impl FairEm360 {
         match self.try_run(kinds) {
             Ok(session) => {
                 if let Some(f) = session.failures().first() {
+                    // fairem: allow(panic) — documented # Panics contract on the deprecated run() wrapper
                     panic!("matcher failed: {f}");
                 }
                 session
             }
+            // fairem: allow(panic) — documented # Panics contract on the deprecated run() wrapper
             Err(e) => panic!("suite execution failed: {e}"),
         }
     }

@@ -1,7 +1,7 @@
 //! Preprocessing (paper §2.1): candidate pairing, labeling, and
 //! train/validation/test splitting.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use fairem_rng::rngs::StdRng;
 use fairem_rng::seq::SliceRandom;
@@ -147,7 +147,7 @@ fn prepare_inner(
 ) -> PreparedData {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let mut truth: HashSet<(usize, usize)> = HashSet::with_capacity(matches.len());
+    let mut truth: BTreeSet<(usize, usize)> = BTreeSet::new();
     for (i, (ia, ib)) in matches.iter().enumerate() {
         let ra = a.row_of(ia);
         let rb = b.row_of(ib);
@@ -177,8 +177,7 @@ fn prepare_inner(
     let cols: Vec<&str> = config.blocking_columns.iter().map(String::as_str).collect();
     let candidates = token_blocking(a, b, &cols, config.max_block);
 
-    let mut positives: Vec<(usize, usize)> = truth.iter().copied().collect();
-    positives.sort_unstable();
+    let positives: Vec<(usize, usize)> = truth.iter().copied().collect();
     let mut negatives: Vec<(usize, usize)> = candidates
         .into_iter()
         .filter(|p| !truth.contains(p))

@@ -134,6 +134,7 @@ impl GroupSpace {
             for (ai, attr) in attrs.iter().enumerate() {
                 let col = table
                     .column_index(&attr.column)
+                    // fairem: allow(panic) — documented contract: attrs come from validated config
                     .unwrap_or_else(|| panic!("sensitive column {:?} missing", attr.column));
                 for row in 0..table.len() {
                     for v in attr.values_of(table.value(row, col)) {
@@ -265,6 +266,7 @@ impl GroupSpace {
         for attr in &self.attrs {
             let col = table
                 .column_index(&attr.column)
+                // fairem: allow(panic) — documented contract: attrs come from validated config
                 .unwrap_or_else(|| panic!("sensitive column {:?} missing", attr.column));
             record_values.push(attr.values_of(table.value(row, col)));
         }

@@ -41,6 +41,7 @@ impl Json {
     pub fn push(&mut self, key: impl Into<String>, value: Json) {
         match self {
             Json::Obj(pairs) => pairs.push((key.into(), value)),
+            // fairem: allow(panic) — documented construction-time misuse contract, not a runtime condition
             _ => panic!("Json::push on non-object"),
         }
     }
@@ -230,7 +231,7 @@ impl Parser<'_> {
         })
     }
 
-    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+    fn consume(&mut self, c: char) -> Result<(), JsonError> {
         match self.bump() {
             Some(got) if got == c => Ok(()),
             Some(got) => self.fail(format!("expected {c:?}, found {got:?}")),
@@ -240,7 +241,7 @@ impl Parser<'_> {
 
     fn literal(&mut self, rest: &str, value: Json) -> Result<Json, JsonError> {
         for c in rest.chars() {
-            self.expect(c)?;
+            self.consume(c)?;
         }
         Ok(value)
     }
@@ -273,7 +274,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect('"')?;
+        self.consume('"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -315,11 +316,15 @@ impl Parser<'_> {
     fn number(&mut self) -> Result<Json, JsonError> {
         let mut text = String::new();
         if self.chars.peek() == Some(&'-') {
-            text.push(self.bump().expect("peeked"));
+            text.push('-');
+            self.bump();
         }
-        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
-        {
-            text.push(self.bump().expect("peeked"));
+        while let Some(&c) = self.chars.peek() {
+            if !(c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-')) {
+                break;
+            }
+            text.push(c);
+            self.bump();
         }
         text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
             pos: self.pos,
@@ -328,7 +333,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect('[')?;
+        self.consume('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.chars.peek() == Some(&']') {
@@ -347,7 +352,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect('{')?;
+        self.consume('{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.chars.peek() == Some(&'}') {
@@ -358,7 +363,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.consume(':')?;
             let value = self.value()?;
             pairs.push((key, value));
             self.skip_ws();

@@ -89,7 +89,7 @@ fn make_title(rng: &mut StdRng) -> String {
     let n = rng.gen_range(4..8);
     let mut words = Vec::with_capacity(n);
     for _ in 0..n {
-        words.push(*TITLE_WORDS.choose(rng).expect("non-empty"));
+        words.push(*TITLE_WORDS.pick(rng));
     }
     words.join(" ")
 }

@@ -29,6 +29,7 @@ impl GeneratedDataset {
         let ids = |t: &CsvTable, side: &str| -> HashSet<String> {
             let idx = t
                 .column_index("id")
+                // fairem: allow(panic) — documented: generators are trusted code, this guards refactors
                 .unwrap_or_else(|| panic!("{side}: no id column"));
             let mut set = HashSet::with_capacity(t.len());
             for r in &t.rows {

@@ -143,7 +143,7 @@ pub fn faculty_match(config: &FacultyConfig) -> GeneratedDataset {
                 name: sample_name(group, &mut rng),
                 group,
                 univ: rng.gen_range(0..UNIVERSITIES.len()),
-                dept: DEPARTMENTS.choose(&mut rng).expect("non-empty"),
+                dept: DEPARTMENTS.pick(&mut rng),
             });
         }
     }
@@ -204,7 +204,7 @@ pub fn faculty_match(config: &FacultyConfig) -> GeneratedDataset {
                 name.western_order()
             };
             let univ = rng.gen_range(0..UNIVERSITIES.len());
-            let dept = DEPARTMENTS.choose(&mut rng).expect("non-empty");
+            let dept = DEPARTMENTS.pick(&mut rng);
             let bid = format!("b{}", rows_b.len());
             rows_b.push(render_row(bid, text, UNIVERSITIES[univ].0, dept, group));
         }

@@ -209,13 +209,14 @@ pub fn sample_name(group: &str, rng: &mut StdRng) -> PersonName {
         "in" => (&IN_SURNAMES, &IN_GIVEN, false, true),
         "br" | "hispanic" => (&BR_SURNAMES, &BR_GIVEN, false, true),
         "black" => (&US_SURNAMES, &US_GIVEN, false, true),
+        // fairem: allow(panic) — documented contract: group names come from the fixed pool table
         other => panic!("unknown name-pool group: {other}"),
     };
-    let family = (*surnames.choose(rng).expect("pool non-empty")).to_owned();
-    let mut g = (*given.choose(rng).expect("pool non-empty")).to_owned();
+    let family = (*surnames.pick(rng)).to_owned();
+    let mut g = (*given.pick(rng)).to_owned();
     if use_initial && rng.gen_bool(0.6) {
         g.push(' ');
-        g.push_str(INITIALS.choose(rng).expect("non-empty"));
+        g.push_str(INITIALS.pick(rng));
     }
     PersonName {
         given: g,
@@ -260,6 +261,7 @@ pub fn name_space_size(group: &str) -> usize {
         "us" | "white" | "black" => US_SURNAMES.len() * US_GIVEN.len() * (INITIALS.len() + 1),
         "in" => IN_SURNAMES.len() * IN_GIVEN.len() * (INITIALS.len() + 1),
         "br" | "hispanic" => BR_SURNAMES.len() * BR_GIVEN.len() * (INITIALS.len() + 1),
+        // fairem: allow(panic) — documented contract: group names come from the fixed pool table
         other => panic!("unknown name-pool group: {other}"),
     }
 }

@@ -162,7 +162,7 @@ pub fn nofly_compas(config: &NoFlyConfig) -> GeneratedDataset {
                         bid.clone(),
                         nm,
                         dob_text(dob_b),
-                        (*COUNTIES.choose(&mut rng).expect("non-empty")).to_owned(),
+                        (*COUNTIES.pick(&mut rng)).to_owned(),
                         race.to_owned(),
                         sex.to_owned(),
                     ]);
@@ -174,14 +174,14 @@ pub fn nofly_compas(config: &NoFlyConfig) -> GeneratedDataset {
         let d = (config.per_subgroup as f64 * config.distractor_rate).round() as usize;
         for _ in 0..d {
             let name = sample_name(race, &mut rng);
-            let sex = *SEXES.choose(&mut rng).expect("non-empty");
+            let sex = *SEXES.pick(&mut rng);
             let bid = format!("b{next_b}");
             next_b += 1;
             rows_b.push(vec![
                 bid,
                 name.western_order(),
                 dob_text(random_dob(&mut rng)),
-                (*COUNTIES.choose(&mut rng).expect("non-empty")).to_owned(),
+                (*COUNTIES.pick(&mut rng)).to_owned(),
                 race.to_owned(),
                 sex.to_owned(),
             ]);

@@ -81,9 +81,9 @@ pub fn wdc_products(config: &ProductsConfig) -> GeneratedDataset {
         ("budget", &BUDGET_BRANDS, 40.0),
     ] {
         for _ in 0..config.per_tier {
-            let brand = *brands.choose(&mut rng).expect("non-empty");
-            let category = *CATEGORIES.choose(&mut rng).expect("non-empty");
-            let qualifier = *QUALIFIERS.choose(&mut rng).expect("non-empty");
+            let brand = *brands.pick(&mut rng);
+            let category = *CATEGORIES.pick(&mut rng);
+            let qualifier = *QUALIFIERS.pick(&mut rng);
             let model = rng.gen_range(100..1000);
             let price = base_price * rng.gen_range(0.5..2.0);
             let aid = format!("a{}", rows_a.len());
@@ -125,9 +125,9 @@ pub fn wdc_products(config: &ProductsConfig) -> GeneratedDataset {
         // Distractors: same brand/category space, different models.
         let d = (config.per_tier as f64 * config.distractor_rate).round() as usize;
         for _ in 0..d {
-            let brand = *brands.choose(&mut rng).expect("non-empty");
-            let category = *CATEGORIES.choose(&mut rng).expect("non-empty");
-            let qualifier = *QUALIFIERS.choose(&mut rng).expect("non-empty");
+            let brand = *brands.pick(&mut rng);
+            let category = *CATEGORIES.pick(&mut rng);
+            let qualifier = *QUALIFIERS.pick(&mut rng);
             let model = rng.gen_range(100..1000);
             let price = base_price * rng.gen_range(0.5..2.0);
             let bid = format!("b{next_b}");

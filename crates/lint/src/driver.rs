@@ -1,0 +1,151 @@
+//! Workspace walker and finding pipeline: collect files, run every
+//! rule, apply pragma suppression, and sort/dedupe the result.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::deps;
+use crate::rules::{all_rules, Finding};
+use crate::source::SourceFile;
+
+/// Known rule names, for pragma validation.
+pub fn rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.push(deps::RULE);
+    names
+}
+
+/// Lint the workspace rooted at `root`. When `subpaths` is non-empty,
+/// only those (root-relative) files/directories are walked — that is
+/// how the fixture set is scanned despite being skipped by the
+/// default walk.
+pub fn lint(root: &Path, subpaths: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if subpaths.is_empty() {
+        walk(root, root, true, &mut files)?;
+    } else {
+        for sub in subpaths {
+            let p = root.join(sub);
+            if p.is_dir() {
+                walk(root, &p, false, &mut files)?;
+            } else {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+
+    let rules = all_rules();
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel = relpath(root, path);
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("fairem-lint: cannot read {}: {e}", path.display()))?;
+        if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+            findings.extend(deps::check_manifest(&rel, &src));
+            continue;
+        }
+        let file = SourceFile::parse(&rel, &src);
+        let mut raw: Vec<Finding> = Vec::new();
+        for rule in &rules {
+            rule.check(&file, &mut raw);
+        }
+        raw.retain(|f| !file.suppressed(f.rule, f.line));
+        findings.extend(raw);
+        // Malformed pragmas are findings in their own right, so a
+        // suppression can never silently decay.
+        let known = rule_names();
+        for p in &file.pragmas {
+            if !known.contains(&p.rule.as_str()) {
+                findings.push(Finding {
+                    rel: rel.clone(),
+                    line: p.line,
+                    rule: "pragma",
+                    msg: format!("pragma names unknown rule `{}`", p.rule),
+                });
+            } else if !p.justified {
+                findings.push(Finding {
+                    rel: rel.clone(),
+                    line: p.line,
+                    rule: "pragma",
+                    msg: "pragma is missing its mandatory justification text".to_owned(),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.rel, a.line, a.rule)
+            .cmp(&(&b.rel, b.line, b.rule))
+            .then_with(|| a.msg.cmp(&b.msg))
+    });
+    findings.dedup_by(|a, b| a.rel == b.rel && a.line == b.line && a.rule == b.rule);
+    Ok(findings)
+}
+
+/// The default walk covers every `.rs` file and `Cargo.toml` under the
+/// root, skipping build output, VCS metadata, result artifacts, and
+/// the linter's own seeded-violation fixtures.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    skip_fixtures: bool,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("fairem-lint: cannot walk {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("fairem-lint: walk error: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "results" {
+                continue;
+            }
+            if skip_fixtures && name == "fixtures" && relpath(root, &path).contains("tests/") {
+                continue;
+            }
+            walk(root, &path, skip_fixtures, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relpath(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Compare `findings` against an expectation manifest: one
+/// `file:line rule` prefix per non-comment line. Returns a list of
+/// human-readable mismatches (empty means exact agreement).
+pub fn diff_expected(findings: &[Finding], manifest: &str) -> Vec<String> {
+    let mut expected: Vec<String> = manifest
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect();
+    expected.sort();
+    let mut got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{} {}", f.rel, f.line, f.rule))
+        .collect();
+    got.sort();
+    let mut problems = Vec::new();
+    for e in &expected {
+        if !got.contains(e) {
+            problems.push(format!("expected finding missing: {e}"));
+        }
+    }
+    for g in &got {
+        if !expected.contains(g) {
+            problems.push(format!("unexpected finding: {g}"));
+        }
+    }
+    problems
+}

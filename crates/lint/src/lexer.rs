@@ -1,0 +1,342 @@
+//! A minimal Rust lexer: classifies every byte of a source file as
+//! code, comment, or literal text.
+//!
+//! This is the reason `fairem-lint` exists as a program rather than a
+//! grep line in `check.sh`: a finding must never fire on the word
+//! `panic!` inside a doc comment, a string literal, or a raw string —
+//! and a char literal containing `"` must not convince the scanner
+//! that the rest of the line is a string. The lexer handles exactly
+//! the token shapes that matter for masking:
+//!
+//! - line comments (`//`, `///`, `//!`) to end of line;
+//! - block comments (`/* … */`, `/** … */`), **nested** as in Rust;
+//! - cooked strings with escapes (`"a\"b"`), byte (`b"…"`) and C
+//!   (`c"…"`) strings;
+//! - raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//!   distinguished from raw identifiers (`r#type`);
+//! - char and byte-char literals (`'x'`, `'\''`, `'\u{1F600}'`,
+//!   `b'\\'`), distinguished from lifetimes and loop labels
+//!   (`'static`, `'outer:`).
+//!
+//! Everything else — numbers, idents, operators — is code. The lexer
+//! never fails: malformed input (an unterminated string) degrades to
+//! "rest of file is literal text", which is the conservative direction
+//! for every rule (a masked region can only hide findings in text that
+//! was not code to begin with).
+
+/// Byte classification produced by [`lex`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Class {
+    /// Live Rust code — the only region rules scan for banned tokens.
+    Code,
+    /// Line or block comment text (including the delimiters).
+    Comment,
+    /// String / raw-string / char / byte literal text (including
+    /// delimiters and prefixes).
+    Text,
+}
+
+/// Per-byte classification of `src`. `classes.len() == src.len()`.
+pub fn lex(src: &str) -> Vec<Class> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut classes = vec![Class::Code; n];
+    let mut i = 0usize;
+
+    let is_ident = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                classes[i] = Class::Comment;
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    i += 2;
+                    depth += 1;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    i += 2;
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    classes[i] = Class::Comment;
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string (r"…", r#"…"#) and prefixed forms (br, cr), but
+        // not raw identifiers (r#type). Only consider when the
+        // previous byte is not part of an identifier.
+        if (c == b'r' || c == b'b' || c == b'c') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            // Optional b/c prefix before r.
+            if (b[j] == b'b' || b[j] == b'c') && j + 1 < n && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut k = j + 1;
+                while k < n && b[k] == b'#' {
+                    k += 1;
+                }
+                if k < n && b[k] == b'"' {
+                    let hashes = k - (j + 1);
+                    // Mark prefix + opening delimiter.
+                    for c in classes.iter_mut().take(k + 1).skip(i) {
+                        *c = Class::Text;
+                    }
+                    let mut m = k + 1;
+                    'raw: while m < n {
+                        if b[m] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && m + 1 + h < n && b[m + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for c in classes.iter_mut().take(m + hashes + 1).skip(m) {
+                                    *c = Class::Text;
+                                }
+                                m += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        classes[m] = Class::Text;
+                        m += 1;
+                    }
+                    i = m;
+                    continue;
+                }
+            }
+            // `b"…"` / `c"…"` cooked byte/C string.
+            if (c == b'b' || c == b'c') && i + 1 < n && b[i + 1] == b'"' {
+                classes[i] = Class::Text;
+                i += 1;
+                // Fall through to cooked-string handling below.
+            } else if c != b'"' {
+                // Plain identifier starting with r/b/c.
+                classes[i] = Class::Code;
+                i += 1;
+                // Skip the rest of the identifier so `brand"` can
+                // never re-trigger prefix detection mid-word.
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Cooked string.
+        if i < n && b[i] == b'"' {
+            classes[i] = Class::Text;
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' && i + 1 < n {
+                    classes[i] = Class::Text;
+                    classes[i + 1] = Class::Text;
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == b'"';
+                classes[i] = Class::Text;
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime/label. Also `b'x'` byte literals.
+        if i < n && b[i] == b'\'' {
+            let next = if i + 1 < n { b[i + 1] } else { 0 };
+            let after = if i + 2 < n { b[i + 2] } else { 0 };
+            let lifetime = next != b'\\'
+                && (is_ident(next) && next != b'\0')
+                && after != b'\''
+                // `'_'`-style single-char literals are caught by the
+                // `after == '\''` check; anything longer is a lifetime
+                // unless it is an escape.
+                ;
+            if lifetime {
+                classes[i] = Class::Code;
+                i += 1;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            // Char literal: mark until the closing quote (bounded —
+            // escapes like \u{10FFFF} stay under 12 bytes).
+            classes[i] = Class::Text;
+            i += 1;
+            let limit = (i + 12).min(n);
+            while i < limit {
+                if b[i] == b'\\' && i + 1 < n {
+                    classes[i] = Class::Text;
+                    classes[i + 1] = Class::Text;
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == b'\'';
+                classes[i] = Class::Text;
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        if i < n {
+            classes[i] = Class::Code;
+            i += 1;
+        }
+    }
+    classes
+}
+
+/// Project `src` onto one class: bytes of other classes become spaces,
+/// newlines survive so line numbers stay aligned.
+pub fn mask(src: &str, classes: &[Class], keep: Class) -> String {
+    let mut out = Vec::with_capacity(src.len());
+    for (i, &byte) in src.as_bytes().iter().enumerate() {
+        if byte == b'\n' || classes[i] == keep {
+            out.push(byte);
+        } else {
+            out.push(b' ');
+        }
+    }
+    // Masked multi-byte chars become runs of spaces; kept regions are
+    // intact UTF-8 because delimiters are ASCII. A mixed-boundary run
+    // can only arise from malformed input, hence the lossy fallback.
+    String::from_utf8(out.clone()).unwrap_or_else(|_| String::from_utf8_lossy(&out).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        let classes = lex(src);
+        mask(src, &classes, Class::Code)
+    }
+    fn comment_of(src: &str) -> String {
+        let classes = lex(src);
+        mask(src, &classes, Class::Comment)
+    }
+
+    #[test]
+    fn line_comments_mask() {
+        let src = "let x = 1; // panic! here\nlet y = 2;";
+        let code = code_of(src);
+        assert!(!code.contains("panic!"));
+        assert!(code.contains("let y = 2;"));
+        assert!(comment_of(src).contains("panic! here"));
+    }
+
+    #[test]
+    fn nested_block_comments_mask_to_the_outer_close() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let code = code_of(src);
+        assert!(code.starts_with('a'));
+        assert!(code.ends_with('b'));
+        assert!(!code.contains("still"));
+        assert!(!code.contains("inner"));
+        assert!(comment_of(src).contains("still comment"));
+    }
+
+    #[test]
+    fn cooked_strings_mask_with_escapes() {
+        let src = r#"let s = "panic! \" todo!"; done()"#;
+        let code = code_of(src);
+        assert!(!code.contains("panic!"));
+        assert!(!code.contains("todo!"));
+        assert!(code.contains("done()"));
+    }
+
+    #[test]
+    fn raw_strings_mask_at_matching_hash_depth() {
+        let src = r##"let s = r#"panic! " unimplemented!"# ; after()"##;
+        let code = code_of(src);
+        assert!(!code.contains("panic!"));
+        assert!(!code.contains("unimplemented!"));
+        assert!(code.contains("after()"));
+    }
+
+    #[test]
+    fn deep_raw_strings_and_byte_raw_strings() {
+        let src = "let s = br##\"todo! \"# not the end\"## ; tail()";
+        let code = code_of(src);
+        assert!(!code.contains("todo!"));
+        assert!(!code.contains("not the end"));
+        assert!(code.contains("tail()"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_code_not_strings() {
+        let src = "let r#type = 1; panic!(\"x\")";
+        let code = code_of(src);
+        assert!(code.contains("r#type"));
+        assert!(code.contains("panic!("));
+        assert!(!code.contains('x'));
+    }
+
+    #[test]
+    fn char_literal_containing_a_double_quote_does_not_open_a_string() {
+        // The classic grep failure: after '"' the rest of the line is
+        // still code, so the panic! must remain visible.
+        let src = "if c == '\"' { panic!(\"quote\") }";
+        let code = code_of(src);
+        assert!(code.contains("panic!("));
+        assert!(!code.contains("quote"));
+    }
+
+    #[test]
+    fn lifetimes_and_labels_stay_code() {
+        let src = "fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }";
+        let code = code_of(src);
+        assert_eq!(code, src);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let b = b'\\'; ok()";
+        let code = code_of(src);
+        assert!(code.contains("ok()"));
+        assert!(!code.contains(r"\'"));
+    }
+
+    #[test]
+    fn unicode_char_literal_masks_fully() {
+        let src = "let c = '\u{1F600}'; next()";
+        let code = code_of(src);
+        assert!(code.contains("next()"));
+        assert!(!code.contains('\u{1F600}'));
+    }
+
+    #[test]
+    fn unterminated_string_degrades_to_text() {
+        let src = "let s = \"never closed... panic!";
+        let code = code_of(src);
+        assert!(!code.contains("panic!"));
+    }
+
+    #[test]
+    fn newlines_survive_masking_for_line_alignment() {
+        let src = "a\n\"two\nline string\"\nb";
+        let code = code_of(src);
+        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
+        assert!(code.contains('b'));
+    }
+}

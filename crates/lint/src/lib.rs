@@ -1,0 +1,34 @@
+//! fairem-lint — the workspace contract gate (DESIGN.md §9).
+//!
+//! FairEM360 promises audits that are bit-for-bit identical under
+//! every parallelism policy, with a recorder that is provably inert
+//! when disabled. Those guarantees rest on cross-cutting conventions
+//! — clocks only where time is the subject, threads only in the
+//! `WorkerPool`, randomness only from `fairem-rng`, no external
+//! crates, no hash-order leaks, no stray panics, documented `unsafe`
+//! — that no single crate can see being broken. This crate turns the
+//! conventions into machine-checked rules:
+//!
+//! - [`lexer`] — a minimal Rust lexer so findings never fire inside
+//!   comments or string/char literals (the reason grep cannot do
+//!   this job);
+//! - [`source`] — per-file structure: `#[cfg(test)]` regions and
+//!   `fairem: allow(<rule>)` suppression pragmas with mandatory
+//!   justifications;
+//! - [`rules`] — the [`rules::Rule`] catalog: `clock`, `thread`,
+//!   `rng`, `hash_iter`, `panic`, `unsafe_comment`;
+//! - [`deps`] — the `hermetic_deps` Cargo.toml walker;
+//! - [`driver`] — the workspace walk, pragma filtering, and the
+//!   `--expect` fixture self-check used by `scripts/check.sh`.
+//!
+//! The binary (`cargo run -p fairem-lint`) prints findings as
+//! `file:line rule message` and exits nonzero when any survive.
+
+pub mod deps;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use driver::{diff_expected, lint};
+pub use rules::Finding;

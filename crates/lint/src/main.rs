@@ -1,0 +1,122 @@
+//! `fairem-lint` — machine enforcement of the workspace contracts.
+//!
+//! ```text
+//! fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]
+//! ```
+//!
+//! With no arguments: lint the whole workspace (the directory holding
+//! the workspace `Cargo.toml`, found by walking up from the current
+//! directory), print findings as `file:line rule message`, exit 1 when
+//! any finding survives, 0 when clean.
+//!
+//! `--expect MANIFEST` compares the findings against an expectation
+//! file (one `file:line rule` per line, `#` comments allowed) and
+//! exits 1 on any mismatch in either direction — this is how
+//! `scripts/check.sh` proves the seeded fixture violations still fire,
+//! so the linter cannot silently go blind. Exit 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut expect: Option<PathBuf> = None;
+    let mut subpaths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--expect" => match args.next() {
+                Some(v) => expect = Some(PathBuf::from(v)),
+                None => return usage("--expect needs a manifest file"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            other => subpaths.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("fairem-lint: no workspace Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match fairem_lint::lint(&root, &subpaths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(manifest_path) = expect {
+        let manifest = match std::fs::read_to_string(&manifest_path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!(
+                    "fairem-lint: cannot read manifest {}: {e}",
+                    manifest_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let problems = fairem_lint::diff_expected(&findings, &manifest);
+        if problems.is_empty() {
+            println!(
+                "fairem-lint: fixture self-check ok — {} expected finding(s) all fired",
+                findings.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("fairem-lint: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("fairem-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fairem-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fairem-lint: {msg}");
+    eprintln!("usage: fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the manifest that declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(body) = std::fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

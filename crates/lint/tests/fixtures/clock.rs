@@ -1,0 +1,6 @@
+//! Seeded violation: wall-clock read outside the clock allowlist.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,13 @@
+//! Seeded violations: hash-ordered iteration plus pragma misuse.
+
+use std::collections::HashMap;
+
+pub fn leak(order: &HashMap<String, usize>) -> Vec<String> {
+    let mut out: Vec<String> = order.keys().cloned().collect();
+    // fairem: allow(hash_iter) — keys are re-sorted below, order cannot escape
+    out.extend(order.keys().cloned());
+    out.sort();
+    // fairem: allow(hash_iter)
+    // fairem: allow(hash_itr) — typo'd rule name must be caught, not ignored
+    out
+}

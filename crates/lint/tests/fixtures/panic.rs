@@ -1,0 +1,19 @@
+//! Seeded violation: panic in production code, with lexer traps.
+//!
+//! The char literal `'"'` and the raw string below must not derail
+//! the lexer — the real `panic!` and `.expect(` have to stay visible
+//! while the quoted ones stay invisible.
+
+pub fn quote_check(c: char) {
+    if c == '"' {
+        panic!("quote")
+    }
+}
+
+pub fn fetch(v: Option<u32>) -> u32 {
+    v.expect("value")
+}
+
+pub fn in_raw_string() -> &'static str {
+    r#"panic!("inside a raw string") and .expect( too"#
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: external randomness instead of fairem-rng.
+
+pub fn draw() -> u32 {
+    let mut r = rand::thread_rng();
+    r.next_u32()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: ad-hoc thread outside fairem-par / core/fault.
+
+pub fn run() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

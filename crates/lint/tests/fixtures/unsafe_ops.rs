@@ -1,0 +1,10 @@
+//! Seeded violation: undocumented `unsafe`.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid, aligned, and initialized.
+    unsafe { *p }
+}

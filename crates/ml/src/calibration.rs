@@ -111,8 +111,8 @@ impl IsotonicCalibrator {
                     break;
                 }
                 // Merge the violating pair (weighted average).
-                let b = blocks.pop().expect("non-empty");
-                let a = blocks.last_mut().expect("non-empty");
+                let b = blocks.remove(last);
+                let a = &mut blocks[last - 1];
                 let w = a.weight + b.weight;
                 a.value = (a.value * a.weight + b.value * b.weight) / w;
                 a.weight = w;

@@ -33,7 +33,10 @@ impl Classifier for KnnClassifier {
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
-        let x = self.x.as_ref().expect("KnnClassifier used before fit");
+        let Some(x) = self.x.as_ref() else {
+            // fairem: allow(panic) — documented fit-before-score contract on Classifier
+            panic!("KnnClassifier used before fit")
+        };
         let k = self.k.min(x.rows());
         // Collect (distance², label), partial-select the k smallest.
         let mut dists: Vec<(f64, f64)> = (0..x.rows())

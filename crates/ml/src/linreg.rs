@@ -71,6 +71,7 @@ impl Classifier for LinearRegression {
             match ridge_normal_equations(&aug, y, lambda) {
                 Ok(w) => break w,
                 Err(_) if lambda < 1.0 => lambda *= 100.0,
+                // fairem: allow(panic) — documented # Panics contract: singular even after ridge escalation
                 Err(e) => panic!("linear regression could not be solved: {e}"),
             }
         };

@@ -80,7 +80,10 @@ impl Classifier for GaussianNb {
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
-        let classes = self.classes.as_ref().expect("GaussianNb used before fit");
+        let Some(classes) = self.classes.as_ref() else {
+            // fairem: allow(panic) — documented fit-before-score contract on Classifier
+            panic!("GaussianNb used before fit")
+        };
         let ll0 = GaussianNb::log_likelihood(&classes[0], row);
         let ll1 = GaussianNb::log_likelihood(&classes[1], row);
         // Posterior via the log-sum-exp trick.

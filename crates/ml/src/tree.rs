@@ -163,7 +163,10 @@ impl Classifier for DecisionTree {
     }
 
     fn score_one(&self, row: &[f64]) -> f64 {
-        let mut node = self.root.as_ref().expect("DecisionTree used before fit");
+        let Some(mut node) = self.root.as_ref() else {
+            // fairem: allow(panic) — documented fit-before-score contract on Classifier
+            panic!("DecisionTree used before fit")
+        };
         loop {
             match node {
                 Node::Leaf { positive_rate } => return *positive_rate,

@@ -171,7 +171,10 @@ impl NeuralMatcher for DittoLite {
     }
 
     fn score(&self, pair: &TokenPair) -> f64 {
-        let arch = self.arch.as_ref().expect("DittoLite used before fit");
+        let Some(arch) = self.arch.as_ref() else {
+            // fairem: allow(panic) — documented fit-before-score contract on the model API
+            panic!("DittoLite used before fit")
+        };
         assert_eq!(
             pair.n_attrs(),
             arch.n_attrs,

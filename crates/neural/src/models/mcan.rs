@@ -149,7 +149,10 @@ impl NeuralMatcher for McanLite {
     }
 
     fn score(&self, pair: &TokenPair) -> f64 {
-        let arch = self.arch.as_ref().expect("McanLite used before fit");
+        let Some(arch) = self.arch.as_ref() else {
+            // fairem: allow(panic) — documented fit-before-score contract on the model API
+            panic!("McanLite used before fit")
+        };
         assert_eq!(
             pair.n_attrs(),
             arch.n_attrs,

@@ -292,6 +292,7 @@ impl WorkerPool {
     pub fn par_map<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         match self.try_par_map(n, f) {
             Ok(out) => out,
+            // fairem: allow(panic) — documented # Panics contract: re-raises a worker panic
             Err(p) => panic!("{}", p.detail),
         }
     }
@@ -358,6 +359,7 @@ impl WorkerPool {
     ) -> ParOutcome<T> {
         match self.try_par_map_within(n, token, f) {
             Ok(out) => out,
+            // fairem: allow(panic) — documented # Panics contract: re-raises a worker panic
             Err(p) => panic!("{}", p.detail),
         }
     }

@@ -62,18 +62,14 @@ impl Gen {
     pub fn string(&mut self, alphabet: &str, max_len: usize) -> String {
         let chars: Vec<char> = alphabet.chars().collect();
         let len = self.rng.gen_range(0..=max_len);
-        (0..len)
-            .map(|_| *chars.choose(&mut self.rng).expect("non-empty alphabet"))
-            .collect()
+        (0..len).map(|_| *chars.pick(&mut self.rng)).collect()
     }
 
     /// String of exactly `lo..=hi` chars from `alphabet`.
     pub fn string_len(&mut self, alphabet: &str, lo: usize, hi: usize) -> String {
         let chars: Vec<char> = alphabet.chars().collect();
         let len = self.rng.gen_range(lo..=hi);
-        (0..len)
-            .map(|_| *chars.choose(&mut self.rng).expect("non-empty alphabet"))
-            .collect()
+        (0..len).map(|_| *chars.pick(&mut self.rng)).collect()
     }
 
     /// Vector of `0..=max_len` elements built by `f`.
@@ -98,7 +94,7 @@ impl Gen {
     /// # Panics
     /// If `items` is empty.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        items.choose(&mut self.rng).expect("pick from empty slice")
+        items.pick(&mut self.rng)
     }
 }
 
@@ -134,6 +130,7 @@ pub fn cases(n: usize, base_seed: u64, mut property: impl FnMut(&mut Gen)) {
                 .cloned()
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
                 .unwrap_or_else(|| "non-string panic".to_owned());
+            // fairem: allow(panic) — the harness's contract: re-raise the failing case with its replay seed
             panic!("property failed at case {i} (replay seed {seed}): {msg}");
         }
     }

@@ -166,6 +166,21 @@ pub mod seq {
 
         /// Uniformly chosen element, or `None` for an empty slice.
         fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Uniformly chosen element of a slice the caller knows is
+        /// non-empty (generator tables, test alphabets). Draws exactly
+        /// like [`SliceRandom::choose`], so swapping between the two
+        /// never shifts a seeded stream.
+        ///
+        /// # Panics
+        /// If the slice is empty.
+        fn pick<R: RngCore + ?Sized>(&self, rng: &mut R) -> &Self::Item {
+            match self.choose(rng) {
+                Some(item) => item,
+                // fairem: allow(panic) — documented # Panics contract; the one sanctioned table-draw helper
+                None => panic!("pick from an empty slice"),
+            }
+        }
     }
 
     impl<T> SliceRandom for [T] {

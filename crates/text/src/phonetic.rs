@@ -127,7 +127,7 @@ pub fn nysiis(s: &str) -> String {
                 b'K' => b"C".to_vec(),
                 b'H' => {
                     // H stays only between vowels.
-                    let prev = *key.last().expect("non-empty");
+                    let prev = key[key.len() - 1];
                     let next_vowel = word.get(i).copied().is_some_and(is_vowel);
                     if is_vowel(prev) && next_vowel {
                         b"H".to_vec()
@@ -136,7 +136,7 @@ pub fn nysiis(s: &str) -> String {
                     }
                 }
                 b'W' => {
-                    let prev = *key.last().expect("non-empty");
+                    let prev = key[key.len() - 1];
                     if is_vowel(prev) {
                         vec![prev]
                     } else {
@@ -163,7 +163,7 @@ pub fn nysiis(s: &str) -> String {
     if key.len() > 1 && key.ends_with(b"A") {
         key.pop();
     }
-    String::from_utf8(key).expect("ascii")
+    String::from_utf8_lossy(&key).into_owned()
 }
 
 /// `1.0` if the NYSIIS codes of both strings agree, else `0.0`.

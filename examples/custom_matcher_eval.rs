@@ -33,7 +33,7 @@ impl Matcher for NameHeuristic {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = faculty_match(&FacultyConfig::small());
     // Keep copies for building "uploaded" predictions later.
     let (table_a, table_b) = (data.table_a.clone(), data.table_b.clone());
@@ -42,10 +42,9 @@ fn main() {
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset")
-        .try_run(&[MatcherKind::DtMatcher]) // one integrated matcher as baseline
-        .expect("baseline trains");
+        .build()?
+        // one integrated matcher as baseline
+        .try_run(&[MatcherKind::DtMatcher])?;
 
     let auditor = Auditor::new(AuditConfig {
         min_support: 10,
@@ -54,8 +53,8 @@ fn main() {
 
     // --- Path 1: uploaded score file (ExternalScores) ---
     // Simulate a user's offline matcher: exact-ish name comparison.
-    let na = table_a.column_index("name").expect("name column");
-    let nb = table_b.column_index("name").expect("name column");
+    let na = table_a.column_index("name").ok_or("missing column")?;
+    let nb = table_b.column_index("name").ok_or("missing column")?;
     let mut preds = Vec::new();
     for ra in &table_a.rows {
         for rb in &table_b.rows {
@@ -79,4 +78,5 @@ fn main() {
     let workload = session.workload_from_scores(scores);
     let report = auditor.audit("NameHeuristic", &workload, &session.space);
     println!("{}", audit_text(&report));
+    Ok(())
 }

@@ -14,14 +14,13 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = faculty_match(&FacultyConfig::default());
     let session = FairEm360::builder()
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset")
+        .build()?
         .try_run(&[
             MatcherKind::DtMatcher,
             MatcherKind::RfMatcher,
@@ -29,8 +28,7 @@ fn main() {
             MatcherKind::SvmMatcher,
             MatcherKind::NbMatcher,
             MatcherKind::Mcan,
-        ])
-        .expect("fleet trains");
+        ])?;
 
     let explorer = session.ensemble(
         0,
@@ -69,4 +67,5 @@ fn main() {
             p.performance, p.unfairness
         );
     }
+    Ok(())
 }

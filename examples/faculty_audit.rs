@@ -14,7 +14,7 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: data import.
     let data = faculty_match(&FacultyConfig::default());
     println!(
@@ -27,12 +27,11 @@ fn main() {
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset");
+        .build()?;
 
     // Step 2: matcher selection — the full fleet.
     println!("step 2 — training {} matchers ...", MatcherKind::ALL.len());
-    let session = suite.try_run(&MatcherKind::ALL).expect("fleet trains");
+    let session = suite.try_run(&MatcherKind::ALL)?;
 
     // Step 3: fairness evaluation.
     let auditor = Auditor::new(AuditConfig {
@@ -62,12 +61,12 @@ fn main() {
     }
     let Some((matcher, measure, group, disparity)) = worst else {
         println!("no unfairness found — nothing to resolve");
-        return;
+        return Ok(());
     };
     println!("worst cell: {matcher} / {measure} / {group} (disparity {disparity:.3})");
 
     // Explanations for the worst cell.
-    let workload = session.workload(&matcher).expect("matcher trained");
+    let workload = session.workload(&matcher)?;
     let explainer = session.explainer(&workload, Disparity::Subtraction);
     println!("\nexplanations:");
     println!(
@@ -103,4 +102,5 @@ fn main() {
         chosen.performance,
         chosen.unfairness <= 0.2
     );
+    Ok(())
 }

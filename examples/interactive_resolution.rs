@@ -13,22 +13,20 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = faculty_match(&FacultyConfig::default());
     let session = FairEm360::builder()
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset")
+        .build()?
         .try_run(&[
             MatcherKind::DtMatcher,
             MatcherKind::RfMatcher,
             MatcherKind::LinRegMatcher,
             MatcherKind::SvmMatcher,
             MatcherKind::NbMatcher,
-        ])
-        .expect("fleet trains");
+        ])?;
 
     let explorer = session.ensemble(
         0,
@@ -68,4 +66,5 @@ fn main() {
         }
     }
     println!("\nfeedback history: {:?}", hitl.history());
+    Ok(())
 }

@@ -14,16 +14,14 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = faculty_match(&FacultyConfig::default());
     let session = FairEm360::builder()
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset")
-        .try_run(&[MatcherKind::LinRegMatcher])
-        .expect("matcher trains");
+        .build()?
+        .try_run(&[MatcherKind::LinRegMatcher])?;
 
     let auditor = Auditor::new(AuditConfig {
         measures: vec![FairnessMeasure::TruePositiveRateParity],
@@ -33,8 +31,7 @@ fn main() {
 
     // Mode A: one test set → k bootstrap workloads.
     let base = session
-        .workload("LinRegMatcher")
-        .expect("LinRegMatcher trained");
+        .workload("LinRegMatcher")?;
     let report = analyze_bootstrap(
         "LinRegMatcher",
         &base,
@@ -62,4 +59,5 @@ fn main() {
             t.measure, t.group, t.disparities.mean, t.p_value
         );
     }
+    Ok(())
 }

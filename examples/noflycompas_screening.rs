@@ -12,7 +12,7 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{nofly_compas, NoFlyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = nofly_compas(&NoFlyConfig::default());
     let suite = FairEm360::builder()
         .tables(data.table_a, data.table_b)
@@ -21,11 +21,9 @@ fn main() {
             SensitiveAttr::categorical("race"),
             SensitiveAttr::categorical("sex"),
         ])
-        .build()
-        .expect("valid dataset");
+        .build()?;
     let session = suite
-        .try_run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher])
-        .expect("matchers train");
+        .try_run(&[MatcherKind::LinRegMatcher, MatcherKind::RfMatcher])?;
 
     println!(
         "extracted {} (sub)groups, including intersections:",
@@ -44,7 +42,7 @@ fn main() {
         ..AuditConfig::default()
     });
     for matcher in session.matcher_names() {
-        let report = session.audit(matcher, &auditor).expect("matcher trained");
+        let report = session.audit(matcher, &auditor)?;
         println!("{matcher}:");
         for e in &report.entries {
             if e.disparity.is_finite() && e.disparity > 0.05 {
@@ -68,8 +66,7 @@ fn main() {
         ..AuditConfig::default()
     });
     let report = session
-        .audit("LinRegMatcher", &pairwise)
-        .expect("LinRegMatcher trained");
+        .audit("LinRegMatcher", &pairwise)?;
     println!("\npairwise (race×race) TPRP for LinRegMatcher:");
     for e in &report.entries {
         if !e.insufficient() {
@@ -82,8 +79,7 @@ fn main() {
 
     // Drill into the most disparate subgroup via the lattice.
     let single = session
-        .audit("LinRegMatcher", &auditor)
-        .expect("LinRegMatcher trained");
+        .audit("LinRegMatcher", &auditor)?;
     if let Some(worst) = single
         .entries
         .iter()
@@ -91,8 +87,7 @@ fn main() {
         .max_by(|a, b| a.disparity.total_cmp(&b.disparity))
     {
         let w = session
-            .workload("LinRegMatcher")
-            .expect("LinRegMatcher trained");
+            .workload("LinRegMatcher")?;
         let explainer = session.explainer(&w, Disparity::Division);
         println!("\nsubgroup drill-down for {}:", worst.group);
         for row in explainer.subgroup(worst.measure, &worst.group).rows {
@@ -102,4 +97,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -17,7 +17,7 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{citations, wdc_products, CitationsConfig, ProductsConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- WDC-style products, sensitive attribute: brand tier ---
     let data = wdc_products(&ProductsConfig::default());
     let session = FairEm360::builder()
@@ -31,10 +31,8 @@ fn main() {
             },
             ..SuiteConfig::default()
         })
-        .build()
-        .expect("valid dataset")
-        .try_run(&[MatcherKind::RfMatcher, MatcherKind::LogRegMatcher])
-        .expect("matchers train");
+        .build()?
+        .try_run(&[MatcherKind::RfMatcher, MatcherKind::LogRegMatcher])?;
 
     let auditor = Auditor::new(AuditConfig {
         measures: vec![
@@ -62,12 +60,11 @@ fn main() {
             },
             ..SuiteConfig::default()
         })
-        .build()
-        .expect("valid dataset")
-        .try_run(&[MatcherKind::RfMatcher])
-        .expect("matcher trains");
+        .build()?
+        .try_run(&[MatcherKind::RfMatcher])?;
     println!("== Citations (per-venue) ==");
     for report in session.audit_all(&auditor) {
         println!("{}", audit_text(&report));
     }
+    Ok(())
 }

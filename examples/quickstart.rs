@@ -11,7 +11,7 @@ use fairem360::core::sensitive::SensitiveAttr;
 use fairem360::datasets::{faculty_match, FacultyConfig};
 use fairem360::prelude::FairEm360;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load a Magellan-shaped dataset (two tables + ground truth).
     let data = faculty_match(&FacultyConfig::small());
 
@@ -20,13 +20,11 @@ fn main() {
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive([SensitiveAttr::categorical("country")])
-        .build()
-        .expect("valid dataset");
+        .build()?;
 
     // 3. Train a couple of the integrated matchers.
     let session = suite
-        .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
-        .expect("matchers train");
+        .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])?;
 
     // 4. Audit them — five headline measures, 20% fairness threshold.
     let auditor = Auditor::new(AuditConfig {
@@ -36,4 +34,5 @@ fn main() {
     for report in session.audit_all(&auditor) {
         println!("{}", audit_text(&report));
     }
+    Ok(())
 }

@@ -40,6 +40,17 @@ FAIREM_JOBS=1 run_tests cargo test -q --workspace
 echo "== tier-1: workspace tests (FAIREM_JOBS=4, ${TEST_TIMEOUT}s cap) =="
 FAIREM_JOBS=4 run_tests cargo test -q --workspace
 
+echo "== lints: clippy, warnings denied, unwrap()/expect() banned outside tests =="
+cargo clippy --workspace -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "== lints: fairem-lint, workspace contracts (DESIGN.md §9) =="
+# The workspace must be clean, and every seeded fixture violation must
+# still fire exactly as the manifest records — a linter that silently
+# goes blind fails the gate just like a dirty workspace does.
+cargo run -q -p fairem-lint
+cargo run -q -p fairem-lint -- \
+  --expect crates/lint/tests/fixtures/expected.lint crates/lint/tests/fixtures
+
 echo "== observability: products audit under --metrics, snapshot validated =="
 # The recorder must produce a parseable fairem-obs/1 snapshot on a real
 # CLI run; bench_baseline --validate parses it and prints the per-stage
@@ -54,11 +65,5 @@ cargo run -q --release -p fairem360 --bin fairem -- audit \
   --metrics "$OBS_DIR/metrics.json" > /dev/null
 cargo run -q --release -p fairem-bench --bin bench_baseline -- \
   --validate "$OBS_DIR/metrics.json"
-
-echo "== lints: clippy, warnings denied, unwrap() banned outside tests =="
-cargo clippy --workspace -- -D warnings -D clippy::unwrap_used
-
-echo "== lints: expect() banned in the pool and suite crates =="
-cargo clippy --no-deps -p fairem-par -p fairem-core -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== check.sh: all gates passed =="
