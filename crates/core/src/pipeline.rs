@@ -813,11 +813,27 @@ impl Session {
     /// for Step 3. With no budget configured the interrupt is `None` and
     /// the reports are exactly the `audit_all` output.
     pub fn try_audit_all(&self, auditor: &Auditor) -> (Vec<AuditReport>, Option<Interrupt>) {
+        self.try_audit_all_within(auditor, &self.cancel)
+    }
+
+    /// [`Session::try_audit_all`] under an explicit cancellation token
+    /// instead of the session's own run token. This is the repeated-read
+    /// entry point for long-lived callers (the audit server): the session
+    /// and its cached feature matrices live on across requests while each
+    /// request audits under its *own* deadline token, so one expired
+    /// request degrades to a partial report without tripping anything
+    /// shared. Reports come back in [`Session::matcher_names`] order for
+    /// any worker count, bit-identical across tokens that never trip.
+    pub fn try_audit_all_within(
+        &self,
+        auditor: &Auditor,
+        cancel: &CancelToken,
+    ) -> (Vec<AuditReport>, Option<Interrupt>) {
         let names = self.matcher_names();
         let span = self.observe.span("audit");
         let pool =
             WorkerPool::with_parallelism(self.parallelism).observe(self.observe.clone());
-        let outcome = pool.par_map_within(names.len(), &self.cancel, |i| {
+        let outcome = pool.par_map_within(names.len(), cancel, |i| {
             let _child = span.child(&format!("audit.{}", names[i]));
             self.audit(names[i], auditor)
         });

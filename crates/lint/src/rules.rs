@@ -85,6 +85,9 @@ const CLOCK_ALLOW: &[&str] = &[
     "crates/par/src/pool.rs",
     "crates/core/src/fault.rs",
     "crates/bench/",
+    // The server legitimately reads the clock: per-request deadlines,
+    // frame-stall detection, and the drain timer are all wall-clock.
+    "crates/serve/",
 ];
 
 impl Rule for ClockRule {
@@ -120,7 +123,14 @@ impl Rule for ClockRule {
 /// deterministic chunk stitching and panic containment.
 pub struct ThreadRule;
 
-const THREAD_ALLOW: &[&str] = &["crates/par/", "crates/core/src/fault.rs"];
+// The server's accept loop and per-connection workers are the second
+// sanctioned home for ad-hoc threads: connections are containment
+// boundaries there, mirroring what the pool does for chunks.
+const THREAD_ALLOW: &[&str] = &[
+    "crates/par/",
+    "crates/core/src/fault.rs",
+    "crates/serve/",
+];
 
 impl Rule for ThreadRule {
     fn name(&self) -> &'static str {

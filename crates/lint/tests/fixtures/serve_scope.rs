@@ -1,0 +1,9 @@
+//! Seeded violations proving the serve allowlist is scoped: `Instant`
+//! and ad-hoc threads are sanctioned under `crates/serve/` only — the
+//! same tokens anywhere else (here) must still fire both rules.
+
+pub fn poll_deadline() -> u64 {
+    let started = std::time::Instant::now();
+    let worker = std::thread::spawn(move || started.elapsed().as_millis() as u64);
+    worker.join().unwrap_or(0)
+}

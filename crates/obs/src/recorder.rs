@@ -90,6 +90,21 @@ impl Recorder {
         }
     }
 
+    /// Run `f`, recording its wall-clock duration (seconds) into the
+    /// named histogram. The disabled recorder runs `f` untouched — no
+    /// clock reads — so timing call sites stay on the inert-by-default
+    /// contract. This is the per-request latency primitive: servers wrap
+    /// each request handler in `time("serve.request_secs", …)`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if self.inner.is_none() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.observe(name, start.elapsed().as_secs_f64());
+        out
+    }
+
     /// Open a root span. Disabled recorders return an inert guard that
     /// never reads the clock.
     pub fn span(&self, name: &str) -> Span {
@@ -258,6 +273,23 @@ mod tests {
         assert_eq!(snap.gauges, vec![("pairs".to_owned(), 12.0)]);
         assert_eq!(snap.histograms.len(), 1);
         assert_eq!(snap.histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn time_records_into_a_histogram_and_passes_the_result_through() {
+        let rec = Recorder::enabled();
+        let out = rec.time("req.lat", || 41 + 1);
+        assert_eq!(out, 42);
+        rec.time("req.lat", || ());
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "req.lat");
+        assert_eq!(snap.histograms[0].1.count, 2);
+
+        // Disabled: the closure still runs, nothing is recorded.
+        let off = Recorder::disabled();
+        assert_eq!(off.time("req.lat", || 7), 7);
+        assert!(off.snapshot().histograms.is_empty());
     }
 
     #[test]

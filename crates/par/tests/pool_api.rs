@@ -61,6 +61,73 @@ fn par_for_each_surfaces_a_worker_panic() {
 }
 
 #[test]
+fn cancel_tree_trip_is_visible_to_children_created_concurrently() {
+    // The server model hangs a fresh child token off the root for every
+    // request, from many connection threads at once, while SIGINT can
+    // trip the root at any moment. The contract under that race: once
+    // `cancel()` has returned, *no* child — however deep, whenever
+    // created — may observe itself un-tripped. We pin it by hammering
+    // child creation on N threads while the main thread trips the root,
+    // and asserting that every child created after the trip was
+    // published observes the cancellation immediately.
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
+
+    const THREADS: usize = 8;
+    const MAX_DEPTH: usize = 32;
+    for round in 0..8 {
+        let root = CancelToken::inert();
+        // Published with SeqCst *after* cancel() returns, so any thread
+        // reading `true` is ordered after the trip.
+        let tripped = AtomicBool::new(false);
+        let stop = AtomicBool::new(false);
+        let start = Barrier::new(THREADS + 1);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (root, tripped, stop, start) = (&root, &tripped, &stop, &start);
+                scope.spawn(move || {
+                    start.wait();
+                    let mut parent = root.clone();
+                    let mut depth = 0usize;
+                    let mut created = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let saw_trip = tripped.load(Ordering::SeqCst);
+                        let child = parent.child(Budget::UNLIMITED);
+                        created += 1;
+                        if saw_trip {
+                            assert!(
+                                child.is_cancelled(),
+                                "thread {t}: child #{created} (depth {depth}) created \
+                                 after the root trip returned but observed un-tripped"
+                            );
+                        }
+                        // Grow the ancestor chain so propagation is
+                        // exercised at depth, not just root→child.
+                        if child.checkpoint().is_ok() && depth < MAX_DEPTH {
+                            parent = child;
+                            depth += 1;
+                        } else {
+                            parent = root.clone();
+                            depth = 0;
+                        }
+                    }
+                    created
+                });
+            }
+            start.wait();
+            // Let the churn build some trees, then trip mid-flight.
+            std::thread::sleep(std::time::Duration::from_millis(2 + round));
+            root.cancel();
+            tripped.store(true, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            stop.store(true, Ordering::SeqCst);
+        });
+        // And the root's own record agrees.
+        assert_eq!(root.cause(), Some(CancelCause::Cancelled), "round {round}");
+    }
+}
+
+#[test]
 fn cancellable_map_accounts_partial_progress() {
     let pool = WorkerPool::new(4);
     let token = CancelToken::with_budget(Budget::UNLIMITED);

@@ -1,0 +1,354 @@
+//! The session registry: import once, audit many times.
+//!
+//! A [`SessionSpec`] canonically names a workload (generator, seed,
+//! matchers, threshold). The registry caches one built
+//! [`fairem_core::pipeline::Session`] per spec behind an `Arc`, so
+//! concurrent connections opening the same spec share the same feature
+//! matrices and trained matchers — the "import once, serve repeated
+//! reads" shape the suite demo implies. Builds for the *same* spec are
+//! serialized on a per-slot mutex (the second opener waits, then gets
+//! the cache hit); builds for *different* specs proceed in parallel.
+//!
+//! Determinism note: execution parallelism is deliberately **not** part
+//! of the cache key. The suite's contract is that results are identical
+//! under every worker-pool policy, so two requests differing only in
+//! parallelism must share one session — and byte-identical replies.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use fairem_core::matcher::MatcherKind;
+use fairem_core::pipeline::{FairEm360, Session, SuiteConfig};
+use fairem_core::sensitive::SensitiveAttr;
+use fairem_core::SuiteError;
+use fairem_datasets::{
+    citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
+    GeneratedDataset, NoFlyConfig, ProductsConfig,
+};
+use fairem_obs::Recorder;
+use fairem_par::{CancelToken, Parallelism};
+
+/// Matchers trained when `open` names none: one tree, one linear model
+/// — the cheapest pair that still gives ensemble/tune requests
+/// something to compare.
+pub const DEFAULT_MATCHERS: [MatcherKind; 2] =
+    [MatcherKind::DtMatcher, MatcherKind::LinRegMatcher];
+
+/// Canonical description of a server-side workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Generator name (`faculty`, `products`, `citations`,
+    /// `noflycompas`).
+    pub dataset: String,
+    /// Generator seed; 0 keeps the generator default.
+    pub seed: u64,
+    /// Matchers to train, in request order.
+    pub matchers: Vec<MatcherKind>,
+    /// Matching threshold.
+    pub threshold: f64,
+}
+
+impl SessionSpec {
+    /// Resolve the wire-level `open` arguments into a spec, validating
+    /// dataset and matcher names up front so errors surface before any
+    /// expensive work.
+    pub fn resolve(
+        dataset: &str,
+        seed: u64,
+        matchers: &[String],
+        threshold: f64,
+    ) -> Result<SessionSpec, String> {
+        if !matches!(dataset, "faculty" | "products" | "citations" | "noflycompas") {
+            return Err(format!(
+                "unknown dataset {dataset:?} (expected faculty|products|citations|noflycompas)"
+            ));
+        }
+        let kinds: Vec<MatcherKind> = if matchers.is_empty() {
+            DEFAULT_MATCHERS.to_vec()
+        } else {
+            matchers
+                .iter()
+                .map(|m| m.parse::<MatcherKind>().map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?
+        };
+        Ok(SessionSpec {
+            dataset: dataset.to_owned(),
+            seed,
+            matchers: kinds,
+            threshold,
+        })
+    }
+
+    /// Stable cache key: every field that affects session *content*
+    /// (and nothing that does not — see the module note on
+    /// parallelism).
+    pub fn key(&self) -> String {
+        let names: Vec<&str> = self.matchers.iter().map(|m| m.name()).collect();
+        format!(
+            "{}#{}#{}#{:.4}",
+            self.dataset,
+            self.seed,
+            names.join(","),
+            self.threshold
+        )
+    }
+
+    fn generate(&self) -> GeneratedDataset {
+        match self.dataset.as_str() {
+            "products" => {
+                let mut cfg = ProductsConfig::default();
+                if self.seed != 0 {
+                    cfg.seed = self.seed;
+                }
+                wdc_products(&cfg)
+            }
+            "citations" => {
+                let mut cfg = CitationsConfig::default();
+                if self.seed != 0 {
+                    cfg.seed = self.seed;
+                }
+                citations(&cfg)
+            }
+            "noflycompas" => {
+                let mut cfg = NoFlyConfig::default();
+                if self.seed != 0 {
+                    cfg.seed = self.seed;
+                }
+                nofly_compas(&cfg)
+            }
+            // `resolve` pinned the name set; anything else is faculty.
+            _ => {
+                let mut cfg = FacultyConfig::default();
+                if self.seed != 0 {
+                    cfg.seed = self.seed;
+                }
+                faculty_match(&cfg)
+            }
+        }
+    }
+}
+
+/// A cached session plus the spec key it was built from.
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// The registry key this entry is cached under.
+    pub key: String,
+    /// The built session. `Session` is `Send + Sync`; audits take
+    /// `&self`, so any number of connection threads read concurrently.
+    pub session: Session,
+}
+
+/// Why an `open` could not produce a session.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The cache is at capacity and the spec is not already resident.
+    Full {
+        /// The configured capacity.
+        max: usize,
+    },
+    /// The suite build failed (bad data, config, or a deadline cut).
+    Suite(SuiteError),
+}
+
+/// One cache slot: the outer registry map only ever holds `Arc<Slot>`,
+/// so the registry lock is released before any build starts, and two
+/// openers of the same spec serialize on the slot — not on the whole
+/// registry.
+#[derive(Debug, Default)]
+struct Slot {
+    cell: Mutex<Option<Arc<SessionEntry>>>,
+}
+
+/// Bounded, keyed session cache.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    max: usize,
+    slots: Mutex<BTreeMap<String, Arc<Slot>>>,
+}
+
+impl SessionRegistry {
+    /// A registry holding at most `max` sessions.
+    pub fn new(max: usize) -> SessionRegistry {
+        SessionRegistry {
+            max: max.max(1),
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of specs with a slot (built or building).
+    pub fn len(&self) -> usize {
+        self.slots.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the session for `spec`, building it under `cancel` on a
+    /// miss. Returns the shared entry and whether it was already
+    /// cached. The build inherits the request token, so an `open` that
+    /// outlives its deadline is cut at the next suite checkpoint and
+    /// surfaces as [`SuiteError::TimedOut`].
+    pub fn get_or_build(
+        &self,
+        spec: &SessionSpec,
+        parallelism: Parallelism,
+        cancel: &CancelToken,
+        observe: &Recorder,
+    ) -> Result<(Arc<SessionEntry>, bool), OpenError> {
+        let key = spec.key();
+        let slot = {
+            let mut slots = match self.slots.lock() {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match slots.get(&key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    if slots.len() >= self.max {
+                        return Err(OpenError::Full { max: self.max });
+                    }
+                    let slot = Arc::new(Slot::default());
+                    slots.insert(key.clone(), Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        let mut cell = match slot.cell.lock() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(entry) = cell.as_ref() {
+            return Ok((Arc::clone(entry), true));
+        }
+        match build_session(spec, parallelism, cancel, observe) {
+            Ok(session) => {
+                let entry = Arc::new(SessionEntry {
+                    key: key.clone(),
+                    session,
+                });
+                *cell = Some(Arc::clone(&entry));
+                Ok((entry, false))
+            }
+            Err(e) => {
+                drop(cell);
+                // A failed build must not squat on capacity: evict the
+                // empty slot (unless a concurrent opener already filled
+                // it, which get_or_build re-checks next time anyway).
+                if let Ok(mut slots) = self.slots.lock() {
+                    let still_empty = slots
+                        .get(&key)
+                        .is_some_and(|s| s.cell.lock().map(|c| c.is_none()).unwrap_or(false));
+                    if still_empty {
+                        slots.remove(&key);
+                    }
+                }
+                Err(OpenError::Suite(e))
+            }
+        }
+    }
+}
+
+fn build_session(
+    spec: &SessionSpec,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+    observe: &Recorder,
+) -> Result<Session, SuiteError> {
+    let data = spec.generate();
+    let sensitive: Vec<SensitiveAttr> = data
+        .sensitive
+        .iter()
+        .map(SensitiveAttr::categorical)
+        .collect();
+    let config = SuiteConfig {
+        matching_threshold: spec.threshold,
+        parallelism,
+        cancel: cancel.clone(),
+        observe: observe.clone(),
+        ..SuiteConfig::fast()
+    };
+    FairEm360::builder()
+        .tables(data.table_a, data.table_b)
+        .ground_truth(data.matches)
+        .sensitive(sensitive)
+        .config(config)
+        .build()?
+        .try_run(&spec.matchers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_par::Budget;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::resolve("faculty", 7, &[], 0.5).expect("valid spec")
+    }
+
+    #[test]
+    fn resolve_validates_names_up_front() {
+        assert!(SessionSpec::resolve("faculty", 0, &[], 0.5).is_ok());
+        assert!(SessionSpec::resolve("mars", 0, &[], 0.5)
+            .expect_err("bad dataset")
+            .contains("unknown dataset"));
+        assert!(
+            SessionSpec::resolve("faculty", 0, &["NopeMatcher".into()], 0.5)
+                .expect_err("bad matcher")
+                .contains("unknown matcher")
+        );
+    }
+
+    #[test]
+    fn keys_are_canonical_and_distinguish_content_fields() {
+        let base = spec();
+        assert_eq!(base.key(), "faculty#7#DTMatcher,LinRegMatcher#0.5000");
+        let mut other = spec();
+        other.threshold = 0.4;
+        assert_ne!(base.key(), other.key());
+    }
+
+    #[test]
+    fn second_open_of_the_same_spec_is_a_cache_hit() {
+        let reg = SessionRegistry::new(4);
+        let token = CancelToken::with_budget(Budget::UNLIMITED);
+        let rec = Recorder::disabled();
+        let (a, cached_a) = reg
+            .get_or_build(&spec(), Parallelism::Fixed(1), &token, &rec)
+            .expect("first open builds");
+        assert!(!cached_a);
+        let (b, cached_b) = reg
+            .get_or_build(&spec(), Parallelism::Fixed(2), &token, &rec)
+            .expect("second open attaches");
+        assert!(cached_b);
+        // Same Arc: parallelism is not part of the identity.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_failed_builds_do_not_leak_slots() {
+        let reg = SessionRegistry::new(1);
+        let token = CancelToken::with_budget(Budget::UNLIMITED);
+        let rec = Recorder::disabled();
+        // A build cut before it starts fails… and must release its slot.
+        let cut = CancelToken::with_budget(Budget::UNLIMITED);
+        cut.cancel();
+        let err = reg
+            .get_or_build(&spec(), Parallelism::Fixed(1), &cut, &rec)
+            .expect_err("cancelled build fails");
+        assert!(matches!(err, OpenError::Suite(_)), "{err:?}");
+        assert!(reg.is_empty(), "failed build leaked a slot");
+
+        // Fill the single slot, then a different spec is shed as full.
+        reg.get_or_build(&spec(), Parallelism::Fixed(1), &token, &rec)
+            .expect("build fills the slot");
+        let mut other = spec();
+        other.seed = 8;
+        match reg.get_or_build(&other, Parallelism::Fixed(1), &token, &rec) {
+            Err(OpenError::Full { max }) => assert_eq!(max, 1),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+}

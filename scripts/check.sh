@@ -66,4 +66,48 @@ cargo run -q --release -p fairem360 --bin fairem -- audit \
 cargo run -q --release -p fairem-bench --bin bench_baseline -- \
   --validate "$OBS_DIR/metrics.json"
 
+echo "== serve: storm + SIGINT drain (${TEST_TIMEOUT}s cap) =="
+# Boot the real release binary (not `cargo run`, so the INT signal
+# reaches the server itself), storm it with the mixed client fleet,
+# then SIGINT and assert a clean drain: exit 0, and a final snapshot
+# that bench_baseline can re-parse. Everything rides under the same
+# hard wall-clock cap as the test matrix.
+cargo build -q --release -p fairem360 --bin fairem
+serve_storm_leg() {
+  local log="$OBS_DIR/serve.log"
+  ./target/release/fairem serve --port 0 \
+    --max-inflight 2 --request-timeout 0.5 --drain-timeout 5 \
+    --metrics "$OBS_DIR/serve_metrics.json" > "$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^fairem-serve listening on //p' "$log" | head -n1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "check.sh: FAIL — server never reported its address" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  # Mixed storm: valid + malformed + slow + over-capacity clients.
+  # `storm` exits 3 on transport failures, determinism violations, or
+  # exhausted retries — any of which fails this gate.
+  ./target/release/fairem storm --addr "$addr" --clients 16 --rounds 2
+  # Graceful drain: SIGINT must end the process with exit 0 (a forced
+  # cut would exit 4) and leave a parseable snapshot behind.
+  kill -INT "$pid"
+  local status=0
+  wait "$pid" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh: FAIL — serve exited $status after SIGINT (drain not clean?)" >&2
+    cat "$log" >&2
+    return 1
+  fi
+  cat "$log"
+  cargo run -q --release -p fairem-bench --bin bench_baseline -- \
+    --validate "$OBS_DIR/serve_metrics.json"
+}
+run_tests bash -c "$(declare -f serve_storm_leg); OBS_DIR='$OBS_DIR' serve_storm_leg"
+
 echo "== check.sh: all gates passed =="

@@ -143,6 +143,11 @@ USAGE:
   fairem analyze --table-a <csv> --table-b <csv> --matches <csv> --scores <csv>
          --sensitive <col[,col]> [--measure <name>] [--fairness-threshold <f>]
          [--jobs <n|auto>]
+  fairem serve [--port <n>] [--max-sessions <n>] [--max-inflight <n>]
+         [--max-cached <n>] [--request-timeout <secs>] [--drain-timeout <secs>]
+         [--metrics <path>] [--jobs <n|auto>]
+  fairem client --addr <host:port> --send \"<cmd>[; <cmd>..]\"
+  fairem storm --addr <host:port> [--clients <n>] [--rounds <n>] [--stall-ms <n>]
 
 FILES:
   matches csv: header `id_a,id_b`, one ground-truth pair per row
@@ -170,6 +175,19 @@ OBSERVABILITY:
   ensemble, with per-matcher children) to the text report. Both are off
   by default; with neither flag the recorder is inert and the run is
   bit-for-bit identical to an uninstrumented one.
+
+SERVER:
+  `fairem serve` holds imported sessions in memory and answers repeated
+  audit/tune_threshold/ensemble/metrics requests over the length-prefixed
+  fairem-serve/1 protocol (--port 0 picks an ephemeral port; the bound
+  address is printed on startup). Admission control sheds work above
+  --max-sessions connections or --max-inflight concurrent requests with
+  a structured `busy` reply carrying retry_after_ms. Each request runs
+  under its own --request-timeout budget and degrades to a `partial`
+  reply when it expires. Three malformed frames quarantine a connection.
+  SIGINT drains gracefully within --drain-timeout and exits 0 (4 if
+  connections had to be severed). `fairem client` scripts one
+  connection; `fairem storm` drives a mixed fleet for robustness drills.
 
 EXIT CODES:
   0    success, full coverage
@@ -368,6 +386,9 @@ pub fn run_with_token(argv: &[String], cancel: &CancelToken) -> Result<CliOutput
             cmd_audit(&args, Some(PathBuf::from(path)), cancel)
         }
         "analyze" => cmd_analyze(&args, cancel),
+        "serve" => cmd_serve(&args, cancel),
+        "client" => cmd_client(&args),
+        "storm" => cmd_storm(&args),
         "help" | "--help" | "-h" => Ok(CliOutput::clean(USAGE)),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -805,6 +826,120 @@ fn cmd_analyze(args: &Args, cancel: &CancelToken) -> Result<CliOutput, CliError>
     Ok(CliOutput::clean(out))
 }
 
+/// `fairem serve`: the interactive audit server (fairem-serve crate).
+/// Prints the bound address immediately (scripts parse it), runs until
+/// SIGINT, then drains and reports. A clean drain exits 0; a drain that
+/// had to sever connections exits 4 like any other expired budget.
+fn cmd_serve(args: &Args, cancel: &CancelToken) -> Result<CliOutput, CliError> {
+    let port = args.get_usize("port", 4360)?;
+    let request_budget = args
+        .wall_budget("request-timeout")?
+        .unwrap_or(Budget::wall(Duration::from_secs(30)));
+    let drain_budget = args
+        .wall_budget("drain-timeout")?
+        .unwrap_or(Budget::wall(Duration::from_secs(5)));
+    let metrics_path = match (args.has("metrics"), args.get("metrics")) {
+        (true, None) => {
+            return Err(err(
+                "--metrics expects an output path, but no value was given",
+            ))
+        }
+        (_, v) => v.map(PathBuf::from),
+    };
+    let recorder = if metrics_path.is_some() {
+        fairem_core::Recorder::enabled()
+    } else {
+        fairem_core::Recorder::disabled()
+    };
+    let config = fairem_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        max_sessions: args.get_usize("max-sessions", 64)?,
+        max_inflight: args.get_usize("max-inflight", 8)?,
+        max_cached: args.get_usize("max-cached", 16)?,
+        request_budget,
+        drain_budget,
+        parallelism: args.jobs()?,
+    };
+    let summary = fairem_serve::serve(config, cancel.clone(), recorder, |addr| {
+        // Announced immediately, not in the final CliOutput: scripted
+        // callers block on this line to learn the ephemeral port.
+        println!("fairem-serve listening on {addr}");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    })
+    .map_err(err)?;
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, summary.snapshot.to_json())
+            .map_err(|e| err(format!("writing metrics to {}: {e}", path.display())))?;
+    }
+    let timed_out = !summary.drain_clean;
+    Ok(CliOutput {
+        text: summary.render(),
+        degraded: false,
+        timed_out,
+        interrupted: false,
+    })
+}
+
+/// `fairem client`: scripted peer for one connection — sends each
+/// `;`-separated command from `--send` and prints the replies.
+fn cmd_client(args: &Args) -> Result<CliOutput, CliError> {
+    let addr = args.required("addr")?;
+    let script = args.required("send")?;
+    let mut client = fairem_serve::Client::connect(addr, Duration::from_secs(60))
+        .map_err(|e| data_err(format!("connect {addr}: {e}")))?;
+    let mut text = format!("hello: {}\n", client.hello);
+    if fairem_serve::Client::status_of(&client.hello) != "ok" {
+        return Ok(CliOutput {
+            text,
+            degraded: true,
+            timed_out: false,
+            interrupted: false,
+        });
+    }
+    let mut degraded = false;
+    for cmd in script.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+        match client.send(cmd) {
+            Ok(reply) => {
+                text.push_str(&format!("{cmd}: {reply}\n"));
+                if fairem_serve::Client::status_of(&reply) == "error" {
+                    degraded = true;
+                }
+            }
+            Err(e) => {
+                text.push_str(&format!("{cmd}: transport error: {e}\n"));
+                degraded = true;
+                break;
+            }
+        }
+    }
+    Ok(CliOutput {
+        text,
+        degraded,
+        timed_out: false,
+        interrupted: false,
+    })
+}
+
+/// `fairem storm`: the mixed-traffic storm driver against a live
+/// server. A dirty storm (transport failures, determinism violations,
+/// or exhausted retries) exits 3 so scripts can assert cleanliness.
+fn cmd_storm(args: &Args) -> Result<CliOutput, CliError> {
+    let addr = args.required("addr")?;
+    let config = fairem_serve::StormConfig {
+        clients: args.get_usize("clients", 16)?,
+        rounds: args.get_usize("rounds", 2)?,
+        stall_ms: args.get_usize("stall-ms", 1_500)? as u64,
+        ..fairem_serve::StormConfig::default()
+    };
+    let report = fairem_serve::run_storm(addr, &config);
+    Ok(CliOutput {
+        text: report.render(),
+        degraded: !report.is_clean(),
+        timed_out: false,
+        interrupted: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1134,6 +1269,60 @@ mod tests {
         check("--timeout", "no value was given");
         check("--matcher-timeout", "no value was given");
         check("--metrics", "no value was given");
+    }
+
+    #[test]
+    fn zero_and_negative_deadlines_are_usage_errors() {
+        // A zero budget would otherwise trip at the very first
+        // checkpoint — always-empty output masquerading as a timeout.
+        // Pinned for every flag that parses through `wall_budget`,
+        // including the server's request/drain knobs.
+        let dir = tmpdir("zero_deadline");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "faculty",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let check = |cmd: &str, flag: &str, bad: &str| {
+            let argv = if cmd == "audit" {
+                args(&[
+                    "audit",
+                    "--table-a",
+                    dir.join("tableA.csv").to_str().unwrap(),
+                    "--table-b",
+                    dir.join("tableB.csv").to_str().unwrap(),
+                    "--matches",
+                    dir.join("matches.csv").to_str().unwrap(),
+                    "--sensitive",
+                    "country",
+                    flag,
+                    bad,
+                ])
+            } else {
+                args(&[cmd, flag, bad])
+            };
+            let e = run(&argv).unwrap_err();
+            assert!(
+                e.message.contains(flag) && e.message.contains("positive"),
+                "{cmd} {flag} {bad}: {}",
+                e.message
+            );
+            assert_eq!(e.exit, EXIT_USAGE, "{cmd} {flag} {bad}");
+        };
+        for flag in ["--timeout", "--matcher-timeout"] {
+            for bad in ["0", "-1", "0.0", "NaN"] {
+                check("audit", flag, bad);
+            }
+        }
+        // The server validates its deadline knobs before it ever binds.
+        for flag in ["--request-timeout", "--drain-timeout"] {
+            for bad in ["0", "-1", "0.0", "NaN"] {
+                check("serve", flag, bad);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! - [`datasets`] — synthetic FacultyMatch / NoFlyCompas generators.
 //! - [`obs`] — hermetic metrics + span tracing (the `--metrics` and
 //!   `--trace` recorder; inert unless switched on).
+//! - [`serve`] — the interactive audit server: cached sessions behind
+//!   the length-prefixed `fairem-serve/1` protocol, with admission
+//!   control, per-request deadlines, and graceful drain.
 //! - [`core`] — the three-layer FairEM360 suite itself (data, logic,
 //!   presentation), including auditing, explanations, and the
 //!   ensemble-based resolution with its Pareto frontier.
@@ -33,6 +36,7 @@ pub use fairem_ml as ml;
 pub use fairem_obs as obs;
 pub use fairem_par as par;
 pub use fairem_neural as neural;
+pub use fairem_serve as serve;
 pub use fairem_stats as stats;
 pub use fairem_text as text;
 
