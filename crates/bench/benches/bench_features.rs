@@ -5,7 +5,7 @@ use fairem_bench::crit::{black_box, Criterion};
 use fairem_bench::{criterion_group, criterion_main};
 use fairem_core::features::FeatureGenerator;
 use fairem_core::schema::Table;
-use fairem_core::WorkerPool;
+use fairem_core::{Exec, PairBatch, WorkerPool};
 use fairem_datasets::{faculty_match, wdc_products, FacultyConfig, ProductsConfig};
 use fairem_neural::HashVocab;
 
@@ -23,11 +23,12 @@ fn bench_features(c: &mut Criterion) {
     g.bench_function("build_generator", |bch| {
         bch.iter(|| FeatureGenerator::build(black_box(&a), black_box(&b), &["country"]))
     });
+    let exec = Exec::default();
     g.bench_function("featurize_100_pairs", |bch| {
-        bch.iter(|| gen.matrix(black_box(&a), black_box(&b), black_box(&pairs)))
+        bch.iter(|| gen.matrix(&PairBatch::new(black_box(&pairs)), &exec))
     });
     g.bench_function("tokenize_100_pairs", |bch| {
-        bch.iter(|| gen.tokenize_all(black_box(&a), black_box(&b), black_box(&pairs), &vocab))
+        bch.iter(|| gen.tokenize_all(&PairBatch::new(black_box(&pairs)), &vocab))
     });
     g.finish();
 }
@@ -47,9 +48,9 @@ fn bench_features_parallel(c: &mut Criterion) {
     g.sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3));
     for workers in [1usize, 2, 4] {
-        let pool = WorkerPool::new(workers);
+        let exec = Exec::with_pool(WorkerPool::new(workers));
         g.bench_function(format!("products_2000_pairs/workers_{workers}"), |bch| {
-            bch.iter(|| gen.matrix_with(black_box(&a), black_box(&b), black_box(&pairs), &pool))
+            bch.iter(|| gen.matrix(&PairBatch::new(black_box(&pairs)), &exec))
         });
     }
     g.finish();

@@ -7,6 +7,7 @@ use fairem_core::features::FeatureGenerator;
 use fairem_core::matcher::{Matcher, MatcherKind, MatcherTrainConfig, TrainInput};
 use fairem_core::prep::{prepare, PrepConfig};
 use fairem_core::schema::Table;
+use fairem_core::{Exec, PairBatch, ParOutcome};
 use fairem_datasets::{faculty_match, FacultyConfig};
 use fairem_neural::{HashVocab, TrainConfig};
 
@@ -18,8 +19,11 @@ fn bench_matchers(c: &mut Criterion) {
     let gen = FeatureGenerator::build(&a, &b, &["country"]);
     let vocab = HashVocab::new(128);
     let (pairs, labels) = prep.split(&prep.train_idx);
-    let features = gen.matrix(&a, &b, &pairs);
-    let tokens = gen.tokenize_all(&a, &b, &pairs, &vocab);
+    let features = match gen.matrix(&PairBatch::new(&pairs), &Exec::default()) {
+        ParOutcome::Complete(m) => m,
+        ParOutcome::Interrupted { interrupt, .. } => unreachable!("inert exec: {interrupt}"),
+    };
+    let tokens = gen.tokenize_all(&PairBatch::new(&pairs), &vocab);
     let input = TrainInput {
         features: &features,
         tokens: &tokens,

@@ -3,30 +3,49 @@
 //! external profiler, so the numbers are exactly what `--metrics`
 //! reports in production.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! - `bench_baseline [--out <path>]` (default `BENCH_baseline.json`):
 //!   run WDCProducts and Citations end to end (import → train → score →
 //!   audit → ensemble) under 1 and 4 fixed workers, and write the
-//!   per-stage totals as JSON.
+//!   per-stage totals as JSON (schema `fairem-bench-baseline/2`). Runs
+//!   measured by this binary carry an `engine` tag; engine-less runs in
+//!   an existing baseline file are the pre-columnar scalar history and
+//!   are preserved verbatim, so the speedup denominator stays pinned.
 //! - `bench_baseline --validate <path>`: parse a `fairem-obs/1`
 //!   snapshot (as written by `fairem audit --metrics <path>`), print its
 //!   per-stage totals, and exit non-zero if it does not parse — the
 //!   check-gate leg that keeps the snapshot schema honest.
+//! - `bench_baseline --gate [<baseline path>]`: the performance gate.
+//!   Fails unless (a) sequential Citations featurization beats the
+//!   committed scalar baseline by ≥3×, and (b) on a generated ~10⁵-pair
+//!   batch a 4-worker pool is ≥2× faster than sequential — or, on a
+//!   single-hardware-thread host where a speedup is physically
+//!   impossible, the pool costs at most 35% overhead.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use fairem_bench::{default_auditor, MATCHING_THRESHOLD};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
+use fairem_core::features::FeatureGenerator;
 use fairem_core::matcher::MatcherKind;
 use fairem_core::pipeline::{FairEm360, SuiteConfig};
 use fairem_core::prep::PrepConfig;
+use fairem_core::schema::Table;
 use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::{Parallelism, Recorder};
+use fairem_core::{Exec, PairBatch, ParOutcome, Parallelism, Recorder, WorkerPool};
 use fairem_csvio::Json;
 use fairem_datasets::{citations, wdc_products, CitationsConfig, GeneratedDataset, ProductsConfig};
 use fairem_bench::OrFail;
+
+/// Baseline file schema. Version 2 added the per-run `engine` tag;
+/// engine-less runs are implicitly the version-1 scalar measurements.
+const SCHEMA: &str = "fairem-bench-baseline/2";
+
+/// Engine tag stamped on runs measured by this binary.
+const ENGINE: &str = "columnar";
 
 /// The CLI's default fleet — what `fairem audit` trains when no
 /// `--matchers` flag is given, so the baseline matches real runs.
@@ -57,21 +76,47 @@ fn main() -> ExitCode {
             };
             baseline(Path::new(path))
         }
+        Some("--gate") => {
+            let path = argv.get(1).map(String::as_str).unwrap_or("BENCH_baseline.json");
+            gate(Path::new(path))
+        }
         None => baseline(Path::new("BENCH_baseline.json")),
         Some(other) => {
-            eprintln!("unknown flag {other:?}; usage: bench_baseline [--out <path> | --validate <path>]");
+            eprintln!("unknown flag {other:?}; usage: bench_baseline [--out <path> | --validate <path> | --gate [<baseline>]]");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Run every (dataset × jobs) cell and write the baseline JSON.
+/// Runs carried over from an existing baseline file: every engine-less
+/// (scalar-era) run, verbatim. Columnar runs are re-measured, so stale
+/// ones are dropped rather than accumulated.
+fn preserved_runs(out: &Path) -> Vec<Json> {
+    let Ok(raw) = std::fs::read_to_string(out) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&raw) else {
+        eprintln!("warning: existing {} is not valid JSON; starting fresh", out.display());
+        return Vec::new();
+    };
+    match doc.get("runs") {
+        Some(Json::Arr(runs)) => runs
+            .iter()
+            .filter(|r| r.get("engine").is_none())
+            .cloned()
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Run every (dataset × jobs) cell and write the baseline JSON,
+/// preserving any scalar-era runs already in the file.
 fn baseline(out: &Path) -> ExitCode {
     let datasets = [
         wdc_products(&ProductsConfig::default()),
         citations(&CitationsConfig::default()),
     ];
-    let mut runs = Vec::new();
+    let mut runs = preserved_runs(out);
     for dataset in &datasets {
         for &jobs in JOBS {
             eprintln!("measuring {} under {jobs} worker(s)...", dataset.name);
@@ -79,6 +124,7 @@ fn baseline(out: &Path) -> ExitCode {
             let mut obj = Json::obj([
                 ("dataset", Json::Str(dataset.name.clone())),
                 ("jobs", Json::Num(jobs as f64)),
+                ("engine", Json::Str(ENGINE.into())),
             ]);
             let mut table = Json::obj([]);
             for (stage, secs) in &stages {
@@ -90,7 +136,7 @@ fn baseline(out: &Path) -> ExitCode {
         }
     }
     let doc = Json::obj([
-        ("schema", Json::Str("fairem-bench-baseline/1".into())),
+        ("schema", Json::Str(SCHEMA.into())),
         (
             "matchers",
             Json::arr(MATCHERS.iter().map(|k| Json::Str(k.name().into()))),
@@ -200,4 +246,122 @@ fn validate(path: &Path) -> ExitCode {
         println!("  {name:>12} {secs:>10.4}s");
     }
     ExitCode::SUCCESS
+}
+
+/// The scalar-era (engine-less) Citations sequential `features` total
+/// from the committed baseline — the denominator the columnar hot path
+/// must beat by 3×.
+fn scalar_citations_features(path: &Path) -> Option<f64> {
+    let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    let Some(Json::Arr(runs)) = doc.get("runs") else {
+        return None;
+    };
+    runs.iter()
+        .find(|r| {
+            r.get("engine").is_none()
+                && r.get("dataset").and_then(Json::as_str) == Some("Citations")
+                && r.get("jobs").and_then(Json::as_num) == Some(1.0)
+        })?
+        .get("stage_secs")?
+        .get("features")
+        .and_then(Json::as_num)
+}
+
+/// Best-of-3 wall time for one full batch featurization under `workers`.
+fn time_matrix(gen: &FeatureGenerator, pairs: &[(usize, usize)], workers: usize) -> f64 {
+    let exec = Exec::with_pool(WorkerPool::new(workers));
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let outcome = gen.matrix(&PairBatch::new(pairs), &exec);
+        let secs = start.elapsed().as_secs_f64();
+        let ParOutcome::Complete(m) = outcome else {
+            unreachable!("inert exec must not interrupt")
+        };
+        assert!(m.rows() == pairs.len(), "short matrix");
+        best = best.min(secs);
+    }
+    best
+}
+
+/// The performance gate (check.sh's perf leg). Two assertions:
+///
+/// 1. Sequential Citations featurization (the full pipeline `features`
+///    stage, build included) is ≥3× faster than the committed scalar
+///    baseline.
+/// 2. On a generated ~10⁵-pair batch, a 4-worker pool is ≥2× faster
+///    than sequential. On a host with a single hardware thread a
+///    speedup is physically impossible, so the gate degrades to the
+///    claim that still holds there: coarse chunking keeps pool overhead
+///    ≤35% over sequential.
+fn gate(baseline_path: &Path) -> ExitCode {
+    let mut ok = true;
+
+    // Leg 1: columnar vs committed scalar baseline, sequentially.
+    let Some(scalar) = scalar_citations_features(baseline_path) else {
+        eprintln!(
+            "gate: {} has no scalar Citations jobs=1 run (engine-less, schema 1 heritage)",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let dataset = citations(&CitationsConfig::default());
+    eprintln!("gate: measuring Citations sequential features...");
+    let stages = run_once(&dataset, 1);
+    let Some(features) = stages
+        .iter()
+        .find(|(n, _)| n == "features")
+        .map(|(_, s)| *s)
+    else {
+        eprintln!("gate: pipeline run recorded no `features` stage");
+        return ExitCode::FAILURE;
+    };
+    let speedup = scalar / features;
+    println!(
+        "gate: Citations seq features {features:.4}s vs scalar {scalar:.4}s -> {speedup:.2}x (need 3.00x)"
+    );
+    if speedup < 3.0 {
+        eprintln!("gate: FAIL — sequential featurization regressed below the 3x bar");
+        ok = false;
+    }
+
+    // Leg 2: sequential vs pooled on a ~1e5-pair generated batch.
+    let d = wdc_products(&ProductsConfig::default());
+    let a = Table::from_csv(d.table_a.clone()).orfail("generated table A is schema-valid");
+    let b = Table::from_csv(d.table_b.clone()).orfail("generated table B is schema-valid");
+    let exclude: Vec<&str> = d.sensitive.iter().map(String::as_str).collect();
+    let generator = FeatureGenerator::build(&a, &b, &exclude);
+    let pairs: Vec<(usize, usize)> = (0..100_000)
+        .map(|i| (i % a.len(), (i * 31) % b.len()))
+        .collect();
+    eprintln!("gate: measuring {} pairs, sequential vs 4 workers...", pairs.len());
+    let seq = time_matrix(&generator, &pairs, 1);
+    let par = time_matrix(&generator, &pairs, 4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 2 {
+        let speedup = seq / par;
+        println!(
+            "gate: 1e5-pair batch seq {seq:.4}s vs 4 workers {par:.4}s -> {speedup:.2}x (need 2.00x, {cores} hardware threads)"
+        );
+        if speedup < 2.0 {
+            eprintln!("gate: FAIL — pooled featurization below the 2x bar");
+            ok = false;
+        }
+    } else {
+        let overhead = par / seq;
+        println!(
+            "gate: 1e5-pair batch seq {seq:.4}s vs 4 workers {par:.4}s -> {overhead:.2}x overhead (single hardware thread; cap 1.35x)"
+        );
+        if par > seq * 1.35 {
+            eprintln!("gate: FAIL — pool overhead above the 35% single-core cap");
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!("gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

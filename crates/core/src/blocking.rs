@@ -3,59 +3,164 @@
 //! Comparing every A×B pair is quadratic; blocking restricts candidates
 //! to pairs that share evidence. Two standard schemes are provided:
 //! token blocking (share any word token in the blocking columns) and
-//! sorted-neighborhood (windowed scan over a sort key).
+//! sorted-neighborhood (windowed scan over a sort key). Both are also
+//! available behind the [`Blocker`] trait, so the suite pipeline (and
+//! anything else) can select a scheme at configuration time
+//! (`SuiteBuilder::blocker`).
+//!
+//! Token blocking runs as an interned batch kernel: every token is
+//! mapped to a dense `u32` id once (`TokenInterner`), per-row dedup
+//! uses a stamp array instead of a per-row hash set, and pair emission
+//! fans out over the [`Exec`] pool in coarse token-id chunks. The
+//! candidate set is identical to the naive string-keyed formulation —
+//! the final sort + dedup makes emission order immaterial.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
-use fairem_text::word_tokens;
+use fairem_text::{word_tokens, TokenInterner};
 
+use crate::exec::Exec;
 use crate::schema::Table;
 
 /// Candidate pairs as `(a_row, b_row)` indices.
 pub type CandidatePairs = Vec<(usize, usize)>;
+
+/// A candidate-generation scheme, selectable at configuration time.
+///
+/// Implementations must be deterministic pure functions of the two
+/// tables: the returned pair list is sorted and duplicate-free, and
+/// identical for every `exec` (the pool only changes wall-clock time).
+pub trait Blocker: std::fmt::Debug + Send + Sync {
+    /// A short stable name for reports and spans.
+    fn name(&self) -> &'static str;
+
+    /// Generate the candidate pairs for `a` × `b` under `exec`.
+    fn candidates(&self, a: &Table, b: &Table, exec: &Exec) -> CandidatePairs;
+}
+
+/// [`Blocker`] wrapper over [`token_blocking`].
+#[derive(Debug, Clone)]
+pub struct TokenBlocking {
+    /// Columns whose word tokens link records.
+    pub columns: Vec<String>,
+    /// Stop-token guard: blocks larger than this are skipped.
+    pub max_block: usize,
+}
+
+impl Blocker for TokenBlocking {
+    fn name(&self) -> &'static str {
+        "token"
+    }
+
+    fn candidates(&self, a: &Table, b: &Table, exec: &Exec) -> CandidatePairs {
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        token_blocking_exec(a, b, &cols, self.max_block, exec)
+    }
+}
+
+/// [`Blocker`] wrapper over [`sorted_neighborhood`].
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhood {
+    /// The sort-key column (must exist in both tables).
+    pub key_column: String,
+    /// Sliding-window size over the merged sorted records.
+    pub window: usize,
+}
+
+impl Blocker for SortedNeighborhood {
+    fn name(&self) -> &'static str {
+        "sorted"
+    }
+
+    fn candidates(&self, a: &Table, b: &Table, _exec: &Exec) -> CandidatePairs {
+        // Sort-bound: the merged key sort dominates, so there is no
+        // profitable fan-out stage; the pool is deliberately unused.
+        sorted_neighborhood(a, b, &self.key_column, self.window)
+    }
+}
 
 /// Token blocking: a pair is a candidate when the two records share at
 /// least one word token across the given columns (column names must
 /// exist in the respective table). Blocks larger than `max_block` are
 /// skipped as non-discriminative (stop-token guard).
 pub fn token_blocking(a: &Table, b: &Table, columns: &[&str], max_block: usize) -> CandidatePairs {
-    assert!(!columns.is_empty(), "blocking needs at least one column");
-    let index_side = |t: &Table| -> BTreeMap<String, Vec<usize>> {
-        let cols: Vec<usize> = columns
-            .iter()
-            .map(|c| {
-                t.column_index(c)
-                    // fairem: allow(panic) — documented contract: blocking columns come from validated config
-                    .unwrap_or_else(|| panic!("blocking column {c:?} missing"))
-            })
-            .collect();
-        let mut idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        for row in 0..t.len() {
-            let mut seen: HashSet<String> = HashSet::new();
-            for &c in &cols {
-                for tok in word_tokens(t.value(row, c)) {
-                    if seen.insert(tok.clone()) {
-                        idx.entry(tok).or_default().push(row);
-                    }
+    token_blocking_exec(a, b, columns, max_block, &Exec::sequential())
+}
+
+/// One side's inverted index over interned token ids: `rows_of[id]` are
+/// the rows containing token `id` (increasing, duplicate-free).
+fn index_side(t: &Table, columns: &[&str], interner: &mut TokenInterner) -> Vec<Vec<u32>> {
+    let cols: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            t.column_index(c)
+                // fairem: allow(panic) — documented contract: blocking columns come from validated config
+                .unwrap_or_else(|| panic!("blocking column {c:?} missing"))
+        })
+        .collect();
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); interner.len()];
+    // Per-row token dedup via a stamp array over token ids (`row + 1`
+    // marks "seen in this row"; 0 is never a stamp).
+    let mut stamp: Vec<u32> = vec![0; interner.len()];
+    for row in 0..t.len() {
+        for &c in &cols {
+            for tok in word_tokens(t.value(row, c)) {
+                let id = interner.intern(&tok) as usize;
+                if rows_of.len() <= id {
+                    rows_of.resize(id + 1, Vec::new());
+                    stamp.resize(id + 1, 0);
+                }
+                if stamp[id] != row as u32 + 1 {
+                    stamp[id] = row as u32 + 1;
+                    rows_of[id].push(row as u32);
                 }
             }
         }
-        idx
-    };
-    let ia = index_side(a);
-    let ib = index_side(b);
-    let mut out: CandidatePairs = Vec::new();
-    for (tok, rows_a) in &ia {
-        let Some(rows_b) = ib.get(tok) else { continue };
-        if rows_a.len() * rows_b.len() > max_block * max_block {
-            continue; // stop token
-        }
+    }
+    rows_of
+}
+
+/// The interned token-blocking kernel behind [`token_blocking`] and
+/// [`TokenBlocking`]: index both sides over one interner, pick the
+/// token ids passing the stop-token guard, and emit each id's cross
+/// product over the pool in token-id chunks. Sorting + deduping the
+/// union makes the result independent of emission order, hence
+/// identical for every worker count.
+fn token_blocking_exec(
+    a: &Table,
+    b: &Table,
+    columns: &[&str],
+    max_block: usize,
+    exec: &Exec,
+) -> CandidatePairs {
+    assert!(!columns.is_empty(), "blocking needs at least one column");
+    let mut interner = TokenInterner::new();
+    let ia = index_side(a, columns, &mut interner);
+    let ib = index_side(b, columns, &mut interner);
+    let eligible: Vec<usize> = (0..ia.len())
+        .filter(|&id| {
+            let rows_a = &ia[id];
+            let Some(rows_b) = ib.get(id) else {
+                return false;
+            };
+            !rows_a.is_empty()
+                && !rows_b.is_empty()
+                && rows_a.len() * rows_b.len() <= max_block * max_block
+        })
+        .collect();
+    exec.recorder.add("blocking.tokens", eligible.len() as u64);
+    let chunks = exec.pool.par_map(eligible.len(), |k| {
+        let id = eligible[k];
+        let (rows_a, rows_b) = (&ia[id], &ib[id]);
+        let mut part = Vec::with_capacity(rows_a.len() * rows_b.len());
         for &ra in rows_a {
             for &rb in rows_b {
-                out.push((ra, rb));
+                part.push((ra as usize, rb as usize));
             }
         }
-    }
+        part
+    });
+    let mut out: CandidatePairs = chunks.into_iter().flatten().collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -153,6 +258,53 @@ pub fn per_group_blocking_recall(
 mod tests {
     use super::*;
     use fairem_csvio::parse_csv_str;
+    use fairem_par::WorkerPool;
+
+    /// The pre-interning string-keyed formulation, kept as the
+    /// reference the kernel must reproduce exactly.
+    fn naive_token_blocking(
+        a: &Table,
+        b: &Table,
+        columns: &[&str],
+        max_block: usize,
+    ) -> CandidatePairs {
+        use std::collections::BTreeMap;
+        let index_side = |t: &Table| -> BTreeMap<String, Vec<usize>> {
+            let cols: Vec<usize> = columns
+                .iter()
+                .map(|c| t.column_index(c).expect("blocking column"))
+                .collect();
+            let mut idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for row in 0..t.len() {
+                let mut seen: HashSet<String> = HashSet::new();
+                for &c in &cols {
+                    for tok in word_tokens(t.value(row, c)) {
+                        if seen.insert(tok.clone()) {
+                            idx.entry(tok).or_default().push(row);
+                        }
+                    }
+                }
+            }
+            idx
+        };
+        let ia = index_side(a);
+        let ib = index_side(b);
+        let mut out: CandidatePairs = Vec::new();
+        for (tok, rows_a) in &ia {
+            let Some(rows_b) = ib.get(tok) else { continue };
+            if rows_a.len() * rows_b.len() > max_block * max_block {
+                continue;
+            }
+            for &ra in rows_a {
+                for &rb in rows_b {
+                    out.push((ra, rb));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 
     fn tables() -> (Table, Table) {
         let a = Table::from_csv(
@@ -206,6 +358,78 @@ mod tests {
         assert_eq!(blocking_recall(&cands, &[(0, 0), (2, 2)]), 0.5);
         assert_eq!(blocking_recall(&cands, &[(0, 0)]), 1.0);
         assert!(blocking_recall(&cands, &[]).is_nan());
+    }
+
+    #[test]
+    fn interned_kernel_matches_the_naive_reference() {
+        let (a, b) = tables();
+        // Multi-column, repeated tokens, empty overlap, tight and loose
+        // stop-token guards.
+        let a2 = Table::from_csv(
+            parse_csv_str(
+                "id,name,org\na0,li wei wei,tsinghua\na1,john smith,dept x\na2,dept dept,dept y\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let b2 = Table::from_csv(
+            parse_csv_str(
+                "id,name,org\nb0,wei li,peking\nb1,jon smith,dept q\nb2,empty,\n",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for max_block in [1, 2, 100] {
+            assert_eq!(
+                token_blocking(&a, &b, &["name"], max_block),
+                naive_token_blocking(&a, &b, &["name"], max_block),
+                "max_block={max_block}"
+            );
+            assert_eq!(
+                token_blocking(&a2, &b2, &["name", "org"], max_block),
+                naive_token_blocking(&a2, &b2, &["name", "org"], max_block),
+                "two columns, max_block={max_block}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_emission_is_identical_to_sequential() {
+        let (a, b) = tables();
+        let blocker = TokenBlocking {
+            columns: vec!["name".into()],
+            max_block: 100,
+        };
+        let seq = blocker.candidates(&a, &b, &Exec::sequential());
+        for workers in [2, 4] {
+            let par = blocker.candidates(&a, &b, &Exec::with_pool(WorkerPool::new(workers)));
+            assert_eq!(seq, par, "workers={workers}");
+        }
+        assert_eq!(seq, token_blocking(&a, &b, &["name"], 100));
+    }
+
+    #[test]
+    fn blocker_trait_selects_schemes() {
+        let (a, b) = tables();
+        let tb = TokenBlocking {
+            columns: vec!["name".into()],
+            max_block: 100,
+        };
+        let sn = SortedNeighborhood {
+            key_column: "name".into(),
+            window: 3,
+        };
+        assert_eq!(tb.name(), "token");
+        assert_eq!(sn.name(), "sorted");
+        let exec = Exec::default();
+        assert_eq!(
+            tb.candidates(&a, &b, &exec),
+            token_blocking(&a, &b, &["name"], 100)
+        );
+        assert_eq!(
+            sn.candidates(&a, &b, &exec),
+            sorted_neighborhood(&a, &b, "name", 3)
+        );
     }
 
     #[test]

@@ -5,12 +5,33 @@
 //! matcher input) become feature groups: numeric columns contribute
 //! difference-based similarities, text columns a battery of string
 //! measures plus a corpus-weighted TF-IDF cosine.
+//!
+//! # Columnar execution
+//!
+//! [`FeatureGenerator::build`] normalizes and tokenizes every cell of
+//! every aligned column exactly once, interning tokens to dense `u32`
+//! ids ([`TokenInterner`]) and storing each column as a
+//! struct-of-arrays [`PreparedColumn`] (normalized chars, word-token
+//! ids, q-gram sets, TF-IDF weight vectors). The batch entry point
+//! [`FeatureGenerator::matrix`] then runs integer-slice kernels with
+//! per-chunk scratch buffers over a [`PairBatch`] — no per-pair
+//! normalization, tokenization, or hashing. The scalar per-pair path
+//! ([`FeatureGenerator::features`]) is kept as the reference
+//! implementation; the batch kernels are bit-for-bit identical to it
+//! for every measure (the equivalence suite pins this).
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
 use fairem_par::{CancelToken, ChunkPanic, Interrupt, ParOutcome, WorkerPool};
-use fairem_text::{rel_diff_sim, StringMeasure, TfIdfCorpus, TfIdfCorpusBuilder};
+use fairem_text::{
+    measure_cells, rel_diff_sim, tfidf_cosine_cells, word_tokens, PreparedColumn, SimScratch,
+    StringMeasure, TfIdfCorpus, TokenInterner,
+};
 
+use crate::exec::{Exec, PairBatch};
 use crate::schema::Table;
 
 /// The string measures applied to each text column, in feature order.
@@ -35,6 +56,56 @@ struct AlignedColumn {
     a_col: usize,
     b_col: usize,
     kind: ColKind,
+    /// Index into the kind-matching prepared-column store.
+    slot: usize,
+}
+
+/// A numeric column prepared once at build time: parsed values, interned
+/// whole-cell ids (for the exact-match feature), and interned raw word
+/// tokens (for the neural tokenizer).
+#[derive(Debug, Default, Clone)]
+struct NumericColumn {
+    value: Vec<f64>,
+    cell: Vec<u32>,
+    empty: Vec<bool>,
+    words: Vec<u32>,
+    words_off: Vec<u32>,
+}
+
+impl NumericColumn {
+    fn prepare<'a>(
+        cells: impl Iterator<Item = &'a str>,
+        interner: &mut TokenInterner,
+    ) -> NumericColumn {
+        let mut col = NumericColumn {
+            words_off: vec![0],
+            ..NumericColumn::default()
+        };
+        for cell in cells {
+            col.value.push(parse_num(cell));
+            col.cell.push(interner.intern(cell));
+            col.empty.push(cell.is_empty());
+            for w in word_tokens(cell) {
+                col.words.push(interner.intern(&w));
+            }
+            col.words_off.push(col.words.len() as u32);
+        }
+        col
+    }
+
+    fn words(&self, row: usize) -> &[u32] {
+        &self.words[self.words_off[row] as usize..self.words_off[row + 1] as usize]
+    }
+}
+
+/// The columnar build product: one shared interner plus, per aligned
+/// column, the prepared struct-of-arrays for both tables. Immutable
+/// after `build`, so the parallel pair loop reads it without locks.
+#[derive(Debug)]
+struct Interned {
+    interner: TokenInterner,
+    text: Vec<(PreparedColumn, PreparedColumn)>,
+    numeric: Vec<(NumericColumn, NumericColumn)>,
 }
 
 /// A fitted feature generator bound to one pair of tables.
@@ -42,18 +113,22 @@ struct AlignedColumn {
 pub struct FeatureGenerator {
     columns: Vec<AlignedColumn>,
     tfidf: TfIdfCorpus,
+    interned: Arc<Interned>,
 }
 
 impl FeatureGenerator {
     /// Align the attribute columns of two tables (excluding `id` and
-    /// `exclude`, typically the sensitive columns) and fit the TF-IDF
-    /// corpus over every text value in both tables.
+    /// `exclude`, typically the sensitive columns), tokenize and intern
+    /// every cell once, and fit the TF-IDF corpus over every text value
+    /// in both tables.
     ///
     /// # Panics
     /// If no columns align.
     pub fn build(a: &Table, b: &Table, exclude: &[&str]) -> FeatureGenerator {
         let mut columns = Vec::new();
-        let mut corpus = TfIdfCorpusBuilder::new();
+        let mut interner = TokenInterner::new();
+        let mut text: Vec<(PreparedColumn, PreparedColumn)> = Vec::new();
+        let mut numeric: Vec<(NumericColumn, NumericColumn)> = Vec::new();
         for (a_col, name) in a.columns().iter().enumerate() {
             if name == "id" || exclude.contains(&name.as_str()) {
                 continue;
@@ -61,34 +136,81 @@ impl FeatureGenerator {
             let Some(b_col) = b.column_index(name) else {
                 continue;
             };
-            let numeric = all_numeric(a, a_col) && all_numeric(b, b_col);
-            let kind = if numeric {
+            let kind = if all_numeric(a, a_col) && all_numeric(b, b_col) {
                 ColKind::Numeric
             } else {
                 ColKind::Text
             };
-            if kind == ColKind::Text {
-                for row in 0..a.len() {
-                    corpus.add_document(a.value(row, a_col));
+            let slot = match kind {
+                ColKind::Text => {
+                    let pa = PreparedColumn::prepare(
+                        (0..a.len()).map(|r| a.value(r, a_col)),
+                        &mut interner,
+                    );
+                    let pb = PreparedColumn::prepare(
+                        (0..b.len()).map(|r| b.value(r, b_col)),
+                        &mut interner,
+                    );
+                    text.push((pa, pb));
+                    text.len() - 1
                 }
-                for row in 0..b.len() {
-                    corpus.add_document(b.value(row, b_col));
+                ColKind::Numeric => {
+                    let na = NumericColumn::prepare(
+                        (0..a.len()).map(|r| a.value(r, a_col)),
+                        &mut interner,
+                    );
+                    let nb = NumericColumn::prepare(
+                        (0..b.len()).map(|r| b.value(r, b_col)),
+                        &mut interner,
+                    );
+                    numeric.push((na, nb));
+                    numeric.len() - 1
                 }
-            }
+            };
             columns.push(AlignedColumn {
                 name: name.clone(),
                 a_col,
                 b_col,
                 kind,
+                slot,
             });
         }
         assert!(
             !columns.is_empty(),
             "no alignable feature columns between tables"
         );
+        // Document frequencies over the raw word tokens of every text
+        // cell (a's rows then b's rows per column — df is a pure count,
+        // so the accumulation order is immaterial to the result).
+        let mut df: Vec<u32> = Vec::new();
+        let mut n_docs = 0usize;
+        for (pa, pb) in &text {
+            n_docs += pa.accumulate_doc_freq(&mut df);
+            n_docs += pb.accumulate_doc_freq(&mut df);
+        }
+        df.resize(interner.len(), 0);
+        let rank = interner.string_ranks();
+        for (pa, pb) in &mut text {
+            pa.finish_tfidf(&df, n_docs, &rank);
+            pb.finish_tfidf(&df, n_docs, &rank);
+        }
+        // Materialize the value-identical scalar corpus for the string
+        // per-pair path: the incremental builder would have produced
+        // exactly these (token, df) entries for exactly these documents.
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        for (id, &count) in df.iter().enumerate() {
+            if count > 0 {
+                doc_freq.insert(interner.resolve(id as u32).to_owned(), count as usize);
+            }
+        }
         FeatureGenerator {
             columns,
-            tfidf: corpus.build(),
+            tfidf: TfIdfCorpus::from_parts(doc_freq, n_docs),
+            interned: Arc::new(Interned {
+                interner,
+                text,
+                numeric,
+            }),
         }
     }
 
@@ -123,7 +245,10 @@ impl FeatureGenerator {
         out
     }
 
-    /// Feature vector for one record pair.
+    /// Feature vector for one record pair — the scalar reference path,
+    /// evaluating measures on the raw cell strings. The batch kernels
+    /// behind [`FeatureGenerator::matrix`] are bit-for-bit identical to
+    /// this for every feature.
     pub fn features(&self, a: &Table, a_row: usize, b: &Table, b_row: usize) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.n_features());
         for c in &self.columns {
@@ -146,8 +271,86 @@ impl FeatureGenerator {
         out
     }
 
-    /// Feature matrix for a batch of pairs.
-    pub fn matrix(&self, a: &Table, b: &Table, pairs: &[(usize, usize)]) -> Matrix {
+    /// One row of the batch kernel: same features as
+    /// [`FeatureGenerator::features`], computed from the prepared
+    /// columns with `scratch` reused across the chunk.
+    fn row_features(&self, ra: usize, rb: usize, scratch: &mut SimScratch, out: &mut Vec<f64>) {
+        let it = &*self.interned;
+        for c in &self.columns {
+            match c.kind {
+                ColKind::Numeric => {
+                    let (na, nb) = &it.numeric[c.slot];
+                    out.push(rel_diff_sim(na.value[ra], nb.value[rb]));
+                    let exact = na.cell[ra] == nb.cell[rb] && !na.empty[ra];
+                    out.push(if exact { 1.0 } else { 0.0 });
+                }
+                ColKind::Text => {
+                    let (pa, pb) = &it.text[c.slot];
+                    for m in TEXT_MEASURES {
+                        out.push(measure_cells(m, pa, ra, pb, rb, &it.interner, scratch));
+                    }
+                    out.push(tfidf_cosine_cells(pa, ra, pb, rb));
+                }
+            }
+        }
+    }
+
+    /// Feature matrix for a batch of pairs, run under `exec`.
+    ///
+    /// The pool chunks the batch, each chunk reuses one scratch buffer,
+    /// and rows are stitched in pair order — the result is bit-for-bit
+    /// identical for any worker count, and bit-for-bit the scalar
+    /// [`FeatureGenerator::features`] per row. Cancellation/budget
+    /// expiry surfaces as [`ParOutcome::Interrupted`] carrying the rows
+    /// finished before the cut.
+    ///
+    /// # Panics
+    /// Re-raises a panic that escaped feature evaluation on a worker
+    /// (mirroring `WorkerPool::par_map`); use
+    /// [`FeatureGenerator::try_matrix`] to handle it as a value.
+    pub fn matrix(&self, batch: &PairBatch, exec: &Exec) -> ParOutcome<Matrix> {
+        match self.try_matrix(batch, exec) {
+            Ok(outcome) => outcome,
+            // fairem: allow(panic) — documented # Panics contract: re-raises a contained worker panic for callers that did not opt into handling it.
+            Err(p) => panic!("feature batch panicked: {p}"),
+        }
+    }
+
+    /// [`FeatureGenerator::matrix`] with contained worker panics
+    /// returned as [`ChunkPanic`] values instead of re-raised.
+    pub fn try_matrix(
+        &self,
+        batch: &PairBatch,
+        exec: &Exec,
+    ) -> Result<ParOutcome<Matrix>, ChunkPanic> {
+        exec.recorder.add("features.pairs", batch.len() as u64);
+        let token = exec.run_token();
+        let d = self.n_features();
+        let pairs = batch.pairs;
+        let outcome = exec.pool.try_par_scratch_within(
+            pairs.len(),
+            &token,
+            SimScratch::new,
+            |scratch, i| {
+                let (ra, rb) = pairs[i];
+                let mut row = Vec::with_capacity(d);
+                self.row_features(ra, rb, scratch, &mut row);
+                row
+            },
+        )?;
+        Ok(outcome.map(|rows| {
+            let mut m = Matrix::zeros(rows.len(), d);
+            for (i, f) in rows.iter().enumerate() {
+                m.row_mut(i).copy_from_slice(f);
+            }
+            m
+        }))
+    }
+
+    /// Feature matrix via the scalar per-pair path.
+    #[deprecated(note = "use `matrix(&PairBatch, &Exec)`; this scalar path stays as the \
+                         bit-for-bit reference for the equivalence suite")]
+    pub fn matrix_pairs(&self, a: &Table, b: &Table, pairs: &[(usize, usize)]) -> Matrix {
         let d = self.n_features();
         let mut m = Matrix::zeros(pairs.len(), d);
         for (i, &(ra, rb)) in pairs.iter().enumerate() {
@@ -157,12 +360,9 @@ impl FeatureGenerator {
         m
     }
 
-    /// [`FeatureGenerator::matrix`] fanned out over a worker pool,
-    /// pair-chunked. Row `i` of the result is always `features(pairs[i])`
-    /// — the pool stitches chunks in index order, so the matrix is
-    /// bit-for-bit identical to the sequential one for any worker count.
-    /// A panic inside feature evaluation is contained and returned as a
-    /// [`ChunkPanic`] naming the pair range it escaped from.
+    /// Scalar-path feature matrix fanned out over a worker pool.
+    #[deprecated(note = "use `matrix(&PairBatch, &Exec)` with `Exec::with_pool`")]
+    #[allow(deprecated)]
     pub fn matrix_with(
         &self,
         a: &Table,
@@ -177,11 +377,8 @@ impl FeatureGenerator {
         }
     }
 
-    /// Cancellable [`FeatureGenerator::matrix_with`]: the pool observes
-    /// `token` between pair chunks, so a budget expiry or cancel stops
-    /// the fan-out promptly. An interrupted build returns the
-    /// [`Interrupt`] record (inner `Err`); a contained panic still wins
-    /// and comes back as the outer [`ChunkPanic`].
+    /// Cancellable scalar-path feature matrix.
+    #[deprecated(note = "use `matrix(&PairBatch, &Exec)` with `Exec::cancel`")]
     pub fn matrix_within(
         &self,
         a: &Table,
@@ -206,7 +403,8 @@ impl FeatureGenerator {
     }
 
     /// Tokenize one pair for the neural matchers over the same aligned
-    /// columns (one attribute per column).
+    /// columns (one attribute per column) — the scalar reference for
+    /// [`FeatureGenerator::tokenize_all`].
     pub fn tokenize(
         &self,
         a: &Table,
@@ -228,17 +426,37 @@ impl FeatureGenerator {
         TokenPair { left, right }
     }
 
-    /// Tokenize a batch of pairs.
-    pub fn tokenize_all(
-        &self,
-        a: &Table,
-        b: &Table,
-        pairs: &[(usize, usize)],
-        vocab: &HashVocab,
-    ) -> Vec<TokenPair> {
-        pairs
+    /// Tokenize a batch of pairs from the interned build product: the
+    /// vocabulary code of every distinct token is computed once, then
+    /// each cell maps its cached token ids through that table — no
+    /// re-tokenization of text the interner already processed. Output
+    /// is exactly [`FeatureGenerator::tokenize`] per pair.
+    pub fn tokenize_all(&self, batch: &PairBatch, vocab: &HashVocab) -> Vec<TokenPair> {
+        let it = &*self.interned;
+        let codes: Vec<u32> = (0..it.interner.len() as u32)
+            .map(|id| vocab.id(it.interner.resolve(id)))
+            .collect();
+        let cell_words = |c: &AlignedColumn, side: usize, row: usize| match (c.kind, side) {
+            (ColKind::Text, 0) => it.text[c.slot].0.raw_words(row),
+            (ColKind::Text, _) => it.text[c.slot].1.raw_words(row),
+            (ColKind::Numeric, 0) => it.numeric[c.slot].0.words(row),
+            (ColKind::Numeric, _) => it.numeric[c.slot].1.words(row),
+        };
+        batch
+            .pairs
             .iter()
-            .map(|&(ra, rb)| self.tokenize(a, ra, b, rb, vocab))
+            .map(|&(ra, rb)| TokenPair {
+                left: self
+                    .columns
+                    .iter()
+                    .map(|c| vocab.encode_interned(cell_words(c, 0, ra), &codes))
+                    .collect(),
+                right: self
+                    .columns
+                    .iter()
+                    .map(|c| vocab.encode_interned(cell_words(c, 1, rb), &codes))
+                    .collect(),
+            })
             .collect()
     }
 }
@@ -261,6 +479,7 @@ fn parse_num(v: &str) -> f64 {
 mod tests {
     use super::*;
     use fairem_csvio::parse_csv_str;
+    use fairem_par::Budget;
 
     fn tables() -> (Table, Table) {
         let a = Table::from_csv(
@@ -274,6 +493,21 @@ mod tests {
         )
         .unwrap();
         (a, b)
+    }
+
+    fn all_pairs(a: &Table, b: &Table) -> Vec<(usize, usize)> {
+        (0..a.len())
+            .flat_map(|ra| (0..b.len()).map(move |rb| (ra, rb)))
+            .collect()
+    }
+
+    fn complete(outcome: ParOutcome<Matrix>) -> Matrix {
+        match outcome {
+            ParOutcome::Complete(m) => m,
+            ParOutcome::Interrupted { interrupt, .. } => {
+                unreachable!("unexpected interrupt: {interrupt}")
+            }
+        }
     }
 
     #[test]
@@ -312,24 +546,39 @@ mod tests {
     fn matrix_stacks_pairs() {
         let (a, b) = tables();
         let g = FeatureGenerator::build(&a, &b, &["country"]);
-        let m = g.matrix(&a, &b, &[(0, 0), (1, 1), (0, 1)]);
+        let pairs = [(0, 0), (1, 1), (0, 1)];
+        let m = complete(g.matrix(&PairBatch::new(&pairs), &Exec::default()));
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), g.n_features());
         assert_eq!(m.row(0), g.features(&a, 0, &b, 0).as_slice());
     }
 
     #[test]
+    fn batch_kernels_match_scalar_features_bit_for_bit() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let pairs = all_pairs(&a, &b);
+        let m = complete(g.matrix(&PairBatch::new(&pairs), &Exec::default()));
+        for (i, &(ra, rb)) in pairs.iter().enumerate() {
+            let scalar = g.features(&a, ra, &b, rb);
+            let batch = m.row(i);
+            assert!(
+                scalar.iter().zip(batch).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "pair ({ra},{rb}): scalar {scalar:?} vs batch {batch:?}"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_matrix_is_bitwise_identical_to_sequential() {
         let (a, b) = tables();
         let g = FeatureGenerator::build(&a, &b, &["country"]);
-        let pairs: Vec<(usize, usize)> = (0..a.len())
-            .flat_map(|ra| (0..b.len()).map(move |rb| (ra, rb)))
-            .collect();
-        let seq = g.matrix(&a, &b, &pairs);
+        let pairs = all_pairs(&a, &b);
+        let batch = PairBatch::new(&pairs);
+        let seq = complete(g.matrix(&batch, &Exec::default()));
         for workers in [1, 4] {
-            let par = g
-                .matrix_with(&a, &b, &pairs, &WorkerPool::new(workers))
-                .unwrap();
+            let exec = Exec::with_pool(WorkerPool::new(workers));
+            let par = complete(g.matrix(&batch, &exec));
             assert_eq!(par.rows(), seq.rows());
             for i in 0..seq.rows() {
                 let (s, p) = (seq.row(i), par.row(i));
@@ -338,6 +587,41 @@ mod tests {
                     "row {i} differs with {workers} workers"
                 );
             }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scalar_shims_agree_with_the_batch_path() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let pairs = all_pairs(&a, &b);
+        let new = complete(g.matrix(&PairBatch::new(&pairs), &Exec::default()));
+        let old = g.matrix_pairs(&a, &b, &pairs);
+        let pooled = g
+            .matrix_with(&a, &b, &pairs, &WorkerPool::new(2))
+            .unwrap();
+        for i in 0..new.rows() {
+            for j in 0..new.cols() {
+                assert_eq!(new.row(i)[j].to_bits(), old.row(i)[j].to_bits());
+                assert_eq!(new.row(i)[j].to_bits(), pooled.row(i)[j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_expiry_interrupts_the_batch() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let pairs = all_pairs(&a, &b);
+        // A zero-step budget trips at the first inter-chunk checkpoint.
+        let exec = Exec::sequential().budget(Budget::steps(0));
+        match g.matrix(&PairBatch::new(&pairs), &exec) {
+            ParOutcome::Interrupted { done, total, .. } => {
+                assert_eq!(total, pairs.len());
+                assert!(done.rows() < pairs.len());
+            }
+            ParOutcome::Complete(_) => panic!("zero budget must interrupt"),
         }
     }
 
@@ -352,6 +636,32 @@ mod tests {
     }
 
     #[test]
+    fn interned_tokenize_all_matches_per_pair_tokenize() {
+        let (a, b) = tables();
+        let g = FeatureGenerator::build(&a, &b, &["country"]);
+        let vocab = HashVocab::new(128);
+        let pairs = all_pairs(&a, &b);
+        let batch = g.tokenize_all(&PairBatch::new(&pairs), &vocab);
+        assert_eq!(batch.len(), pairs.len());
+        for (tp, &(ra, rb)) in batch.iter().zip(&pairs) {
+            let scalar = g.tokenize(&a, ra, &b, rb, &vocab);
+            assert_eq!(tp.left, scalar.left, "pair ({ra},{rb}) left");
+            assert_eq!(tp.right, scalar.right, "pair ({ra},{rb}) right");
+        }
+    }
+
+    #[test]
+    fn empty_cells_tokenize_to_the_empty_marker() {
+        let a = Table::from_csv(parse_csv_str("id,name\na0,\n").unwrap()).unwrap();
+        let b = Table::from_csv(parse_csv_str("id,name\nb0,smith\n").unwrap()).unwrap();
+        let g = FeatureGenerator::build(&a, &b, &[]);
+        let vocab = HashVocab::new(64);
+        let tps = g.tokenize_all(&PairBatch::new(&[(0, 0)]), &vocab);
+        assert_eq!(tps[0].left[0], vec![0], "empty cell gets the marker");
+        assert_eq!(tps[0].right[0], vec![vocab.id("smith")]);
+    }
+
+    #[test]
     fn empty_numeric_values_yield_zero_similarity() {
         let a = Table::from_csv(parse_csv_str("id,v\na0,\n").unwrap()).unwrap();
         let b = Table::from_csv(parse_csv_str("id,v\nb0,3.5\n").unwrap()).unwrap();
@@ -359,6 +669,9 @@ mod tests {
         let f = g.features(&a, 0, &b, 0);
         assert_eq!(f[0], 0.0); // NaN rel-diff → 0 via rel_diff_sim
         assert_eq!(f[1], 0.0); // not exact
+        let m = complete(g.matrix(&PairBatch::new(&[(0, 0)]), &Exec::default()));
+        assert_eq!(m.row(0)[0].to_bits(), f[0].to_bits());
+        assert_eq!(m.row(0)[1].to_bits(), f[1].to_bits());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod blocking;
 pub mod confusion;
 pub mod ensemble;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod fairness;
 pub mod fault;
@@ -81,14 +82,16 @@ pub mod threshold;
 pub mod workload;
 
 pub use audit::{AuditConfig, AuditEntry, AuditReport, Auditor};
+pub use blocking::{Blocker, CandidatePairs, SortedNeighborhood, TokenBlocking};
 pub use confusion::ConfusionMatrix;
 pub use ensemble::{EnsembleExplorer, ParetoPoint};
 pub use error::{Stage, SuiteError, SuiteResult};
+pub use exec::{Exec, PairBatch};
 pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
 pub use matcher::{FailureCause, Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
 pub use fairem_obs::{Recorder, Snapshot, SpanStatus};
-pub use fairem_par::{Budget, CancelToken, Interrupt, Parallelism, WorkerPool};
+pub use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 pub use pipeline::{FairEm360, MatcherPerformance, Session, SuiteBuilder, SuiteConfig};
 pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};
 pub use resolution::{Feedback, Proposal, ResolutionSession};

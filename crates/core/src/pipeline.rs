@@ -10,8 +10,10 @@ use fairem_obs::{Recorder, Span, SpanStatus};
 use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
 
 use crate::audit::{AuditReport, Auditor};
+use crate::blocking::Blocker;
 use crate::ensemble::EnsembleExplorer;
 use crate::error::{Stage, SuiteError, SuiteResult};
+use crate::exec::{Exec, PairBatch};
 use crate::explain::Explainer;
 use crate::fairness::{Disparity, FairnessMeasure};
 use crate::fault::{self, FaultPlan, FaultSite};
@@ -20,7 +22,7 @@ use crate::matcher::{
     sanitize_scores, ExternalScores, Matcher, MatcherFailure, MatcherKind, MatcherRegistry,
     MatcherTrainConfig, TrainInput,
 };
-use crate::prep::{prepare_checked, PrepConfig, PreparedData};
+use crate::prep::{default_blocker, prepare_with, PrepConfig, PreparedData};
 use crate::quarantine::QuarantineReport;
 use crate::schema::{SchemaError, Table};
 use crate::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
@@ -64,6 +66,12 @@ pub struct SuiteConfig {
     /// [`Recorder::enabled`] (e.g. via [`SuiteBuilder::observe`]) to
     /// collect per-stage spans and `par.*` pool metrics.
     pub observe: Recorder,
+    /// Candidate-generation scheme. `None` (the default) runs token
+    /// blocking over [`PrepConfig::blocking_columns`] /
+    /// [`PrepConfig::max_block`]; set via [`SuiteBuilder::blocker`] to
+    /// swap in e.g. [`crate::blocking::SortedNeighborhood`] without
+    /// touching prep.
+    pub blocker: Option<std::sync::Arc<dyn Blocker>>,
 }
 
 impl Default for SuiteConfig {
@@ -79,6 +87,7 @@ impl Default for SuiteConfig {
             matcher_budget: Budget::UNLIMITED,
             cancel: CancelToken::inert(),
             observe: Recorder::disabled(),
+            blocker: None,
         }
     }
 }
@@ -196,6 +205,16 @@ impl SuiteBuilder {
     /// the run bit-for-bit identical to one without observability.
     pub fn observe(mut self, recorder: Recorder) -> SuiteBuilder {
         self.config.observe = recorder;
+        self
+    }
+
+    /// Candidate-generation scheme (shorthand for mutating
+    /// [`SuiteConfig::blocker`]): e.g.
+    /// `.blocker(SortedNeighborhood { key_column: "name".into(), window: 5 })`.
+    /// Without it the suite token-blocks over
+    /// [`PrepConfig::blocking_columns`].
+    pub fn blocker(mut self, blocker: impl Blocker + 'static) -> SuiteBuilder {
+        self.config.blocker = Some(std::sync::Arc::new(blocker));
         self
     }
 
@@ -434,17 +453,37 @@ impl FairEm360 {
         let enc_b = space.encode_table(&table_b);
         drop(prep_span);
 
+        // The one execution context every batch stage runs under: the
+        // suite pool and token, unlimited per-call budget (the suite
+        // budget lives on the token itself), and the suite recorder.
+        let pool = WorkerPool::with_parallelism(config.parallelism).observe(obs.clone());
+        let exec = Exec::with_pool(pool.clone())
+            .cancel(suite_token.clone())
+            .observe(obs.clone());
+
         let blocking_span = obs.span("blocking");
-        let (prepared, prep_quarantine) =
-            fault::guard(|| prepare_checked(&table_a, &table_b, &matches, &config.prep)).map_err(
-                |detail| {
-                    blocking_span.set_status(SpanStatus::Panicked);
-                    SuiteError::Stage {
-                        stage: Stage::Blocking,
-                        detail,
-                    }
-                },
-            )??;
+        let blocker: std::sync::Arc<dyn Blocker> = match &config.blocker {
+            Some(b) => std::sync::Arc::clone(b),
+            None => std::sync::Arc::new(default_blocker(&config.prep)),
+        };
+        blocking_span.note(format!("scheme: {}", blocker.name()));
+        let (prepared, prep_quarantine) = fault::guard(|| {
+            prepare_with(
+                &table_a,
+                &table_b,
+                &matches,
+                &config.prep,
+                blocker.as_ref(),
+                &exec,
+            )
+        })
+        .map_err(|detail| {
+            blocking_span.set_status(SpanStatus::Panicked);
+            SuiteError::Stage {
+                stage: Stage::Blocking,
+                detail,
+            }
+        })??;
         quarantine.extend(prep_quarantine);
         obs.gauge("pairs.train", prepared.train_idx.len() as f64);
         obs.gauge("pairs.valid", prepared.valid_idx.len() as f64);
@@ -476,28 +515,28 @@ impl FairEm360 {
         })?;
         drop(build_span);
         let vocab = HashVocab::new(config.vocab_size);
-        let pool = WorkerPool::with_parallelism(config.parallelism).observe(obs.clone());
         let feature_matrix = |split: &str, pairs: &[(usize, usize)]| {
             let span = obs.span("features");
             span.note(format!("{split} split: {} pair(s)", pairs.len()));
-            features
-                .matrix_within(&table_a, &table_b, pairs, &pool, &suite_token)
-                .map_err(|p| {
+            match features.try_matrix(&PairBatch::new(pairs), &exec) {
+                Err(p) => {
                     span.set_status(SpanStatus::Panicked);
-                    SuiteError::Stage {
+                    Err(SuiteError::Stage {
                         stage: Stage::FeatureGen,
                         detail: p.to_string(),
-                    }
-                })?
-                .map_err(|i| {
-                    cut_span(&span, &i);
-                    timed_out(Stage::FeatureGen, i)
-                })
+                    })
+                }
+                Ok(ParOutcome::Interrupted { interrupt, .. }) => {
+                    cut_span(&span, &interrupt);
+                    Err(timed_out(Stage::FeatureGen, interrupt))
+                }
+                Ok(ParOutcome::Complete(m)) => Ok(m),
+            }
         };
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
         let train_features = feature_matrix("train", &train_pairs)?;
-        let train_tokens = features.tokenize_all(&table_a, &table_b, &train_pairs, &vocab);
+        let train_tokens = features.tokenize_all(&PairBatch::new(&train_pairs), &vocab);
         let input = TrainInput {
             features: &train_features,
             tokens: &train_tokens,
@@ -519,11 +558,11 @@ impl FairEm360 {
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
         let valid_features = feature_matrix("valid", &valid_pairs)?;
-        let valid_tokens = features.tokenize_all(&table_a, &table_b, &valid_pairs, &vocab);
+        let valid_tokens = features.tokenize_all(&PairBatch::new(&valid_pairs), &vocab);
 
         let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
         let test_features = feature_matrix("test", &test_pairs)?;
-        let test_tokens = features.tokenize_all(&table_a, &table_b, &test_pairs, &vocab);
+        let test_tokens = features.tokenize_all(&PairBatch::new(&test_pairs), &vocab);
 
         // Per-matcher scoring fan-out: each matcher is one isolated work
         // item, so a scoring panic degrades only that matcher no matter
@@ -1117,6 +1156,27 @@ mod tests {
             .unwrap()
             .try_run(&[MatcherKind::DtMatcher, MatcherKind::LinRegMatcher])
             .unwrap()
+    }
+
+    #[test]
+    fn builder_selects_the_blocking_scheme() {
+        use crate::blocking::SortedNeighborhood;
+        let (a, b, m) = dataset();
+        let s = FairEm360::builder()
+            .tables(a, b)
+            .ground_truth(m)
+            .sensitive([SensitiveAttr::categorical("country")])
+            .config(config())
+            .blocker(SortedNeighborhood {
+                key_column: "name".into(),
+                window: 4,
+            })
+            .build()
+            .unwrap()
+            .try_run(&[MatcherKind::DtMatcher])
+            .unwrap();
+        assert_eq!(s.matcher_names(), vec!["DTMatcher"]);
+        assert!(s.test_size() > 0);
     }
 
     #[test]

@@ -7,8 +7,9 @@ use fairem_rng::rngs::StdRng;
 use fairem_rng::seq::SliceRandom;
 use fairem_rng::SeedableRng;
 
-use crate::blocking::token_blocking;
+use crate::blocking::{Blocker, TokenBlocking};
 use crate::error::{SuiteError, SuiteResult};
+use crate::exec::Exec;
 use crate::quarantine::{QuarantineReport, RowIssue};
 use crate::schema::Table;
 
@@ -104,7 +105,25 @@ pub fn prepare(
         assert!(a.row_of(ia).is_some(), "unknown A id {ia:?}");
         assert!(b.row_of(ib).is_some(), "unknown B id {ib:?}");
     }
-    prepare_inner(a, b, matches, config, &mut QuarantineReport::default())
+    let blocker = default_blocker(config);
+    prepare_inner(
+        a,
+        b,
+        matches,
+        config,
+        &blocker,
+        &Exec::sequential(),
+        &mut QuarantineReport::default(),
+    )
+}
+
+/// The blocker [`prepare`]/[`prepare_checked`] run when none is chosen
+/// explicitly: token blocking over the configured columns.
+pub fn default_blocker(config: &PrepConfig) -> TokenBlocking {
+    TokenBlocking {
+        columns: config.blocking_columns.clone(),
+        max_block: config.max_block,
+    }
 }
 
 /// Fallible variant of [`prepare`]: invalid split fractions become a
@@ -116,6 +135,22 @@ pub fn prepare_checked(
     b: &Table,
     matches: &[(String, String)],
     config: &PrepConfig,
+) -> SuiteResult<(PreparedData, QuarantineReport)> {
+    let blocker = default_blocker(config);
+    prepare_with(a, b, matches, config, &blocker, &Exec::sequential())
+}
+
+/// [`prepare_checked`] with an explicit blocking scheme and execution
+/// context: candidates come from `blocker.candidates(a, b, exec)`
+/// instead of the config-derived token blocker. Everything downstream
+/// (labeling, negative subsampling, splitting) is unchanged.
+pub fn prepare_with(
+    a: &Table,
+    b: &Table,
+    matches: &[(String, String)],
+    config: &PrepConfig,
+    blocker: &dyn Blocker,
+    exec: &Exec,
 ) -> SuiteResult<(PreparedData, QuarantineReport)> {
     if !(config.train_frac > 0.0 && config.valid_frac >= 0.0) {
         return Err(SuiteError::Config {
@@ -134,15 +169,18 @@ pub fn prepare_checked(
         });
     }
     let mut quarantine = QuarantineReport::default();
-    let prep = prepare_inner(a, b, matches, config, &mut quarantine);
+    let prep = prepare_inner(a, b, matches, config, blocker, exec, &mut quarantine);
     Ok((prep, quarantine))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn prepare_inner(
     a: &Table,
     b: &Table,
     matches: &[(String, String)],
     config: &PrepConfig,
+    blocker: &dyn Blocker,
+    exec: &Exec,
     quarantine: &mut QuarantineReport,
 ) -> PreparedData {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -174,8 +212,7 @@ fn prepare_inner(
         }
     }
 
-    let cols: Vec<&str> = config.blocking_columns.iter().map(String::as_str).collect();
-    let candidates = token_blocking(a, b, &cols, config.max_block);
+    let candidates = blocker.candidates(a, b, exec);
 
     let positives: Vec<(usize, usize)> = truth.iter().copied().collect();
     let mut negatives: Vec<(usize, usize)> = candidates
@@ -299,6 +336,37 @@ mod tests {
         let p2 = prepare(&a, &b, &m, &PrepConfig::default());
         assert_eq!(p1.pairs, p2.pairs);
         assert_eq!(p1.train_idx, p2.train_idx);
+    }
+
+    #[test]
+    fn prepare_with_swaps_the_blocking_scheme() {
+        use crate::blocking::SortedNeighborhood;
+        let (a, b, m) = fixture();
+        let config = PrepConfig::default();
+        // Default blocker reproduces prepare_checked exactly.
+        let (via_default, _) = prepare_with(
+            &a,
+            &b,
+            &m,
+            &config,
+            &default_blocker(&config),
+            &Exec::sequential(),
+        )
+        .unwrap();
+        let (via_checked, _) = prepare_checked(&a, &b, &m, &config).unwrap();
+        assert_eq!(via_default.pairs, via_checked.pairs);
+        assert_eq!(via_default.train_idx, via_checked.train_idx);
+        // A different scheme flows through: sorted-neighborhood with a
+        // wide window yields a candidate set token blocking cannot (the
+        // drifted "hans muller"/"hans mueller" pair shares "hans").
+        let sn = SortedNeighborhood {
+            key_column: "name".into(),
+            window: 4,
+        };
+        let (via_sn, q) = prepare_with(&a, &b, &m, &config, &sn, &Exec::sequential()).unwrap();
+        assert!(q.is_empty());
+        assert!(via_sn.pairs.contains(&(0, 0)), "truth is force-included");
+        assert_eq!(via_sn.n_positives(), 2);
     }
 
     #[test]

@@ -71,6 +71,23 @@ impl HashVocab {
         }
         ids
     }
+
+    /// Encode a cell whose word tokens were already interned upstream:
+    /// `word_ids` are the cell's tokens (occurrence order) as interner
+    /// ids, and `codes[interned_id]` must hold `self.id(token_string)`
+    /// for that interned token (build it once per vocabulary with
+    /// [`HashVocab::id`] over the interner's strings).
+    ///
+    /// Token splitting in [`HashVocab::encode_words`] is byte-for-byte
+    /// the word tokenizer the interner consumed, so this produces the
+    /// exact `encode_words` output — including the empty-cell marker
+    /// (no tokens → the single special id 0) — without re-tokenizing.
+    pub fn encode_interned(&self, word_ids: &[u32], codes: &[u32]) -> Vec<u32> {
+        if word_ids.is_empty() {
+            return vec![self.special(0)];
+        }
+        word_ids.iter().map(|&id| codes[id as usize]).collect()
+    }
 }
 
 /// FNV-1a over bytes (32-bit).

@@ -44,10 +44,16 @@ impl std::fmt::Display for ChunkPanic {
 impl std::error::Error for ChunkPanic {}
 
 /// The outcome of a cancellable parallel region.
+///
+/// Generic over the *collected* output `C`, not the per-item type: pool
+/// primitives produce `ParOutcome<Vec<T>>`, while higher-level batch
+/// APIs that stitch items into a richer container (e.g. a feature
+/// `Matrix`) return `ParOutcome<Matrix>` via [`ParOutcome::map`] —
+/// the partial-progress semantics carry through unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ParOutcome<T> {
+pub enum ParOutcome<C> {
     /// Every item ran; the output is bit-for-bit the sequential result.
-    Complete(Vec<T>),
+    Complete(C),
     /// The token tripped mid-region. Workers stop pulling new chunks
     /// (in-flight chunks finish), so the region ends promptly and no
     /// output is torn mid-chunk.
@@ -55,10 +61,10 @@ pub enum ParOutcome<T> {
         /// The longest contiguous prefix of results, in index order —
         /// identical to what a sequential run would have produced for
         /// those indices. Safe to consume as a partial result.
-        done: Vec<T>,
-        /// Total items that finished anywhere (≥ `done.len()`, since
-        /// out-of-order chunks past the first gap are accounted but not
-        /// returned).
+        done: C,
+        /// Total items that finished anywhere (≥ the prefix length,
+        /// since out-of-order chunks past the first gap are accounted
+        /// but not returned).
         completed: usize,
         /// Items the full region would have processed.
         total: usize,
@@ -67,9 +73,9 @@ pub enum ParOutcome<T> {
     },
 }
 
-impl<T> ParOutcome<T> {
+impl<C> ParOutcome<C> {
     /// The completed results, discarding partial-progress metadata.
-    pub fn into_done(self) -> Vec<T> {
+    pub fn into_done(self) -> C {
         match self {
             ParOutcome::Complete(v) => v,
             ParOutcome::Interrupted { done, .. } => done,
@@ -81,6 +87,28 @@ impl<T> ParOutcome<T> {
         match self {
             ParOutcome::Complete(_) => None,
             ParOutcome::Interrupted { interrupt, .. } => Some(interrupt),
+        }
+    }
+
+    /// Transform the collected output while preserving the outcome
+    /// shape and progress accounting. This is how batch APIs lift a
+    /// `ParOutcome<Vec<Row>>` into a `ParOutcome<Matrix>`: `f` runs on
+    /// the complete result *and* on an interrupted prefix, so it must
+    /// be meaningful for both (a prefix of rows is a prefix matrix).
+    pub fn map<D>(self, f: impl FnOnce(C) -> D) -> ParOutcome<D> {
+        match self {
+            ParOutcome::Complete(v) => ParOutcome::Complete(f(v)),
+            ParOutcome::Interrupted {
+                done,
+                completed,
+                total,
+                interrupt,
+            } => ParOutcome::Interrupted {
+                done: f(done),
+                completed,
+                total,
+                interrupt,
+            },
         }
     }
 }
@@ -257,7 +285,7 @@ impl WorkerPool {
     /// Stitch a harvest of per-chunk item vectors into a [`ParOutcome`]:
     /// complete when every chunk ran, otherwise the contiguous prefix
     /// plus progress accounting.
-    fn assemble<T>(h: Harvest<Vec<T>>, n: usize, token: &CancelToken) -> ParOutcome<T> {
+    fn assemble<T>(h: Harvest<Vec<T>>, n: usize, token: &CancelToken) -> ParOutcome<Vec<T>> {
         if h.is_complete() {
             let mut out = Vec::with_capacity(n);
             for (_, v) in h.tagged {
@@ -356,7 +384,7 @@ impl WorkerPool {
         n: usize,
         token: &CancelToken,
         f: impl Fn(usize) -> T + Sync,
-    ) -> ParOutcome<T> {
+    ) -> ParOutcome<Vec<T>> {
         match self.try_par_map_within(n, token, f) {
             Ok(out) => out,
             // fairem: allow(panic) — documented # Panics contract: re-raises a worker panic
@@ -373,12 +401,40 @@ impl WorkerPool {
         n: usize,
         token: &CancelToken,
         f: impl Fn(usize) -> T + Sync,
-    ) -> Result<ParOutcome<T>, ChunkPanic> {
+    ) -> Result<ParOutcome<Vec<T>>, ChunkPanic> {
+        let f = &f;
+        self.try_par_scratch_within(n, token, || (), move |(), i| f(i))
+    }
+
+    /// Cancellable chunked map with **per-chunk scratch state**: `init`
+    /// builds a fresh scratch value at the start of every chunk, and
+    /// `f` gets `(&mut scratch, index)` for each index in the chunk.
+    ///
+    /// This is the shape batch similarity kernels need — reusable
+    /// working buffers (DP rows, match flags) that amortize allocation
+    /// across a chunk without ever leaking state between chunks.
+    /// Determinism contract: because `init` runs per *chunk* (not per
+    /// worker) and `f` must leave no observable state in the scratch
+    /// that affects later items beyond what a freshly-`init`ed scratch
+    /// would, the stitched output is bit-for-bit identical for every
+    /// worker count and chunk size. Panics and interrupts behave
+    /// exactly as in [`WorkerPool::try_par_map_within`].
+    pub fn try_par_scratch_within<S, T: Send>(
+        &self,
+        n: usize,
+        token: &CancelToken,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize) -> T + Sync,
+    ) -> Result<ParOutcome<Vec<T>>, ChunkPanic> {
+        let init = &init;
         let f = &f;
         let h = self.harvest(n, Some(token), move |range| {
             let r = range.clone();
-            contain(move || r.map(f).collect::<Vec<T>>())
-                .map_err(|detail| ChunkPanic { range, detail })
+            contain(move || {
+                let mut scratch = init();
+                r.map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+            })
+            .map_err(|detail| ChunkPanic { range, detail })
         });
         let n_chunks = h.n_chunks;
         let mut tagged = Vec::with_capacity(h.tagged.len());
@@ -397,7 +453,7 @@ impl WorkerPool {
         n: usize,
         token: &CancelToken,
         f: impl Fn(usize) -> T + Sync,
-    ) -> ParOutcome<Result<T, String>> {
+    ) -> ParOutcome<Vec<Result<T, String>>> {
         let h = self.harvest(n, Some(token), |range| {
             range.map(|i| contain(|| f(i))).collect::<Vec<_>>()
         });
@@ -636,6 +692,93 @@ mod tests {
         let snap = pool.recorder().snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn scratch_map_matches_plain_map_for_every_worker_count() {
+        use crate::cancel::CancelToken;
+        let n = 1003;
+        let expected: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for workers in [1, 2, 4, 9] {
+            let pool = WorkerPool::new(workers);
+            let token = CancelToken::inert();
+            // The scratch accumulates garbage across items within a
+            // chunk on purpose: outputs must not depend on it.
+            let out = pool
+                .try_par_scratch_within(
+                    n,
+                    &token,
+                    Vec::<u64>::new,
+                    |scratch, i| {
+                        scratch.push(i as u64);
+                        (i as u64).wrapping_mul(0x9E37)
+                    },
+                )
+                .expect("no panics injected");
+            match out {
+                ParOutcome::Complete(v) => assert_eq!(v, expected, "workers={workers}"),
+                other => panic!("untripped token must complete: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_map_attributes_panics_and_honors_cancellation() {
+        use crate::cancel::CancelToken;
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::inert();
+        let err = pool
+            .try_par_scratch_within(
+                100,
+                &token,
+                || 0usize,
+                |_, i| {
+                    assert!(i != 57, "item 57 is cursed");
+                    i
+                },
+            )
+            .expect_err("must fail");
+        assert!(err.range.contains(&57), "{:?}", err.range);
+
+        let token = CancelToken::inert();
+        token.cancel();
+        match pool
+            .try_par_scratch_within(500, &token, || 0usize, |_, i| i)
+            .expect("no panics")
+        {
+            ParOutcome::Interrupted { done, total, .. } => {
+                assert!(done.is_empty());
+                assert_eq!(total, 500);
+            }
+            ParOutcome::Complete(_) => panic!("pre-tripped token must interrupt"),
+        }
+    }
+
+    #[test]
+    fn outcome_map_preserves_shape_and_accounting() {
+        use crate::cancel::{CancelCause, CancelToken};
+        let complete: ParOutcome<Vec<usize>> = ParOutcome::Complete(vec![1, 2, 3]);
+        assert_eq!(complete.map(|v| v.len()), ParOutcome::Complete(3));
+        let token = CancelToken::inert();
+        token.cancel();
+        let cut: ParOutcome<Vec<usize>> = ParOutcome::Interrupted {
+            done: vec![1, 2],
+            completed: 2,
+            total: 10,
+            interrupt: token.interrupt(),
+        };
+        match cut.map(|v| v.len()) {
+            ParOutcome::Interrupted {
+                done,
+                completed,
+                total,
+                interrupt,
+            } => {
+                assert_eq!((done, completed, total), (2, 2, 10));
+                assert_eq!(interrupt.cause, CancelCause::Cancelled);
+            }
+            ParOutcome::Complete(_) => panic!("map must preserve the interrupted shape"),
+        }
     }
 
     #[test]

@@ -3,31 +3,95 @@
 //! All `*_sim` functions return values in `[0.0, 1.0]`; the raw distances
 //! (`levenshtein`, `damerau_levenshtein`) return edit counts.
 
+/// Reusable working buffers for the char-slice edit kernels.
+///
+/// The batch feature path evaluates millions of pairs; allocating DP
+/// rows and match flags per call dominates. A `SimScratch` owns those
+/// buffers so one instance (per worker-pool chunk) amortizes them.
+/// Every kernel fully re-initializes the parts of the scratch it reads,
+/// so outputs never depend on what a previous call left behind — that
+/// invariant is what lets chunked parallel execution stay bit-for-bit
+/// identical to sequential (DESIGN.md, "Columnar execution model").
+///
+/// The one deliberately persistent part is `jw_memo`, the Monge-Elkan
+/// kernel's Jaro-Winkler cache keyed by interned token-id pairs. Cached
+/// values are pure functions of the id pair within one interner, so
+/// reuse still cannot change any output — but ids from *different*
+/// interners would collide, so a scratch must never outlive the
+/// interner it was used with (the batch path creates scratches per
+/// chunk, well inside that scope).
+#[derive(Debug, Default, Clone)]
+pub struct SimScratch {
+    prev: Vec<u32>,
+    cur: Vec<u32>,
+    b_used: Vec<bool>,
+    a_matched: Vec<char>,
+    b_matched: Vec<char>,
+    pub(crate) jw_memo: std::collections::HashMap<u64, f64>,
+}
+
+impl SimScratch {
+    /// Fresh scratch with empty buffers (they grow on first use).
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+}
+
 /// Levenshtein distance between two strings, computed over Unicode scalar
 /// values with a two-row dynamic program (O(min) memory).
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    levenshtein_chars(&a, &b)
+    levenshtein_chars_with(&a, &b, &mut SimScratch::new())
 }
 
-fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+/// Levenshtein distance over pre-split char slices, reusing `scratch`
+/// for the DP rows. This is the batch-kernel entry point; [`levenshtein`]
+/// delegates here, so both paths are the same code.
+pub fn levenshtein_chars_with(a: &[char], b: &[char], scratch: &mut SimScratch) -> usize {
+    // Trim the common prefix and suffix: an optimal edit script never
+    // touches them, so the distance of the trimmed middles *is* the
+    // distance (the standard Levenshtein trimming lemma).
+    let p = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[p..], &b[p..]);
+    let s = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - s], &b[..b.len() - s]);
     // Keep the shorter string on the column axis to minimize memory.
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
+    let prev = &mut scratch.prev;
+    let cur = &mut scratch.cur;
+    prev.clear();
+    prev.extend(0..=b.len() as u32);
+    cur.clear();
+    cur.resize(b.len() + 1, 0);
     for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
+        cur[0] = i as u32 + 1;
         for (j, &cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
+            let cost = u32::from(ca != cb);
             cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
-    prev[b.len()]
+    prev[b.len()] as usize
+}
+
+/// Normalized Levenshtein similarity over char slices: `1 - dist / max_len`,
+/// `1.0` when both are empty. Bit-for-bit the [`normalized_levenshtein`]
+/// result for the strings the slices were split from.
+pub fn normalized_levenshtein_chars_with(a: &[char], b: &[char], scratch: &mut SimScratch) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_chars_with(a, b, scratch) as f64 / max as f64
 }
 
 /// Levenshtein similarity: `1 - dist / max_len`; `1.0` when both empty.
@@ -90,16 +154,28 @@ pub fn normalized_damerau_levenshtein(a: &str, b: &str) -> f64 {
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
+    jaro_chars_with(&a, &b, &mut SimScratch::new())
+}
+
+/// Jaro similarity over pre-split char slices, reusing `scratch` for the
+/// match flags and matched-sequence buffers. [`jaro`] delegates here.
+pub fn jaro_chars_with(a: &[char], b: &[char], scratch: &mut SimScratch) -> f64 {
+    if a == b {
+        // The full computation on identical inputs yields exactly 1.0
+        // (m = |a|, t = 0 → (1.0 + 1.0 + 1.0) / 3.0), so this shortcut
+        // is bitwise-invisible. It also covers the both-empty case.
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
+    let b_used = &mut scratch.b_used;
+    b_used.clear();
+    b_used.resize(b.len(), false);
+    let a_matched = &mut scratch.a_matched;
+    a_matched.clear();
     let mut matches = 0usize;
-    let mut a_matched: Vec<char> = Vec::new();
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
@@ -116,11 +192,13 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions between the matched sequences.
-    let b_matched: Vec<char> = b
-        .iter()
-        .zip(b_used.iter())
-        .filter_map(|(&c, &u)| u.then_some(c))
-        .collect();
+    let b_matched = &mut scratch.b_matched;
+    b_matched.clear();
+    b_matched.extend(
+        b.iter()
+            .zip(b_used.iter())
+            .filter_map(|(&c, &u)| u.then_some(c)),
+    );
     let transpositions = a_matched
         .iter()
         .zip(b_matched.iter())
@@ -134,13 +212,20 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
 /// prefix length capped at 4, applied only when Jaro exceeds 0.7.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars_with(&a, &b, &mut SimScratch::new())
+}
+
+/// Jaro-Winkler over pre-split char slices. [`jaro_winkler`] delegates here.
+pub fn jaro_winkler_chars_with(a: &[char], b: &[char], scratch: &mut SimScratch) -> f64 {
+    let j = jaro_chars_with(a, b, scratch);
     if j <= 0.7 {
         return j;
     }
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count();
@@ -277,6 +362,51 @@ mod tests {
         let a = "aXXXXXXX";
         let b = "aYYYYYYY";
         assert!((jaro_winkler(a, b) - jaro(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_scratch_is_bitwise_invisible() {
+        // A dirty scratch (arbitrary garbage left by prior calls) must
+        // produce the exact bits a fresh scratch produces.
+        let pairs = [
+            ("martha", "marhta"),
+            ("dixon", "dicksonx"),
+            ("", "abc"),
+            ("", ""),
+            ("kitten", "sitting"),
+            ("müller", "muller"),
+        ];
+        let mut dirty = SimScratch::new();
+        // Pollute it.
+        let _ = levenshtein_chars_with(
+            &"zzzzzzzzzz".chars().collect::<Vec<_>>(),
+            &"qqq".chars().collect::<Vec<_>>(),
+            &mut dirty,
+        );
+        let _ = jaro_chars_with(
+            &"abcdef".chars().collect::<Vec<_>>(),
+            &"fedcba".chars().collect::<Vec<_>>(),
+            &mut dirty,
+        );
+        for (a, b) in pairs {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            assert_eq!(
+                levenshtein_chars_with(&ca, &cb, &mut dirty),
+                levenshtein(a, b),
+                "{a:?} vs {b:?}"
+            );
+            assert_eq!(
+                jaro_winkler_chars_with(&ca, &cb, &mut dirty).to_bits(),
+                jaro_winkler(a, b).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+            assert_eq!(
+                normalized_levenshtein_chars_with(&ca, &cb, &mut dirty).to_bits(),
+                normalized_levenshtein(a, b).to_bits(),
+                "{a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Token interning: map every distinct token string to a dense `u32` id.
+//!
+//! The columnar feature path tokenizes each cell **once** at build time
+//! and stores token *ids* instead of strings; every downstream kernel
+//! (set similarity, TF-IDF cosine, blocking) then works on integer
+//! slices. The interner is append-only and single-threaded by design:
+//! it is populated during `FeatureGenerator::build` (or at the start of
+//! a blocking pass) and read immutably afterwards, so the parallel pair
+//! loop never touches the lookup map.
+//!
+//! Determinism: ids are assigned in first-encounter order, which is a
+//! pure function of the input tables — the `HashMap` is used only for
+//! point lookups (never iterated), so no iteration-order
+//! nondeterminism can leak into results.
+
+use std::collections::HashMap;
+
+/// An append-only string-to-`u32` interner with a per-token char cache.
+#[derive(Debug, Default, Clone)]
+pub struct TokenInterner {
+    lookup: HashMap<String, u32>,
+    strings: Vec<String>,
+    // Flattened `chars()` of every interned string, so kernels that
+    // need char slices (Monge-Elkan's inner Jaro-Winkler) split each
+    // token exactly once.
+    chars: Vec<char>,
+    chars_off: Vec<u32>,
+}
+
+impl TokenInterner {
+    /// An empty interner.
+    pub fn new() -> TokenInterner {
+        TokenInterner {
+            lookup: HashMap::new(),
+            strings: Vec::new(),
+            chars: Vec::new(),
+            chars_off: vec![0],
+        }
+    }
+
+    /// Intern `tok`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, tok: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(tok) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.chars.extend(tok.chars());
+        self.chars_off.push(self.chars.len() as u32);
+        self.lookup.insert(tok.to_owned(), id);
+        self.strings.push(tok.to_owned());
+        id
+    }
+
+    /// The id of an already-interned token, if any.
+    pub fn get(&self, tok: &str) -> Option<u32> {
+        self.lookup.get(tok).copied()
+    }
+
+    /// The string an id was assigned to. Ids come from this interner's
+    /// [`TokenInterner::intern`], so the index is always in range for
+    /// well-formed callers; out-of-range ids are a caller bug and index
+    /// out of bounds like any slice access.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// The cached `chars()` of an interned token.
+    pub fn chars_of(&self, id: u32) -> &[char] {
+        let lo = self.chars_off[id as usize] as usize;
+        let hi = self.chars_off[id as usize + 1] as usize;
+        &self.chars[lo..hi]
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// For every id, its position in the lexicographic order of all
+    /// interned strings: `rank[id] = |{ other : string(other) < string(id) }|`.
+    ///
+    /// Comparing ranks is exactly comparing token strings (the mapping
+    /// is order-isomorphic and all strings are distinct), which lets
+    /// the TF-IDF kernel merge-join integer ranks while reproducing the
+    /// scalar path's string-sorted accumulation order bit for bit.
+    pub fn string_ranks(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.strings.len() as u32).collect();
+        order.sort_unstable_by(|&x, &y| self.strings[x as usize].cmp(&self.strings[y as usize]));
+        let mut rank = vec![0u32; order.len()];
+        for (pos, &id) in order.iter().enumerate() {
+            rank[id as usize] = pos as u32;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut it = TokenInterner::new();
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        let a2 = it.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "alpha");
+        assert_eq!(it.resolve(b), "beta");
+        assert_eq!(it.get("alpha"), Some(a));
+        assert_eq!(it.get("gamma"), None);
+    }
+
+    #[test]
+    fn char_cache_matches_chars() {
+        let mut it = TokenInterner::new();
+        for tok in ["", "a", "müller", "i\u{307}", "漢字"] {
+            let id = it.intern(tok);
+            assert_eq!(it.chars_of(id), tok.chars().collect::<Vec<_>>(), "{tok:?}");
+        }
+    }
+
+    #[test]
+    fn ranks_mirror_string_order() {
+        let mut it = TokenInterner::new();
+        let ids: Vec<u32> = ["pear", "apple", "fig", "banana"]
+            .iter()
+            .map(|t| it.intern(t))
+            .collect();
+        let rank = it.string_ranks();
+        // apple < banana < fig < pear
+        assert_eq!(rank[ids[0] as usize], 3);
+        assert_eq!(rank[ids[1] as usize], 0);
+        assert_eq!(rank[ids[2] as usize], 2);
+        assert_eq!(rank[ids[3] as usize], 1);
+        // Comparing ranks == comparing strings, pairwise.
+        for &x in &ids {
+            for &y in &ids {
+                assert_eq!(
+                    rank[x as usize].cmp(&rank[y as usize]),
+                    it.resolve(x).cmp(it.resolve(y))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = TokenInterner::new();
+        assert!(it.is_empty());
+        assert!(it.string_ranks().is_empty());
+    }
+}

@@ -13,20 +13,24 @@
 //! `&str`/slices without copying inputs and pre-size their DP tables.
 
 pub mod edit;
+pub mod intern;
 pub mod normalize;
 pub mod numeric;
 pub mod phonetic;
+pub mod prepared;
 pub mod setsim;
 pub mod tfidf;
 pub mod tokenize;
 
 pub use edit::{
     damerau_levenshtein, jaro, jaro_winkler, levenshtein, needleman_wunsch_sim,
-    normalized_damerau_levenshtein, normalized_levenshtein, smith_waterman_sim,
+    normalized_damerau_levenshtein, normalized_levenshtein, smith_waterman_sim, SimScratch,
 };
+pub use intern::TokenInterner;
 pub use normalize::normalize;
 pub use numeric::{abs_diff_sim, exact_sim, rel_diff_sim};
 pub use phonetic::{nysiis, nysiis_sim, soundex, soundex_sim};
+pub use prepared::{measure_cells, tfidf_cosine_cells, PreparedColumn};
 pub use setsim::{cosine_tokens, dice, jaccard, monge_elkan, overlap_coefficient};
 pub use tfidf::{TfIdfCorpus, TfIdfCorpusBuilder};
 pub use tokenize::{qgrams, word_tokens};

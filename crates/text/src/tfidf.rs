@@ -52,6 +52,17 @@ pub struct TfIdfCorpus {
 }
 
 impl TfIdfCorpus {
+    /// Assemble a corpus from already-counted statistics: `doc_freq`
+    /// maps each token to the number of documents containing it, and
+    /// `n_docs` is the total document count. The columnar feature path
+    /// counts frequencies over interned token ids and uses this to
+    /// materialize the exact corpus the incremental builder would have
+    /// produced (document frequency is a pure count, so the result is
+    /// value-identical regardless of which path counted it).
+    pub fn from_parts(doc_freq: HashMap<String, usize>, n_docs: usize) -> TfIdfCorpus {
+        TfIdfCorpus { doc_freq, n_docs }
+    }
+
     /// Number of documents the corpus was built from.
     pub fn n_docs(&self) -> usize {
         self.n_docs

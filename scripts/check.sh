@@ -66,6 +66,14 @@ cargo run -q --release -p fairem360 --bin fairem -- audit \
 cargo run -q --release -p fairem-bench --bin bench_baseline -- \
   --validate "$OBS_DIR/metrics.json"
 
+echo "== perf: columnar featurization gate (BENCH_baseline.json) =="
+# Sequential Citations featurization must beat the committed scalar
+# baseline by >=3x, and the 4-worker pool must be >=2x faster than
+# sequential on a ~1e5-pair batch (or, on a single-hardware-thread
+# host, cost at most 35% overhead). A regression that slows the
+# columnar hot path back down fails the gate here.
+cargo run -q --release -p fairem-bench --bin bench_baseline -- --gate
+
 echo "== serve: storm + SIGINT drain (${TEST_TIMEOUT}s cap) =="
 # Boot the real release binary (not `cargo run`, so the INT signal
 # reaches the server itself), storm it with the mixed client fleet,

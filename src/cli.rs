@@ -135,6 +135,7 @@ USAGE:
          [--matchers <name,..>] [--measures <name,..>] [--paradigm single|pairwise]
          [--disparity subtraction|division] [--threshold <f>] [--fairness-threshold <f>]
          [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
+         [--blocking <col[,col]>] [--blocker token|sorted:<key-col>[:<window>]]
          [--jobs <n|auto>] [--timeout <secs>] [--matcher-timeout <secs>]
          [--inject-stall <matcher>:<train|score>:<millis>]
          [--metrics <path>] [--trace]
@@ -152,6 +153,13 @@ USAGE:
 FILES:
   matches csv: header `id_a,id_b`, one ground-truth pair per row
   scores  csv: header `id_a,id_b,score`, your matcher's predictions
+
+BLOCKING:
+  --blocker selects the candidate-generation scheme: `token` (the
+  default: token blocking, optionally restricted to the --blocking
+  columns) or `sorted:<key-col>[:<window>]`, a sorted-neighborhood
+  scan over <key-col> with the given window (default 10, minimum 2).
+  Candidate sets are deterministic under either scheme.
 
 PARALLELISM:
   --jobs N uses a fixed pool of N workers; `auto` or `0` (the default)
@@ -326,6 +334,43 @@ fn parse_inject_stall(
         .parse()
         .map_err(|_| err(format!("--inject-stall expects integer millis, got {millis:?}")))?;
     Ok(plan.stall(kind, site, millis))
+}
+
+/// Parse `--blocker token` / `--blocker sorted:<key-col>[:<window>]`
+/// into a blocking scheme. `token` returns `None`: the suite then uses
+/// its default [`fairem_core::TokenBlocking`], which honours the
+/// `--blocking` column list.
+fn parse_blocker(
+    spec: &str,
+) -> Result<Option<std::sync::Arc<dyn fairem_core::Blocker>>, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[..] {
+        ["token"] => Ok(None),
+        ["sorted", key] | ["sorted", key, _] if key.trim().is_empty() => Err(err(
+            "--blocker sorted needs a key column: sorted:<key-col>[:<window>]",
+        )),
+        ["sorted", key] => Ok(Some(std::sync::Arc::new(fairem_core::SortedNeighborhood {
+            key_column: key.trim().to_owned(),
+            window: 10,
+        }))),
+        ["sorted", key, window] => {
+            let window: usize = window.parse().map_err(|_| {
+                err(format!("--blocker sorted expects an integer window, got {window:?}"))
+            })?;
+            if window < 2 {
+                return Err(err(format!(
+                    "--blocker sorted window must be at least 2, got {window}"
+                )));
+            }
+            Ok(Some(std::sync::Arc::new(fairem_core::SortedNeighborhood {
+                key_column: key.trim().to_owned(),
+                window,
+            })))
+        }
+        _ => Err(err(format!(
+            "--blocker expects `token` or `sorted:<key-col>[:<window>]`, got {spec:?}"
+        ))),
+    }
 }
 
 /// The process-wide cancellation token the SIGINT handler trips. The
@@ -580,6 +625,9 @@ fn cmd_audit(
     }
     if let Some(cols) = args.get("blocking") {
         config.prep.blocking_columns = cols.split(',').map(|c| c.trim().to_owned()).collect();
+    }
+    if let Some(spec) = args.get("blocker") {
+        config.blocker = parse_blocker(spec)?;
     }
     // Fault-tolerant import (the builder's default): malformed rows are
     // quarantined (and listed in the output) instead of failing the
@@ -1102,6 +1150,50 @@ mod tests {
         let e = audit("banana").unwrap_err();
         assert!(e.message.contains("--jobs expects"), "{}", e.message);
         assert_eq!(e.exit, EXIT_USAGE);
+    }
+
+    #[test]
+    fn blocker_flag_selects_scheme_and_rejects_bad_specs() {
+        let dir = tmpdir("blocker");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "products",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = |extra: &[&str]| {
+            let mut v = args(&[
+                "audit",
+                "--table-a",
+                dir.join("tableA.csv").to_str().unwrap(),
+                "--table-b",
+                dir.join("tableB.csv").to_str().unwrap(),
+                "--matches",
+                dir.join("matches.csv").to_str().unwrap(),
+                "--sensitive",
+                "tier",
+                "--blocking",
+                "title",
+                "--matchers",
+                "DTMatcher",
+            ]);
+            v.extend(extra.iter().map(|s| (*s).to_owned()));
+            v
+        };
+        // Sorted-neighborhood over the title key produces a full report.
+        let sorted = run(&base(&["--blocker", "sorted:title:6"])).unwrap().text;
+        assert!(sorted.contains("DTMatcher"), "{sorted}");
+        // `token` is accepted as the explicit default spelling.
+        let token = run(&base(&["--blocker", "token"])).unwrap().text;
+        assert!(token.contains("DTMatcher"), "{token}");
+        // Bad specs are usage errors, not panics.
+        for bad in ["sorted", "sorted::4", "sorted:title:1", "sorted:title:x", "lsh"] {
+            let e = run(&base(&["--blocker", bad])).unwrap_err();
+            assert_eq!(e.exit, EXIT_USAGE, "{bad}: {}", e.message);
+            assert!(e.message.contains("--blocker"), "{bad}: {}", e.message);
+        }
     }
 
     #[test]
