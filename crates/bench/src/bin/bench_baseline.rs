@@ -35,7 +35,7 @@ use fairem_core::pipeline::{FairEm360, SuiteConfig};
 use fairem_core::prep::PrepConfig;
 use fairem_core::schema::Table;
 use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::{Exec, PairBatch, ParOutcome, Parallelism, Recorder, WorkerPool};
+use fairem_core::{Exec, PairBatch, ParOutcome, Parallelism, Recorder, Snapshot, WorkerPool};
 use fairem_csvio::Json;
 use fairem_datasets::{citations, wdc_products, CitationsConfig, GeneratedDataset, ProductsConfig};
 use fairem_bench::OrFail;
@@ -120,7 +120,8 @@ fn baseline(out: &Path) -> ExitCode {
     for dataset in &datasets {
         for &jobs in JOBS {
             eprintln!("measuring {} under {jobs} worker(s)...", dataset.name);
-            let stages = run_once(dataset, jobs);
+            let snapshot = run_once(dataset, jobs);
+            let stages = snapshot.stage_totals();
             let mut obj = Json::obj([
                 ("dataset", Json::Str(dataset.name.clone())),
                 ("jobs", Json::Num(jobs as f64)),
@@ -132,6 +133,25 @@ fn baseline(out: &Path) -> ExitCode {
                 table.push(stage.clone(), Json::Num(*secs));
             }
             obj.push("stage_secs", table);
+            // Memory accounting from the same recorder pass: overall
+            // peak-resident, per-stage peaks (the `mem.stage_peak_bytes.*`
+            // gauge family), and the shard count the run executed with.
+            let mut peaks = Json::obj([]);
+            const STAGE_PEAK: &str = "mem.stage_peak_bytes.";
+            for (name, value) in &snapshot.gauges {
+                if let Some(stage) = name.strip_prefix(STAGE_PEAK) {
+                    println!(
+                        "  {:>12} {:>10.1} KiB peak  ({} x{jobs})",
+                        stage,
+                        value / 1024.0,
+                        dataset.name
+                    );
+                    peaks.push(stage.to_owned(), Json::Num(*value));
+                }
+            }
+            obj.push("stage_peak_bytes", peaks);
+            obj.push("peak_resident_bytes", Json::Num(gauge(&snapshot, "mem.peak_bytes")));
+            obj.push("shards", Json::Num(gauge(&snapshot, "shard.count").max(1.0)));
             runs.push(obj);
         }
     }
@@ -151,9 +171,21 @@ fn baseline(out: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// One full pipeline pass under a live recorder; returns the per-stage
-/// totals ([`fairem_obs::Snapshot::stage_totals`] order).
-fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Vec<(String, f64)> {
+/// Read one gauge out of a snapshot (0.0 when absent).
+fn gauge(snapshot: &Snapshot, name: &str) -> f64 {
+    snapshot
+        .gauges
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0)
+}
+
+/// One full pipeline pass under a live recorder; returns the recorder
+/// snapshot (stage wall times via
+/// [`fairem_obs::Snapshot::stage_totals`], memory peaks in the
+/// `mem.*` gauges).
+fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Snapshot {
     let observe = Recorder::enabled();
     let config = SuiteConfig {
         prep: PrepConfig {
@@ -187,7 +219,7 @@ fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Vec<(String, f64)> {
     let _ = session
         .ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction)
         .pareto_frontier();
-    observe.snapshot().stage_totals()
+    observe.snapshot()
 }
 
 /// Parse a `fairem-obs/1` snapshot and print per-stage totals (root
@@ -307,7 +339,7 @@ fn gate(baseline_path: &Path) -> ExitCode {
     };
     let dataset = citations(&CitationsConfig::default());
     eprintln!("gate: measuring Citations sequential features...");
-    let stages = run_once(&dataset, 1);
+    let stages = run_once(&dataset, 1).stage_totals();
     let Some(features) = stages
         .iter()
         .find(|(n, _)| n == "features")

@@ -98,6 +98,21 @@ pub enum SuiteError {
         /// The matchers the session actually holds, in registry order.
         known: Vec<String>,
     },
+    /// The memory budget refused a stage's declared footprint. The
+    /// numbers are the deterministic cost-model bytes (declared sizes,
+    /// never allocator measurements), so the same configuration fails
+    /// identically on every machine. The remedy is sharded execution
+    /// (`--shards`) or a larger `--mem-budget`.
+    MemExceeded {
+        /// Stage whose build did not fit.
+        stage: Stage,
+        /// Bytes the build declared.
+        requested: u64,
+        /// Bytes already resident when the build was refused.
+        in_use: u64,
+        /// The configured budget.
+        limit: u64,
+    },
     /// The whole-suite budget expired (or the run was cancelled) at a
     /// pipeline stage. Per-matcher budget expiries do **not** raise
     /// this — they degrade the session exactly like a matcher panic and
@@ -128,6 +143,17 @@ impl std::fmt::Display for SuiteError {
                 }
                 Ok(())
             }
+            SuiteError::MemExceeded {
+                stage,
+                requested,
+                in_use,
+                limit,
+            } => write!(
+                f,
+                "memory budget exceeded at {stage}: need {requested} B with {in_use} B \
+                 already resident (limit {limit} B); shard the run (--shards) or raise \
+                 --mem-budget"
+            ),
             SuiteError::TimedOut {
                 stage,
                 matcher,
@@ -214,6 +240,21 @@ mod tests {
             elapsed: std::time::Duration::from_secs(2),
         };
         assert!(anon.to_string().contains("timed out at feature-gen"));
+    }
+
+    #[test]
+    fn mem_exceeded_carries_the_cost_model_numbers() {
+        let e = SuiteError::MemExceeded {
+            stage: Stage::FeatureGen,
+            requested: 4096,
+            in_use: 1024,
+            limit: 2048,
+        };
+        let s = e.to_string();
+        assert!(s.contains("memory budget exceeded at feature-gen"), "{s}");
+        assert!(s.contains("need 4096 B"), "{s}");
+        assert!(s.contains("limit 2048 B"), "{s}");
+        assert!(s.contains("--shards"), "{s}");
     }
 
     #[test]

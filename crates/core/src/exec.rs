@@ -10,7 +10,7 @@
 //! the plain sequential computation.
 
 use fairem_obs::Recorder;
-use fairem_par::{Budget, CancelToken, WorkerPool};
+use fairem_par::{Budget, CancelToken, MemTracker, WorkerPool};
 
 /// A batch of candidate record pairs to evaluate.
 ///
@@ -63,6 +63,10 @@ pub struct Exec {
     pub budget: Budget,
     /// Metrics sink; the disabled recorder never touches the clock.
     pub recorder: Recorder,
+    /// Deterministic allocation account for the columnar build path.
+    /// The default tracker is unlimited: it records current/peak bytes
+    /// but never rejects a build.
+    pub mem: MemTracker,
 }
 
 impl Default for Exec {
@@ -87,6 +91,7 @@ impl Exec {
             cancel: CancelToken::inert(),
             budget: Budget::UNLIMITED,
             recorder: Recorder::disabled(),
+            mem: MemTracker::unlimited(),
         }
     }
 
@@ -105,6 +110,12 @@ impl Exec {
     /// Attach a metrics recorder.
     pub fn observe(mut self, recorder: Recorder) -> Exec {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a memory tracker (allocation accounting / budget).
+    pub fn mem(mut self, tracker: MemTracker) -> Exec {
+        self.mem = tracker;
         self
     }
 

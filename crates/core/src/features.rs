@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
-use fairem_par::{CancelToken, ChunkPanic, Interrupt, ParOutcome, WorkerPool};
+use fairem_par::{CancelToken, ChunkPanic, Interrupt, MemPressure, ParOutcome, WorkerPool};
 use fairem_text::{
     measure_cells, rel_diff_sim, tfidf_cosine_cells, word_tokens, PreparedColumn, SimScratch,
     StringMeasure, TfIdfCorpus, TokenInterner,
@@ -114,6 +114,32 @@ pub struct FeatureGenerator {
     columns: Vec<AlignedColumn>,
     tfidf: TfIdfCorpus,
     interned: Arc<Interned>,
+}
+
+/// Why a batch feature build failed: a contained worker panic, or the
+/// execution context's memory budget refusing the build's declared
+/// footprint before any row was computed.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// A panic escaped feature evaluation on a worker.
+    Panic(ChunkPanic),
+    /// The declared build footprint did not fit the memory budget.
+    Mem(MemPressure),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::Panic(p) => write!(f, "{p}"),
+            MatrixError::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ChunkPanic> for MatrixError {
+    fn from(p: ChunkPanic) -> MatrixError {
+        MatrixError::Panic(p)
+    }
 }
 
 impl FeatureGenerator {
@@ -311,18 +337,37 @@ impl FeatureGenerator {
     pub fn matrix(&self, batch: &PairBatch, exec: &Exec) -> ParOutcome<Matrix> {
         match self.try_matrix(batch, exec) {
             Ok(outcome) => outcome,
-            // fairem: allow(panic) — documented # Panics contract: re-raises a contained worker panic for callers that did not opt into handling it.
-            Err(p) => panic!("feature batch panicked: {p}"),
+            // fairem: allow(panic) — documented # Panics contract: re-raises a contained worker panic (or budget refusal) for callers that did not opt into handling it.
+            Err(p) => panic!("feature batch failed: {p}"),
         }
     }
 
-    /// [`FeatureGenerator::matrix`] with contained worker panics
-    /// returned as [`ChunkPanic`] values instead of re-raised.
+    /// Resident bytes of the feature matrix for `n_pairs` pairs: one
+    /// `f64` per feature per pair. This is the deterministic cost model
+    /// the memory budget accounts against — declared sizes, never
+    /// allocator or OS measurements.
+    pub fn matrix_cost(&self, n_pairs: usize) -> u64 {
+        (n_pairs as u64) * (self.n_features() as u64) * 8
+    }
+
+    /// [`FeatureGenerator::matrix`] with failures returned as values:
+    /// contained worker panics as [`MatrixError::Panic`], and memory
+    /// budget refusals as [`MatrixError::Mem`].
+    ///
+    /// The build declares a transient footprint of twice the matrix
+    /// cost (per-chunk staging rows plus the stitched matrix) against
+    /// `exec.mem` before computing anything; the hold is released when
+    /// the call returns, so callers that keep the result resident take
+    /// their own one-matrix hold.
     pub fn try_matrix(
         &self,
         batch: &PairBatch,
         exec: &Exec,
-    ) -> Result<ParOutcome<Matrix>, ChunkPanic> {
+    ) -> Result<ParOutcome<Matrix>, MatrixError> {
+        let _build_hold = exec
+            .mem
+            .try_hold(2 * self.matrix_cost(batch.len()))
+            .map_err(MatrixError::Mem)?;
         exec.recorder.add("features.pairs", batch.len() as u64);
         let token = exec.run_token();
         let d = self.n_features();

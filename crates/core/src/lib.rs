@@ -60,6 +60,7 @@
 
 pub mod audit;
 pub mod blocking;
+pub mod ckpt;
 pub mod confusion;
 pub mod ensemble;
 pub mod error;
@@ -78,11 +79,13 @@ pub mod report;
 pub mod resolution;
 pub mod schema;
 pub mod sensitive;
+pub mod shard;
 pub mod threshold;
 pub mod workload;
 
 pub use audit::{AuditConfig, AuditEntry, AuditReport, Auditor};
 pub use blocking::{Blocker, CandidatePairs, SortedNeighborhood, TokenBlocking};
+pub use ckpt::{fnv1a64, CheckpointStore, ShardRecord, CKPT_SCHEMA};
 pub use confusion::ConfusionMatrix;
 pub use ensemble::{EnsembleExplorer, ParetoPoint};
 pub use error::{Stage, SuiteError, SuiteResult};
@@ -91,8 +94,11 @@ pub use fault::{FaultPlan, FaultSite};
 pub use fairness::{Disparity, FairnessMeasure, Paradigm};
 pub use matcher::{FailureCause, Matcher, MatcherFailure, MatcherKind, MatcherRegistry, MatcherStatus};
 pub use fairem_obs::{Recorder, Snapshot, SpanStatus};
-pub use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
+pub use fairem_par::{
+    Budget, CancelToken, Interrupt, MemBudget, MemTracker, ParOutcome, Parallelism, WorkerPool,
+};
 pub use pipeline::{FairEm360, MatcherPerformance, Session, SuiteBuilder, SuiteConfig};
+pub use shard::{window_len, PairCounts, Shard, ShardPlan, ShardPolicy};
 pub use quarantine::{QuarantineReport, QuarantinedRow, RowIssue};
 pub use resolution::{Feedback, Proposal, ResolutionSession};
 pub use schema::Table;

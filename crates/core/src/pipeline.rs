@@ -7,17 +7,21 @@ use fairem_csvio::CsvTable;
 use fairem_ml::Matrix;
 use fairem_neural::{HashVocab, TokenPair};
 use fairem_obs::{Recorder, Span, SpanStatus};
-use fairem_par::{Budget, CancelToken, Interrupt, ParOutcome, Parallelism, WorkerPool};
+use fairem_par::{
+    Budget, CancelToken, Interrupt, MemBudget, MemPressure, MemTracker, ParOutcome, Parallelism,
+    WorkerPool,
+};
 
 use crate::audit::{AuditReport, Auditor};
 use crate::blocking::Blocker;
+use crate::ckpt::{fnv1a64, CheckpointStore, ShardRecord};
 use crate::ensemble::EnsembleExplorer;
 use crate::error::{Stage, SuiteError, SuiteResult};
 use crate::exec::{Exec, PairBatch};
 use crate::explain::Explainer;
 use crate::fairness::{Disparity, FairnessMeasure};
 use crate::fault::{self, FaultPlan, FaultSite};
-use crate::features::FeatureGenerator;
+use crate::features::{FeatureGenerator, MatrixError};
 use crate::matcher::{
     sanitize_scores, ExternalScores, Matcher, MatcherFailure, MatcherKind, MatcherRegistry,
     MatcherTrainConfig, TrainInput,
@@ -26,6 +30,7 @@ use crate::prep::{default_blocker, prepare_with, PrepConfig, PreparedData};
 use crate::quarantine::QuarantineReport;
 use crate::schema::{SchemaError, Table};
 use crate::sensitive::{GroupId, GroupSpace, GroupVector, SensitiveAttr};
+use crate::shard::{window_len, PairCounts, ShardPlan, ShardPolicy};
 use crate::workload::{Correspondence, Workload};
 
 /// Suite-wide configuration.
@@ -72,6 +77,16 @@ pub struct SuiteConfig {
     /// swap in e.g. [`crate::blocking::SortedNeighborhood`] without
     /// touching prep.
     pub blocker: Option<std::sync::Arc<dyn Blocker>>,
+    /// Memory budget over the deterministic cost model (feature-matrix
+    /// bytes). Unlimited by default; a finite budget makes the
+    /// fully-materialized path fail with [`SuiteError::MemExceeded`]
+    /// when a declared build does not fit, while the sharded path
+    /// ([`FairEm360::try_run_sharded`]) narrows its scoring windows to
+    /// stay inside it.
+    pub mem_budget: MemBudget,
+    /// Shard count, checkpoint directory, and resume flag for the
+    /// out-of-core path. Ignored by [`FairEm360::try_run`].
+    pub shard: ShardPolicy,
 }
 
 impl Default for SuiteConfig {
@@ -88,6 +103,8 @@ impl Default for SuiteConfig {
             cancel: CancelToken::inert(),
             observe: Recorder::disabled(),
             blocker: None,
+            mem_budget: MemBudget::UNLIMITED,
+            shard: ShardPolicy::default(),
         }
     }
 }
@@ -215,6 +232,39 @@ impl SuiteBuilder {
     /// [`PrepConfig::blocking_columns`].
     pub fn blocker(mut self, blocker: impl Blocker + 'static) -> SuiteBuilder {
         self.config.blocker = Some(std::sync::Arc::new(blocker));
+        self
+    }
+
+    /// Number of shards for the out-of-core path (shorthand for
+    /// mutating [`ShardPolicy::shards`]): with `n > 1`,
+    /// [`FairEm360::try_run_sharded`] partitions the test pair space
+    /// into `n` contiguous shards and audits from merged histograms,
+    /// bit-for-bit identical to the unsharded run.
+    pub fn shards(mut self, n: usize) -> SuiteBuilder {
+        self.config.shard.shards = n;
+        self
+    }
+
+    /// Memory budget over the deterministic cost model (shorthand for
+    /// mutating [`SuiteConfig::mem_budget`]).
+    pub fn mem_budget(mut self, budget: MemBudget) -> SuiteBuilder {
+        self.config.mem_budget = budget;
+        self
+    }
+
+    /// Directory for `fairem-ckpt/1` shard checkpoints (shorthand for
+    /// mutating [`ShardPolicy::checkpoint_dir`]). Each completed shard
+    /// is committed there with atomic rename, so a killed run can be
+    /// resumed.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> SuiteBuilder {
+        self.config.shard.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Reuse committed shards from the checkpoint directory when their
+    /// run key matches (shorthand for mutating [`ShardPolicy::resume`]).
+    pub fn resume(mut self, resume: bool) -> SuiteBuilder {
+        self.config.shard.resume = resume;
         self
     }
 
@@ -409,6 +459,31 @@ impl FairEm360 {
     /// with [`SuiteError::TimedOut`]. With everything unlimited (the
     /// default) the run is bit-for-bit the unbudgeted one.
     pub fn try_run(self, kinds: &[MatcherKind]) -> SuiteResult<Session> {
+        self.run_front(kinds)?.into_session()
+    }
+
+    /// The sharded, out-of-core variant of [`FairEm360::try_run`]: the
+    /// shared front (prep → blocking → feature build → training) runs
+    /// globally, then the *test* split is partitioned by a deterministic
+    /// [`ShardPlan`] and each shard is featurized, scored, and
+    /// accumulated into per-matcher [`PairCounts`] histograms inside the
+    /// memory budget — the full test feature matrix never exists. With a
+    /// checkpoint directory configured, each completed shard is
+    /// committed atomically and [`ShardPolicy::resume`] reuses committed
+    /// shards from an earlier (killed) run of the same key. The returned
+    /// [`ShardedRun`] audits bit-for-bit identically to
+    /// [`Session::audit_all`] on the same configuration.
+    pub fn try_run_sharded(self, kinds: &[MatcherKind]) -> SuiteResult<ShardedRun> {
+        self.run_front(kinds)?.into_sharded()
+    }
+
+    /// The shared front of both execution paths: prep → blocking →
+    /// feature-generator build → train-split featurization → training.
+    /// Everything here is global on purpose — the TF-IDF corpus, the
+    /// splits, and the trained matchers must see identical data in both
+    /// paths, which is what makes the sharded back half bit-for-bit
+    /// equivalent to the in-memory one.
+    fn run_front(self, kinds: &[MatcherKind]) -> SuiteResult<Front> {
         let FairEm360 {
             table_a,
             table_b,
@@ -423,18 +498,6 @@ impl FairEm360 {
         // matcher trains/scores under a child of it, and the session
         // keeps it so audits and ensembles observe the same handle.
         let suite_token = config.cancel.child(config.budget);
-        let timed_out = |stage: Stage, interrupt: Interrupt| SuiteError::TimedOut {
-            stage,
-            matcher: None,
-            elapsed: interrupt.elapsed,
-        };
-        // Annotate a stage span that ended in a cooperative cut, so the
-        // Interrupt record carries (and the trace shows) which span the
-        // budget/cancel severed.
-        let cut_span = |span: &Span, i: &Interrupt| {
-            span.set_status(SpanStatus::Cut);
-            span.note(i.to_string());
-        };
 
         let prep_span = obs.span("prep");
         suite_token.checkpoint().map_err(|i| {
@@ -455,11 +518,14 @@ impl FairEm360 {
 
         // The one execution context every batch stage runs under: the
         // suite pool and token, unlimited per-call budget (the suite
-        // budget lives on the token itself), and the suite recorder.
+        // budget lives on the token itself), the suite recorder, and the
+        // run's memory account (unlimited trackers record but never
+        // reject, so budget-free runs are bit-for-bit unchanged).
         let pool = WorkerPool::with_parallelism(config.parallelism).observe(obs.clone());
         let exec = Exec::with_pool(pool.clone())
             .cancel(suite_token.clone())
-            .observe(obs.clone());
+            .observe(obs.clone())
+            .mem(MemTracker::with_budget(config.mem_budget));
 
         let blocking_span = obs.span("blocking");
         let blocker: std::sync::Arc<dyn Blocker> = match &config.blocker {
@@ -515,27 +581,16 @@ impl FairEm360 {
         })?;
         drop(build_span);
         let vocab = HashVocab::new(config.vocab_size);
-        let feature_matrix = |split: &str, pairs: &[(usize, usize)]| {
-            let span = obs.span("features");
-            span.note(format!("{split} split: {} pair(s)", pairs.len()));
-            match features.try_matrix(&PairBatch::new(pairs), &exec) {
-                Err(p) => {
-                    span.set_status(SpanStatus::Panicked);
-                    Err(SuiteError::Stage {
-                        stage: Stage::FeatureGen,
-                        detail: p.to_string(),
-                    })
-                }
-                Ok(ParOutcome::Interrupted { interrupt, .. }) => {
-                    cut_span(&span, &interrupt);
-                    Err(timed_out(Stage::FeatureGen, interrupt))
-                }
-                Ok(ParOutcome::Complete(m)) => Ok(m),
-            }
-        };
 
         let (train_pairs, train_labels) = prepared.split(&prepared.train_idx);
-        let train_features = feature_matrix("train", &train_pairs)?;
+        let train_features = feature_matrix(&features, &exec, &obs, "train", &train_pairs)?;
+        // The training matrix stays resident for the whole run (repair /
+        // calibration reuse it), so its cost is persisted on the account.
+        exec.mem
+            .try_hold(features.matrix_cost(train_pairs.len()))
+            .map_err(|m| mem_exceeded(Stage::FeatureGen, m))?
+            .persist();
+        obs.gauge("mem.stage_peak_bytes.train", exec.mem.peak() as f64);
         let train_tokens = features.tokenize_all(&PairBatch::new(&train_pairs), &vocab);
         let input = TrainInput {
             features: &train_features,
@@ -545,7 +600,7 @@ impl FairEm360 {
         suite_token
             .checkpoint()
             .map_err(|i| timed_out(Stage::Train, i))?;
-        let (registry, mut failures) = MatcherRegistry::train_isolated(
+        let (registry, failures) = MatcherRegistry::train_isolated(
             kinds,
             &input,
             &config.train,
@@ -554,14 +609,105 @@ impl FairEm360 {
             &suite_token,
             config.matcher_budget,
         );
+
+        Ok(Front {
+            table_a,
+            table_b,
+            space,
+            enc_a,
+            enc_b,
+            prepared,
+            features,
+            vocab,
+            registry,
+            failures,
+            train_pairs,
+            train_labels,
+            train_features,
+            train_tokens,
+            quarantine,
+            pool,
+            exec,
+            suite_token,
+            obs,
+            plan,
+            config,
+        })
+    }
+}
+
+/// Everything both execution back halves need from the shared front:
+/// built features, trained fleet, splits, and the run's execution
+/// handles.
+struct Front {
+    table_a: Table,
+    table_b: Table,
+    space: GroupSpace,
+    enc_a: Vec<GroupVector>,
+    enc_b: Vec<GroupVector>,
+    prepared: PreparedData,
+    features: FeatureGenerator,
+    vocab: HashVocab,
+    registry: MatcherRegistry,
+    failures: Vec<MatcherFailure>,
+    train_pairs: Vec<(usize, usize)>,
+    train_labels: Vec<f64>,
+    train_features: Matrix,
+    train_tokens: Vec<TokenPair>,
+    quarantine: QuarantineReport,
+    pool: WorkerPool,
+    exec: Exec,
+    suite_token: CancelToken,
+    obs: Recorder,
+    plan: FaultPlan,
+    config: SuiteConfig,
+}
+
+impl Front {
+    /// The in-memory back half: materialize the valid and test feature
+    /// matrices, score the whole test split per matcher, and assemble a
+    /// [`Session`].
+    fn into_session(self) -> SuiteResult<Session> {
+        let Front {
+            table_a,
+            table_b,
+            space,
+            enc_a,
+            enc_b,
+            prepared,
+            features,
+            vocab,
+            registry,
+            mut failures,
+            train_pairs,
+            train_labels,
+            train_features,
+            train_tokens,
+            quarantine,
+            pool,
+            exec,
+            suite_token,
+            obs,
+            plan,
+            config,
+        } = self;
         let train_config = config.train;
 
         let (valid_pairs, valid_labels) = prepared.split(&prepared.valid_idx);
-        let valid_features = feature_matrix("valid", &valid_pairs)?;
+        let valid_features = feature_matrix(&features, &exec, &obs, "valid", &valid_pairs)?;
+        exec.mem
+            .try_hold(features.matrix_cost(valid_pairs.len()))
+            .map_err(|m| mem_exceeded(Stage::FeatureGen, m))?
+            .persist();
         let valid_tokens = features.tokenize_all(&PairBatch::new(&valid_pairs), &vocab);
 
         let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
-        let test_features = feature_matrix("test", &test_pairs)?;
+        let test_features = feature_matrix(&features, &exec, &obs, "test", &test_pairs)?;
+        exec.mem
+            .try_hold(features.matrix_cost(test_pairs.len()))
+            .map_err(|m| mem_exceeded(Stage::FeatureGen, m))?
+            .persist();
+        obs.gauge("mem.stage_peak_bytes.features", exec.mem.peak() as f64);
         let test_tokens = features.tokenize_all(&PairBatch::new(&test_pairs), &vocab);
 
         // Per-matcher scoring fan-out: each matcher is one isolated work
@@ -613,9 +759,11 @@ impl FairEm360 {
                 }
             }
         }
-        if scores.is_empty() && !kinds.is_empty() {
+        if scores.is_empty() && (!failures.is_empty() || registry.iter().next().is_some()) {
             return Err(SuiteError::AllMatchersFailed { failures });
         }
+        obs.gauge("mem.peak_bytes", exec.mem.peak() as f64);
+        obs.gauge("shard.count", 1.0);
 
         // Pseudo-workload over the training split (scores = truth) for
         // train-side representation explanations.
@@ -666,6 +814,449 @@ impl FairEm360 {
             cancel: suite_token,
             observe: obs,
         })
+    }
+
+    /// The out-of-core back half: partition the test split with a
+    /// deterministic [`ShardPlan`], process each shard in budget-sized
+    /// windows (build window matrix → score → accumulate → drop), and
+    /// commit each completed shard to the checkpoint store.
+    fn into_sharded(self) -> SuiteResult<ShardedRun> {
+        let Front {
+            table_a,
+            table_b,
+            space,
+            enc_a,
+            enc_b,
+            prepared,
+            features,
+            vocab,
+            registry,
+            mut failures,
+            quarantine,
+            pool,
+            exec,
+            suite_token,
+            obs,
+            plan,
+            config,
+            ..
+        } = self;
+
+        let (test_pairs, test_labels) = prepared.split(&prepared.test_idx);
+        let shard_plan = ShardPlan::partition(test_pairs.len(), config.shard.shards.max(1));
+        obs.gauge("shard.count", shard_plan.len() as f64);
+
+        let fleet: Vec<_> = registry.iter().collect();
+        let fleet_names: Vec<String> = fleet.iter().map(|m| m.name().to_owned()).collect();
+
+        let store = match &config.shard.checkpoint_dir {
+            Some(dir) => {
+                let key = run_key(&table_a, &table_b, &space, &config, &fleet_names, shard_plan.len());
+                Some(CheckpointStore::open(
+                    dir,
+                    key,
+                    shard_plan.len(),
+                    config.shard.resume,
+                )?)
+            }
+            None => None,
+        };
+
+        // Per-matcher merged histograms, aligned with `fleet`. A matcher
+        // knocked out by a scoring failure mid-run is marked dead: it is
+        // excluded from the remaining shards and its partial histogram is
+        // discarded at the end, mirroring how the in-memory path drops a
+        // failed matcher's scores entirely.
+        let mut merged: Vec<PairCounts> = fleet.iter().map(|_| PairCounts::new()).collect();
+        let mut clamped_scores: u64 = 0;
+        let mut dead: Vec<bool> = vec![false; fleet.len()];
+        // Transient build bytes per pair (the staging-plus-matrix factor
+        // `try_matrix` declares) — drives the deterministic window width.
+        let per_pair = 2 * features.matrix_cost(1);
+
+        for shard in shard_plan.shards() {
+            suite_token
+                .checkpoint()
+                .map_err(|i| timed_out(Stage::Score, i))?;
+            let span = obs.span("shard");
+            span.note(format!(
+                "shard {} [{}..{})",
+                shard.index, shard.start, shard.end
+            ));
+            if config.shard.resume {
+                if let Some(store) = &store {
+                    if let Some(rec) = store.load_shard(shard.index) {
+                        let committed: Vec<&str> =
+                            rec.matchers.iter().map(|(n, _)| n.as_str()).collect();
+                        let current: Vec<&str> =
+                            fleet_names.iter().map(String::as_str).collect();
+                        if committed == current {
+                            for ((_, counts), acc) in rec.matchers.iter().zip(&mut merged) {
+                                acc.merge(counts);
+                            }
+                            clamped_scores += rec.clamped;
+                            obs.add("ckpt.shards_skipped", 1);
+                            span.note("resumed from checkpoint");
+                            continue;
+                        }
+                    }
+                    obs.add("ckpt.shards_recomputed", 1);
+                }
+            }
+            let mut rec = ShardRecord {
+                matchers: fleet_names
+                    .iter()
+                    .map(|n| (n.clone(), PairCounts::new()))
+                    .collect(),
+                clamped: 0,
+            };
+            let mut start = shard.start;
+            while start < shard.end {
+                let window = window_len(shard.end - start, exec.mem.headroom(), per_pair);
+                let end = (start + window).min(shard.end);
+                let pairs = &test_pairs[start..end];
+                let labels = &test_labels[start..end];
+                let batch = PairBatch::new(pairs);
+                let window_features = match features.try_matrix(&batch, &exec) {
+                    Err(MatrixError::Panic(p)) => {
+                        span.set_status(SpanStatus::Panicked);
+                        return Err(SuiteError::Stage {
+                            stage: Stage::FeatureGen,
+                            detail: p.to_string(),
+                        });
+                    }
+                    Err(MatrixError::Mem(m)) => {
+                        span.note(m.to_string());
+                        return Err(mem_exceeded(Stage::FeatureGen, m));
+                    }
+                    Ok(ParOutcome::Interrupted { interrupt, .. }) => {
+                        cut_span(&span, &interrupt);
+                        return Err(timed_out(Stage::FeatureGen, interrupt));
+                    }
+                    Ok(ParOutcome::Complete(m)) => m,
+                };
+                let tokens = features.tokenize_all(&batch, &vocab);
+                let live: Vec<usize> = (0..fleet.len()).filter(|&i| !dead[i]).collect();
+                let outcomes = pool.par_map_isolated(live.len(), |j| {
+                    let m = fleet[live[j]];
+                    let token = suite_token.child(config.matcher_budget);
+                    plan.stall_if_armed(FaultSite::Score, Some(m.kind()), &token)?;
+                    token.checkpoint()?;
+                    plan.trip(FaultSite::Score, Some(m.kind()));
+                    Ok(m.score_batch(&window_features, &tokens))
+                });
+                for (&fi, outcome) in live.iter().zip(outcomes) {
+                    let m = fleet[fi];
+                    match outcome {
+                        Ok(Ok(mut s)) => {
+                            if plan.poisons(m.kind()) {
+                                plan.corrupt_scores(m.kind(), &mut s);
+                            }
+                            rec.clamped += sanitize_scores(&mut s) as u64;
+                            let counts = &mut rec.matchers[fi].1;
+                            for ((&(ra, rb), &y), score) in
+                                pairs.iter().zip(labels).zip(&s)
+                            {
+                                counts.record(
+                                    enc_a[ra],
+                                    enc_b[rb],
+                                    *score >= config.matching_threshold,
+                                    y == 1.0,
+                                );
+                            }
+                        }
+                        Ok(Err(interrupt)) => {
+                            dead[fi] = true;
+                            failures.push(MatcherFailure::interrupted(
+                                m.name(),
+                                Stage::Score,
+                                interrupt,
+                            ));
+                        }
+                        Err(reason) => {
+                            dead[fi] = true;
+                            failures.push(MatcherFailure::panicked(
+                                m.name(),
+                                Stage::Score,
+                                reason,
+                            ));
+                        }
+                    }
+                }
+                start = end;
+            }
+            for (i, (_, counts)) in rec.matchers.iter().enumerate() {
+                merged[i].merge(counts);
+            }
+            clamped_scores += rec.clamped;
+            // Checkpoint only clean shards: once the fleet is degraded,
+            // shard records no longer describe the full fleet and a later
+            // resume must recompute instead of trusting them.
+            if dead.iter().all(|&d| !d) {
+                if let Some(store) = &store {
+                    store.store_shard(shard.index, &rec)?;
+                    obs.add("ckpt.shards_written", 1);
+                }
+            }
+        }
+        obs.gauge("mem.peak_bytes", exec.mem.peak() as f64);
+        obs.gauge("mem.stage_peak_bytes.score", exec.mem.peak() as f64);
+
+        let counts: Vec<(String, PairCounts)> = fleet_names
+            .iter()
+            .zip(merged)
+            .enumerate()
+            .filter(|&(i, _)| !dead[i])
+            .map(|(_, (n, c))| (n.clone(), c))
+            .collect();
+        if counts.is_empty() && (!failures.is_empty() || !fleet.is_empty()) {
+            return Err(SuiteError::AllMatchersFailed { failures });
+        }
+        Ok(ShardedRun {
+            space,
+            counts,
+            matching_threshold: config.matching_threshold,
+            failures,
+            quarantine,
+            clamped_scores: clamped_scores as usize,
+            parallelism: config.parallelism,
+            observe: obs,
+            test_size: test_pairs.len(),
+            shards: shard_plan.len(),
+        })
+    }
+}
+
+/// One stage-cut error with no matcher attribution.
+fn timed_out(stage: Stage, interrupt: Interrupt) -> SuiteError {
+    SuiteError::TimedOut {
+        stage,
+        matcher: None,
+        elapsed: interrupt.elapsed,
+    }
+}
+
+/// Annotate a stage span that ended in a cooperative cut, so the
+/// Interrupt record carries (and the trace shows) which span the
+/// budget/cancel severed.
+fn cut_span(span: &Span, i: &Interrupt) {
+    span.set_status(SpanStatus::Cut);
+    span.note(i.to_string());
+}
+
+/// Convert a memory-budget refusal into its suite error.
+fn mem_exceeded(stage: Stage, m: MemPressure) -> SuiteError {
+    SuiteError::MemExceeded {
+        stage,
+        requested: m.requested,
+        in_use: m.in_use,
+        limit: m.limit,
+    }
+}
+
+/// Build one split's feature matrix under the run's execution context,
+/// converting panics, budget refusals, and cooperative cuts into suite
+/// errors.
+fn feature_matrix(
+    features: &FeatureGenerator,
+    exec: &Exec,
+    obs: &Recorder,
+    split: &str,
+    pairs: &[(usize, usize)],
+) -> SuiteResult<Matrix> {
+    let span = obs.span("features");
+    span.note(format!("{split} split: {} pair(s)", pairs.len()));
+    match features.try_matrix(&PairBatch::new(pairs), exec) {
+        Err(MatrixError::Panic(p)) => {
+            span.set_status(SpanStatus::Panicked);
+            Err(SuiteError::Stage {
+                stage: Stage::FeatureGen,
+                detail: p.to_string(),
+            })
+        }
+        Err(MatrixError::Mem(m)) => {
+            span.note(m.to_string());
+            Err(mem_exceeded(Stage::FeatureGen, m))
+        }
+        Ok(ParOutcome::Interrupted { interrupt, .. }) => {
+            cut_span(&span, &interrupt);
+            Err(timed_out(Stage::FeatureGen, interrupt))
+        }
+        Ok(ParOutcome::Complete(m)) => Ok(m),
+    }
+}
+
+/// The canonical run fingerprint for checkpoint reuse: FNV-1a 64 over a
+/// description of everything that determines shard *content* — both
+/// tables (schema and cells), prep/train configuration, threshold,
+/// vocabulary, sensitive columns, the surviving fleet, the blocking
+/// scheme, and the shard count (shard boundaries move with it). The
+/// memory budget is deliberately excluded: shard results are
+/// window-size independent, so a resume may change `--mem-budget`.
+fn run_key(
+    table_a: &Table,
+    table_b: &Table,
+    space: &GroupSpace,
+    config: &SuiteConfig,
+    fleet_names: &[String],
+    shards: usize,
+) -> u64 {
+    let sens: Vec<&str> = space.attrs().iter().map(|a| a.column.as_str()).collect();
+    let blocker = config
+        .blocker
+        .as_ref()
+        .map_or_else(|| "token".to_owned(), |b| b.name().to_owned());
+    let desc = format!(
+        "fairem-ckpt/1|a:{:x}|b:{:x}|prep:{:?}|train:{:?}|thr:{:x}|vocab:{}|sens:{:?}|fleet:{:?}|blocker:{}|shards:{}",
+        table_fingerprint(table_a),
+        table_fingerprint(table_b),
+        config.prep,
+        config.train,
+        config.matching_threshold.to_bits(),
+        config.vocab_size,
+        sens,
+        fleet_names,
+        blocker,
+        shards
+    );
+    fnv1a64(desc.as_bytes())
+}
+
+/// FNV-1a 64 over a table's columns, ids, and every cell (with
+/// unit-separator framing so cell boundaries can't alias).
+fn table_fingerprint(t: &Table) -> u64 {
+    let mut buf = String::new();
+    for c in t.columns() {
+        buf.push_str(c);
+        buf.push('\u{1f}');
+    }
+    for r in 0..t.len() {
+        buf.push_str(t.id(r));
+        buf.push('\u{1f}');
+        for c in 0..t.columns().len() {
+            buf.push_str(t.value(r, c));
+            buf.push('\u{1f}');
+        }
+        buf.push('\u{1e}');
+    }
+    fnv1a64(buf.as_bytes())
+}
+
+/// The result of a sharded, out-of-core run: merged per-matcher
+/// [`PairCounts`] histograms instead of materialized score vectors.
+/// Audits from it are bit-for-bit identical to [`Session`] audits of
+/// the same configuration (pinned by the equivalence suite), while the
+/// peak tracked memory stays bounded by the configured budget.
+#[derive(Debug)]
+pub struct ShardedRun {
+    space: GroupSpace,
+    counts: Vec<(String, PairCounts)>,
+    matching_threshold: f64,
+    failures: Vec<MatcherFailure>,
+    quarantine: QuarantineReport,
+    clamped_scores: usize,
+    parallelism: Parallelism,
+    observe: Recorder,
+    test_size: usize,
+    shards: usize,
+}
+
+impl ShardedRun {
+    /// Names of the matchers with merged histograms — the survivors, in
+    /// registry order (the sharded analogue of
+    /// [`Session::matcher_names`]).
+    pub fn matcher_names(&self) -> Vec<&str> {
+        self.counts.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Per-matcher casualties, empty on a clean run.
+    pub fn failures(&self) -> &[MatcherFailure] {
+        &self.failures
+    }
+
+    /// Rows quarantined during import and prep.
+    pub fn quarantine(&self) -> &QuarantineReport {
+        &self.quarantine
+    }
+
+    /// Number of matcher scores repaired by the non-finite/range clamp.
+    pub fn clamped_scores(&self) -> usize {
+        self.clamped_scores
+    }
+
+    /// True when at least one requested matcher failed.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Fleet coverage as `(survivors, requested)`.
+    pub fn coverage(&self) -> (usize, usize) {
+        let survivors = self.counts.len();
+        (survivors, survivors + self.failures.len())
+    }
+
+    /// Number of test correspondences processed across all shards.
+    pub fn test_size(&self) -> usize {
+        self.test_size
+    }
+
+    /// Number of shards the test split was partitioned into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The worker-pool policy the run used.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The observability recorder the run recorded into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.observe
+    }
+
+    /// The extracted group space.
+    pub fn space(&self) -> &GroupSpace {
+        &self.space
+    }
+
+    /// A matcher's merged histogram, if it survived.
+    pub fn counts(&self, matcher: &str) -> Option<&PairCounts> {
+        self.counts
+            .iter()
+            .find(|(n, _)| n == matcher)
+            .map(|(_, c)| c)
+    }
+
+    /// Audit one matcher from its merged histogram. Unknown names are a
+    /// [`SuiteError::UnknownMatcher`], exactly like [`Session::audit`].
+    pub fn audit(&self, matcher: &str, auditor: &Auditor) -> SuiteResult<AuditReport> {
+        let counts = self.counts(matcher).ok_or_else(|| SuiteError::UnknownMatcher {
+            matcher: matcher.to_owned(),
+            known: self
+                .matcher_names()
+                .iter()
+                .map(|n| (*n).to_owned())
+                .collect(),
+        })?;
+        let mut report =
+            auditor.audit_counts(matcher, counts, self.matching_threshold, &self.space);
+        report.degraded = self.failures.clone();
+        Ok(report)
+    }
+
+    /// Audit every surviving matcher, in [`ShardedRun::matcher_names`]
+    /// order — the sharded analogue of [`Session::audit_all`].
+    pub fn audit_all(&self, auditor: &Auditor) -> Vec<AuditReport> {
+        let span = self.observe.span("audit");
+        self.counts
+            .iter()
+            .map(|(n, _)| {
+                let _child = span.child(&format!("audit.{n}"));
+                self.audit(n, auditor)
+            })
+            .filter_map(Result::ok) // names come from the map, so always Ok
+            .collect()
     }
 }
 

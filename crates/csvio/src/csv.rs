@@ -253,29 +253,46 @@ fn needs_quoting(s: &str) -> bool {
     s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
 }
 
+fn write_row<W: Write>(w: &mut W, row: &[String]) -> io::Result<()> {
+    for (i, f) in row.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        if needs_quoting(f) {
+            let escaped = f.replace('"', "\"\"");
+            w.write_all(b"\"")?;
+            w.write_all(escaped.as_bytes())?;
+            w.write_all(b"\"")?;
+        } else {
+            w.write_all(f.as_bytes())?;
+        }
+    }
+    w.write_all(b"\n")
+}
+
 /// Write a table as RFC 4180 CSV (LF terminators, minimal quoting).
 pub fn write_csv<W: Write>(w: &mut W, table: &CsvTable) -> io::Result<()> {
-    let write_row = |w: &mut W, row: &[String]| -> io::Result<()> {
-        for (i, f) in row.iter().enumerate() {
-            if i > 0 {
-                w.write_all(b",")?;
-            }
-            if needs_quoting(f) {
-                let escaped = f.replace('"', "\"\"");
-                w.write_all(b"\"")?;
-                w.write_all(escaped.as_bytes())?;
-                w.write_all(b"\"")?;
-            } else {
-                w.write_all(f.as_bytes())?;
-            }
-        }
-        w.write_all(b"\n")
-    };
     write_row(w, &table.header)?;
     for row in &table.rows {
         write_row(w, row)?;
     }
     Ok(())
+}
+
+/// Stream rows as RFC 4180 CSV without materializing a table: the
+/// out-of-core companion to [`write_csv`], for generators that produce
+/// rows on demand. Returns the number of data rows written.
+pub fn write_csv_stream<W: Write, I>(w: &mut W, header: &[String], rows: I) -> io::Result<u64>
+where
+    I: IntoIterator<Item = Vec<String>>,
+{
+    write_row(w, header)?;
+    let mut n = 0u64;
+    for row in rows {
+        write_row(w, &row)?;
+        n += 1;
+    }
+    Ok(n)
 }
 
 /// Read and parse a CSV file from disk.

@@ -10,6 +10,6 @@ pub mod json;
 
 pub use csv::{
     parse_csv, parse_csv_str, parse_csv_str_lenient, read_csv_file, read_csv_file_lenient,
-    write_csv, write_csv_file, CsvError, CsvTable, SkippedRow,
+    write_csv, write_csv_file, write_csv_stream, CsvError, CsvTable, SkippedRow,
 };
 pub use json::{Json, JsonError};

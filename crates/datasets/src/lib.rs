@@ -28,9 +28,11 @@ pub mod names;
 pub mod noflycompas;
 pub mod perturb;
 pub mod products;
+pub mod stream;
 
 pub use citations::{citations, CitationsConfig};
 pub use common::GeneratedDataset;
 pub use faculty::{faculty_match, FacultyConfig};
 pub use noflycompas::{nofly_compas, NoFlyConfig};
 pub use products::{wdc_products, ProductsConfig};
+pub use stream::{ScaleConfig, ScaleDataset};

@@ -37,6 +37,7 @@ pub trait Rule {
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(ClockRule),
+        Box::new(FsRule),
         Box::new(ThreadRule),
         Box::new(RngRule),
         Box::new(HashIterRule),
@@ -112,6 +113,56 @@ impl Rule for ClockRule {
                             "`{tok}` outside the clock allowlist (obs/recorder, par/{{pool,cancel}}, core/fault, bench)"
                         ),
                     });
+                }
+            }
+        }
+    }
+}
+
+/// (1b) Filesystem discipline: the compute stages are hermetic — a
+/// `std::fs` call inside a matcher, auditor, or feature kernel is
+/// hidden state that breaks replayability and the sandboxed-serve
+/// contract. Filesystem access lives only at the IO boundary (csvio,
+/// the CLI), in the checkpoint store (whose rename-commit discipline
+/// is itself the point), and in tooling that exists to read or write
+/// workspace files (lint, bench).
+pub struct FsRule;
+
+const FS_ALLOW: &[&str] = &[
+    // The checkpoint store: atomic rename-commit shard persistence.
+    "crates/core/src/ckpt.rs",
+    // The tabular IO substrate and the CLI boundary.
+    "crates/csvio/",
+    "src/cli.rs",
+    // Tooling whose job is reading/writing workspace files. `src/`
+    // only — the linter's seeded fixtures under tests/ must still fire.
+    "crates/lint/src/",
+    "crates/bench/",
+];
+
+impl Rule for FsRule {
+    fn name(&self) -> &'static str {
+        "fs"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if path_in(&file.rel, FS_ALLOW) {
+            return;
+        }
+        for (i, line) in file.code.iter().enumerate() {
+            if file.is_test(i + 1) {
+                continue;
+            }
+            for tok in ["std::fs", "fs::"] {
+                if token_at(line, tok).is_some() {
+                    out.push(Finding {
+                        rel: file.rel.clone(),
+                        line: i + 1,
+                        rule: self.name(),
+                        msg: format!(
+                            "`{tok}` outside the filesystem allowlist (core/ckpt, csvio, cli, lint/src, bench) — compute stages are hermetic"
+                        ),
+                    });
+                    break; // one strike per line, not per token alias
                 }
             }
         }
@@ -435,6 +486,33 @@ mod tests {
     fn clock_skips_strings_comments_and_tests() {
         let src = "// Instant is banned here\nlet s = \"Instant\";\n#[cfg(test)]\nmod t { use std::time::Instant; }\n";
         assert!(run(&ClockRule, "crates/core/src/audit.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fs_fires_outside_allowlist_only() {
+        let src = "let raw = std::fs::read_to_string(path)?;\n";
+        assert_eq!(run(&FsRule, "crates/core/src/pipeline.rs", src).len(), 1);
+        assert!(run(&FsRule, "crates/core/src/ckpt.rs", src).is_empty());
+        assert!(run(&FsRule, "crates/csvio/src/csv.rs", src).is_empty());
+        assert!(run(&FsRule, "src/cli.rs", src).is_empty());
+        assert!(run(&FsRule, "crates/lint/src/driver.rs", src).is_empty());
+        // …but the linter's own fixtures are NOT allowlisted.
+        assert_eq!(
+            run(&FsRule, "crates/lint/tests/fixtures/fs_violation.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fs_counts_one_strike_per_line_and_exempts_tests() {
+        // `std::fs` and `fs::` both match this line; one finding.
+        let src = "use std::fs;\nfn f() { fs::remove_file(p)?; }\n";
+        assert_eq!(run(&FsRule, "crates/ml/src/tree.rs", src).len(), 2);
+        let test_src = "#[cfg(test)]\nmod t { use std::fs; }\n";
+        assert!(run(&FsRule, "crates/ml/src/tree.rs", test_src).is_empty());
+        // Unrelated identifiers do not trip the token matcher.
+        let clean = "let offs = offsets();\nlet x = self.fs_like;\n";
+        assert!(run(&FsRule, "crates/ml/src/tree.rs", clean).is_empty());
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Seeded violation: filesystem access outside the allowlist (the
+//! checkpoint store, csvio, the CLI, lint/src, and bench are the only
+//! sanctioned homes for `std::fs`).
+
+pub fn leak_state(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+pub fn drop_state(path: &str) {
+    let _ = std::fs::remove_file(path);
+}

@@ -32,6 +32,7 @@ fn every_rule_is_exercised_by_a_fixture() {
     let fired: Vec<&str> = findings.iter().map(|f| f.rule).collect();
     for rule in [
         "clock",
+        "fs",
         "thread",
         "rng",
         "hash_iter",

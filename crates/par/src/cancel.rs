@@ -20,6 +20,11 @@
 //! elapsed wall time, and how many checkpoints (steps) completed before
 //! the cut. That record is what degraded-mode reports surface so the
 //! user can see *who* was cut and *how far* it got.
+//!
+//! [`MemBudget`]/[`MemTracker`] are the *memory* siblings of the
+//! wall/step budget: a deterministic byte account over caller-declared
+//! allocation estimates (never RSS), used by the sharded audit path to
+//! bound resident feature matrices and to size shard windows.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -303,6 +308,183 @@ impl CancelToken {
     }
 }
 
+/// A byte allowance for resident working-set data — the memory sibling
+/// of the wall/step [`Budget`].
+///
+/// Accounting is *deterministic by construction*: the tracked figure is
+/// the sum of caller-declared byte estimates (matrix dimensions × cell
+/// width), never the process RSS, so a run that degrades to narrower
+/// shard windows under pressure degrades identically on every machine
+/// and every rerun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemBudget {
+    /// Maximum tracked resident bytes; `None` = unlimited.
+    pub max_bytes: Option<u64>,
+}
+
+impl MemBudget {
+    /// The unlimited budget: [`MemTracker::try_hold`] never fails, but
+    /// current/peak accounting still runs (it feeds the obs gauges).
+    pub const UNLIMITED: MemBudget = MemBudget { max_bytes: None };
+
+    /// A budget of `n` bytes.
+    pub fn bytes(n: u64) -> MemBudget {
+        MemBudget { max_bytes: Some(n) }
+    }
+
+    /// A budget of `n` mebibytes.
+    pub fn mib(n: u64) -> MemBudget {
+        MemBudget::bytes(n.saturating_mul(1024 * 1024))
+    }
+
+    /// True when no limit is armed.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_bytes.is_none()
+    }
+}
+
+/// A rejected [`MemTracker::try_hold`]: admitting `requested` more
+/// bytes on top of `in_use` would cross `limit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPressure {
+    /// Bytes the caller asked to hold.
+    pub requested: u64,
+    /// Bytes already held when the request was rejected.
+    pub in_use: u64,
+    /// The armed limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for MemPressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: need {} B with {} B already resident (limit {} B)",
+            self.requested, self.in_use, self.limit
+        )
+    }
+}
+
+impl std::error::Error for MemPressure {}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    limit: Option<u64>,
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Shared allocation account for one run. Clones share state, exactly
+/// like [`CancelToken`]; the default tracker is unlimited and costs two
+/// relaxed atomics per hold.
+#[derive(Debug, Clone, Default)]
+pub struct MemTracker {
+    inner: Arc<MemInner>,
+}
+
+impl MemTracker {
+    /// A tracker that accounts but never rejects.
+    pub fn unlimited() -> MemTracker {
+        MemTracker::default()
+    }
+
+    /// A tracker enforcing `budget`.
+    pub fn with_budget(budget: MemBudget) -> MemTracker {
+        MemTracker {
+            inner: Arc::new(MemInner {
+                limit: budget.max_bytes,
+                current: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Reserve `bytes` against the budget. The returned [`MemHold`]
+    /// releases them on drop; call [`MemHold::persist`] for data that
+    /// stays resident for the rest of the run. Fails (without changing
+    /// the account) when the reservation would cross the limit.
+    pub fn try_hold(&self, bytes: u64) -> Result<MemHold, MemPressure> {
+        let updated = self
+            .inner
+            .current
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                let next = cur.checked_add(bytes)?;
+                match self.inner.limit {
+                    Some(limit) if next > limit => None,
+                    _ => Some(next),
+                }
+            });
+        match updated {
+            Ok(prev) => {
+                self.inner.peak.fetch_max(prev + bytes, Ordering::SeqCst);
+                Ok(MemHold {
+                    inner: Arc::clone(&self.inner),
+                    bytes,
+                    persisted: false,
+                })
+            }
+            Err(in_use) => Err(MemPressure {
+                requested: bytes,
+                in_use,
+                limit: self.inner.limit.unwrap_or(u64::MAX),
+            }),
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn in_use(&self) -> u64 {
+        self.inner.current.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of held bytes over the tracker's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::SeqCst)
+    }
+
+    /// The armed limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.inner.limit
+    }
+
+    /// Bytes still admissible before the limit; `None` when unlimited.
+    pub fn headroom(&self) -> Option<u64> {
+        self.inner
+            .limit
+            .map(|l| l.saturating_sub(self.in_use()))
+    }
+}
+
+/// An admitted reservation. Dropping it releases the bytes; persisted
+/// holds stay on the account for the tracker's lifetime (data that
+/// lives to the end of the run, like a session's resident matrices).
+#[derive(Debug)]
+pub struct MemHold {
+    inner: Arc<MemInner>,
+    bytes: u64,
+    persisted: bool,
+}
+
+impl MemHold {
+    /// Bytes this hold covers.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Keep the bytes on the account permanently (the backing data
+    /// outlives the scope that reserved it).
+    pub fn persist(mut self) {
+        self.persisted = true;
+    }
+}
+
+impl Drop for MemHold {
+    fn drop(&mut self) {
+        if !self.persisted {
+            self.inner.current.fetch_sub(self.bytes, Ordering::SeqCst);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +616,64 @@ mod tests {
             ..i
         };
         assert!(l.to_string().contains("step budget exhausted"), "{l}");
+    }
+
+    #[test]
+    fn mem_tracker_accounts_holds_and_releases() {
+        let t = MemTracker::with_budget(MemBudget::bytes(100));
+        assert_eq!(t.limit(), Some(100));
+        assert_eq!(t.headroom(), Some(100));
+        let a = t.try_hold(40).expect("fits");
+        assert_eq!(a.bytes(), 40);
+        assert_eq!(t.in_use(), 40);
+        assert_eq!(t.headroom(), Some(60));
+        let b = t.try_hold(60).expect("exactly fills the budget");
+        assert_eq!(t.in_use(), 100);
+        let p = t.try_hold(1).expect_err("over budget");
+        assert_eq!(p.requested, 1);
+        assert_eq!(p.in_use, 100);
+        assert_eq!(p.limit, 100);
+        assert!(p.to_string().contains("memory budget exceeded"), "{p}");
+        drop(b);
+        assert_eq!(t.in_use(), 40);
+        drop(a);
+        assert_eq!(t.in_use(), 0);
+        assert_eq!(t.peak(), 100, "peak survives releases");
+    }
+
+    #[test]
+    fn mem_persisted_holds_survive_scope_exit() {
+        let t = MemTracker::with_budget(MemBudget::bytes(50));
+        {
+            let h = t.try_hold(30).expect("fits");
+            h.persist();
+        }
+        assert_eq!(t.in_use(), 30, "persisted bytes stay on the account");
+        assert!(t.try_hold(30).is_err());
+        assert!(t.try_hold(20).is_ok());
+    }
+
+    #[test]
+    fn unlimited_tracker_accounts_without_rejecting() {
+        let t = MemTracker::unlimited();
+        assert_eq!(t.limit(), None);
+        assert_eq!(t.headroom(), None);
+        let h = t.try_hold(u64::MAX / 2).expect("unlimited never rejects");
+        assert_eq!(t.peak(), u64::MAX / 2);
+        drop(h);
+        assert_eq!(t.in_use(), 0);
+        assert!(MemBudget::UNLIMITED.is_unlimited());
+        assert_eq!(MemBudget::mib(2).max_bytes, Some(2 * 1024 * 1024));
+        assert!(!MemBudget::bytes(1).is_unlimited());
+    }
+
+    #[test]
+    fn mem_trackers_share_state_across_clones() {
+        let t = MemTracker::with_budget(MemBudget::bytes(10));
+        let c = t.clone();
+        let h = c.try_hold(10).expect("fits");
+        assert!(t.try_hold(1).is_err(), "clones share one account");
+        drop(h);
+        assert_eq!(t.in_use(), 0);
     }
 }

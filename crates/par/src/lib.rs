@@ -39,7 +39,9 @@ mod contain;
 mod parallelism;
 mod pool;
 
-pub use cancel::{Budget, CancelCause, CancelToken, Interrupt};
+pub use cancel::{
+    Budget, CancelCause, CancelToken, Interrupt, MemBudget, MemHold, MemPressure, MemTracker,
+};
 pub use contain::{contain, panic_message};
 pub use fairem_obs::Recorder;
 pub use parallelism::{Parallelism, JOBS_ENV};

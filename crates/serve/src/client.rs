@@ -13,8 +13,36 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
 use fairem_csvio::Json;
+use fairem_rng::rngs::StdRng;
+use fairem_rng::{Rng, SeedableRng};
 
 use crate::proto::{write_frame, FrameReader};
+
+/// Ceiling on any single busy-retry sleep.
+const MAX_BACKOFF_MS: u64 = 1_000;
+
+/// Backoff for retry `attempt` (0-based): exponential growth from the
+/// server's `retry_after_ms` hint, capped at [`MAX_BACKOFF_MS`], with
+/// full jitter drawn from the client's own seeded RNG. The jitter is
+/// what breaks up a thundering herd — a flat sleep re-synchronizes
+/// every shed client onto the same retry instant, re-creating the
+/// burst the server just shed.
+fn backoff_ms(attempt: usize, hint_ms: u64, rng: &mut StdRng) -> u64 {
+    let base = hint_ms.clamp(1, MAX_BACKOFF_MS);
+    let cap = base
+        .saturating_mul(1u64 << attempt.min(10) as u32)
+        .min(MAX_BACKOFF_MS);
+    rng.gen_range(base..=cap.max(base))
+}
+
+/// A per-client RNG decorrelated from its siblings: storms stay
+/// reproducible for a given [`StormConfig::seed`] while no two clients
+/// share a jitter sequence.
+fn client_rng(seed: u64, client: usize) -> StdRng {
+    let mut z = seed.wrapping_add((client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
 
 /// A blocking scripted client over one connection.
 #[derive(Debug)]
@@ -114,6 +142,8 @@ pub struct StormConfig {
     pub reply_timeout: Duration,
     /// Cap on busy-retry attempts before a client gives up.
     pub max_retries: usize,
+    /// Seed for the clients' retry-jitter RNGs; same seed, same storm.
+    pub seed: u64,
 }
 
 impl Default for StormConfig {
@@ -124,6 +154,7 @@ impl Default for StormConfig {
             stall_ms: 1_500,
             reply_timeout: Duration::from_secs(30),
             max_retries: 200,
+            seed: 4360,
         }
     }
 }
@@ -230,11 +261,14 @@ pub fn run_storm(addr: &str, cfg: &StormConfig) -> StormReport {
             let burst = Arc::clone(&burst);
             let addr = addr.to_owned();
             let cfg = cfg.clone();
-            scope.spawn(move || match i % 4 {
-                0 => valid_client(&addr, &cfg, &tally),
-                1 => malformed_client(&addr, &cfg, &tally),
-                2 => slow_client(&addr, &cfg, &tally),
-                _ => overcap_client(&addr, &cfg, &tally, &burst),
+            scope.spawn(move || {
+                let mut rng = client_rng(cfg.seed, i);
+                match i % 4 {
+                    0 => valid_client(&addr, &cfg, &tally, &mut rng),
+                    1 => malformed_client(&addr, &cfg, &tally, &mut rng),
+                    2 => slow_client(&addr, &cfg, &tally, &mut rng),
+                    _ => overcap_client(&addr, &cfg, &tally, &burst, &mut rng),
+                }
             });
         }
     });
@@ -263,9 +297,15 @@ pub fn run_storm(addr: &str, cfg: &StormConfig) -> StormReport {
     }
 }
 
-/// Connect, retrying while the server sheds connections.
-fn connect_patiently(addr: &str, cfg: &StormConfig, tally: &Tally) -> Option<Client> {
-    for _ in 0..cfg.max_retries {
+/// Connect, retrying with jittered exponential backoff while the
+/// server sheds connections.
+fn connect_patiently(
+    addr: &str,
+    cfg: &StormConfig,
+    tally: &Tally,
+    rng: &mut StdRng,
+) -> Option<Client> {
+    for attempt in 0..cfg.max_retries {
         match Client::connect(addr, cfg.reply_timeout) {
             Ok(client) => {
                 let status = Client::status_of(&client.hello);
@@ -274,11 +314,11 @@ fn connect_patiently(addr: &str, cfg: &StormConfig, tally: &Tally) -> Option<Cli
                 }
                 tally.classify(&client.hello);
                 let hint = Client::retry_hint(&client.hello).unwrap_or(25);
-                std::thread::sleep(Duration::from_millis(hint));
+                std::thread::sleep(Duration::from_millis(backoff_ms(attempt, hint, rng)));
             }
             Err(_) => {
                 // Connection refused mid-drain or reset: retry.
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(Duration::from_millis(backoff_ms(attempt, 25, rng)));
             }
         }
     }
@@ -286,15 +326,17 @@ fn connect_patiently(addr: &str, cfg: &StormConfig, tally: &Tally) -> Option<Cli
     None
 }
 
-/// Send, retrying on `busy` with the server's own hint; tallies every
-/// reply (including the busy ones) and returns the first non-busy body.
+/// Send, retrying `busy` replies with jittered exponential backoff
+/// seeded from the server's own hint; tallies every reply (including
+/// the busy ones) and returns the first non-busy body.
 fn send_patiently(
     client: &mut Client,
     cmd: &str,
     cfg: &StormConfig,
     tally: &Tally,
+    rng: &mut StdRng,
 ) -> Option<String> {
-    for _ in 0..cfg.max_retries {
+    for attempt in 0..cfg.max_retries {
         match client.send(cmd) {
             Ok(body) => {
                 tally.classify(&body);
@@ -302,7 +344,7 @@ fn send_patiently(
                     return Some(body);
                 }
                 let hint = Client::retry_hint(&body).unwrap_or(25);
-                std::thread::sleep(Duration::from_millis(hint));
+                std::thread::sleep(Duration::from_millis(backoff_ms(attempt, hint, rng)));
             }
             Err(_) => {
                 tally.hit(&tally.transport_failures);
@@ -316,15 +358,15 @@ fn send_patiently(
 
 /// Role 0: the well-behaved interactive user — open, audit, tune,
 /// ensemble, close. Audit replies feed the byte-identity probe.
-fn valid_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
-    let Some(mut client) = connect_patiently(addr, cfg, tally) else {
+fn valid_client(addr: &str, cfg: &StormConfig, tally: &Tally, rng: &mut StdRng) {
+    let Some(mut client) = connect_patiently(addr, cfg, tally, rng) else {
         return;
     };
-    if send_patiently(&mut client, PROBE_OPEN, cfg, tally).is_none() {
+    if send_patiently(&mut client, PROBE_OPEN, cfg, tally, rng).is_none() {
         return;
     }
     for _ in 0..cfg.rounds {
-        let Some(body) = send_patiently(&mut client, PROBE_AUDIT, cfg, tally) else {
+        let Some(body) = send_patiently(&mut client, PROBE_AUDIT, cfg, tally, rng) else {
             return;
         };
         if Client::status_of(&body) == "ok" {
@@ -332,10 +374,10 @@ fn valid_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
                 probes.push(body);
             }
         }
-        if send_patiently(&mut client, "tune_threshold DTMatcher", cfg, tally).is_none() {
+        if send_patiently(&mut client, "tune_threshold DTMatcher", cfg, tally, rng).is_none() {
             return;
         }
-        if send_patiently(&mut client, "ensemble", cfg, tally).is_none() {
+        if send_patiently(&mut client, "ensemble", cfg, tally, rng).is_none() {
             return;
         }
     }
@@ -347,8 +389,8 @@ fn valid_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
 /// Role 1: the hostile peer — garbage headers until quarantined. The
 /// expected end state is three structured errors, a bye, and a
 /// server-side disconnect; anything else is a transport failure.
-fn malformed_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
-    let Some(mut client) = connect_patiently(addr, cfg, tally) else {
+fn malformed_client(addr: &str, cfg: &StormConfig, tally: &Tally, rng: &mut StdRng) {
+    let Some(mut client) = connect_patiently(addr, cfg, tally, rng) else {
         return;
     };
     if client.send_raw(b"utter nonsense\nmore nonsense\nstill nonsense\n").is_err() {
@@ -372,12 +414,12 @@ fn malformed_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
 
 /// Role 2: the slow request — asks the server to stall past its own
 /// request budget and expects a `partial` cut.
-fn slow_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
-    let Some(mut client) = connect_patiently(addr, cfg, tally) else {
+fn slow_client(addr: &str, cfg: &StormConfig, tally: &Tally, rng: &mut StdRng) {
+    let Some(mut client) = connect_patiently(addr, cfg, tally, rng) else {
         return;
     };
     for _ in 0..cfg.rounds {
-        if send_patiently(&mut client, &format!("stall {}", cfg.stall_ms), cfg, tally)
+        if send_patiently(&mut client, &format!("stall {}", cfg.stall_ms), cfg, tally, rng)
             .is_none()
         {
             return;
@@ -391,8 +433,14 @@ fn slow_client(addr: &str, cfg: &StormConfig, tally: &Tally) {
 /// Role 3: the thundering herd — all over-capacity clients fire a
 /// stall burst through a barrier at the same instant, so concurrent
 /// in-flight work exceeds the cap and admission control must shed.
-fn overcap_client(addr: &str, cfg: &StormConfig, tally: &Tally, burst: &Barrier) {
-    let Some(mut client) = connect_patiently(addr, cfg, tally) else {
+fn overcap_client(
+    addr: &str,
+    cfg: &StormConfig,
+    tally: &Tally,
+    burst: &Barrier,
+    rng: &mut StdRng,
+) {
+    let Some(mut client) = connect_patiently(addr, cfg, tally, rng) else {
         burst.wait(); // never strand the herd
         return;
     };
@@ -410,5 +458,39 @@ fn overcap_client(addr: &str, cfg: &StormConfig, tally: &Tally, burst: &Barrier)
     }
     if let Ok(bye) = client.send("close") {
         tally.classify(&bye);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_the_hint_and_cap() {
+        let mut rng = client_rng(7, 0);
+        for attempt in 0..32 {
+            let ms = backoff_ms(attempt, 25, &mut rng);
+            let cap = 25u64.saturating_mul(1 << attempt.min(10)).min(MAX_BACKOFF_MS);
+            assert!(ms >= 25, "attempt {attempt}: {ms} below the hint");
+            assert!(ms <= cap, "attempt {attempt}: {ms} above the cap {cap}");
+        }
+        // Degenerate hints are survivable: zero clamps to 1ms, huge
+        // hints clamp to the ceiling.
+        assert!(backoff_ms(0, 0, &mut rng) >= 1);
+        assert_eq!(backoff_ms(0, u64::MAX, &mut rng), MAX_BACKOFF_MS);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_decorrelated_per_client() {
+        let sequence = |seed: u64, client: usize| -> Vec<u64> {
+            let mut rng = client_rng(seed, client);
+            (0..8).map(|a| backoff_ms(a, 50, &mut rng)).collect()
+        };
+        assert_eq!(sequence(11, 3), sequence(11, 3), "same seed, same storm");
+        assert_ne!(
+            sequence(11, 3),
+            sequence(11, 4),
+            "sibling clients must not share a jitter sequence"
+        );
     }
 }

@@ -168,7 +168,8 @@ pub fn dispatch(
             seed,
             matchers,
             threshold,
-        } => open(&dataset, seed, &matchers, threshold, conn, shared, token),
+            shards,
+        } => open(&dataset, seed, &matchers, threshold, shards, conn, shared, token),
         Request::Audit(matcher) => audit(matcher.as_deref(), conn, shared, token),
         Request::TuneThreshold(matcher) => tune(&matcher, conn, token),
         Request::Ensemble => ensemble(conn, token),
@@ -216,16 +217,18 @@ fn stall(ms: u64, token: &CancelToken) -> Reply {
     Reply::ok(Json::obj([("stalled_ms", Json::Num(ms as f64))]))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn open(
     dataset: &str,
     seed: u64,
     matchers: &[String],
     threshold: f64,
+    shards: usize,
     conn: &mut ConnCtx,
     shared: &Shared,
     token: &CancelToken,
 ) -> Reply {
-    let spec = match SessionSpec::resolve(dataset, seed, matchers, threshold) {
+    let spec = match SessionSpec::resolve(dataset, seed, matchers, threshold, shards) {
         Ok(s) => s,
         Err(detail) => return Reply::error(detail),
     };
@@ -250,6 +253,7 @@ fn open(
                 ("matchers", Json::Arr(names)),
                 ("pairs", Json::Num(entry.session.test_size() as f64)),
                 ("degraded", Json::Bool(entry.session.is_degraded())),
+                ("shards", Json::Num(shards.max(1) as f64)),
             ]);
             conn.session = Some(entry);
             Reply::ok(reply)
@@ -329,10 +333,18 @@ fn tune(matcher: &str, conn: &mut ConnCtx, token: &CancelToken) -> Reply {
         Ok(e) => e,
         Err(r) => return r,
     };
+    let session = match entry.session.as_full() {
+        Some(s) => s,
+        None => {
+            return Reply::error(
+                "tune_threshold requires a materialized session — reopen without shards",
+            )
+        }
+    };
     if let Err(interrupt) = token.checkpoint() {
         return Reply::partial(&interrupt, Json::Obj(Vec::new()));
     }
-    match entry.session.tune_threshold(matcher) {
+    match session.tune_threshold(matcher) {
         Ok(threshold) => Reply::ok(Json::obj([
             ("matcher", Json::Str(matcher.to_owned())),
             ("threshold", Json::Num(threshold)),
@@ -346,11 +358,18 @@ fn ensemble(conn: &mut ConnCtx, token: &CancelToken) -> Reply {
         Ok(e) => e,
         Err(r) => return r,
     };
+    let session = match entry.session.as_full() {
+        Some(s) => s,
+        None => {
+            return Reply::error(
+                "ensemble requires a materialized session — reopen without shards",
+            )
+        }
+    };
     if let Err(interrupt) = token.checkpoint() {
         return Reply::partial(&interrupt, Json::obj([("frontier", Json::Arr(vec![]))]));
     }
-    let explorer = entry
-        .session
+    let explorer = session
         .ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction)
         .with_cancel(token.clone());
     let (points, interrupt) = explorer.try_pareto_frontier();

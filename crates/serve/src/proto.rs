@@ -199,6 +199,9 @@ pub enum Request {
         matchers: Vec<String>,
         /// Matching threshold.
         threshold: f64,
+        /// Shard count: 1 materializes the session, >1 builds it
+        /// out-of-core with per-shard checkpoints (audits only).
+        shards: usize,
     },
     /// Audit one matcher, or all of them when no name is given.
     Audit(Option<String>),
@@ -246,6 +249,7 @@ impl Request {
                 let mut seed = 0u64;
                 let mut matchers = Vec::new();
                 let mut threshold = 0.5f64;
+                let mut shards = 1usize;
                 for pair in words {
                     let (k, v) = pair
                         .split_once('=')
@@ -264,6 +268,12 @@ impl Request {
                                 return Err(format!("threshold {threshold} outside [0, 1]"));
                             }
                         }
+                        "shards" => {
+                            shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                            if shards == 0 {
+                                return Err("shards must be at least 1".to_owned());
+                            }
+                        }
                         other => return Err(format!("unknown open argument {other:?}")),
                     }
                 }
@@ -272,6 +282,7 @@ impl Request {
                     seed,
                     matchers,
                     threshold,
+                    shards,
                 })
             }
             other => Err(format!("unknown command {other:?}")),
@@ -391,12 +402,15 @@ mod tests {
         );
         assert_eq!(Request::parse("stall 250"), Ok(Request::Stall(250)));
         assert_eq!(
-            Request::parse("open dataset=products seed=9 matchers=DTMatcher,NBMatcher threshold=0.4"),
+            Request::parse(
+                "open dataset=products seed=9 matchers=DTMatcher,NBMatcher threshold=0.4 shards=4"
+            ),
             Ok(Request::Open {
                 dataset: "products".into(),
                 seed: 9,
                 matchers: vec!["DTMatcher".into(), "NBMatcher".into()],
                 threshold: 0.4,
+                shards: 4,
             })
         );
         // Defaults when `open` carries no arguments.
@@ -407,6 +421,7 @@ mod tests {
                 seed: 0,
                 matchers: vec![],
                 threshold: 0.5,
+                shards: 1,
             })
         );
     }
@@ -424,8 +439,67 @@ mod tests {
             "open seed=abc",
             "open threshold=1.5",
             "open color=red",
+            "open shards=0",
+            "open shards=many",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    /// Regression: a header split across several partial reads is not a
+    /// violation, and a malformed frame trickled in byte-by-byte costs
+    /// exactly one strike — quarantine counts *frames*, never *reads*.
+    /// (An earlier revision of the stall detector was tempted to strike
+    /// per short read, which would quarantine any client on a slow or
+    /// fragmenting link.)
+    #[test]
+    fn resync_strikes_count_frames_not_partial_reads() {
+        let mut r = FrameReader::new();
+        let mut frames: Vec<String> = Vec::new();
+        let mut strikes = 0u32;
+        let mut pump = |r: &mut FrameReader, frames: &mut Vec<String>, strikes: &mut u32| {
+            for f in drain(r) {
+                match f {
+                    Ok(b) => frames.push(b),
+                    Err(_) => *strikes += 1,
+                }
+            }
+        };
+
+        // One clean frame, its header split across three reads: every
+        // intermediate pull is Ok(None), never an error.
+        for chunk in [&b"fairem-se"[..], b"rve/1 ", b"5\nhe"] {
+            r.feed(chunk);
+            pump(&mut r, &mut frames, &mut strikes);
+            assert_eq!(strikes, 0, "a partial header is not a violation");
+            assert!(frames.is_empty(), "no frame before the body completes");
+            assert!(r.has_partial(), "the decoder is mid-frame");
+        }
+        r.feed(b"llo");
+        pump(&mut r, &mut frames, &mut strikes);
+        assert_eq!(frames, ["hello"]);
+        assert_eq!(strikes, 0);
+
+        // A malformed header line dripped in byte-by-byte: exactly one
+        // strike, charged only when the full line (frame) is present.
+        for &b in b"garbage header line\n" {
+            r.feed(&[b]);
+            pump(&mut r, &mut frames, &mut strikes);
+        }
+        assert_eq!(strikes, 1, "one malformed frame = one strike");
+
+        // The decoder has resynced: another fragmented-but-valid frame
+        // decodes cleanly right after the junk.
+        for chunk in [&b"fairem-serv"[..], b"e/1 2", b"\nok"] {
+            r.feed(chunk);
+            pump(&mut r, &mut frames, &mut strikes);
+        }
+        assert_eq!(frames, ["hello", "ok"]);
+        assert_eq!(strikes, 1);
+        assert!(
+            strikes < MAX_STRIKES,
+            "a slow link plus one bad frame must not quarantine the peer"
+        );
+        assert!(!r.has_partial());
     }
 }

@@ -15,10 +15,13 @@
 //! parallelism must share one session — and byte-identical replies.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
+use fairem_core::audit::{AuditReport, Auditor};
+use fairem_core::fnv1a64;
 use fairem_core::matcher::MatcherKind;
-use fairem_core::pipeline::{FairEm360, Session, SuiteConfig};
+use fairem_core::pipeline::{FairEm360, Session, ShardedRun, SuiteConfig};
 use fairem_core::sensitive::SensitiveAttr;
 use fairem_core::SuiteError;
 use fairem_datasets::{
@@ -26,7 +29,7 @@ use fairem_datasets::{
     GeneratedDataset, NoFlyConfig, ProductsConfig,
 };
 use fairem_obs::Recorder;
-use fairem_par::{CancelToken, Parallelism};
+use fairem_par::{CancelToken, Interrupt, Parallelism};
 
 /// Matchers trained when `open` names none: one tree, one linear model
 /// — the cheapest pair that still gives ensemble/tune requests
@@ -46,6 +49,9 @@ pub struct SessionSpec {
     pub matchers: Vec<MatcherKind>,
     /// Matching threshold.
     pub threshold: f64,
+    /// Shard count: 1 builds a materialized [`Session`], >1 runs the
+    /// out-of-core sharded path and serves a [`ShardedRun`].
+    pub shards: usize,
 }
 
 impl SessionSpec {
@@ -57,11 +63,15 @@ impl SessionSpec {
         seed: u64,
         matchers: &[String],
         threshold: f64,
+        shards: usize,
     ) -> Result<SessionSpec, String> {
         if !matches!(dataset, "faculty" | "products" | "citations" | "noflycompas") {
             return Err(format!(
                 "unknown dataset {dataset:?} (expected faculty|products|citations|noflycompas)"
             ));
+        }
+        if shards == 0 {
+            return Err("shards must be at least 1".to_owned());
         }
         let kinds: Vec<MatcherKind> = if matchers.is_empty() {
             DEFAULT_MATCHERS.to_vec()
@@ -76,20 +86,25 @@ impl SessionSpec {
             seed,
             matchers: kinds,
             threshold,
+            shards,
         })
     }
 
     /// Stable cache key: every field that affects session *content*
     /// (and nothing that does not — see the module note on
-    /// parallelism).
+    /// parallelism). The shard count is included even though sharding
+    /// never changes audit results, because the two variants differ in
+    /// *capability* (only materialized sessions serve `tune_threshold`
+    /// and `ensemble`).
     pub fn key(&self) -> String {
         let names: Vec<&str> = self.matchers.iter().map(|m| m.name()).collect();
         format!(
-            "{}#{}#{}#{:.4}",
+            "{}#{}#{}#{:.4}#s{}",
             self.dataset,
             self.seed,
             names.join(","),
-            self.threshold
+            self.threshold,
+            self.shards
         )
     }
 
@@ -128,14 +143,97 @@ impl SessionSpec {
     }
 }
 
+/// What the registry actually serves for a spec: a fully materialized
+/// [`Session`] (feature matrices resident, every request type
+/// available) or the merged histograms of an out-of-core
+/// [`ShardedRun`] (audits only, but bounded memory and checkpointed
+/// builds).
+#[derive(Debug)]
+pub enum ServedSession {
+    /// Materialized session — `shards == 1`.
+    Full(Box<Session>),
+    /// Sharded out-of-core run — `shards > 1`.
+    Sharded(ShardedRun),
+}
+
+impl ServedSession {
+    /// Names of the surviving matchers, in registry order.
+    pub fn matcher_names(&self) -> Vec<&str> {
+        match self {
+            ServedSession::Full(s) => s.matcher_names(),
+            ServedSession::Sharded(r) => r.matcher_names(),
+        }
+    }
+
+    /// Number of test correspondences scored.
+    pub fn test_size(&self) -> usize {
+        match self {
+            ServedSession::Full(s) => s.test_size(),
+            ServedSession::Sharded(r) => r.test_size(),
+        }
+    }
+
+    /// True when at least one requested matcher failed.
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            ServedSession::Full(s) => s.is_degraded(),
+            ServedSession::Sharded(r) => r.is_degraded(),
+        }
+    }
+
+    /// Audit one matcher by name.
+    pub fn audit(&self, matcher: &str, auditor: &Auditor) -> Result<AuditReport, SuiteError> {
+        match self {
+            ServedSession::Full(s) => s.audit(matcher, auditor),
+            ServedSession::Sharded(r) => r.audit(matcher, auditor),
+        }
+    }
+
+    /// Audit every surviving matcher under `cancel`, returning whatever
+    /// completed plus the interrupt if the token tripped. The sharded
+    /// variant audits from merged histograms (cheap), checking the
+    /// token between matchers.
+    pub fn try_audit_all_within(
+        &self,
+        auditor: &Auditor,
+        cancel: &CancelToken,
+    ) -> (Vec<AuditReport>, Option<Interrupt>) {
+        match self {
+            ServedSession::Full(s) => s.try_audit_all_within(auditor, cancel),
+            ServedSession::Sharded(r) => {
+                let mut reports = Vec::new();
+                for name in r.matcher_names() {
+                    if let Err(interrupt) = cancel.checkpoint() {
+                        return (reports, Some(interrupt));
+                    }
+                    if let Ok(report) = r.audit(name, auditor) {
+                        reports.push(report);
+                    }
+                }
+                (reports, None)
+            }
+        }
+    }
+
+    /// The materialized session, if this is one. Requests that need
+    /// trained models or resident feature matrices (`tune_threshold`,
+    /// `ensemble`) go through here and error on sharded sessions.
+    pub fn as_full(&self) -> Option<&Session> {
+        match self {
+            ServedSession::Full(s) => Some(s),
+            ServedSession::Sharded(_) => None,
+        }
+    }
+}
+
 /// A cached session plus the spec key it was built from.
 #[derive(Debug)]
 pub struct SessionEntry {
     /// The registry key this entry is cached under.
     pub key: String,
-    /// The built session. `Session` is `Send + Sync`; audits take
+    /// The built session. Both variants are `Send + Sync`; audits take
     /// `&self`, so any number of connection threads read concurrently.
-    pub session: Session,
+    pub session: ServedSession,
 }
 
 /// Why an `open` could not produce a session.
@@ -163,6 +261,7 @@ struct Slot {
 #[derive(Debug)]
 pub struct SessionRegistry {
     max: usize,
+    checkpoint_dir: Option<PathBuf>,
     slots: Mutex<BTreeMap<String, Arc<Slot>>>,
 }
 
@@ -171,8 +270,18 @@ impl SessionRegistry {
     pub fn new(max: usize) -> SessionRegistry {
         SessionRegistry {
             max: max.max(1),
+            checkpoint_dir: None,
             slots: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Root directory for sharded-build checkpoints. Each spec
+    /// checkpoints under its own subdirectory (keyed by a hash of the
+    /// spec key), so a server killed or drained mid-build resumes the
+    /// completed shards on restart instead of redoing them.
+    pub fn with_checkpoint_dir(mut self, dir: Option<PathBuf>) -> SessionRegistry {
+        self.checkpoint_dir = dir;
+        self
     }
 
     /// Number of specs with a slot (built or building).
@@ -222,7 +331,7 @@ impl SessionRegistry {
         if let Some(entry) = cell.as_ref() {
             return Ok((Arc::clone(entry), true));
         }
-        match build_session(spec, parallelism, cancel, observe) {
+        match build_session(spec, parallelism, cancel, observe, self.checkpoint_dir.as_deref()) {
             Ok(session) => {
                 let entry = Arc::new(SessionEntry {
                     key: key.clone(),
@@ -255,7 +364,8 @@ fn build_session(
     parallelism: Parallelism,
     cancel: &CancelToken,
     observe: &Recorder,
-) -> Result<Session, SuiteError> {
+    checkpoint_root: Option<&std::path::Path>,
+) -> Result<ServedSession, SuiteError> {
     let data = spec.generate();
     let sensitive: Vec<SensitiveAttr> = data
         .sensitive
@@ -269,13 +379,29 @@ fn build_session(
         observe: observe.clone(),
         ..SuiteConfig::fast()
     };
-    FairEm360::builder()
+    let mut builder = FairEm360::builder()
         .tables(data.table_a, data.table_b)
         .ground_truth(data.matches)
         .sensitive(sensitive)
-        .config(config)
+        .config(config);
+    if spec.shards <= 1 {
+        return builder
+            .build()?
+            .try_run(&spec.matchers)
+            .map(|s| ServedSession::Full(Box::new(s)));
+    }
+    builder = builder.shards(spec.shards);
+    if let Some(root) = checkpoint_root {
+        // Per-spec subdirectory so distinct specs never collide on
+        // shard files; the run key inside each directory still guards
+        // against stale content.
+        let sub = root.join(format!("{:016x}", fnv1a64(spec.key().as_bytes())));
+        builder = builder.checkpoint_dir(sub).resume(true);
+    }
+    builder
         .build()?
-        .try_run(&spec.matchers)
+        .try_run_sharded(&spec.matchers)
+        .map(ServedSession::Sharded)
 }
 
 #[cfg(test)]
@@ -284,29 +410,35 @@ mod tests {
     use fairem_par::Budget;
 
     fn spec() -> SessionSpec {
-        SessionSpec::resolve("faculty", 7, &[], 0.5).expect("valid spec")
+        SessionSpec::resolve("faculty", 7, &[], 0.5, 1).expect("valid spec")
     }
 
     #[test]
     fn resolve_validates_names_up_front() {
-        assert!(SessionSpec::resolve("faculty", 0, &[], 0.5).is_ok());
-        assert!(SessionSpec::resolve("mars", 0, &[], 0.5)
+        assert!(SessionSpec::resolve("faculty", 0, &[], 0.5, 1).is_ok());
+        assert!(SessionSpec::resolve("mars", 0, &[], 0.5, 1)
             .expect_err("bad dataset")
             .contains("unknown dataset"));
         assert!(
-            SessionSpec::resolve("faculty", 0, &["NopeMatcher".into()], 0.5)
+            SessionSpec::resolve("faculty", 0, &["NopeMatcher".into()], 0.5, 1)
                 .expect_err("bad matcher")
                 .contains("unknown matcher")
         );
+        assert!(SessionSpec::resolve("faculty", 0, &[], 0.5, 0)
+            .expect_err("zero shards")
+            .contains("at least 1"));
     }
 
     #[test]
     fn keys_are_canonical_and_distinguish_content_fields() {
         let base = spec();
-        assert_eq!(base.key(), "faculty#7#DTMatcher,LinRegMatcher#0.5000");
+        assert_eq!(base.key(), "faculty#7#DTMatcher,LinRegMatcher#0.5000#s1");
         let mut other = spec();
         other.threshold = 0.4;
         assert_ne!(base.key(), other.key());
+        let mut sharded = spec();
+        sharded.shards = 4;
+        assert_ne!(base.key(), sharded.key());
     }
 
     #[test]
@@ -350,5 +482,69 @@ mod tests {
             Err(OpenError::Full { max }) => assert_eq!(max, 1),
             other => panic!("expected Full, got {other:?}"),
         }
+    }
+
+    fn counter(rec: &Recorder, name: &str) -> u64 {
+        rec.snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn sharded_specs_checkpoint_and_resume_across_registry_lifetimes() {
+        let dir = std::env::temp_dir().join(format!(
+            "fairem-serve-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let token = CancelToken::with_budget(Budget::UNLIMITED);
+        let sharded = SessionSpec::resolve("faculty", 7, &[], 0.5, 3).expect("valid spec");
+
+        // First server lifetime: builds from scratch, committing every
+        // shard under the per-spec checkpoint subdirectory.
+        let rec1 = Recorder::enabled();
+        let reg1 = SessionRegistry::new(4).with_checkpoint_dir(Some(dir.clone()));
+        let (entry, cached) = reg1
+            .get_or_build(&sharded, Parallelism::Fixed(1), &token, &rec1)
+            .expect("sharded build");
+        assert!(!cached);
+        assert!(matches!(entry.session, ServedSession::Sharded(_)));
+        assert!(entry.session.as_full().is_none(), "sharded has no full view");
+        assert_eq!(counter(&rec1, "ckpt.shards_written"), 3);
+        assert_eq!(counter(&rec1, "ckpt.shards_skipped"), 0);
+        drop(reg1); // the server process dies here…
+
+        // …and a fresh registry over the same root resumes every shard.
+        let rec2 = Recorder::enabled();
+        let reg2 = SessionRegistry::new(4).with_checkpoint_dir(Some(dir.clone()));
+        let (resumed, cached) = reg2
+            .get_or_build(&sharded, Parallelism::Fixed(1), &token, &rec2)
+            .expect("resumed build");
+        assert!(!cached, "a new registry starts with an empty cache");
+        assert_eq!(counter(&rec2, "ckpt.shards_skipped"), 3);
+        assert_eq!(counter(&rec2, "ckpt.shards_written"), 0);
+
+        // The resumed sharded session audits bit-for-bit like a
+        // materialized session of the same workload.
+        let auditor = fairem_core::audit::Auditor::new(fairem_core::audit::AuditConfig::default());
+        let (full, _) = reg2
+            .get_or_build(&spec(), Parallelism::Fixed(1), &token, &rec2)
+            .expect("materialized build");
+        let from_full = full.session.try_audit_all_within(&auditor, &token).0;
+        let from_shards = resumed.session.try_audit_all_within(&auditor, &token).0;
+        assert!(!from_full.is_empty());
+        assert_eq!(from_full.len(), from_shards.len());
+        for (a, b) in from_full.iter().zip(&from_shards) {
+            assert_eq!(
+                fairem_core::report::audit_json(a).to_string_compact(),
+                fairem_core::report::audit_json(b).to_string_compact(),
+                "sharded resume must reproduce the materialized audit"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -63,6 +63,11 @@ pub struct ServeConfig {
     pub drain_budget: Budget,
     /// Worker-pool policy for request execution.
     pub parallelism: Parallelism,
+    /// Checkpoint root for sharded session builds (`open … shards=n`).
+    /// When set, a server killed or drained mid-build resumes completed
+    /// shards after restart; when `None`, sharded builds run
+    /// checkpoint-free.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +80,7 @@ impl Default for ServeConfig {
             request_budget: Budget::UNLIMITED,
             drain_budget: Budget::wall_ms(5_000),
             parallelism: Parallelism::Auto,
+            checkpoint_dir: None,
         }
     }
 }
@@ -124,7 +130,8 @@ pub struct Shared {
 impl Shared {
     fn new(cfg: ServeConfig, root: CancelToken, recorder: Recorder) -> Shared {
         Shared {
-            registry: SessionRegistry::new(cfg.max_cached),
+            registry: SessionRegistry::new(cfg.max_cached)
+                .with_checkpoint_dir(cfg.checkpoint_dir.clone()),
             recorder,
             parallelism: cfg.parallelism,
             cfg,

@@ -303,3 +303,82 @@ fn sessions_are_cached_across_connections_and_replies_stay_identical() {
     let summary = shut_down(&root, &sum_rx);
     assert_eq!(summary.panics, 0, "{}", summary.render());
 }
+
+/// Read a counter out of a `metrics` reply body.
+fn metric_counter(reply: &str, name: &str) -> f64 {
+    let json = Json::parse(reply).expect("metrics reply parses");
+    match json
+        .get("snapshot")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+    {
+        Some(Json::Num(v)) => *v,
+        _ => 0.0,
+    }
+}
+
+#[test]
+fn sharded_opens_serve_identical_audits_and_resume_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("fairem-storm-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, root, sum_rx) = boot(cfg.clone());
+
+    let mut c = Client::connect(&addr, Duration::from_secs(60)).expect("connects");
+    let full = c.send("open dataset=faculty seed=7").expect("open full");
+    assert_eq!(Client::status_of(&full), "ok", "{full}");
+    let audit_full = c.send("audit").expect("audit full");
+    assert_eq!(Client::status_of(&audit_full), "ok", "{audit_full}");
+
+    // Same workload, out-of-core: the audit bytes must not change.
+    let sharded = c
+        .send("open dataset=faculty seed=7 shards=3")
+        .expect("open sharded");
+    assert_eq!(Client::status_of(&sharded), "ok", "{sharded}");
+    assert!(sharded.contains("\"shards\":3"), "{sharded}");
+    assert!(sharded.contains("\"cached\":false"), "{sharded}");
+    let audit_sharded = c.send("audit").expect("audit sharded");
+    assert_eq!(
+        audit_sharded, audit_full,
+        "sharded session must serve byte-identical audits"
+    );
+
+    // Model-dependent verbs degrade to structured errors, not panics.
+    let tuned = c.send("tune_threshold DTMatcher").expect("tune");
+    assert_eq!(Client::status_of(&tuned), "error", "{tuned}");
+    assert!(tuned.contains("materialized"), "{tuned}");
+    let frontier = c.send("ensemble").expect("ensemble");
+    assert_eq!(Client::status_of(&frontier), "error", "{frontier}");
+
+    drop(c);
+    let summary = shut_down(&root, &sum_rx);
+    assert_eq!(summary.panics, 0, "{}", summary.render());
+
+    // Restart over the same checkpoint root: the rebuild skips every
+    // committed shard and still serves the same bytes.
+    let (addr, root, sum_rx) = boot(cfg);
+    let mut c = Client::connect(&addr, Duration::from_secs(60)).expect("reconnects");
+    let reopened = c
+        .send("open dataset=faculty seed=7 shards=3")
+        .expect("reopen sharded");
+    assert_eq!(Client::status_of(&reopened), "ok", "{reopened}");
+    assert!(
+        reopened.contains("\"cached\":false"),
+        "a restarted server has an empty cache: {reopened}"
+    );
+    let audit_again = c.send("audit").expect("audit after restart");
+    assert_eq!(
+        audit_again, audit_full,
+        "resumed session must serve byte-identical audits"
+    );
+    let metrics = c.send("metrics").expect("metrics");
+    assert_eq!(metric_counter(&metrics, "ckpt.shards_skipped"), 3.0, "{metrics}");
+    assert_eq!(metric_counter(&metrics, "ckpt.shards_written"), 0.0, "{metrics}");
+    drop(c);
+    let summary = shut_down(&root, &sum_rx);
+    assert_eq!(summary.panics, 0, "{}", summary.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -118,4 +118,111 @@ serve_storm_leg() {
 }
 run_tests bash -c "$(declare -f serve_storm_leg); OBS_DIR='$OBS_DIR' serve_storm_leg"
 
+echo "== sharded: equivalence, kill -9 resume, memory fence (${TEST_TIMEOUT}s cap) =="
+# Three gates on the out-of-core path (DESIGN.md §11), all on a ~1e5
+# candidate-pair streamed dataset:
+#   A. --shards 8 produces a byte-identical report to the unsharded run.
+#   B. kill -KILL mid-audit, rerun with --resume: the report is still
+#      byte-identical and the metrics prove committed shards were
+#      skipped, not recomputed.
+#   C. a --mem-budget the materialized path provably exceeds (exit 2)
+#      still completes sharded, again byte-identically.
+sharded_resume_leg() {
+  set -euo pipefail
+  local dir="$OBS_DIR/scale"
+  local bin=./target/release/fairem
+  "$bin" generate --dataset scale --out "$dir"
+  local flags=(--table-a "$dir/tableA.csv" --table-b "$dir/tableB.csv"
+    --matches "$dir/matches.csv" --sensitive tier --blocking name)
+
+  # Leg A: sharded == unsharded, bit for bit.
+  "$bin" audit "${flags[@]}" > "$dir/unsharded.txt"
+  "$bin" audit "${flags[@]}" --shards 8 --checkpoint-dir "$dir/ckpt-eq" \
+    > "$dir/sharded.txt"
+  if ! diff -q "$dir/unsharded.txt" "$dir/sharded.txt" > /dev/null; then
+    echo "check.sh: FAIL — sharded audit diverged from unsharded" >&2
+    return 1
+  fi
+
+  # Leg B: stall one matcher's score stage so the kill window is wide,
+  # poll until some (but not all) shard checkpoints have committed,
+  # then SIGKILL — no destructors run, exactly the crash we promise to
+  # survive. The resumed run drops the stall flag (the run key excludes
+  # fault plans) and must reproduce the uninterrupted report.
+  rm -rf "$dir/ckpt-kill"
+  "$bin" audit "${flags[@]}" --shards 8 --checkpoint-dir "$dir/ckpt-kill" \
+    --inject-stall DTMatcher:score:400 > "$dir/killed.txt" 2>&1 &
+  local pid=$! n=0
+  for _ in $(seq 1 400); do
+    n=$(ls "$dir/ckpt-kill" 2>/dev/null | grep -c '^shard-' || true)
+    if [ "$n" -ge 2 ] && [ "$n" -lt 8 ]; then break; fi
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.02
+  done
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  if [ "$n" -lt 1 ] || [ "$n" -ge 8 ]; then
+    echo "check.sh: FAIL — kill window missed ($n shard files committed)" >&2
+    return 1
+  fi
+  echo "killed mid-audit with $n committed shard checkpoint(s)"
+  "$bin" audit "${flags[@]}" --shards 8 --checkpoint-dir "$dir/ckpt-kill" \
+    --resume --metrics "$dir/resume-metrics.json" > "$dir/resumed.txt"
+  if ! diff -q "$dir/unsharded.txt" "$dir/resumed.txt" > /dev/null; then
+    echo "check.sh: FAIL — resumed audit diverged from the uninterrupted report" >&2
+    return 1
+  fi
+  local skipped
+  skipped=$(sed -n 's/.*"ckpt.shards_skipped": \([0-9]*\).*/\1/p' \
+    "$dir/resume-metrics.json")
+  if [ -z "$skipped" ] || [ "$skipped" -lt 1 ]; then
+    echo "check.sh: FAIL — resume recomputed every shard (skipped=${skipped:-0})" >&2
+    return 1
+  fi
+  echo "resume skipped $skipped committed shard(s); report identical after kill -9"
+
+  # Leg C: 4 MiB holds the global training features plus one shard's
+  # scoring window, but not the full materialized candidate matrix —
+  # so the unsharded run must fence (exit 2, the data-error code for
+  # MemExceeded) while the sharded run completes.
+  local budget=4 status=0
+  "$bin" audit "${flags[@]}" --mem-budget "$budget" \
+    > "$dir/fenced.txt" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: FAIL — materialized run fit in ${budget} MiB (exit $status)" >&2
+    return 1
+  fi
+  "$bin" audit "${flags[@]}" --mem-budget "$budget" --shards 8 \
+    > "$dir/sharded-budget.txt"
+  if ! diff -q "$dir/unsharded.txt" "$dir/sharded-budget.txt" > /dev/null; then
+    echo "check.sh: FAIL — budgeted sharded audit diverged" >&2
+    return 1
+  fi
+  echo "materialized path exceeds ${budget} MiB; sharded path completes identically"
+
+  # Leg D: the acceptance scale — ~1e6 candidate pairs, streamed on
+  # generation, audited out-of-core. 40 MiB clears the global training
+  # transient (~33 MiB) but not the materialized test matrix, so the
+  # unsharded run fences after training while 16 shards complete.
+  local big="$OBS_DIR/scale-1e6"
+  "$bin" generate --dataset scale --rows 128000 --block-width 8 --out "$big"
+  local bflags=(--table-a "$big/tableA.csv" --table-b "$big/tableB.csv"
+    --matches "$big/matches.csv" --sensitive tier --blocking name
+    --matchers DTMatcher,LinRegMatcher)
+  "$bin" audit "${bflags[@]}" > "$big/plain.txt"
+  status=0
+  "$bin" audit "${bflags[@]}" --mem-budget 40 > "$big/fenced.txt" 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: FAIL — 1e6-pair materialized run fit in 40 MiB (exit $status)" >&2
+    return 1
+  fi
+  "$bin" audit "${bflags[@]}" --mem-budget 40 --shards 16 > "$big/sharded.txt"
+  if ! diff -q "$big/plain.txt" "$big/sharded.txt" > /dev/null; then
+    echo "check.sh: FAIL — 1e6-pair sharded audit diverged" >&2
+    return 1
+  fi
+  echo "1e6-pair audit completes in 40 MiB sharded; materialized path cannot"
+}
+run_tests bash -c "$(declare -f sharded_resume_leg); OBS_DIR='$OBS_DIR' sharded_resume_leg"
+
 echo "== check.sh: all gates passed =="

@@ -18,11 +18,11 @@ use fairem_core::matcher::{ExternalScores, MatcherKind};
 use fairem_core::pipeline::FairEm360;
 use fairem_core::report::{audit_json, audit_text};
 use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::{Budget, CancelToken, Parallelism, SuiteError};
-use fairem_csvio::{read_csv_file, write_csv_file, CsvTable, Json};
+use fairem_core::{Budget, CancelToken, MemBudget, Parallelism, SuiteError};
+use fairem_csvio::{read_csv_file, write_csv_file, write_csv_stream, CsvTable, Json};
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
-    GeneratedDataset, NoFlyConfig, ProductsConfig,
+    GeneratedDataset, NoFlyConfig, ProductsConfig, ScaleConfig, ScaleDataset,
 };
 
 /// Process exit code: clean success.
@@ -130,12 +130,15 @@ pub const USAGE: &str = "\
 fairem — responsible entity matching suite
 
 USAGE:
-  fairem generate --dataset <faculty|noflycompas|products|citations> --out <dir> [--seed <n>]
+  fairem generate --dataset <faculty|noflycompas|products|citations|scale> --out <dir>
+         [--seed <n>] [--rows <n>] [--block-width <n>]
   fairem audit --table-a <csv> --table-b <csv> --matches <csv> --sensitive <col[,col]>
          [--matchers <name,..>] [--measures <name,..>] [--paradigm single|pairwise]
          [--disparity subtraction|division] [--threshold <f>] [--fairness-threshold <f>]
          [--min-support <n>] [--only-unfair] [--json] [--dump-workload <dir>]
          [--blocking <col[,col]>] [--blocker token|sorted:<key-col>[:<window>]]
+         [--negative-ratio <f|all>] [--train-frac <f>]
+         [--shards <n>] [--mem-budget <mib>] [--checkpoint-dir <dir>] [--resume]
          [--jobs <n|auto>] [--timeout <secs>] [--matcher-timeout <secs>]
          [--inject-stall <matcher>:<train|score>:<millis>]
          [--metrics <path>] [--trace]
@@ -146,9 +149,10 @@ USAGE:
          [--jobs <n|auto>]
   fairem serve [--port <n>] [--max-sessions <n>] [--max-inflight <n>]
          [--max-cached <n>] [--request-timeout <secs>] [--drain-timeout <secs>]
-         [--metrics <path>] [--jobs <n|auto>]
+         [--metrics <path>] [--checkpoint-dir <dir>] [--jobs <n|auto>]
   fairem client --addr <host:port> --send \"<cmd>[; <cmd>..]\"
   fairem storm --addr <host:port> [--clients <n>] [--rounds <n>] [--stall-ms <n>]
+         [--seed <n>]
 
 FILES:
   matches csv: header `id_a,id_b`, one ground-truth pair per row
@@ -175,6 +179,20 @@ DEADLINES:
   and exits 130 with whatever partial output exists. --inject-stall is
   a chaos flag that makes one matcher sleep at train or score time, for
   rehearsing the above deterministically.
+
+SHARDING:
+  --shards N partitions the test pair space into N contiguous shards and
+  audits from merged per-shard histograms — the report is bit-for-bit
+  identical to the materialized run, but peak memory is bounded by
+  --mem-budget M (MiB over the suite's deterministic cost model; scoring
+  windows narrow to fit). --checkpoint-dir DIR commits each completed
+  shard there (`fairem-ckpt/1`, atomic rename), and --resume reuses
+  committed shards whose run key matches, so a killed audit rerun with
+  the same flags skips straight to the unfinished shards. Damaged or
+  foreign checkpoint files are recomputed, never trusted.
+  `generate --dataset scale --rows N --block-width W` emits a streamed
+  benchmark with ≈ N×W candidate pairs for rehearsing all of the above
+  (pair with --negative-ratio all to keep every blocked candidate).
 
 OBSERVABILITY:
   --metrics PATH writes a JSON snapshot (schema `fairem-obs/1`) of
@@ -443,6 +461,9 @@ fn cmd_generate(args: &Args) -> Result<CliOutput, CliError> {
     let name = args.required("dataset")?;
     let out = PathBuf::from(args.required("out")?);
     let seed = args.get_usize("seed", 0)? as u64;
+    if name == "scale" {
+        return cmd_generate_scale(args, &out, seed);
+    }
     let dataset: GeneratedDataset = match name {
         "faculty" => {
             let mut cfg = FacultyConfig::default();
@@ -497,6 +518,47 @@ fn cmd_generate(args: &Args) -> Result<CliOutput, CliError> {
         dataset.table_b.len(),
         dataset.matches.len(),
         dataset.sensitive,
+        out.display()
+    )))
+}
+
+/// `generate --dataset scale`: stream seeded rows straight to disk —
+/// no table is ever materialized, so row count is disk-bound, not
+/// memory-bound.
+fn cmd_generate_scale(args: &Args, out: &Path, seed: u64) -> Result<CliOutput, CliError> {
+    let mut cfg = ScaleConfig::default();
+    if seed != 0 {
+        cfg.seed = seed;
+    }
+    cfg.rows = args.get_usize("rows", cfg.rows)?;
+    cfg.block_width = args.get_usize("block-width", cfg.block_width)?;
+    if cfg.rows == 0 || cfg.block_width == 0 {
+        return Err(err("--rows and --block-width must be positive"));
+    }
+    let d = ScaleDataset::new(cfg);
+    std::fs::create_dir_all(out).map_err(|e| data_err(format!("cannot create {out:?}: {e}")))?;
+    let stream = |name: &str,
+                  header: Vec<String>,
+                  rows: &mut dyn Iterator<Item = Vec<String>>|
+     -> Result<u64, CliError> {
+        let path = out.join(name);
+        let f = std::fs::File::create(&path)
+            .map_err(|e| data_err(format!("cannot create {path:?}: {e}")))?;
+        let mut w = std::io::BufWriter::new(f);
+        write_csv_stream(&mut w, &header, rows)
+            .map_err(|e| data_err(format!("writing {path:?}: {e}")))
+    };
+    let rows_a = stream("tableA.csv", d.header(), &mut d.rows_a())?;
+    let rows_b = stream("tableB.csv", d.header(), &mut d.rows_b())?;
+    let matches = stream(
+        "matches.csv",
+        vec!["id_a".into(), "id_b".into()],
+        &mut d.matches().map(|(a, b)| vec![a, b]),
+    )?;
+    Ok(CliOutput::clean(format!(
+        "wrote ScaleMatch (|A|={rows_a}, |B|={rows_b}, matches={matches}, sensitive={:?}, ~{} candidate pairs) to {}",
+        d.sensitive(),
+        d.candidate_estimate(),
         out.display()
     )))
 }
@@ -629,6 +691,70 @@ fn cmd_audit(
     if let Some(spec) = args.get("blocker") {
         config.blocker = parse_blocker(spec)?;
     }
+    if let Some(v) = args.get("negative-ratio") {
+        config.prep.negative_ratio = if v == "all" {
+            f64::INFINITY
+        } else {
+            let r: f64 = v.parse().map_err(|_| {
+                err(format!("--negative-ratio expects a number or `all`, got {v:?}"))
+            })?;
+            if !r.is_finite() || r < 0.0 {
+                return Err(err(format!(
+                    "--negative-ratio expects a non-negative number or `all`, got {v:?}"
+                )));
+            }
+            r
+        };
+    }
+    if let Some(v) = args.get("train-frac") {
+        let f: f64 = v
+            .parse()
+            .map_err(|_| err(format!("--train-frac expects a fraction, got {v:?}")))?;
+        if !(f > 0.0 && f < 1.0) {
+            return Err(err(format!(
+                "--train-frac must be strictly between 0 and 1, got {v:?}"
+            )));
+        }
+        config.prep.train_frac = f;
+    }
+    let shards = args.get_usize("shards", 1)?;
+    if shards == 0 {
+        return Err(err("--shards must be at least 1"));
+    }
+    config.shard.shards = shards;
+    match (args.has("checkpoint-dir"), args.get("checkpoint-dir")) {
+        (true, None) => {
+            return Err(err(
+                "--checkpoint-dir expects a directory path, but no value was given",
+            ))
+        }
+        (_, Some(dir)) => config.shard.checkpoint_dir = Some(PathBuf::from(dir)),
+        _ => {}
+    }
+    config.shard.resume = args.has("resume");
+    if config.shard.resume && config.shard.checkpoint_dir.is_none() {
+        return Err(err("--resume requires --checkpoint-dir"));
+    }
+    match (args.has("mem-budget"), args.get("mem-budget")) {
+        (true, None) => {
+            return Err(err(
+                "--mem-budget expects a size in MiB, but no value was given",
+            ))
+        }
+        (_, Some(v)) => {
+            let mib: f64 = v
+                .parse()
+                .map_err(|_| err(format!("--mem-budget expects MiB, got {v:?}")))?;
+            if !mib.is_finite() || mib <= 0.0 {
+                return Err(err(format!(
+                    "--mem-budget expects a positive number of MiB, got {v:?}"
+                )));
+            }
+            config.mem_budget = MemBudget::bytes((mib * 1024.0 * 1024.0) as u64);
+        }
+        _ => {}
+    }
+    let sharded = shards > 1 || config.shard.checkpoint_dir.is_some();
     // Fault-tolerant import (the builder's default): malformed rows are
     // quarantined (and listed in the output) instead of failing the
     // whole audit.
@@ -639,6 +765,41 @@ fn cmd_audit(
         .config(config)
         .build()
         .map_err(suite_err)?;
+
+    if sharded {
+        if scores_path.is_some() {
+            return Err(err(
+                "--shards/--checkpoint-dir are not supported with audit-scores \
+                 (uploaded scores need the materialized pairing)",
+            ));
+        }
+        if args.has("dump-workload") {
+            return Err(err(
+                "--dump-workload needs materialized score vectors; drop --shards/--checkpoint-dir",
+            ));
+        }
+        let run = suite
+            .try_run_sharded(&matcher_kinds(args)?)
+            .map_err(|e| run_err(e, cancel))?;
+        let reports = run.audit_all(&auditor);
+        let mut text = render_audit_output(
+            args.has("json"),
+            &reports,
+            run.quarantine(),
+            run.failures(),
+            run.coverage(),
+            run.clamped_scores(),
+            None,
+            run.matcher_names().len(),
+        );
+        append_observability(&mut text, &observe, trace, args.has("json"), metrics_path.as_deref())?;
+        return Ok(CliOutput {
+            text,
+            degraded: run.is_degraded() || !run.quarantine().is_empty(),
+            timed_out: run.failures().iter().any(|f| f.interrupt().is_some()),
+            interrupted: cancel.cancel_requested(),
+        });
+    }
 
     let dump_path = args.get("dump-workload").map(PathBuf::from);
     let dump = |session: &fairem_core::pipeline::Session,
@@ -681,15 +842,9 @@ fn cmd_audit(
         let reports = vec![auditor.audit(ext.name(), &w, &session.space)];
         (session, reports, None)
     } else {
-        let kinds: Vec<MatcherKind> = match args.get("matchers") {
-            None => vec![
-                MatcherKind::DtMatcher,
-                MatcherKind::RfMatcher,
-                MatcherKind::LinRegMatcher,
-            ],
-            Some(raw) => parse_list(raw, "matcher")?,
-        };
-        let session = suite.try_run(&kinds).map_err(|e| run_err(e, cancel))?;
+        let session = suite
+            .try_run(&matcher_kinds(args)?)
+            .map_err(|e| run_err(e, cancel))?;
         for name in session.matcher_names() {
             let w = session.workload(name).map_err(suite_err)?;
             dump(&session, name, &w)?;
@@ -715,63 +870,113 @@ fn cmd_audit(
     let timed_out = audit_interrupt.is_some()
         || session.failures().iter().any(|f| f.interrupt().is_some());
     let interrupted = cancel.cancel_requested();
-    let mut text = if args.has("json") {
-        let j = Json::arr(reports.iter().map(audit_json));
-        j.to_string_pretty()
-    } else {
-        let mut text = reports
-            .iter()
-            .map(audit_text)
-            .collect::<Vec<_>>()
-            .join("\n");
-        if !session.quarantine().is_empty() {
-            text.push('\n');
-            text.push_str(&session.quarantine().render());
-        }
-        if session.is_degraded() {
-            let (survivors, requested) = session.coverage();
-            text.push_str(&format!(
-                "\nDEGRADED RUN: {survivors}/{requested} matcher(s) survived\n"
-            ));
-            for f in session.failures() {
-                text.push_str(&format!("  {f}\n"));
-            }
-        }
-        if let Some(i) = &audit_interrupt {
-            // Same `cut at <stage>` phrasing as a MatcherFailure line, so
-            // every deadline cut in the report names its stage one way.
-            text.push_str(&format!(
-                "\nAUDIT INTERRUPTED: cut at audit: {i} — {}/{} report(s) completed\n",
-                reports.len(),
-                session.matcher_names().len()
-            ));
-        }
-        if session.clamped_scores() > 0 {
-            text.push_str(&format!(
-                "\nnote: {} non-finite/out-of-range matcher score(s) clamped to [0,1]\n",
-                session.clamped_scores()
-            ));
-        }
-        text
-    };
-    if observe.is_enabled() {
-        // Snapshot once, after every instrumented stage has run.
-        let snapshot = observe.snapshot();
-        if trace && !args.has("json") {
-            text.push_str("\nTRACE:\n");
-            text.push_str(&snapshot.render_spans());
-        }
-        if let Some(path) = &metrics_path {
-            std::fs::write(path, snapshot.to_json())
-                .map_err(|e| data_err(format!("writing metrics to {path:?}: {e}")))?;
-        }
-    }
+    let mut text = render_audit_output(
+        args.has("json"),
+        &reports,
+        session.quarantine(),
+        session.failures(),
+        session.coverage(),
+        session.clamped_scores(),
+        audit_interrupt.as_ref(),
+        session.matcher_names().len(),
+    );
+    append_observability(&mut text, &observe, trace, args.has("json"), metrics_path.as_deref())?;
     Ok(CliOutput {
         text,
         degraded,
         timed_out,
         interrupted,
     })
+}
+
+/// The default or `--matchers`-selected fleet.
+fn matcher_kinds(args: &Args) -> Result<Vec<MatcherKind>, CliError> {
+    match args.get("matchers") {
+        None => Ok(vec![
+            MatcherKind::DtMatcher,
+            MatcherKind::RfMatcher,
+            MatcherKind::LinRegMatcher,
+        ]),
+        Some(raw) => parse_list(raw, "matcher"),
+    }
+}
+
+/// Render the audit report text/JSON shared by the materialized and
+/// sharded paths — one assembly function so `--shards` cannot drift
+/// from the unsharded output byte-wise.
+#[allow(clippy::too_many_arguments)]
+fn render_audit_output(
+    json: bool,
+    reports: &[fairem_core::AuditReport],
+    quarantine: &fairem_core::QuarantineReport,
+    failures: &[fairem_core::MatcherFailure],
+    coverage: (usize, usize),
+    clamped: usize,
+    audit_interrupt: Option<&fairem_core::Interrupt>,
+    matcher_total: usize,
+) -> String {
+    if json {
+        let j = Json::arr(reports.iter().map(audit_json));
+        return j.to_string_pretty();
+    }
+    let mut text = reports
+        .iter()
+        .map(audit_text)
+        .collect::<Vec<_>>()
+        .join("\n");
+    if !quarantine.is_empty() {
+        text.push('\n');
+        text.push_str(&quarantine.render());
+    }
+    if !failures.is_empty() {
+        let (survivors, requested) = coverage;
+        text.push_str(&format!(
+            "\nDEGRADED RUN: {survivors}/{requested} matcher(s) survived\n"
+        ));
+        for f in failures {
+            text.push_str(&format!("  {f}\n"));
+        }
+    }
+    if let Some(i) = audit_interrupt {
+        // Same `cut at <stage>` phrasing as a MatcherFailure line, so
+        // every deadline cut in the report names its stage one way.
+        text.push_str(&format!(
+            "\nAUDIT INTERRUPTED: cut at audit: {i} — {}/{} report(s) completed\n",
+            reports.len(),
+            matcher_total
+        ));
+    }
+    if clamped > 0 {
+        text.push_str(&format!(
+            "\nnote: {clamped} non-finite/out-of-range matcher score(s) clamped to [0,1]\n"
+        ));
+    }
+    text
+}
+
+/// Append `--trace` span trees to the text and write the `--metrics`
+/// snapshot, when observability is on.
+fn append_observability(
+    text: &mut String,
+    observe: &fairem_core::Recorder,
+    trace: bool,
+    json: bool,
+    metrics_path: Option<&Path>,
+) -> Result<(), CliError> {
+    if !observe.is_enabled() {
+        return Ok(());
+    }
+    // Snapshot once, after every instrumented stage has run.
+    let snapshot = observe.snapshot();
+    if trace && !json {
+        text.push_str("\nTRACE:\n");
+        text.push_str(&snapshot.render_spans());
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| data_err(format!("writing metrics to {path:?}: {e}")))?;
+    }
+    Ok(())
 }
 
 fn read_external_scores(path: &Path) -> Result<ExternalScores, CliError> {
@@ -899,6 +1104,14 @@ fn cmd_serve(args: &Args, cancel: &CancelToken) -> Result<CliOutput, CliError> {
     } else {
         fairem_core::Recorder::disabled()
     };
+    let checkpoint_dir = match (args.has("checkpoint-dir"), args.get("checkpoint-dir")) {
+        (true, None) => {
+            return Err(err(
+                "--checkpoint-dir expects a directory path, but no value was given",
+            ))
+        }
+        (_, v) => v.map(PathBuf::from),
+    };
     let config = fairem_serve::ServeConfig {
         addr: format!("127.0.0.1:{port}"),
         max_sessions: args.get_usize("max-sessions", 64)?,
@@ -907,6 +1120,7 @@ fn cmd_serve(args: &Args, cancel: &CancelToken) -> Result<CliOutput, CliError> {
         request_budget,
         drain_budget,
         parallelism: args.jobs()?,
+        checkpoint_dir,
     };
     let summary = fairem_serve::serve(config, cancel.clone(), recorder, |addr| {
         // Announced immediately, not in the final CliOutput: scripted
@@ -977,6 +1191,7 @@ fn cmd_storm(args: &Args) -> Result<CliOutput, CliError> {
         clients: args.get_usize("clients", 16)?,
         rounds: args.get_usize("rounds", 2)?,
         stall_ms: args.get_usize("stall-ms", 1_500)? as u64,
+        seed: args.get_usize("seed", 4360)? as u64,
         ..fairem_serve::StormConfig::default()
     };
     let report = fairem_serve::run_storm(addr, &config);
