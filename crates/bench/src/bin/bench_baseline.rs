@@ -35,6 +35,8 @@ use fairem_core::pipeline::{FairEm360, SuiteConfig};
 use fairem_core::prep::PrepConfig;
 use fairem_core::schema::Table;
 use fairem_core::sensitive::SensitiveAttr;
+use fairem_core::threshold::default_grid;
+use fairem_core::CalibrationSpec;
 use fairem_core::{Exec, PairBatch, ParOutcome, Parallelism, Recorder, Snapshot, WorkerPool};
 use fairem_csvio::Json;
 use fairem_datasets::{citations, wdc_products, CitationsConfig, GeneratedDataset, ProductsConfig};
@@ -199,6 +201,10 @@ fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Snapshot {
         matching_threshold: MATCHING_THRESHOLD,
         parallelism: Parallelism::Fixed(jobs),
         observe: observe.clone(),
+        // Per-group calibration is a production stage since the
+        // `--calibrate` flag landed; bake it into the baseline so its
+        // `calib` span shows up in every measured run.
+        calibration: Some(CalibrationSpec::isotonic()),
         ..SuiteConfig::default()
     };
     let sensitive: Vec<SensitiveAttr> = dataset
@@ -216,6 +222,17 @@ fn run_once(dataset: &GeneratedDataset, jobs: usize) -> Snapshot {
         .try_run(MATCHERS)
         .orfail("baseline fleet trains");
     let _ = session.audit_all(&default_auditor());
+    let grid = default_grid();
+    let groups = session.space.level1_of_attr(0);
+    for name in session.matcher_names() {
+        let _ = session.calibrated_audit(
+            name,
+            &[FairnessMeasure::AccuracyParity],
+            Disparity::Subtraction,
+            &grid,
+            &groups,
+        );
+    }
     let _ = session
         .ensemble(0, FairnessMeasure::AccuracyParity, Disparity::Subtraction)
         .pareto_frontier();

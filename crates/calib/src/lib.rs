@@ -1,0 +1,493 @@
+//! fairem-calib: per-group score calibration (the suite's answer to the
+//! paper's Fig. 4 threshold-sensitivity story).
+//!
+//! An uncalibrated matcher can look fair at one matching threshold and
+//! unfair at the next, because its raw scores mean different things for
+//! different sensitive groups. "Threshold-Independent Fair Matching
+//! through Score Calibration" (Moslemi & Milani 2024, the paper's ref
+//! \[10\]) fixes this by fitting a calibrator *per group* so that a score
+//! of `p` means "probability `p` of a true match" for every group at
+//! once; fairness can then be audited on the score distributions over
+//! the whole threshold range instead of at a single point.
+//!
+//! This crate owns the group-wise fitting layer on top of the plain
+//! [`PlattScaler`]/[`IsotonicCalibrator`] calibrators in `fairem-ml`:
+//!
+//! - [`CalibrationSpec`] names a calibrator family plus the minimum
+//!   per-group support below which a group falls back to the global fit;
+//! - [`GroupCalibrator::try_fit`] fits the global calibrator and every
+//!   eligible group calibrator as independent work items on a
+//!   [`WorkerPool`], so the result is bit-for-bit identical under every
+//!   `Parallelism` policy and the fit honors the session's cancellation
+//!   tree;
+//! - [`GroupCalibrator::transform`] maps a (group, raw score) pair to a
+//!   calibrated probability, routing groups without their own fit to the
+//!   global calibrator.
+//!
+//! The crate is deliberately core-agnostic: callers pass plain slices
+//! (scores, labels, group slot per item), so `fairem-core` can adapt its
+//! `Workload`/`GroupSpace` model without a dependency cycle.
+
+use fairem_ml::{IsotonicCalibrator, PlattScaler};
+use fairem_obs::Recorder;
+use fairem_par::{CancelToken, Interrupt, WorkerPool};
+
+/// Calibrator family to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibratorKind {
+    /// Platt scaling: logistic link `σ(a·s + b)` fit by gradient descent.
+    Platt,
+    /// Isotonic regression: monotone step function fit by PAVA.
+    Isotonic,
+}
+
+impl CalibratorKind {
+    /// Stable lowercase name (CLI flag value, report label, cache key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CalibratorKind::Platt => "platt",
+            CalibratorKind::Isotonic => "isotonic",
+        }
+    }
+}
+
+/// A calibration policy: which calibrator family to fit per group, and
+/// the minimum number of fitting samples a group needs (with both
+/// classes present) before it earns its own calibrator instead of the
+/// global fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationSpec {
+    /// Calibrator family.
+    pub kind: CalibratorKind,
+    /// Minimum per-group sample count for a dedicated fit.
+    pub min_support: usize,
+}
+
+impl CalibrationSpec {
+    /// Default minimum support, matching the audit's small-group floor.
+    pub const DEFAULT_MIN_SUPPORT: usize = 10;
+
+    /// Platt scaling with the default support floor.
+    pub fn platt() -> CalibrationSpec {
+        CalibrationSpec {
+            kind: CalibratorKind::Platt,
+            min_support: Self::DEFAULT_MIN_SUPPORT,
+        }
+    }
+
+    /// Isotonic regression with the default support floor.
+    pub fn isotonic() -> CalibrationSpec {
+        CalibrationSpec {
+            kind: CalibratorKind::Isotonic,
+            min_support: Self::DEFAULT_MIN_SUPPORT,
+        }
+    }
+
+    /// Override the support floor.
+    pub fn with_min_support(mut self, min_support: usize) -> CalibrationSpec {
+        self.min_support = min_support.max(1);
+        self
+    }
+
+    /// Parse a CLI-style spec: `none`, `platt`, `isotonic`, optionally
+    /// suffixed `:<min-support>` (e.g. `isotonic:25`). `Ok(None)` means
+    /// calibration is explicitly off.
+    pub fn parse(raw: &str) -> Result<Option<CalibrationSpec>, String> {
+        let (name, support) = match raw.split_once(':') {
+            Some((n, s)) => (n, Some(s)),
+            None => (raw, None),
+        };
+        let base = match name {
+            "none" => {
+                if support.is_some() {
+                    return Err("'none' takes no min-support suffix".into());
+                }
+                return Ok(None);
+            }
+            "platt" => CalibrationSpec::platt(),
+            "isotonic" => CalibrationSpec::isotonic(),
+            other => {
+                return Err(format!(
+                    "unknown calibrator '{other}' (expected none|platt|isotonic[:min-support])"
+                ))
+            }
+        };
+        match support {
+            None => Ok(Some(base)),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(base.with_min_support(n))),
+                _ => Err(format!("invalid min-support '{s}' (expected integer >= 1)")),
+            },
+        }
+    }
+
+    /// Stable label, e.g. `platt:10` — used in reports and cache keys.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.kind.name(), self.min_support)
+    }
+}
+
+/// One fitted calibrator (either family).
+#[derive(Debug, Clone)]
+enum Fitted {
+    Platt(PlattScaler),
+    Isotonic(IsotonicCalibrator),
+}
+
+impl Fitted {
+    fn fit(kind: CalibratorKind, scores: &[f64], labels: &[f64]) -> Fitted {
+        match kind {
+            CalibratorKind::Platt => Fitted::Platt(PlattScaler::fit(scores, labels)),
+            CalibratorKind::Isotonic => Fitted::Isotonic(IsotonicCalibrator::fit(scores, labels)),
+        }
+    }
+
+    fn transform(&self, score: f64) -> f64 {
+        match self {
+            Fitted::Platt(p) => p.transform(score),
+            Fitted::Isotonic(i) => i.transform(score),
+        }
+    }
+}
+
+/// Per-group calibrator: a global fit over all samples plus a dedicated
+/// fit for every group that clears the support floor with both classes
+/// present. Groups without a dedicated fit (and items outside every
+/// group) route through the global calibrator.
+#[derive(Debug, Clone)]
+pub struct GroupCalibrator {
+    spec: CalibrationSpec,
+    global: Fitted,
+    per_group: Vec<Option<Fitted>>,
+}
+
+impl GroupCalibrator {
+    /// Fit with an inert cancellation token. See [`GroupCalibrator::try_fit`].
+    ///
+    /// # Panics
+    /// If inputs are empty or lengths differ.
+    pub fn fit(
+        spec: CalibrationSpec,
+        scores: &[f64],
+        labels: &[f64],
+        group_of: &[Option<usize>],
+        n_groups: usize,
+        pool: &WorkerPool,
+    ) -> GroupCalibrator {
+        match Self::try_fit(spec, scores, labels, group_of, n_groups, pool, &CancelToken::inert()) {
+            Ok(c) => c,
+            // fairem: allow(panic) — inert token never trips; unreachable by construction
+            Err(_) => unreachable!("inert token cannot interrupt"),
+        }
+    }
+
+    /// Fit the global calibrator plus one calibrator per eligible group.
+    ///
+    /// `group_of[i]` is item `i`'s group slot (`None` = outside every
+    /// audited group; such items still feed the global fit). Each of the
+    /// `n_groups + 1` fits is an independent work item on `pool`, so the
+    /// stitched result is bit-for-bit identical for every worker count;
+    /// a tripped `cancel` token aborts the whole fit (partial fits are
+    /// never observable).
+    ///
+    /// # Panics
+    /// If `scores` is empty or input lengths differ.
+    pub fn try_fit(
+        spec: CalibrationSpec,
+        scores: &[f64],
+        labels: &[f64],
+        group_of: &[Option<usize>],
+        n_groups: usize,
+        pool: &WorkerPool,
+        cancel: &CancelToken,
+    ) -> Result<GroupCalibrator, Interrupt> {
+        assert!(!scores.is_empty(), "cannot calibrate on empty data");
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        assert_eq!(scores.len(), group_of.len(), "scores and groups must align");
+        let recorder = pool.recorder().clone();
+        let span = recorder.span("calib.fit");
+        // Work item g < n_groups fits group g; item n_groups fits the
+        // global calibrator over every sample.
+        let outcome = pool.par_map_within(n_groups + 1, cancel, |g| {
+            if g == n_groups {
+                return Some(Fitted::fit(spec.kind, scores, labels));
+            }
+            let mut gs = Vec::new();
+            let mut gl = Vec::new();
+            for (i, slot) in group_of.iter().enumerate() {
+                if *slot == Some(g) {
+                    gs.push(scores[i]);
+                    gl.push(labels[i]);
+                }
+            }
+            let has_both = gl.contains(&1.0) && gl.iter().any(|&y| y != 1.0);
+            if gs.len() >= spec.min_support && has_both {
+                Some(Fitted::fit(spec.kind, &gs, &gl))
+            } else {
+                None
+            }
+        });
+        if let Some(interrupt) = outcome.interrupt().copied() {
+            span.set_status(fairem_obs::SpanStatus::Cut);
+            drop(span);
+            return Err(interrupt);
+        }
+        let mut fits = outcome.into_done();
+        let global = match fits.pop().flatten() {
+            Some(g) => g,
+            // fairem: allow(panic) — pool contract: uninterrupted map returns all n_groups + 1 slots
+            None => unreachable!("global fit always runs"),
+        };
+        let fallbacks = fits.iter().filter(|f| f.is_none()).count();
+        recorder.add("calib.groups_fitted", (fits.len() - fallbacks) as u64);
+        recorder.add("calib.fallbacks", fallbacks as u64);
+        recorder.add("calib.samples", scores.len() as u64);
+        drop(span);
+        Ok(GroupCalibrator {
+            spec,
+            global,
+            per_group: fits,
+        })
+    }
+
+    /// The policy this calibrator was fitted under.
+    pub fn spec(&self) -> CalibrationSpec {
+        self.spec
+    }
+
+    /// Number of groups that earned a dedicated fit.
+    pub fn groups_fitted(&self) -> usize {
+        self.per_group.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Number of groups routed to the global fallback.
+    pub fn fallbacks(&self) -> usize {
+        self.per_group.len() - self.groups_fitted()
+    }
+
+    /// Calibrated probability for one (group, raw score) pair.
+    pub fn transform(&self, group: Option<usize>, score: f64) -> f64 {
+        match group.and_then(|g| self.per_group.get(g)).and_then(|f| f.as_ref()) {
+            Some(fitted) => fitted.transform(score),
+            None => self.global.transform(score),
+        }
+    }
+
+    /// Calibrate a batch, routing each item by its group slot.
+    ///
+    /// # Panics
+    /// If input lengths differ.
+    pub fn transform_all(&self, group_of: &[Option<usize>], scores: &[f64]) -> Vec<f64> {
+        assert_eq!(scores.len(), group_of.len(), "scores and groups must align");
+        scores
+            .iter()
+            .zip(group_of)
+            .map(|(&s, &g)| self.transform(g, s))
+            .collect()
+    }
+
+    /// Emit the fit shape to `recorder` (used by serve's calibrator cache
+    /// to attribute cached hits without refitting).
+    pub fn record_shape(&self, recorder: &Recorder) {
+        recorder.gauge("calib.groups_fitted", self.groups_fitted() as f64);
+        recorder.gauge("calib.fallbacks", self.fallbacks() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairem_par::Parallelism;
+
+    /// Two groups with systematically different score scales: group 0's
+    /// scores are compressed into [0.25, 0.45], group 1's spread over
+    /// [0.1, 0.9]; in both, the top half by rank are true matches.
+    fn two_scale_fixture(n: usize) -> (Vec<f64>, Vec<f64>, Vec<Option<usize>>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..n {
+            let frac = i as f64 / n as f64;
+            scores.push(0.25 + 0.20 * frac);
+            labels.push(if frac > 0.5 { 1.0 } else { 0.0 });
+            groups.push(Some(0));
+            scores.push(0.1 + 0.8 * frac);
+            labels.push(if frac > 0.5 { 1.0 } else { 0.0 });
+            groups.push(Some(1));
+        }
+        (scores, labels, groups)
+    }
+
+    #[test]
+    fn per_group_fit_aligns_score_scales() {
+        let (scores, labels, groups) = two_scale_fixture(40);
+        let pool = WorkerPool::with_parallelism(Parallelism::Off);
+        let cal = GroupCalibrator::fit(
+            CalibrationSpec::platt(),
+            &scores,
+            &labels,
+            &groups,
+            2,
+            &pool,
+        );
+        assert_eq!(cal.groups_fitted(), 2);
+        assert_eq!(cal.fallbacks(), 0);
+        // Raw scores: group 0's best match (0.45) scores below group 1's
+        // clear matches. Calibrated: both groups' matches sit above 0.5
+        // and non-matches below.
+        assert!(cal.transform(Some(0), 0.44) > 0.5);
+        assert!(cal.transform(Some(0), 0.27) < 0.5);
+        assert!(cal.transform(Some(1), 0.85) > 0.5);
+        assert!(cal.transform(Some(1), 0.15) < 0.5);
+    }
+
+    #[test]
+    fn small_groups_fall_back_to_global() {
+        let (mut scores, mut labels, mut groups) = two_scale_fixture(40);
+        // A third group with only 3 samples: below any sane floor.
+        for (s, y) in [(0.2, 0.0), (0.6, 1.0), (0.8, 1.0)] {
+            scores.push(s);
+            labels.push(y);
+            groups.push(Some(2));
+        }
+        let pool = WorkerPool::with_parallelism(Parallelism::Off);
+        let cal = GroupCalibrator::fit(
+            CalibrationSpec::isotonic(),
+            &scores,
+            &labels,
+            &groups,
+            3,
+            &pool,
+        );
+        assert_eq!(cal.groups_fitted(), 2);
+        assert_eq!(cal.fallbacks(), 1);
+        // The fallback group routes through the global fit: identical to
+        // an out-of-group item.
+        assert_eq!(
+            cal.transform(Some(2), 0.7).to_bits(),
+            cal.transform(None, 0.7).to_bits()
+        );
+    }
+
+    #[test]
+    fn one_class_groups_fall_back_even_with_support() {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..30 {
+            let frac = i as f64 / 30.0;
+            scores.push(frac);
+            labels.push(if frac > 0.5 { 1.0 } else { 0.0 });
+            groups.push(Some(0));
+            // Group 1: plenty of samples, but every one is a match.
+            scores.push(0.5 + 0.4 * frac);
+            labels.push(1.0);
+            groups.push(Some(1));
+        }
+        let pool = WorkerPool::with_parallelism(Parallelism::Off);
+        let cal = GroupCalibrator::fit(
+            CalibrationSpec::platt(),
+            &scores,
+            &labels,
+            &groups,
+            2,
+            &pool,
+        );
+        assert_eq!(cal.groups_fitted(), 1);
+        assert_eq!(cal.fallbacks(), 1);
+    }
+
+    #[test]
+    fn fit_is_bitwise_identical_across_parallelism_policies() {
+        let (scores, labels, groups) = two_scale_fixture(64);
+        let probes: Vec<(Option<usize>, f64)> = (0..50)
+            .map(|i| (Some(i % 2), i as f64 / 50.0))
+            .chain([(None, 0.3), (Some(9), 0.6)])
+            .collect();
+        let mut outputs: Vec<Vec<u64>> = Vec::new();
+        for p in [Parallelism::Off, Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+            let pool = WorkerPool::with_parallelism(p);
+            let cal = GroupCalibrator::fit(
+                CalibrationSpec::isotonic(),
+                &scores,
+                &labels,
+                &groups,
+                2,
+                &pool,
+            );
+            outputs.push(
+                probes
+                    .iter()
+                    .map(|&(g, s)| cal.transform(g, s).to_bits())
+                    .collect(),
+            );
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn cancelled_fit_returns_interrupt() {
+        let (scores, labels, groups) = two_scale_fixture(40);
+        let pool = WorkerPool::with_parallelism(Parallelism::Off);
+        let token = CancelToken::inert();
+        token.cancel();
+        let out = GroupCalibrator::try_fit(
+            CalibrationSpec::platt(),
+            &scores,
+            &labels,
+            &groups,
+            2,
+            &pool,
+            &token,
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn spec_parse_round_trips() {
+        assert_eq!(CalibrationSpec::parse("none"), Ok(None));
+        assert_eq!(
+            CalibrationSpec::parse("platt"),
+            Ok(Some(CalibrationSpec::platt()))
+        );
+        assert_eq!(
+            CalibrationSpec::parse("isotonic:25"),
+            Ok(Some(CalibrationSpec::isotonic().with_min_support(25)))
+        );
+        assert!(CalibrationSpec::parse("sigmoid").is_err());
+        assert!(CalibrationSpec::parse("platt:0").is_err());
+        assert!(CalibrationSpec::parse("isotonic:abc").is_err());
+        assert!(CalibrationSpec::parse("none:5").is_err());
+        assert_eq!(
+            CalibrationSpec::isotonic().with_min_support(25).label(),
+            "isotonic:25"
+        );
+    }
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let (scores, labels, groups) = two_scale_fixture(40);
+        let pool =
+            WorkerPool::with_parallelism(Parallelism::Off).observe(Recorder::enabled());
+        let cal = GroupCalibrator::fit(
+            CalibrationSpec::platt(),
+            &scores,
+            &labels,
+            &groups,
+            2,
+            &pool,
+        );
+        assert_eq!(cal.groups_fitted(), 2);
+        let snap = pool.recorder().snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("calib.groups_fitted"), Some(2));
+        assert_eq!(counter("calib.fallbacks"), Some(0));
+        assert!(snap.span_total("calib.fit") >= 0.0);
+    }
+}

@@ -60,6 +60,7 @@
 
 pub mod audit;
 pub mod blocking;
+pub mod calibrate;
 pub mod ckpt;
 pub mod confusion;
 pub mod ensemble;
@@ -85,6 +86,8 @@ pub mod workload;
 
 pub use audit::{AuditConfig, AuditEntry, AuditReport, Auditor};
 pub use blocking::{Blocker, CandidatePairs, SortedNeighborhood, TokenBlocking};
+pub use calibrate::{CalibratedAudit, DistributionAudit, DistributionEntry, FairnessArea};
+pub use fairem_calib::{CalibrationSpec, CalibratorKind, GroupCalibrator};
 pub use ckpt::{fnv1a64, CheckpointStore, ShardRecord, CKPT_SCHEMA};
 pub use confusion::ConfusionMatrix;
 pub use ensemble::{EnsembleExplorer, ParetoPoint};

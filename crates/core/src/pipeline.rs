@@ -12,8 +12,11 @@ use fairem_par::{
     WorkerPool,
 };
 
+use fairem_calib::{CalibrationSpec, GroupCalibrator};
+
 use crate::audit::{AuditReport, Auditor};
 use crate::blocking::Blocker;
+use crate::calibrate::{self, CalibratedAudit};
 use crate::ckpt::{fnv1a64, CheckpointStore, ShardRecord};
 use crate::ensemble::EnsembleExplorer;
 use crate::error::{Stage, SuiteError, SuiteResult};
@@ -87,6 +90,12 @@ pub struct SuiteConfig {
     /// Shard count, checkpoint directory, and resume flag for the
     /// out-of-core path. Ignored by [`FairEm360::try_run`].
     pub shard: ShardPolicy,
+    /// Per-group score-calibration policy (ref \[10\] style). `None`
+    /// (the default) audits raw scores only; a spec makes
+    /// [`Session::calibrated_audit`] fit and apply a
+    /// [`fairem_calib::GroupCalibrator`] without the caller re-passing
+    /// the spec.
+    pub calibration: Option<CalibrationSpec>,
 }
 
 impl Default for SuiteConfig {
@@ -105,6 +114,7 @@ impl Default for SuiteConfig {
             blocker: None,
             mem_budget: MemBudget::UNLIMITED,
             shard: ShardPolicy::default(),
+            calibration: None,
         }
     }
 }
@@ -265,6 +275,16 @@ impl SuiteBuilder {
     /// run key matches (shorthand for mutating [`ShardPolicy::resume`]).
     pub fn resume(mut self, resume: bool) -> SuiteBuilder {
         self.config.shard.resume = resume;
+        self
+    }
+
+    /// Per-group score-calibration policy for the session (shorthand
+    /// for mutating [`SuiteConfig::calibration`]): e.g.
+    /// `.calibration(CalibrationSpec::isotonic())`. The fitted
+    /// calibrators live session-side; audits stay on raw scores unless
+    /// the calibrated entry points are used.
+    pub fn calibration(mut self, spec: CalibrationSpec) -> SuiteBuilder {
+        self.config.calibration = Some(spec);
         self
     }
 
@@ -804,9 +824,11 @@ impl Front {
             train_features,
             train_tokens,
             train_config,
+            valid_pairs,
             valid_labels,
             valid_features,
             valid_tokens,
+            calibration: config.calibration,
             failures,
             quarantine,
             clamped_scores,
@@ -1290,9 +1312,11 @@ pub struct Session {
     train_features: Matrix,
     train_tokens: Vec<TokenPair>,
     train_config: MatcherTrainConfig,
+    valid_pairs: Vec<(usize, usize)>,
     valid_labels: Vec<f64>,
     valid_features: Matrix,
     valid_tokens: Vec<TokenPair>,
+    calibration: Option<CalibrationSpec>,
     failures: Vec<MatcherFailure>,
     quarantine: QuarantineReport,
     clamped_scores: usize,
@@ -1646,6 +1670,178 @@ impl Session {
             &self.workload(matcher)?,
             groups,
         ))
+    }
+
+    /// The session's configured calibration policy (from
+    /// [`SuiteBuilder::calibration`]), if any.
+    pub fn calibration(&self) -> Option<CalibrationSpec> {
+        self.calibration
+    }
+
+    /// Fit a [`GroupCalibrator`] for one matcher under `spec`: per-group
+    /// fits on the *validation* split (falling back to the training
+    /// split when the validation split is empty — small runs with
+    /// `valid_frac: 0.0` still calibrate, just on held-in data), with
+    /// groups below the spec's support floor routed to the global fit.
+    /// Fitting fans out over the session's worker pool (bit-for-bit
+    /// identical for every [`Parallelism`] policy) and observes the
+    /// session's cancellation token. Unknown names are a
+    /// [`SuiteError::UnknownMatcher`].
+    pub fn group_calibrator(
+        &self,
+        matcher: &str,
+        spec: CalibrationSpec,
+        groups: &[GroupId],
+    ) -> SuiteResult<GroupCalibrator> {
+        let m = self
+            .registry
+            .iter()
+            .find(|m| m.name() == matcher)
+            .ok_or_else(|| self.unknown_matcher(matcher))?;
+        let (pairs, labels, mut scores) = if self.valid_labels.is_empty() {
+            (
+                &self.train_pairs,
+                &self.train_labels,
+                m.score_batch(&self.train_features, &self.train_tokens),
+            )
+        } else {
+            (
+                &self.valid_pairs,
+                &self.valid_labels,
+                m.score_batch(&self.valid_features, &self.valid_tokens),
+            )
+        };
+        // Same boundary contract as test-time scoring.
+        sanitize_scores(&mut scores);
+        let items: Vec<Correspondence> = pairs
+            .iter()
+            .zip(labels.iter())
+            .zip(scores)
+            .map(|((&(ra, rb), &y), score)| Correspondence {
+                a_row: ra,
+                b_row: rb,
+                score,
+                truth: y == 1.0,
+                left: self.enc_a[ra],
+                right: self.enc_b[rb],
+            })
+            .collect();
+        let fit_workload = Workload::new(items, self.matching_threshold);
+        let pool = WorkerPool::with_parallelism(self.parallelism).observe(self.observe.clone());
+        calibrate::fit_on_workload(spec, &fit_workload, groups, &pool, &self.cancel)
+            .map_err(|i| timed_out(Stage::Audit, i))
+    }
+
+    /// Evaluation workload with per-group calibrated scores: fit via
+    /// [`Session::group_calibrator`], then remap the matcher's test
+    /// scores. Unknown names are a [`SuiteError::UnknownMatcher`].
+    pub fn calibrated_workload_with(
+        &self,
+        matcher: &str,
+        spec: CalibrationSpec,
+        groups: &[GroupId],
+    ) -> SuiteResult<Workload> {
+        let cal = self.group_calibrator(matcher, spec, groups)?;
+        Ok(calibrate::apply_calibrator(
+            &cal,
+            &self.workload(matcher)?,
+            groups,
+        ))
+    }
+
+    /// The threshold-independent `CalibratedAudit` section for one
+    /// matcher: KS / 1-Wasserstein score-distribution distances per
+    /// group and the trapezoid-swept fairness area per measure, for the
+    /// raw scores — and, when the session has a calibration policy
+    /// ([`SuiteBuilder::calibration`]), the same audit after per-group
+    /// calibration, side by side. Runs under a `calib` root span with
+    /// `calib.*` counters when observability is on.
+    pub fn calibrated_audit(
+        &self,
+        matcher: &str,
+        measures: &[FairnessMeasure],
+        disparity: Disparity,
+        grid: &[f64],
+        groups: &[GroupId],
+    ) -> SuiteResult<CalibratedAudit> {
+        self.cancel
+            .checkpoint()
+            .map_err(|i| timed_out(Stage::Audit, i))?;
+        let span = self.observe.span("calib");
+        let w = self.workload(matcher)?;
+        let baseline =
+            calibrate::distribution_audit(&w, &self.space, groups, measures, disparity, grid);
+        let mut report = CalibratedAudit {
+            matcher: matcher.to_owned(),
+            calibration: None,
+            groups_fitted: 0,
+            fallbacks: 0,
+            baseline,
+            calibrated: None,
+        };
+        if let Some(spec) = self.calibration {
+            let cal = match self.group_calibrator(matcher, spec, groups) {
+                Ok(cal) => cal,
+                Err(e) => {
+                    span.set_status(SpanStatus::Cut);
+                    drop(span);
+                    return Err(e);
+                }
+            };
+            let cw = calibrate::apply_calibrator(&cal, &w, groups);
+            report.calibration = Some(spec.label());
+            report.groups_fitted = cal.groups_fitted();
+            report.fallbacks = cal.fallbacks();
+            report.calibrated = Some(calibrate::distribution_audit(
+                &cw,
+                &self.space,
+                groups,
+                measures,
+                disparity,
+                grid,
+            ));
+        }
+        drop(span);
+        Ok(report)
+    }
+
+    /// Step 4 with calibrator choice as an extra knob: each surviving
+    /// matcher contributes its raw workload plus one per-group-calibrated
+    /// variant per spec (named `{matcher}+{spec label}`), and the Pareto
+    /// explorer enumerates over all of them — calibrator choice sits in
+    /// the assignment space right next to matcher choice.
+    pub fn ensemble_with_calibrators(
+        &self,
+        attr_index: usize,
+        measure: FairnessMeasure,
+        disparity: Disparity,
+        specs: &[CalibrationSpec],
+    ) -> SuiteResult<EnsembleExplorer> {
+        let groups: Vec<GroupId> = self.space.level1_of_attr(attr_index);
+        let mut workloads: Vec<(String, Workload)> = Vec::new();
+        for n in self.matcher_names() {
+            // `matcher_names` only lists matchers with cached scores.
+            let Some(scores) = self.scores.get(n) else {
+                continue;
+            };
+            let raw = self.workload_from_scores(scores.clone());
+            for spec in specs {
+                let cal = self.group_calibrator(n, *spec, &groups)?;
+                workloads.push((
+                    format!("{n}+{}", spec.label()),
+                    calibrate::apply_calibrator(&cal, &raw, &groups),
+                ));
+            }
+            workloads.push((n.to_owned(), raw));
+        }
+        let refs: Vec<(String, &Workload)> =
+            workloads.iter().map(|(n, w)| (n.clone(), w)).collect();
+        Ok(
+            EnsembleExplorer::build(&refs, &self.space, &groups, measure, disparity)
+                .with_parallelism(self.parallelism)
+                .with_cancel(self.cancel.clone())
+                .with_observe(self.observe.clone()),
+        )
     }
 
     /// Matching-quality summary of a matcher on the test split

@@ -4,6 +4,7 @@
 use fairem_csvio::Json;
 
 use crate::audit::AuditReport;
+use crate::calibrate::CalibratedAudit;
 use crate::ensemble::{EnsembleExplorer, ParetoPoint};
 use crate::multiworkload::MultiWorkloadReport;
 
@@ -144,6 +145,144 @@ pub fn audit_json(report: &AuditReport) -> Json {
                     ("unfair", e.unfair.into()),
                 ])
             })),
+        ),
+    ])
+}
+
+/// Render a threshold-independent calibrated audit as text: per-group
+/// score-distribution distances vs the overall distribution and
+/// per-measure fairness areas, raw vs calibrated side by side when a
+/// calibration policy ran.
+pub fn calibrated_audit_text(report: &CalibratedAudit) -> String {
+    let mut out = String::new();
+    match &report.calibration {
+        Some(label) => out.push_str(&format!(
+            "calibrated audit: {} (calibration {}, {} group(s) fitted, {} fallback(s))\n",
+            report.matcher, label, report.groups_fitted, report.fallbacks
+        )),
+        None => out.push_str(&format!(
+            "calibrated audit: {} (calibration off — raw scores only)\n",
+            report.matcher
+        )),
+    }
+    out.push_str("score-distribution distances vs overall (threshold-independent):\n");
+    if report.calibrated.is_some() {
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "group", "support", "ks(raw)", "w1(raw)", "ks(cal)", "w1(cal)"
+        ));
+    } else {
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>9} {:>9}\n",
+            "group", "support", "ks", "w1"
+        ));
+    }
+    for (i, e) in report.baseline.entries.iter().enumerate() {
+        match report.calibrated.as_ref().and_then(|c| c.entries.get(i)) {
+            Some(ce) => out.push_str(&format!(
+                "  {:<18} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                e.group,
+                e.support,
+                fmt(e.ks),
+                fmt(e.wasserstein),
+                fmt(ce.ks),
+                fmt(ce.wasserstein)
+            )),
+            None => out.push_str(&format!(
+                "  {:<18} {:>8} {:>9} {:>9}\n",
+                e.group,
+                e.support,
+                fmt(e.ks),
+                fmt(e.wasserstein)
+            )),
+        }
+    }
+    out.push_str("fairness areas (max disparity integrated over all thresholds):\n");
+    if report.calibrated.is_some() {
+        out.push_str(&format!(
+            "  {:<10} {:>10} {:>10}\n",
+            "measure", "area(raw)", "area(cal)"
+        ));
+    } else {
+        out.push_str(&format!("  {:<10} {:>10}\n", "measure", "area"));
+    }
+    for (i, a) in report.baseline.areas.iter().enumerate() {
+        match report.calibrated.as_ref().and_then(|c| c.areas.get(i)) {
+            Some(ca) => out.push_str(&format!(
+                "  {:<10} {:>10} {:>10}\n",
+                a.measure.name(),
+                fmt(a.area),
+                fmt(ca.area)
+            )),
+            None => out.push_str(&format!(
+                "  {:<10} {:>10}\n",
+                a.measure.name(),
+                fmt(a.area)
+            )),
+        }
+    }
+    match (&report.calibrated, report.ks_improved()) {
+        (Some(c), Some(improved)) => out.push_str(&format!(
+            "KS disparity: raw {}, calibrated {} ({})\n",
+            fmt(report.baseline.max_ks()),
+            fmt(c.max_ks()),
+            if improved { "improved" } else { "REGRESSED" }
+        )),
+        _ => out.push_str(&format!(
+            "KS disparity: raw {}\n",
+            fmt(report.baseline.max_ks())
+        )),
+    }
+    out
+}
+
+fn distribution_audit_json(audit: &crate::calibrate::DistributionAudit) -> Json {
+    Json::obj([
+        ("max_ks", audit.max_ks().into()),
+        ("max_wasserstein", audit.max_wasserstein().into()),
+        (
+            "entries",
+            Json::arr(audit.entries.iter().map(|e| {
+                Json::obj([
+                    ("group", e.group.as_str().into()),
+                    ("support", e.support.into()),
+                    ("ks", e.ks.into()),
+                    ("wasserstein", e.wasserstein.into()),
+                ])
+            })),
+        ),
+        (
+            "areas",
+            Json::arr(audit.areas.iter().map(|a| {
+                Json::obj([
+                    ("measure", a.measure.name().into()),
+                    ("area", a.area.into()),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Serialize a threshold-independent calibrated audit to JSON.
+pub fn calibrated_audit_json(report: &CalibratedAudit) -> Json {
+    Json::obj([
+        ("matcher", report.matcher.as_str().into()),
+        (
+            "calibration",
+            match &report.calibration {
+                Some(label) => label.as_str().into(),
+                None => Json::Null,
+            },
+        ),
+        ("groups_fitted", report.groups_fitted.into()),
+        ("fallbacks", report.fallbacks.into()),
+        ("baseline", distribution_audit_json(&report.baseline)),
+        (
+            "calibrated",
+            match &report.calibrated {
+                Some(c) => distribution_audit_json(c),
+                None => Json::Null,
+            },
         ),
     ])
 }

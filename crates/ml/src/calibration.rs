@@ -50,14 +50,28 @@ impl PlattScaler {
         PlattScaler { a, b }
     }
 
-    /// Calibrated probability for a raw score.
+    /// Calibrated probability for a raw score. Inputs are pinned to the
+    /// matcher-boundary score contract first (NaN reads as 0.0, ±inf and
+    /// out-of-range scores clamp to the nearest bound), so the output is
+    /// always the fitted link evaluated inside `[0, 1]`.
     pub fn transform(&self, score: f64) -> f64 {
-        sigmoid(self.a * score + self.b)
+        sigmoid(self.a * pin_score(score) + self.b)
     }
 
     /// Calibrate a batch.
     pub fn transform_all(&self, scores: &[f64]) -> Vec<f64> {
         scores.iter().map(|&s| self.transform(s)).collect()
+    }
+}
+
+/// Pin a raw score to the `[0, 1]` contract shared with the matcher
+/// boundary: NaN becomes 0.0 (no usable evidence), ±inf and out-of-range
+/// values clamp to the nearest bound.
+fn pin_score(score: f64) -> f64 {
+    if score.is_nan() {
+        0.0
+    } else {
+        score.clamp(0.0, 1.0)
     }
 }
 
@@ -118,15 +132,41 @@ impl IsotonicCalibrator {
                 a.weight = w;
             }
         }
+        // Collapse ties so the step function is well-defined: blocks that
+        // start at the same raw score (duplicate inputs) pool into their
+        // weighted average — otherwise lookup at that score would pick an
+        // arbitrary one — and adjacent blocks with equal values merge so
+        // `n_steps` counts genuine steps. All-tied and all-one-label fits
+        // degenerate to a single constant step this way.
+        let mut merged: Vec<Block> = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            if let Some(last) = merged.last_mut() {
+                if last.score == b.score {
+                    let w = last.weight + b.weight;
+                    last.value = (last.value * last.weight + b.value * b.weight) / w;
+                    last.weight = w;
+                    continue;
+                }
+                if last.value == b.value {
+                    last.weight += b.weight;
+                    continue;
+                }
+            }
+            merged.push(b);
+        }
         IsotonicCalibrator {
-            thresholds: blocks.iter().map(|b| b.score).collect(),
-            values: blocks.iter().map(|b| b.value).collect(),
+            thresholds: merged.iter().map(|b| b.score).collect(),
+            values: merged.iter().map(|b| b.value).collect(),
         }
     }
 
     /// Calibrated probability for a raw score (step-function lookup;
-    /// scores below the first breakpoint get the first value).
+    /// scores below the first breakpoint get the first value). Inputs
+    /// are pinned to the matcher-boundary score contract first: NaN
+    /// reads as 0.0, ±inf and out-of-range scores clamp to the nearest
+    /// bound, so the lookup never walks off the fitted support.
     pub fn transform(&self, score: f64) -> f64 {
+        let score = pin_score(score);
         match self.thresholds.binary_search_by(|t| t.total_cmp(&score)) {
             Ok(i) => self.values[i],
             Err(0) => self.values[0],
@@ -209,6 +249,77 @@ mod tests {
         let iso = IsotonicCalibrator::fit(&scores, &labels);
         assert_eq!(iso.transform(0.15), 0.0);
         assert_eq!(iso.transform(0.85), 1.0);
+    }
+
+    #[test]
+    fn transforms_pin_nonfinite_and_out_of_range_inputs() {
+        let (scores, labels) = skewed_scores();
+        let p = PlattScaler::fit(&scores, &labels);
+        let iso = IsotonicCalibrator::fit(&scores, &labels);
+        // NaN reads as 0.0; ±inf and out-of-range clamp to the bounds —
+        // the same contract the matcher boundary enforces on raw scores.
+        assert_eq!(p.transform(f64::NAN).to_bits(), p.transform(0.0).to_bits());
+        assert_eq!(
+            p.transform(f64::INFINITY).to_bits(),
+            p.transform(1.0).to_bits()
+        );
+        assert_eq!(
+            p.transform(f64::NEG_INFINITY).to_bits(),
+            p.transform(0.0).to_bits()
+        );
+        assert_eq!(p.transform(7.5).to_bits(), p.transform(1.0).to_bits());
+        assert_eq!(p.transform(-7.5).to_bits(), p.transform(0.0).to_bits());
+        assert_eq!(
+            iso.transform(f64::NAN).to_bits(),
+            iso.transform(0.0).to_bits()
+        );
+        assert_eq!(
+            iso.transform(f64::INFINITY).to_bits(),
+            iso.transform(1.0).to_bits()
+        );
+        assert_eq!(
+            iso.transform(f64::NEG_INFINITY).to_bits(),
+            iso.transform(0.0).to_bits()
+        );
+        for probe in [p.transform(f64::NAN), iso.transform(f64::INFINITY)] {
+            assert!((0.0..=1.0).contains(&probe));
+        }
+    }
+
+    #[test]
+    fn degenerate_fit_all_one_label_stays_in_unit_interval() {
+        let scores: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+        let labels = vec![1.0; 20];
+        let p = PlattScaler::fit(&scores, &labels);
+        let iso = IsotonicCalibrator::fit(&scores, &labels);
+        for s in [f64::NAN, f64::NEG_INFINITY, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            let pv = p.transform(s);
+            let iv = iso.transform(s);
+            assert!(pv.is_finite() && (0.0..=1.0).contains(&pv), "{pv}");
+            assert!(iv.is_finite() && (0.0..=1.0).contains(&iv), "{iv}");
+        }
+        // All-positive data collapses isotonic to a single unit step.
+        assert_eq!(iso.n_steps(), 1);
+        assert_eq!(iso.transform(0.5), 1.0);
+    }
+
+    #[test]
+    fn degenerate_fit_all_tied_scores_stays_in_unit_interval() {
+        let scores = vec![0.5; 12];
+        let labels: Vec<f64> = (0..12).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let p = PlattScaler::fit(&scores, &labels);
+        let iso = IsotonicCalibrator::fit(&scores, &labels);
+        // Tied scores carry no ranking signal: isotonic pools everything
+        // into one block at the empirical positive rate.
+        assert_eq!(iso.n_steps(), 1);
+        assert!((iso.transform(0.0) - 4.0 / 12.0).abs() < 1e-12);
+        assert!((iso.transform(1.0) - 4.0 / 12.0).abs() < 1e-12);
+        for s in [f64::NAN, f64::INFINITY, -0.5, 0.0, 0.5, 1.0, 1.5] {
+            let pv = p.transform(s);
+            let iv = iso.transform(s);
+            assert!(pv.is_finite() && (0.0..=1.0).contains(&pv), "{pv}");
+            assert!(iv.is_finite() && (0.0..=1.0).contains(&iv), "{iv}");
+        }
     }
 
     #[test]

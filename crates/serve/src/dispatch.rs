@@ -19,9 +19,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fairem_core::audit::{AuditConfig, Auditor};
+use fairem_core::calibrate::{apply_calibrator, distribution_audit};
 use fairem_core::fairness::{Disparity, FairnessMeasure};
 use fairem_core::report::audit_json;
-use fairem_core::SuiteError;
+use fairem_core::threshold::default_grid;
+use fairem_core::{CalibrationSpec, SuiteError};
 use fairem_csvio::Json;
 use fairem_par::{CancelCause, CancelToken, Interrupt};
 
@@ -172,6 +174,7 @@ pub fn dispatch(
         } => open(&dataset, seed, &matchers, threshold, shards, conn, shared, token),
         Request::Audit(matcher) => audit(matcher.as_deref(), conn, shared, token),
         Request::TuneThreshold(matcher) => tune(&matcher, conn, token),
+        Request::Calibrate { matcher, spec } => calibrate(&matcher, spec, conn, shared, token),
         Request::Ensemble => ensemble(conn, token),
     }
 }
@@ -351,6 +354,71 @@ fn tune(matcher: &str, conn: &mut ConnCtx, token: &CancelToken) -> Reply {
         ])),
         Err(e) => Reply::error(format!("tune_threshold failed: {e}")),
     }
+}
+
+fn calibrate(
+    matcher: &str,
+    spec: CalibrationSpec,
+    conn: &mut ConnCtx,
+    shared: &Shared,
+    token: &CancelToken,
+) -> Reply {
+    let entry = match require_session(conn) {
+        Ok(e) => e,
+        Err(r) => return r,
+    };
+    let session = match entry.session.as_full() {
+        Some(s) => s,
+        None => {
+            return Reply::error(
+                "calibrate requires a materialized session — reopen without shards",
+            )
+        }
+    };
+    if let Err(interrupt) = token.checkpoint() {
+        return Reply::partial(&interrupt, Json::Obj(Vec::new()));
+    }
+    let groups = session.space.level1_of_attr(0);
+    let cal = match entry.calibrator(session, matcher, spec, &groups, &shared.recorder) {
+        Ok(c) => c,
+        Err(e) => return Reply::error(format!("calibrate failed: {e}")),
+    };
+    let w = match session.workload(matcher) {
+        Ok(w) => w,
+        Err(e) => return Reply::error(format!("calibrate failed: {e}")),
+    };
+    // Threshold-independent headline: distribution distances vs the
+    // overall score distribution, before and after calibration, under
+    // the same defaults the `audit` verb serves.
+    let grid = default_grid();
+    let measures = FairnessMeasure::PAPER_FIVE;
+    let before = distribution_audit(
+        &w,
+        &session.space,
+        &groups,
+        &measures,
+        Disparity::Subtraction,
+        &grid,
+    );
+    let cw = apply_calibrator(&cal, &w, &groups);
+    let after = distribution_audit(
+        &cw,
+        &session.space,
+        &groups,
+        &measures,
+        Disparity::Subtraction,
+        &grid,
+    );
+    Reply::ok(Json::obj([
+        ("matcher", Json::Str(matcher.to_owned())),
+        ("calibration", Json::Str(spec.label())),
+        ("groups_fitted", Json::Num(cal.groups_fitted() as f64)),
+        ("fallbacks", Json::Num(cal.fallbacks() as f64)),
+        ("ks_raw", Json::Num(before.max_ks())),
+        ("ks_calibrated", Json::Num(after.max_ks())),
+        ("w1_raw", Json::Num(before.max_wasserstein())),
+        ("w1_calibrated", Json::Num(after.max_wasserstein())),
+    ]))
 }
 
 fn ensemble(conn: &mut ConnCtx, token: &CancelToken) -> Reply {

@@ -19,6 +19,8 @@
 
 use std::io::Write;
 
+use fairem_core::CalibrationSpec;
+
 /// Protocol magic — first token of every frame header.
 pub const MAGIC: &str = "fairem-serve/1";
 
@@ -207,6 +209,15 @@ pub enum Request {
     Audit(Option<String>),
     /// Validation-split threshold sweep for one matcher.
     TuneThreshold(String),
+    /// Per-group score calibration for one matcher: fit (or reuse the
+    /// session-cached) calibrator and report the threshold-independent
+    /// distribution distances before and after.
+    Calibrate {
+        /// Matcher to calibrate.
+        matcher: String,
+        /// Calibrator family and minimum per-group support.
+        spec: CalibrationSpec,
+    },
     /// Pareto frontier over the first sensitive attribute.
     Ensemble,
     /// Cooperative busy-loop for `millis` — deterministic stand-in for
@@ -237,6 +248,19 @@ impl Request {
             "tune_threshold" => {
                 let m = words.next().ok_or("tune_threshold needs a matcher name")?;
                 Ok(Request::TuneThreshold(m.to_owned()))
+            }
+            "calibrate" => {
+                let m = words.next().ok_or("calibrate needs a matcher name")?;
+                let spec = match words.next() {
+                    None => CalibrationSpec::isotonic(),
+                    Some(raw) => CalibrationSpec::parse(raw)?.ok_or(
+                        "calibrate spec `none` does nothing — pick platt or isotonic",
+                    )?,
+                };
+                Ok(Request::Calibrate {
+                    matcher: m.to_owned(),
+                    spec,
+                })
             }
             "stall" => {
                 let ms = words.next().ok_or("stall needs a duration in millis")?;
@@ -400,6 +424,20 @@ mod tests {
             Request::parse("tune_threshold SVMMatcher"),
             Ok(Request::TuneThreshold("SVMMatcher".into()))
         );
+        assert_eq!(
+            Request::parse("calibrate DTMatcher"),
+            Ok(Request::Calibrate {
+                matcher: "DTMatcher".into(),
+                spec: CalibrationSpec::isotonic(),
+            })
+        );
+        assert_eq!(
+            Request::parse("calibrate RFMatcher platt:25"),
+            Ok(Request::Calibrate {
+                matcher: "RFMatcher".into(),
+                spec: CalibrationSpec::platt().with_min_support(25),
+            })
+        );
         assert_eq!(Request::parse("stall 250"), Ok(Request::Stall(250)));
         assert_eq!(
             Request::parse(
@@ -437,6 +475,10 @@ mod tests {
             "stall fast",
             "open dataset",
             "open seed=abc",
+            "calibrate",
+            "calibrate DTMatcher none",
+            "calibrate DTMatcher sigmoid",
+            "calibrate DTMatcher isotonic:0",
             "open threshold=1.5",
             "open color=red",
             "open shards=0",

@@ -22,8 +22,8 @@ use fairem_core::audit::{AuditReport, Auditor};
 use fairem_core::fnv1a64;
 use fairem_core::matcher::MatcherKind;
 use fairem_core::pipeline::{FairEm360, Session, ShardedRun, SuiteConfig};
-use fairem_core::sensitive::SensitiveAttr;
-use fairem_core::SuiteError;
+use fairem_core::sensitive::{GroupId, SensitiveAttr};
+use fairem_core::{CalibrationSpec, GroupCalibrator, SuiteError};
 use fairem_datasets::{
     citations, faculty_match, nofly_compas, wdc_products, CitationsConfig, FacultyConfig,
     GeneratedDataset, NoFlyConfig, ProductsConfig,
@@ -234,6 +234,47 @@ pub struct SessionEntry {
     /// The built session. Both variants are `Send + Sync`; audits take
     /// `&self`, so any number of connection threads read concurrently.
     pub session: ServedSession,
+    /// Per-group calibrators fitted on this session, keyed by
+    /// `matcher#spec-label`. Fitting is deterministic, so a lost race
+    /// just produces the identical calibrator twice; the cache exists
+    /// to make repeat `calibrate` requests cheap, not for correctness.
+    calibrators: Mutex<BTreeMap<String, Arc<GroupCalibrator>>>,
+}
+
+impl SessionEntry {
+    /// Fetch (or fit and cache) the per-group calibrator for
+    /// `matcher` under `spec`. `session` must be this entry's own
+    /// materialized session — the caller has already gone through
+    /// [`ServedSession::as_full`].
+    pub fn calibrator(
+        &self,
+        session: &Session,
+        matcher: &str,
+        spec: CalibrationSpec,
+        groups: &[GroupId],
+        observe: &Recorder,
+    ) -> Result<Arc<GroupCalibrator>, SuiteError> {
+        let key = format!("{matcher}#{}", spec.label());
+        {
+            let cache = match self.calibrators.lock() {
+                Ok(c) => c,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(cal) = cache.get(&key) {
+                observe.incr("serve.calib.cache_hit");
+                return Ok(Arc::clone(cal));
+            }
+        }
+        // Fit outside the lock: a slow fit must not block readers of
+        // other calibrators on the same session.
+        observe.incr("serve.calib.cache_miss");
+        let fitted = Arc::new(session.group_calibrator(matcher, spec, groups)?);
+        let mut cache = match self.calibrators.lock() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(Arc::clone(cache.entry(key).or_insert(fitted)))
+    }
 }
 
 /// Why an `open` could not produce a session.
@@ -336,6 +377,7 @@ impl SessionRegistry {
                 let entry = Arc::new(SessionEntry {
                     key: key.clone(),
                     session,
+                    calibrators: Mutex::new(BTreeMap::new()),
                 });
                 *cell = Some(Arc::clone(&entry));
                 Ok((entry, false))

@@ -288,6 +288,21 @@ fn sessions_are_cached_across_connections_and_replies_stay_identical() {
     assert_eq!(Client::status_of(&frontier), "ok", "{frontier}");
     assert!(frontier.contains("frontier"), "{frontier}");
 
+    // calibrate fits once, then serves the cached calibrator — the
+    // repeat reply (and one from the other connection) must be
+    // byte-identical, and the cache counters must show exactly one fit.
+    let cal_b = b.send("calibrate DTMatcher").expect("calibrate");
+    assert_eq!(Client::status_of(&cal_b), "ok", "{cal_b}");
+    assert!(cal_b.contains("ks_raw"), "{cal_b}");
+    assert!(cal_b.contains("\"calibration\":\"isotonic:10\""), "{cal_b}");
+    let cal_b2 = b.send("calibrate DTMatcher").expect("calibrate again");
+    assert_eq!(cal_b2, cal_b, "cached calibrator must serve identical bytes");
+    let cal_a = a.send("calibrate DTMatcher").expect("a calibrates");
+    assert_eq!(cal_a, cal_b, "both connections share one cached calibrator");
+    let metrics_now = b.send("metrics").expect("metrics");
+    assert_eq!(metric_counter(&metrics_now, "serve.calib.cache_miss"), 1.0, "{metrics_now}");
+    assert_eq!(metric_counter(&metrics_now, "serve.calib.cache_hit"), 2.0, "{metrics_now}");
+
     // Unknown matcher → structured error, session intact.
     let unknown = b.send("audit NopeMatcher").expect("unknown matcher");
     assert_eq!(Client::status_of(&unknown), "error", "{unknown}");
@@ -352,6 +367,9 @@ fn sharded_opens_serve_identical_audits_and_resume_across_restarts() {
     assert!(tuned.contains("materialized"), "{tuned}");
     let frontier = c.send("ensemble").expect("ensemble");
     assert_eq!(Client::status_of(&frontier), "error", "{frontier}");
+    let calibrated = c.send("calibrate DTMatcher").expect("calibrate");
+    assert_eq!(Client::status_of(&calibrated), "error", "{calibrated}");
+    assert!(calibrated.contains("materialized"), "{calibrated}");
 
     drop(c);
     let summary = shut_down(&root, &sum_rx);

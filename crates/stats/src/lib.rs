@@ -13,10 +13,12 @@
 pub mod bootstrap;
 pub mod desc;
 pub mod dist;
+pub mod distance;
 pub mod hypothesis;
 
 pub use bootstrap::{bootstrap_indices, bootstrap_statistic, BootstrapCi};
 pub use desc::{mean, median, quantile, sample_std, sample_var, Summary};
+pub use distance::{ks_distance, trapezoid, wasserstein_1};
 pub use dist::{chi_squared_cdf, erf, normal_cdf, normal_inv_cdf, normal_pdf, student_t_cdf};
 pub use hypothesis::{
     chi_squared_independence, one_sample_t_test, one_sample_z_test, two_sample_z_test,

@@ -66,6 +66,38 @@ cargo run -q --release -p fairem360 --bin fairem -- audit \
 cargo run -q --release -p fairem-bench --bin bench_baseline -- \
   --validate "$OBS_DIR/metrics.json"
 
+echo "== calibration: citations audit under --calibrate, KS disparity gate =="
+# Per-group isotonic calibration must not worsen the fleet's KS
+# disparity (the max per-group KS distance vs the overall score
+# distribution), the calibrated report section must render, and the
+# run's snapshot must still validate as fairem-obs/1.
+cargo run -q --release -p fairem360 --bin fairem -- generate \
+  --dataset citations --out "$OBS_DIR/cit"
+cargo run -q --release -p fairem360 --bin fairem -- audit \
+  --table-a "$OBS_DIR/cit/tableA.csv" --table-b "$OBS_DIR/cit/tableB.csv" \
+  --matches "$OBS_DIR/cit/matches.csv" --sensitive venue --blocking title \
+  --calibrate isotonic --all-thresholds \
+  --metrics "$OBS_DIR/calib_metrics.json" > "$OBS_DIR/calib.txt"
+cargo run -q --release -p fairem-bench --bin bench_baseline -- \
+  --validate "$OBS_DIR/calib_metrics.json"
+ks_raw=$(sed -n 's/.*"calib.ks_max.raw": \([0-9.eE+-]*\).*/\1/p' \
+  "$OBS_DIR/calib_metrics.json")
+ks_cal=$(sed -n 's/.*"calib.ks_max.calibrated": \([0-9.eE+-]*\).*/\1/p' \
+  "$OBS_DIR/calib_metrics.json")
+if [ -z "$ks_raw" ] || [ -z "$ks_cal" ]; then
+  echo "check.sh: FAIL — calibration gauges missing from the snapshot" >&2
+  exit 1
+fi
+if ! awk -v cal="$ks_cal" -v raw="$ks_raw" 'BEGIN { exit !(cal <= raw) }'; then
+  echo "check.sh: FAIL — calibration worsened KS disparity ($ks_raw -> $ks_cal)" >&2
+  exit 1
+fi
+if ! grep -q "KS disparity: raw" "$OBS_DIR/calib.txt"; then
+  echo "check.sh: FAIL — calibrated audit section missing from the report" >&2
+  exit 1
+fi
+echo "KS disparity $ks_raw -> $ks_cal under per-group isotonic calibration"
+
 echo "== perf: columnar featurization gate (BENCH_baseline.json) =="
 # Sequential Citations featurization must beat the committed scalar
 # baseline by >=3x, and the 4-worker pool must be >=2x faster than

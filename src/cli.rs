@@ -16,7 +16,7 @@ use fairem_core::fairness::{Disparity, FairnessMeasure, Paradigm};
 use fairem_core::fault::FaultSite;
 use fairem_core::matcher::{ExternalScores, MatcherKind};
 use fairem_core::pipeline::FairEm360;
-use fairem_core::report::{audit_json, audit_text};
+use fairem_core::report::{audit_json, audit_text, calibrated_audit_json, calibrated_audit_text};
 use fairem_core::sensitive::SensitiveAttr;
 use fairem_core::{Budget, CancelToken, MemBudget, Parallelism, SuiteError};
 use fairem_csvio::{read_csv_file, write_csv_file, write_csv_stream, CsvTable, Json};
@@ -139,6 +139,7 @@ USAGE:
          [--blocking <col[,col]>] [--blocker token|sorted:<key-col>[:<window>]]
          [--negative-ratio <f|all>] [--train-frac <f>]
          [--shards <n>] [--mem-budget <mib>] [--checkpoint-dir <dir>] [--resume]
+         [--calibrate none|platt|isotonic[:min-support]] [--all-thresholds]
          [--jobs <n|auto>] [--timeout <secs>] [--matcher-timeout <secs>]
          [--inject-stall <matcher>:<train|score>:<millis>]
          [--metrics <path>] [--trace]
@@ -193,6 +194,20 @@ SHARDING:
   `generate --dataset scale --rows N --block-width W` emits a streamed
   benchmark with ≈ N×W candidate pairs for rehearsing all of the above
   (pair with --negative-ratio all to keep every blocked candidate).
+
+CALIBRATION:
+  A single-threshold verdict can flip as --threshold moves.
+  --all-thresholds appends a threshold-independent audit per matcher:
+  group-wise KS / 1-Wasserstein distances between each group's score
+  distribution and the overall one (zero iff the group is treated
+  identically at every threshold), plus a trapezoid-swept \"fairness
+  area\" integrating each measure's max disparity over the whole
+  threshold grid. --calibrate fits a per-group calibrator (platt or
+  isotonic; groups under min-support — default 10 — fall back to a
+  global fit) on the validation split and reports the same audit on
+  the calibrated scores side by side. Both flags need materialized
+  score vectors: drop --shards/--checkpoint-dir, and use a trained
+  fleet (not audit-scores) with --calibrate.
 
 OBSERVABILITY:
   --metrics PATH writes a JSON snapshot (schema `fairem-obs/1`) of
@@ -641,6 +656,7 @@ fn cmd_audit(
         other => return Err(err(format!("unknown disparity {other:?}"))),
     };
     let matching_threshold = args.get_f64("threshold", 0.5)?;
+    let audit_measures = measures.clone();
     let auditor = Auditor::new(AuditConfig {
         paradigm,
         measures,
@@ -669,6 +685,23 @@ fn cmd_audit(
         fairem_core::Recorder::disabled()
     };
 
+    // Calibration: `--calibrate platt|isotonic[:min-support]` fits a
+    // per-group calibrator; `--all-thresholds` appends the
+    // threshold-independent distribution audit (with a calibrated column
+    // when a calibrator is configured).
+    let calibrate_spec = match (args.has("calibrate"), args.get("calibrate")) {
+        (true, None) => {
+            return Err(err(
+                "--calibrate expects none|platt|isotonic[:min-support], but no value was given",
+            ))
+        }
+        (_, Some(raw)) => {
+            fairem_calib::CalibrationSpec::parse(raw).map_err(|e| err(format!("--calibrate: {e}")))?
+        }
+        _ => None,
+    };
+    let all_thresholds = args.has("all-thresholds");
+
     let mut config = fairem_core::pipeline::SuiteConfig {
         matching_threshold,
         parallelism: args.jobs()?,
@@ -676,6 +709,7 @@ fn cmd_audit(
         observe: observe.clone(),
         ..Default::default()
     };
+    config.calibration = calibrate_spec;
     if let Some(budget) = args.wall_budget("timeout")? {
         config.budget = budget;
     }
@@ -778,6 +812,12 @@ fn cmd_audit(
                 "--dump-workload needs materialized score vectors; drop --shards/--checkpoint-dir",
             ));
         }
+        if calibrate_spec.is_some() || all_thresholds {
+            return Err(err(
+                "--calibrate/--all-thresholds need materialized score vectors; \
+                 drop --shards/--checkpoint-dir",
+            ));
+        }
         let run = suite
             .try_run_sharded(&matcher_kinds(args)?)
             .map_err(|e| run_err(e, cancel))?;
@@ -785,6 +825,7 @@ fn cmd_audit(
         let mut text = render_audit_output(
             args.has("json"),
             &reports,
+            &[],
             run.quarantine(),
             run.failures(),
             run.coverage(),
@@ -830,9 +871,15 @@ fn cmd_audit(
         write_csv_file(&path, &table).map_err(|e| data_err(format!("writing {path:?}: {e}")))
     };
 
-    let (session, reports, audit_interrupt) = if let Some(scores_path) = scores_path {
+    let (session, reports, audit_interrupt, calibrated) = if let Some(scores_path) = scores_path {
         // Evaluation-Only: train nothing beyond the cheapest matcher
         // (needed to build the test pairing), then audit the uploads.
+        if calibrate_spec.is_some() {
+            return Err(err(
+                "--calibrate fits on a trained fleet's validation split; \
+                 it cannot be combined with audit-scores",
+            ));
+        }
         let ext = read_external_scores(&scores_path)?;
         let session = suite
             .try_run(&[MatcherKind::DtMatcher])
@@ -840,7 +887,30 @@ fn cmd_audit(
         let w = session.external_workload(&ext);
         dump(&session, ext.name(), &w)?;
         let reports = vec![auditor.audit(ext.name(), &w, &session.space)];
-        (session, reports, None)
+        // `--all-thresholds` still applies: the distribution audit only
+        // needs the uploaded score vectors, not a fit split.
+        let calibrated = if all_thresholds {
+            let grid = fairem_core::threshold::default_grid();
+            let groups = session.space.level1_of_attr(0);
+            vec![fairem_core::CalibratedAudit {
+                matcher: ext.name().to_owned(),
+                calibration: None,
+                groups_fitted: 0,
+                fallbacks: 0,
+                baseline: fairem_core::calibrate::distribution_audit(
+                    &w,
+                    &session.space,
+                    &groups,
+                    &audit_measures,
+                    disparity,
+                    &grid,
+                ),
+                calibrated: None,
+            }]
+        } else {
+            Vec::new()
+        };
+        (session, reports, None, calibrated)
     } else {
         let session = suite
             .try_run(&matcher_kinds(args)?)
@@ -850,19 +920,67 @@ fn cmd_audit(
             dump(&session, name, &w)?;
         }
         let (reports, interrupt) = session.try_audit_all(&auditor);
-        (session, reports, interrupt)
+        let mut calibrated = Vec::new();
+        if calibrate_spec.is_some() || all_thresholds {
+            let grid = fairem_core::threshold::default_grid();
+            let groups = session.space.level1_of_attr(0);
+            for name in session.matcher_names() {
+                let report = session
+                    .calibrated_audit(name, &audit_measures, disparity, &grid, &groups)
+                    .map_err(|e| run_err(e, cancel))?;
+                calibrated.push(report);
+            }
+        }
+        (session, reports, interrupt, calibrated)
     };
+
+    // Fleet-wide KS disparity gauges, so `--metrics` snapshots carry the
+    // before/after headline that scripts (check.sh) assert on.
+    if observe.is_enabled() && !calibrated.is_empty() {
+        let raw = calibrated
+            .iter()
+            .map(|c| c.baseline.max_ks())
+            .fold(0.0f64, f64::max);
+        observe.gauge("calib.ks_max.raw", raw);
+        let cal: Vec<f64> = calibrated
+            .iter()
+            .filter_map(|c| c.calibrated.as_ref().map(|d| d.max_ks()))
+            .collect();
+        if !cal.is_empty() {
+            observe.gauge(
+                "calib.ks_max.calibrated",
+                cal.iter().fold(0.0f64, |a, &b| a.max(b)),
+            );
+        }
+    }
 
     // With observability on, also enumerate the ensemble Pareto frontier
     // so the snapshot covers every stage the suite can run. Skipped when
     // the assignment space would trip the explorer's enumeration cap.
     if observe.is_enabled() && !session.matcher_names().is_empty() {
-        let m = session.matcher_names().len() as f64;
+        // A configured calibrator doubles the workload pool (raw +
+        // calibrated variant per matcher), so it enters the cap too.
+        let variants = if session.calibration().is_some() { 2.0 } else { 1.0 };
+        let m = session.matcher_names().len() as f64 * variants;
         let k = session.space.level1_of_attr(0).len() as f64;
         if m.powf(k) <= 1e7 {
-            let _ = session
-                .ensemble(0, FairnessMeasure::AccuracyParity, disparity)
-                .try_pareto_frontier();
+            match session.calibration() {
+                Some(spec) => {
+                    if let Ok(e) = session.ensemble_with_calibrators(
+                        0,
+                        FairnessMeasure::AccuracyParity,
+                        disparity,
+                        &[spec],
+                    ) {
+                        let _ = e.try_pareto_frontier();
+                    }
+                }
+                None => {
+                    let _ = session
+                        .ensemble(0, FairnessMeasure::AccuracyParity, disparity)
+                        .try_pareto_frontier();
+                }
+            }
         }
     }
 
@@ -873,6 +991,7 @@ fn cmd_audit(
     let mut text = render_audit_output(
         args.has("json"),
         &reports,
+        &calibrated,
         session.quarantine(),
         session.failures(),
         session.coverage(),
@@ -908,6 +1027,7 @@ fn matcher_kinds(args: &Args) -> Result<Vec<MatcherKind>, CliError> {
 fn render_audit_output(
     json: bool,
     reports: &[fairem_core::AuditReport],
+    calibrated: &[fairem_core::CalibratedAudit],
     quarantine: &fairem_core::QuarantineReport,
     failures: &[fairem_core::MatcherFailure],
     coverage: (usize, usize),
@@ -916,7 +1036,19 @@ fn render_audit_output(
     matcher_total: usize,
 ) -> String {
     if json {
-        let j = Json::arr(reports.iter().map(audit_json));
+        let audits = Json::arr(reports.iter().map(audit_json));
+        // The historical shape (a bare array of audit reports) is kept
+        // verbatim unless the new calibration flags asked for more.
+        if calibrated.is_empty() {
+            return audits.to_string_pretty();
+        }
+        let j = Json::obj([
+            ("audits", audits),
+            (
+                "calibrated",
+                Json::arr(calibrated.iter().map(calibrated_audit_json)),
+            ),
+        ]);
         return j.to_string_pretty();
     }
     let mut text = reports
@@ -924,6 +1056,10 @@ fn render_audit_output(
         .map(audit_text)
         .collect::<Vec<_>>()
         .join("\n");
+    for c in calibrated {
+        text.push('\n');
+        text.push_str(&calibrated_audit_text(c));
+    }
     if !quarantine.is_empty() {
         text.push('\n');
         text.push_str(&quarantine.render());

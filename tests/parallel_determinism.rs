@@ -133,6 +133,42 @@ fn observability_does_not_change_results_under_any_policy() {
     }
 }
 
+/// Per-group calibration fans its fits out over the worker pool, so the
+/// calibrated scores (and the downstream distribution audit) must be as
+/// policy-invariant as the raw ones — for both calibrator families.
+#[test]
+fn calibrated_workloads_are_bitwise_identical_across_policies() {
+    use fairem360::prelude::CalibrationSpec;
+
+    let baseline = session(Parallelism::Off);
+    let groups = baseline.space.level1_of_attr(0);
+    for policy in [Parallelism::Fixed(1), Parallelism::Fixed(4)] {
+        let other = session(policy);
+        for spec in [
+            CalibrationSpec::platt(),
+            CalibrationSpec::isotonic(),
+            CalibrationSpec::isotonic().with_min_support(3),
+        ] {
+            for name in baseline.matcher_names() {
+                let wb = baseline
+                    .calibrated_workload_with(name, spec, &groups)
+                    .expect("calibrator fits");
+                let wo = other
+                    .calibrated_workload_with(name, spec, &groups)
+                    .expect("calibrator fits");
+                assert_eq!(wb.len(), wo.len());
+                for (x, y) in wb.items.iter().zip(&wo.items) {
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "{name} calibrated under {spec:?} diverged under {policy}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pareto_frontiers_are_identical_across_policies() {
     let baseline = session(Parallelism::Off);
