@@ -21,6 +21,7 @@ fn bench_matchers(c: &mut Criterion) {
     let (pairs, labels) = prep.split(&prep.train_idx);
     let features = match gen.matrix(&PairBatch::new(&pairs), &Exec::default()) {
         ParOutcome::Complete(m) => m,
+        // fairem: allow(panic) — bench harness uses an inert exec that cannot interrupt
         ParOutcome::Interrupted { interrupt, .. } => unreachable!("inert exec: {interrupt}"),
     };
     let tokens = gen.tokenize_all(&PairBatch::new(&pairs), &vocab);

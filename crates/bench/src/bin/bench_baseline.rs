@@ -325,6 +325,7 @@ fn time_matrix(gen: &FeatureGenerator, pairs: &[(usize, usize)], workers: usize)
         let outcome = gen.matrix(&PairBatch::new(pairs), &exec);
         let secs = start.elapsed().as_secs_f64();
         let ParOutcome::Complete(m) = outcome else {
+            // fairem: allow(panic) — bench harness uses an inert exec that cannot interrupt
             unreachable!("inert exec must not interrupt")
         };
         assert!(m.rows() == pairs.len(), "short matrix");

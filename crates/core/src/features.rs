@@ -416,7 +416,7 @@ impl FeatureGenerator {
         pool: &WorkerPool,
     ) -> Result<Matrix, ChunkPanic> {
         match self.matrix_within(a, b, pairs, pool, &CancelToken::inert())? {
-            // An inert token never trips.
+            // fairem: allow(panic) — an inert token never trips; Err is unreachable by construction
             Err(i) => unreachable!("inert token interrupted feature generation: {i}"),
             Ok(m) => Ok(m),
         }

@@ -124,7 +124,7 @@ impl MatcherKind {
     pub fn train(self, input: &TrainInput<'_>, config: &MatcherTrainConfig) -> TrainedMatcher {
         match self.train_within(input, config, &CancelToken::inert()) {
             Ok(m) => m,
-            // An inert token never trips.
+            // fairem: allow(panic) — an inert token never trips; Err is unreachable by construction
             Err(i) => unreachable!("inert token interrupted training: {i}"),
         }
     }
@@ -154,6 +154,7 @@ impl MatcherKind {
                 }
                 MatcherKind::HierMatcher => Box::new(HierMatcherLite::new(config.neural)),
                 MatcherKind::Mcan => Box::new(McanLite::new(config.neural)),
+                // fairem: allow(panic) — branch guarded by kind.is_neural() just above
                 _ => unreachable!("non-neural kind in neural branch"),
             };
             model.fit_within(input.tokens, input.labels, token)?;
@@ -168,6 +169,7 @@ impl MatcherKind {
                 MatcherKind::LogRegMatcher => Box::new(LogisticRegression::new(0.5, 300, 1e-4)),
                 MatcherKind::LinRegMatcher => Box::new(LinearRegression::new(1e-6)),
                 MatcherKind::NbMatcher => Box::new(GaussianNb::new()),
+                // fairem: allow(panic) — branch guarded by !kind.is_neural() just above
                 _ => unreachable!("neural kind in classic branch"),
             };
             model.fit_within(&x, input.labels, token)?;

@@ -1,10 +1,38 @@
-//! Workspace walker and finding pipeline: collect files, run every
-//! rule, apply pragma suppression, and sort/dedupe the result.
+//! The analysis engine: parallel per-file analysis over the
+//! `fairem-par` [`WorkerPool`], an incremental artifact cache, the
+//! cross-file rule pass, pragma suppression with a stale-pragma
+//! audit, and deterministic finding order.
+//!
+//! Pipeline per run:
+//!
+//! 1. **Collect** — walk the workspace (or the requested subpaths)
+//!    into a sorted file list.
+//! 2. **Analyze** — `par_map` over the files: hash each file's bytes
+//!    (FNV-1a) and either replay the cached [`FileArtifact`] or lex /
+//!    parse / run the per-file rules. Chunk-index stitching makes the
+//!    artifact vector order-identical under any `FAIREM_JOBS`.
+//! 3. **Relate** — run the cross-file rules ([`crate::graph`]) over
+//!    the item indexes. Always recomputed: one changed file can
+//!    change every cross-file conclusion.
+//! 4. **Suppress** — apply `fairem: allow` pragmas to the combined
+//!    findings, counting uses; a justified pragma that suppressed
+//!    nothing becomes a `stale_pragma` finding, and malformed pragmas
+//!    stay findings in their own right.
+//! 5. **Order** — sort by `(file, line, rule, msg)` and dedupe, so
+//!    cold/warm and jobs=1/N runs emit bit-identical output.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use fairem_obs::Recorder;
+use fairem_par::{Parallelism, WorkerPool};
+
+use crate::cache::{self, FileArtifact};
 use crate::deps;
+use crate::graph::{self, WalkScope};
+use crate::items::ItemIndex;
+use crate::json::Value;
 use crate::rules::{all_rules, Finding};
 use crate::source::SourceFile;
 
@@ -12,7 +40,41 @@ use crate::source::SourceFile;
 pub fn rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
     names.push(deps::RULE);
+    names.extend(["stale_pragma", "metrics_registry", "lock_order", "exit_code"]);
     names
+}
+
+/// Engine knobs. [`Default`] is a sequential-policy-free run: `Auto`
+/// parallelism (honors `FAIREM_JOBS`), no cache, inert recorder.
+pub struct LintOptions {
+    /// Worker policy for the per-file pass.
+    pub parallelism: Parallelism,
+    /// Incremental cache file; `None` analyzes everything cold.
+    pub cache_path: Option<PathBuf>,
+    /// Observability sink for the `lint.files_{analyzed,cached}`
+    /// counters (the disabled recorder is inert).
+    pub recorder: Recorder,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            parallelism: Parallelism::Auto,
+            cache_path: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// A lint run's findings plus the cache accounting the warm-run
+/// identity check in `check.sh` asserts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    /// Files analyzed from scratch this run.
+    pub files_analyzed: u64,
+    /// Files replayed from the incremental cache.
+    pub files_cached: u64,
 }
 
 /// Lint the workspace rooted at `root`. When `subpaths` is non-empty,
@@ -20,6 +82,16 @@ pub fn rule_names() -> Vec<&'static str> {
 /// how the fixture set is scanned despite being skipped by the
 /// default walk.
 pub fn lint(root: &Path, subpaths: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    lint_with(root, subpaths, &LintOptions::default()).map(|r| r.findings)
+}
+
+/// Full-control entry point: [`lint`] plus parallelism policy,
+/// incremental cache, and metric counters.
+pub fn lint_with(
+    root: &Path,
+    subpaths: &[PathBuf],
+    opts: &LintOptions,
+) -> Result<LintReport, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     if subpaths.is_empty() {
         walk(root, root, true, &mut files)?;
@@ -34,52 +106,191 @@ pub fn lint(root: &Path, subpaths: &[PathBuf]) -> Result<Vec<Finding>, String> {
         }
     }
     files.sort();
+    let scope = WalkScope {
+        full: subpaths.is_empty(),
+        fixtures: subpaths
+            .iter()
+            .any(|p| p.components().any(|c| c.as_os_str() == "fixtures")),
+    };
 
-    let rules = all_rules();
+    let cached: BTreeMap<String, FileArtifact> = match &opts.cache_path {
+        Some(p) => cache::load(p),
+        None => BTreeMap::new(),
+    };
+
+    let pool = WorkerPool::with_parallelism(opts.parallelism);
+    let analyzed: Vec<Result<(FileArtifact, bool), String>> =
+        pool.par_map(files.len(), |i| analyze(root, &files[i], &cached));
+
+    let mut artifacts: Vec<FileArtifact> = Vec::with_capacity(analyzed.len());
+    let mut files_analyzed = 0u64;
+    let mut files_cached = 0u64;
+    for r in analyzed {
+        let (a, was_cached) = r?;
+        if was_cached {
+            files_cached += 1;
+        } else {
+            files_analyzed += 1;
+        }
+        artifacts.push(a);
+    }
+
+    // Cross-file pass over every item index, cached or fresh.
+    let indexed: Vec<(String, ItemIndex)> = artifacts
+        .iter()
+        .map(|a| (a.rel.clone(), a.items.clone()))
+        .collect();
+    let global = graph::global_findings(&indexed, scope);
+
+    // Pragma suppression with per-pragma use counts.
+    let by_rel: BTreeMap<&str, usize> = artifacts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.rel.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<usize>> = artifacts.iter().map(|a| vec![0; a.pragmas.len()]).collect();
     let mut findings: Vec<Finding> = Vec::new();
-    for path in &files {
-        let rel = relpath(root, path);
-        let src = fs::read_to_string(path)
-            .map_err(|e| format!("fairem-lint: cannot read {}: {e}", path.display()))?;
-        if path.file_name().is_some_and(|n| n == "Cargo.toml") {
-            findings.extend(deps::check_manifest(&rel, &src));
+    let raw_count = artifacts.iter().map(|a| a.raw.len()).sum::<usize>() + global.len();
+    let mut all_raw: Vec<Finding> = Vec::with_capacity(raw_count);
+    for a in &artifacts {
+        all_raw.extend(a.raw.iter().cloned());
+    }
+    all_raw.extend(global);
+    for f in all_raw {
+        let Some(&ai) = by_rel.get(f.rel.as_str()) else {
+            findings.push(f);
             continue;
+        };
+        let mut suppressed = false;
+        for (pi, p) in artifacts[ai].pragmas.iter().enumerate() {
+            if p.covers(f.rule, f.line) {
+                used[ai][pi] += 1;
+                suppressed = true;
+            }
         }
-        let file = SourceFile::parse(&rel, &src);
-        let mut raw: Vec<Finding> = Vec::new();
-        for rule in &rules {
-            rule.check(&file, &mut raw);
+        if !suppressed {
+            findings.push(f);
         }
-        raw.retain(|f| !file.suppressed(f.rule, f.line));
-        findings.extend(raw);
-        // Malformed pragmas are findings in their own right, so a
-        // suppression can never silently decay.
-        let known = rule_names();
-        for p in &file.pragmas {
+    }
+
+    // Malformed pragmas are findings in their own right, so a
+    // suppression can never silently decay; justified pragmas that
+    // suppressed nothing are stale — the exemption inventory stays
+    // honest in both directions.
+    let known = rule_names();
+    for (ai, a) in artifacts.iter().enumerate() {
+        for (pi, p) in a.pragmas.iter().enumerate() {
             if !known.contains(&p.rule.as_str()) {
                 findings.push(Finding {
-                    rel: rel.clone(),
+                    rel: a.rel.clone(),
                     line: p.line,
                     rule: "pragma",
                     msg: format!("pragma names unknown rule `{}`", p.rule),
                 });
             } else if !p.justified {
                 findings.push(Finding {
-                    rel: rel.clone(),
+                    rel: a.rel.clone(),
                     line: p.line,
                     rule: "pragma",
                     msg: "pragma is missing its mandatory justification text".to_owned(),
                 });
+            } else if p.rule != "stale_pragma" && used[ai][pi] == 0 {
+                let mut suppressed = false;
+                for (qi, q) in a.pragmas.iter().enumerate() {
+                    if q.covers("stale_pragma", p.line) {
+                        used[ai][qi] += 1;
+                        suppressed = true;
+                    }
+                }
+                if !suppressed {
+                    findings.push(Finding {
+                        rel: a.rel.clone(),
+                        line: p.line,
+                        rule: "stale_pragma",
+                        msg: format!(
+                            "pragma `allow({})` suppresses nothing — delete it",
+                            p.rule
+                        ),
+                    });
+                }
+            }
+        }
+        for (pi, p) in a.pragmas.iter().enumerate() {
+            if p.rule == "stale_pragma" && p.justified && used[ai][pi] == 0 {
+                findings.push(Finding {
+                    rel: a.rel.clone(),
+                    line: p.line,
+                    rule: "stale_pragma",
+                    msg: "pragma `allow(stale_pragma)` suppresses nothing — delete it".to_owned(),
+                });
             }
         }
     }
+
     findings.sort_by(|a, b| {
         (&a.rel, a.line, a.rule)
             .cmp(&(&b.rel, b.line, b.rule))
             .then_with(|| a.msg.cmp(&b.msg))
     });
     findings.dedup_by(|a, b| a.rel == b.rel && a.line == b.line && a.rule == b.rule);
-    Ok(findings)
+
+    if let Some(p) = &opts.cache_path {
+        cache::save(p, &artifacts)?;
+    }
+    opts.recorder.add("lint.files_analyzed", files_analyzed);
+    opts.recorder.add("lint.files_cached", files_cached);
+
+    Ok(LintReport {
+        findings,
+        files_analyzed,
+        files_cached,
+    })
+}
+
+/// Analyze one file: replay the cached artifact when the content hash
+/// matches, else lex/parse/run the per-file rules.
+fn analyze(
+    root: &Path,
+    path: &Path,
+    cached: &BTreeMap<String, FileArtifact>,
+) -> Result<(FileArtifact, bool), String> {
+    let rel = relpath(root, path);
+    let src = fs::read_to_string(path)
+        .map_err(|e| format!("fairem-lint: cannot read {}: {e}", path.display()))?;
+    let hash = cache::fnv1a(src.as_bytes());
+    if let Some(hit) = cached.get(&rel) {
+        if hit.hash == hash {
+            return Ok((hit.clone(), true));
+        }
+    }
+    if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+        return Ok((
+            FileArtifact {
+                rel: rel.clone(),
+                hash,
+                raw: deps::check_manifest(&rel, &src),
+                pragmas: Vec::new(),
+                items: ItemIndex::default(),
+            },
+            false,
+        ));
+    }
+    let file = SourceFile::parse(&rel, &src);
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in &all_rules() {
+        rule.check(&file, &mut raw);
+    }
+    let items = ItemIndex::parse(&file);
+    Ok((
+        FileArtifact {
+            rel,
+            hash,
+            raw,
+            pragmas: file.pragmas,
+            items,
+        },
+        false,
+    ))
 }
 
 /// The default walk covers every `.rs` file and `Cargo.toml` under the
@@ -118,6 +329,71 @@ fn relpath(root: &Path, path: &Path) -> String {
         .unwrap_or(path)
         .to_string_lossy()
         .replace('\\', "/")
+}
+
+/// Serialize a report in the machine-readable `fairem-lint/2` schema.
+pub fn render_json(report: &LintReport) -> String {
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("file".into(), Value::Str(f.rel.clone())),
+                ("line".into(), Value::Num(f.line as f64)),
+                ("rule".into(), Value::Str(f.rule.to_owned())),
+                ("message".into(), Value::Str(f.msg.clone())),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("format".into(), Value::Str("fairem-lint/2".into())),
+        (
+            "files_analyzed".into(),
+            Value::Num(report.files_analyzed as f64),
+        ),
+        (
+            "files_cached".into(),
+            Value::Num(report.files_cached as f64),
+        ),
+        ("findings".into(), Value::Arr(findings)),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Validate that `text` is a well-formed `fairem-lint/2` document:
+/// parses as JSON, carries the format tag, and every finding has the
+/// four required fields. Returns the number of findings.
+pub fn validate_report_json(text: &str) -> Result<usize, String> {
+    let doc = crate::json::parse(text)?;
+    if doc.get("format").and_then(Value::as_str) != Some("fairem-lint/2") {
+        return Err("missing or wrong `format` tag (want fairem-lint/2)".to_owned());
+    }
+    for field in ["files_analyzed", "files_cached"] {
+        doc.get(field)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| format!("missing numeric `{field}`"))?;
+    }
+    let findings = doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("missing `findings` array")?;
+    for (i, f) in findings.iter().enumerate() {
+        f.get("file")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing `file`"))?;
+        f.get("line")
+            .and_then(Value::as_usize)
+            .ok_or(format!("finding {i}: missing `line`"))?;
+        f.get("rule")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing `rule`"))?;
+        f.get("message")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing `message`"))?;
+    }
+    Ok(findings.len())
 }
 
 /// Compare `findings` against an expectation manifest: one

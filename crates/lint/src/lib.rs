@@ -5,9 +5,13 @@
 //! when disabled. Those guarantees rest on cross-cutting conventions
 //! — clocks only where time is the subject, threads only in the
 //! `WorkerPool`, randomness only from `fairem-rng`, no external
-//! crates, no hash-order leaks, no stray panics, documented `unsafe`
-//! — that no single crate can see being broken. This crate turns the
-//! conventions into machine-checked rules:
+//! crates, no hash-order leaks, no stray panics, total float orders,
+//! documented `unsafe` — that no single crate can see being broken.
+//! This crate turns the conventions into machine-checked rules, in
+//! two layers:
+//!
+//! **Per-file** (token-stream over the [`lexer`], independent per
+//! file and therefore cacheable):
 //!
 //! - [`lexer`] — a minimal Rust lexer so findings never fire inside
 //!   comments or string/char literals (the reason grep cannot do
@@ -15,20 +19,50 @@
 //! - [`source`] — per-file structure: `#[cfg(test)]` regions and
 //!   `fairem: allow(<rule>)` suppression pragmas with mandatory
 //!   justifications;
-//! - [`rules`] — the [`rules::Rule`] catalog: `clock`, `thread`,
-//!   `rng`, `hash_iter`, `panic`, `unsafe_comment`;
-//! - [`deps`] — the `hermetic_deps` Cargo.toml walker;
-//! - [`driver`] — the workspace walk, pragma filtering, and the
-//!   `--expect` fixture self-check used by `scripts/check.sh`.
+//! - [`rules`] — the [`rules::Rule`] catalog: `clock`, `fs`,
+//!   `thread`, `rng`, `hash_iter`, `panic`, `unsafe_comment`,
+//!   `float_order`;
+//! - [`deps`] — the `hermetic_deps` Cargo.toml walker.
 //!
-//! The binary (`cargo run -p fairem-lint`) prints findings as
-//! `file:line rule message` and exits nonzero when any survive.
+//! **Cross-file** (over the [`items::ItemIndex`] extracted from every
+//! file, recomputed each run because one changed file can change any
+//! global conclusion):
+//!
+//! - [`items`] — the per-file item graph: functions, lock-holding
+//!   struct fields, lock-acquisition order edges, metric-recorder
+//!   calls, enums, string constants, path references;
+//! - [`graph`] — the cross-file rules: `metrics_registry` (every
+//!   emitted metric name is a literal declared in
+//!   `crates/obs/src/names.rs`, and every declared name is emitted),
+//!   `lock_order` (no cycles in the lock-acquisition graph),
+//!   `exit_code` (every `SuiteError` variant is explicitly mapped to
+//!   an exit code);
+//! - `stale_pragma` (in [`driver`]) — a justified pragma that
+//!   suppresses zero findings is itself a finding, so the exemption
+//!   inventory cannot rot.
+//!
+//! The [`driver`] engine runs the per-file pass in parallel over the
+//! `fairem-par` [`WorkerPool`](fairem_par::WorkerPool) with
+//! chunk-stitched deterministic output, replays unchanged files from
+//! an FNV-1a–keyed incremental cache ([`cache`]), and reports
+//! `lint.files_{analyzed,cached}` through `fairem-obs`. Findings are
+//! bit-identical across `FAIREM_JOBS` settings and cold/warm cache
+//! runs. The binary prints `file:line rule message` (or
+//! `--format json`, schema `fairem-lint/2` via the dependency-free
+//! [`json`] module) and exits nonzero when any finding survives.
 
+pub mod cache;
 pub mod deps;
 pub mod driver;
+pub mod graph;
+pub mod items;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod source;
 
-pub use driver::{diff_expected, lint};
+pub use driver::{
+    diff_expected, lint, lint_with, render_json, rule_names, validate_report_json, LintOptions,
+    LintReport,
+};
 pub use rules::Finding;

@@ -1,13 +1,24 @@
 //! `fairem-lint` — machine enforcement of the workspace contracts.
 //!
 //! ```text
-//! fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]
+//! fairem-lint [--root DIR] [--expect MANIFEST] [--jobs N|auto]
+//!             [--cache FILE] [--format text|json] [--metrics FILE]
+//!             [SUBPATH...]
+//! fairem-lint --validate-json FILE
 //! ```
 //!
 //! With no arguments: lint the whole workspace (the directory holding
 //! the workspace `Cargo.toml`, found by walking up from the current
 //! directory), print findings as `file:line rule message`, exit 1 when
 //! any finding survives, 0 when clean.
+//!
+//! `--jobs` sets the per-file parallelism (default: `FAIREM_JOBS`,
+//! else auto). `--cache FILE` enables the incremental cache: unchanged
+//! files (by FNV-1a content hash) replay their stored artifacts
+//! instead of re-lexing. `--format json` emits the machine-readable
+//! `fairem-lint/2` document; `--validate-json FILE` checks such a
+//! document and exits 0/1. `--metrics FILE` writes a `fairem-obs`
+//! snapshot with the `lint.files_{analyzed,cached}` counters.
 //!
 //! `--expect MANIFEST` compares the findings against an expectation
 //! file (one `file:line rule` per line, `#` comments allowed) and
@@ -19,10 +30,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fairem_lint::LintOptions;
+use fairem_obs::Recorder;
+use fairem_par::Parallelism;
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
     let mut expect: Option<PathBuf> = None;
+    let mut jobs: Option<Parallelism> = None;
+    let mut cache: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut subpaths: Vec<PathBuf> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,8 +53,31 @@ fn main() -> ExitCode {
                 Some(v) => expect = Some(PathBuf::from(v)),
                 None => return usage("--expect needs a manifest file"),
             },
+            "--jobs" => match args.next().as_deref().and_then(Parallelism::parse_jobs) {
+                Some(p) => jobs = Some(p),
+                None => return usage("--jobs needs N or `auto`"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => cache = Some(PathBuf::from(v)),
+                None => return usage("--cache needs a file path"),
+            },
+            "--metrics" => match args.next() {
+                Some(v) => metrics = Some(PathBuf::from(v)),
+                None => return usage("--metrics needs a file path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `text` or `json`"),
+            },
+            "--validate-json" => {
+                return match args.next() {
+                    Some(v) => validate_json(&PathBuf::from(v)),
+                    None => usage("--validate-json needs a file path"),
+                };
+            }
             "--help" | "-h" => {
-                eprintln!("usage: fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -53,13 +95,33 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match fairem_lint::lint(&root, &subpaths) {
-        Ok(f) => f,
+    let opts = LintOptions {
+        parallelism: jobs
+            .or_else(Parallelism::from_env)
+            .unwrap_or(Parallelism::Auto),
+        cache_path: cache,
+        recorder: if metrics.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        },
+    };
+
+    let report = match fairem_lint::lint_with(&root, &subpaths, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = metrics {
+        let body = opts.recorder.snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("fairem-lint: cannot write metrics {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(manifest_path) = expect {
         let manifest = match std::fs::read_to_string(&manifest_path) {
@@ -72,11 +134,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let problems = fairem_lint::diff_expected(&findings, &manifest);
+        let problems = fairem_lint::diff_expected(&report.findings, &manifest);
         if problems.is_empty() {
             println!(
                 "fairem-lint: fixture self-check ok — {} expected finding(s) all fired",
-                findings.len()
+                report.findings.len()
             );
             return ExitCode::SUCCESS;
         }
@@ -86,22 +148,66 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    for f in &findings {
-        println!("{f}");
+    match format {
+        Format::Json => print!("{}", fairem_lint::render_json(&report)),
+        Format::Text => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.findings.is_empty() {
+                println!(
+                    "fairem-lint: workspace clean ({} analyzed, {} cached)",
+                    report.files_analyzed, report.files_cached
+                );
+            }
+        }
     }
-    if findings.is_empty() {
-        println!("fairem-lint: workspace clean");
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("fairem-lint: {} finding(s)", findings.len());
+        if matches!(format, Format::Text) {
+            eprintln!("fairem-lint: {} finding(s)", report.findings.len());
+        }
         ExitCode::FAILURE
     }
 }
 
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: fairem-lint [--root DIR] [--expect MANIFEST] [--jobs N|auto] \
+[--cache FILE] [--format text|json] [--metrics FILE] [SUBPATH...]\n       \
+fairem-lint --validate-json FILE";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fairem-lint: {msg}");
-    eprintln!("usage: fairem-lint [--root DIR] [--expect MANIFEST] [SUBPATH...]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
+}
+
+fn validate_json(path: &PathBuf) -> ExitCode {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("fairem-lint: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match fairem_lint::validate_report_json(&body) {
+        Ok(n) => {
+            println!(
+                "fairem-lint: {} is a valid fairem-lint/2 report ({n} finding(s))",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fairem-lint: {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Walk up from the current directory to the manifest that declares

@@ -43,6 +43,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(HashIterRule),
         Box::new(PanicRule),
         Box::new(UnsafeRule),
+        Box::new(FloatOrderRule),
     ]
 }
 
@@ -383,8 +384,9 @@ fn bound_name(before: &str) -> Option<String> {
     }
 }
 
-/// (5) Panic policy: `panic!`/`todo!`/`unimplemented!`/`.expect(` are
-/// banned outside test code. The suite's robustness contract (DESIGN.md
+/// (5) Panic policy: `panic!`/`todo!`/`unimplemented!`/`unreachable!`/
+/// `.expect(` are banned outside test code. The suite's robustness
+/// contract (DESIGN.md
 /// §5) is that malformed input degrades, never aborts; a deliberate
 /// contract panic carries a `fairem: allow(panic)` pragma naming the
 /// documented `# Panics` invariant.
@@ -399,7 +401,7 @@ impl Rule for PanicRule {
             if file.is_test(i + 1) {
                 continue;
             }
-            for tok in ["panic!", "todo!", "unimplemented!", ".expect("] {
+            for tok in ["panic!", "todo!", "unimplemented!", "unreachable!", ".expect("] {
                 if token_at(line, tok).is_some() {
                     out.push(Finding {
                         rel: file.rel.clone(),
@@ -408,6 +410,36 @@ impl Rule for PanicRule {
                         msg: format!("`{tok}` outside test code — degrade, return an error, or justify with a pragma"),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// (7) Float ordering: `partial_cmp` is banned everywhere, tests
+/// included. On floats it returns `None` for NaN, and every caller
+/// papers over that with `unwrap_or`/`_ =>` arms whose behavior
+/// depends on *which* operand was NaN — exactly the nondeterminism
+/// that "Through the Fairness Lens" shows perturbing fairness
+/// verdicts. `f64::total_cmp` is total, IEEE-754-ordered, and costs
+/// the same; comparators must use it (or derive `Ord`). A sanctioned
+/// non-float use carries a `fairem: allow(float_order)` pragma.
+pub struct FloatOrderRule;
+
+impl Rule for FloatOrderRule {
+    fn name(&self) -> &'static str {
+        "float_order"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (i, line) in file.code.iter().enumerate() {
+            if token_at(line, "partial_cmp").is_some() {
+                out.push(Finding {
+                    rel: file.rel.clone(),
+                    line: i + 1,
+                    rule: self.name(),
+                    msg: "`partial_cmp` is not a total order (NaN ⇒ None) — use `total_cmp` \
+                          so sort results cannot depend on operand order"
+                        .to_owned(),
+                });
             }
         }
     }
@@ -569,6 +601,20 @@ mod tests {
     fn panic_rule_ignores_expect_err() {
         let src = "let e = r.expect_err;\n";
         assert!(run(&PanicRule, "crates/ml/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_order_fires_on_partial_cmp_even_in_tests() {
+        let src = "fn rank(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n#[cfg(test)]\nmod t {\n    fn u(a: f64, b: f64) { let _ = a.partial_cmp(&b); }\n}\n";
+        let hits = run(&FloatOrderRule, "crates/stats/src/desc.rs", src);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn float_order_allows_total_cmp() {
+        let src = "fn rank(xs: &mut [f64]) {\n    xs.sort_by(|a, b| a.total_cmp(b));\n}\n";
+        assert!(run(&FloatOrderRule, "crates/stats/src/desc.rs", src).is_empty());
     }
 
     #[test]

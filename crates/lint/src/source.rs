@@ -18,6 +18,20 @@ pub struct Pragma {
     pub rule: String,
     /// Whether non-empty justification text follows the paren.
     pub justified: bool,
+    /// The pragma stands on a comment-only line (no code), so it
+    /// covers the line below. Recorded at parse time so suppression
+    /// can be replayed from a cached artifact without the code
+    /// projection.
+    pub own_line: bool,
+}
+
+impl Pragma {
+    /// True when this pragma suppresses `rule` findings on `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.justified
+            && self.rule == rule
+            && (self.line == line || (self.own_line && self.line + 1 == line))
+    }
 }
 
 /// One `.rs` file, lexed and annotated for rule scanning.
@@ -28,6 +42,17 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// Comment projection, line by line (code/literals blanked).
     pub comments: Vec<String>,
+    /// Whole-file code projection, **byte-aligned with the source**:
+    /// masked bytes become single spaces and newlines survive, so an
+    /// offset into this string is an offset into the original file.
+    /// The item parser scans this for multi-line constructs.
+    pub flat_code: String,
+    /// Whole-file literal-text projection, byte-aligned likewise —
+    /// the item parser reads string-literal call arguments out of it
+    /// at offsets discovered in `flat_code`.
+    pub flat_text: String,
+    /// Byte offset where each line starts in the flat projections.
+    pub line_starts: Vec<usize>,
     /// Lines inside a `#[cfg(test)]` item.
     pub is_test_line: Vec<bool>,
     /// File lives under a `tests/` directory (integration tests).
@@ -39,12 +64,19 @@ pub struct SourceFile {
 impl SourceFile {
     pub fn parse(rel: &str, src: &str) -> SourceFile {
         let classes = lex(src);
-        let code_text = mask(src, &classes, Class::Code);
+        let flat_code = mask(src, &classes, Class::Code);
+        let flat_text = mask(src, &classes, Class::Text);
         let comment_text = mask(src, &classes, Class::Comment);
-        let code: Vec<String> = code_text.lines().map(str::to_owned).collect();
+        let code: Vec<String> = flat_code.lines().map(str::to_owned).collect();
         let comments: Vec<String> = comment_text.lines().map(str::to_owned).collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in flat_code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
         let is_test_line = test_lines(&code);
-        let pragmas = find_pragmas(&comments);
+        let pragmas = find_pragmas(&comments, &code);
         // `tests/fixtures/` holds the linter's deliberately seeded
         // violations — those files are scanned as production code so
         // each rule provably fires.
@@ -54,9 +86,20 @@ impl SourceFile {
             rel: rel.to_owned(),
             code,
             comments,
+            flat_code,
+            flat_text,
+            line_starts,
             is_test_line,
             in_tests_dir,
             pragmas,
+        }
+    }
+
+    /// 1-based line holding byte `offset` of the flat projections.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
         }
     }
 
@@ -68,18 +111,7 @@ impl SourceFile {
 
     /// True when a justified pragma for `rule` covers `line`.
     pub fn suppressed(&self, rule: &str, line: usize) -> bool {
-        self.pragmas.iter().any(|p| {
-            p.justified
-                && p.rule == rule
-                && (p.line == line || (p.line + 1 == line && self.code_blank(p.line)))
-        })
-    }
-
-    fn code_blank(&self, line: usize) -> bool {
-        self.code
-            .get(line - 1)
-            .map(|l| l.trim().is_empty())
-            .unwrap_or(true)
+        self.pragmas.iter().any(|p| p.covers(rule, line))
     }
 }
 
@@ -162,12 +194,23 @@ fn test_lines(code: &[String]) -> Vec<bool> {
 }
 
 /// Extract `fairem: allow(<rule>)` pragmas from comment lines.
-fn find_pragmas(comments: &[String]) -> Vec<Pragma> {
+fn find_pragmas(comments: &[String], code: &[String]) -> Vec<Pragma> {
     let mut out = Vec::new();
     for (ln, line) in comments.iter().enumerate() {
         let Some(at) = line.find("fairem: allow(") else {
             continue;
         };
+        // A pragma starts the comment; prose *about* the pragma
+        // syntax (doc comments quoting `fairem: allow(...)`) has
+        // words before the marker and is not a suppression.
+        if !line[..at]
+            .trim_start()
+            .trim_start_matches(['/', '!', '*'])
+            .trim()
+            .is_empty()
+        {
+            continue;
+        }
         let rest = &line[at + "fairem: allow(".len()..];
         let Some(close) = rest.find(')') else {
             continue;
@@ -182,10 +225,15 @@ fn find_pragmas(comments: &[String]) -> Vec<Pragma> {
         }
         let tail = rest[close + 1..]
             .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':');
+        let own_line = code
+            .get(ln)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(true);
         out.push(Pragma {
             line: ln + 1,
             rule,
             justified: !tail.trim().is_empty(),
+            own_line,
         });
     }
     out

@@ -1,0 +1,16 @@
+//! Seeded `exit_code` violations: an unmapped error variant, a mapping
+//! for a variant the enum never declares, and a wildcard arm that would
+//! swallow future variants silently.
+
+pub enum SuiteError {
+    Mapped,
+    Unmapped,
+}
+
+pub fn suite_exit_code(e: &SuiteError) -> i32 {
+    match e {
+        SuiteError::Mapped => 0,
+        SuiteError::Bogus => 2,
+        _ => 3,
+    }
+}

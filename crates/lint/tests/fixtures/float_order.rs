@@ -1,0 +1,14 @@
+//! Seeded `float_order` violations: `partial_cmp` is banned, tests
+//! included — `total_cmp` is total, IEEE-754-ordered, and costs the same.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn max_is_first(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Greater)
+}
+
+pub fn sanctioned(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b) // fairem: allow(float_order) — seeded: proves a justified pragma still suppresses
+}

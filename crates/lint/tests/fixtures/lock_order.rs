@@ -1,0 +1,23 @@
+//! Seeded `lock_order` violation: two functions acquire the same two
+//! locks in opposite orders — the classic ABBA deadlock shape.
+
+use std::sync::Mutex;
+
+pub struct State {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+pub fn ab(s: &State) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn ba(s: &State) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,11 @@
+//! Seeded `metrics_registry` violations: a metric name missing from
+//! the registry, and a name that is not a string literal at all.
+
+pub fn emit(recorder: &fairem_obs::Recorder) {
+    recorder.incr("lint.fixture.unregistered");
+    recorder.gauge(name_of(), 1.0);
+}
+
+fn name_of() -> &'static str {
+    "dynamic"
+}

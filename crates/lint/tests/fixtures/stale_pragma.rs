@@ -1,0 +1,7 @@
+//! Seeded `stale_pragma` violation: a justified pragma that
+//! suppresses nothing is dead weight and must itself be flagged.
+
+// fairem: allow(clock) — seeded: claims to cover a clock read, but the next line has none
+pub fn no_clock_here() -> u64 {
+    42
+}

@@ -38,8 +38,13 @@ fn every_rule_is_exercised_by_a_fixture() {
         "hash_iter",
         "panic",
         "unsafe_comment",
+        "float_order",
         "pragma",
         "hermetic_deps",
+        "stale_pragma",
+        "metrics_registry",
+        "lock_order",
+        "exit_code",
     ] {
         assert!(fired.contains(&rule), "no fixture finding for rule `{rule}`");
     }

@@ -34,6 +34,7 @@
 //! `Instant` reads happen only at span open/close.
 
 pub mod metrics;
+pub mod names;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;

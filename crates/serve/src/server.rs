@@ -144,6 +144,7 @@ impl Shared {
 
     fn bump(&self, counter: &AtomicU64, name: &str) {
         counter.fetch_add(1, Ordering::Relaxed);
+        // fairem: allow(metrics_registry) — forwarding helper; the lint checks the literal at every bump() call site
         self.recorder.incr(name);
     }
 

@@ -113,10 +113,13 @@ pub fn two_sample_z_test(a: &[f64], b: &[f64], tail: Tail) -> TestResult {
     let (va, vb) = (crate::desc::sample_var(a), crate::desc::sample_var(b));
     let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
     let z = if se == 0.0 {
-        match ma.partial_cmp(&mb) {
-            Some(std::cmp::Ordering::Greater) => f64::INFINITY,
-            Some(std::cmp::Ordering::Less) => f64::NEG_INFINITY,
-            _ => 0.0,
+        // total_cmp keeps the zero-variance branch deterministic even if
+        // a NaN mean sneaks in (partial_cmp would silently collapse it
+        // to the `_ => 0.0` arm on some inputs and not others).
+        match ma.total_cmp(&mb) {
+            std::cmp::Ordering::Greater => f64::INFINITY,
+            std::cmp::Ordering::Less => f64::NEG_INFINITY,
+            std::cmp::Ordering::Equal => 0.0,
         }
     } else {
         (ma - mb) / se

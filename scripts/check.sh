@@ -43,11 +43,33 @@ FAIREM_JOBS=4 run_tests cargo test -q --workspace
 echo "== lints: clippy, warnings denied, unwrap()/expect() banned outside tests =="
 cargo clippy --workspace -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "== lints: fairem-lint, workspace contracts (DESIGN.md §9) =="
-# The workspace must be clean, and every seeded fixture violation must
-# still fire exactly as the manifest records — a linter that silently
-# goes blind fails the gate just like a dirty workspace does.
-cargo run -q -p fairem-lint
+echo "== lints: fairem-lint v2, workspace contracts (DESIGN.md §9) =="
+# Three promises checked here: (a) the workspace is clean under the
+# full rule catalog and every seeded fixture violation still fires
+# exactly as the manifest records — a linter that silently goes blind
+# fails the gate just like a dirty workspace does; (b) the emitted
+# fairem-lint/2 JSON validates; (c) the incremental cache is sound — a
+# warm run must replay files (files_cached > 0) and produce findings
+# bit-identical to the cold run even under a different jobs policy.
+LINT_DIR="$(mktemp -d)"
+cargo run -q -p fairem-lint -- \
+  --jobs 4 --cache "$LINT_DIR/cache" --format json > "$LINT_DIR/cold.json"
+cargo run -q -p fairem-lint -- --validate-json "$LINT_DIR/cold.json"
+cargo run -q -p fairem-lint -- \
+  --jobs 1 --cache "$LINT_DIR/cache" --format json > "$LINT_DIR/warm.json"
+case "$(grep -o '"files_cached":[0-9]*' "$LINT_DIR/warm.json")" in
+  '"files_cached":0'|'')
+    echo "check.sh: FAIL — warm lint run replayed nothing from the cache" >&2
+    exit 1 ;;
+esac
+# files_{analyzed,cached} legitimately differ between the runs; the
+# findings array must not.
+normalize_lint() { sed 's/"files_analyzed":[0-9]*/_/; s/"files_cached":[0-9]*/_/' "$1"; }
+if ! diff <(normalize_lint "$LINT_DIR/cold.json") <(normalize_lint "$LINT_DIR/warm.json"); then
+  echo "check.sh: FAIL — cold and warm lint findings diverged" >&2
+  exit 1
+fi
+rm -rf "$LINT_DIR"
 cargo run -q -p fairem-lint -- \
   --expect crates/lint/tests/fixtures/expected.lint crates/lint/tests/fixtures
 

@@ -75,10 +75,29 @@ fn data_err(msg: impl Into<String>) -> CliError {
     }
 }
 
-fn suite_err(e: SuiteError) -> CliError {
+/// The exit code one [`SuiteError`] variant maps to. This match is
+/// deliberately exhaustive — no wildcard arm — so adding a `SuiteError`
+/// variant without deciding its exit code is a compile error, and the
+/// `exit_code` lint rule cross-checks that every variant declared in
+/// `crates/core/src/error.rs` appears here by name.
+fn suite_exit_code(e: &SuiteError) -> i32 {
     match e {
-        SuiteError::Config { .. } => err(e.to_string()),
-        _ => data_err(e.to_string()),
+        SuiteError::Config { .. } => EXIT_USAGE,
+        SuiteError::TimedOut { .. } => EXIT_TIMEOUT,
+        SuiteError::Io { .. } => EXIT_DATA,
+        SuiteError::Schema { .. } => EXIT_DATA,
+        SuiteError::Data { .. } => EXIT_DATA,
+        SuiteError::Stage { .. } => EXIT_DATA,
+        SuiteError::AllMatchersFailed { .. } => EXIT_DATA,
+        SuiteError::UnknownMatcher { .. } => EXIT_DATA,
+        SuiteError::MemExceeded { .. } => EXIT_DATA,
+    }
+}
+
+fn suite_err(e: SuiteError) -> CliError {
+    CliError {
+        exit: suite_exit_code(&e),
+        message: e.to_string(),
     }
 }
 
@@ -613,17 +632,13 @@ where
 /// codes (130 when the cut came from an external cancel), config errors
 /// are usage errors, everything else is a data error.
 fn run_err(e: SuiteError, cancel: &CancelToken) -> CliError {
-    match &e {
-        SuiteError::TimedOut { .. } => CliError {
-            message: e.to_string(),
-            exit: if cancel.cancel_requested() {
-                EXIT_INTERRUPTED
-            } else {
-                EXIT_TIMEOUT
-            },
-        },
-        SuiteError::Config { .. } => err(e.to_string()),
-        _ => data_err(e.to_string()),
+    let exit = match suite_exit_code(&e) {
+        EXIT_TIMEOUT if cancel.cancel_requested() => EXIT_INTERRUPTED,
+        code => code,
+    };
+    CliError {
+        exit,
+        message: e.to_string(),
     }
 }
 
